@@ -1,0 +1,98 @@
+//===- bench/latency_profile.cpp - Per-op latency percentiles ------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Complements the throughput figures with tail behaviour: per-op
+/// latency percentiles under the Fig. 1 workload. The interesting
+/// comparison: VBL's p99 for *failed* updates is a pure traversal
+/// (never parks on a lock), while Lazy's update tail absorbs lock
+/// convoys — on any host, the update-tail gap widens with threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Runner.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace vbl;
+using namespace vbl::harness;
+
+static void printRow(const char *Op, const SampleStats &Stats) {
+  if (Stats.empty()) {
+    std::printf("  %-9s (no samples)\n", Op);
+    return;
+  }
+  std::printf("  %-9s n=%-8zu p50=%7.0fns p90=%7.0fns p99=%8.0fns "
+              "max=%9.0fns\n",
+              Op, Stats.count(), Stats.percentile(50),
+              Stats.percentile(90), Stats.percentile(99), Stats.max());
+}
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("Per-operation latency percentiles");
+  Flags.addUnsignedList("threads", {1, 4}, "thread counts");
+  Flags.addInt("range", 50, "key range");
+  Flags.addInt("update-percent", 20, "percentage of updates");
+  Flags.addInt("duration-ms", 120, "measured window");
+  Flags.addString("algos", "vbl,lazy,harris-michael",
+                  "comma-separated algorithms");
+  Flags.addInt("seed", 42, "base RNG seed");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  std::vector<std::string> Algos;
+  {
+    const std::string &Raw = Flags.getString("algos");
+    size_t Pos = 0;
+    while (Pos <= Raw.size()) {
+      const size_t Comma = Raw.find(',', Pos);
+      Algos.push_back(Raw.substr(
+          Pos, Comma == std::string::npos ? Comma : Comma - Pos));
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+  }
+
+  for (unsigned Threads : Flags.getUnsignedList("threads")) {
+    std::printf("\n=== %u thread(s), %lld%% updates, range %lld ===\n",
+                Threads,
+                static_cast<long long>(Flags.getInt("update-percent")),
+                static_cast<long long>(Flags.getInt("range")));
+    for (const std::string &Algo : Algos) {
+      WorkloadConfig Config;
+      Config.UpdatePercent =
+          static_cast<unsigned>(Flags.getInt("update-percent"));
+      Config.KeyRange = Flags.getInt("range");
+      Config.Threads = Threads;
+      Config.DurationMs =
+          static_cast<unsigned>(Flags.getInt("duration-ms"));
+      Config.WarmupMs = 0; // Latency run: warmup folded into window.
+      Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+
+      auto Set = makeSet(Algo);
+      if (!Set) {
+        std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                     Algo.c_str());
+        return 1;
+      }
+      prefill(*Set, Config.KeyRange, Config.Seed);
+      LatencyProfile Profile;
+      const RunResult Result = runOnceLatency(*Set, Config, Profile);
+      if (!Result.InvariantsHeld) {
+        std::fprintf(stderr, "error: %s corrupted its structure\n",
+                     Algo.c_str());
+        return 1;
+      }
+      std::printf("%s:\n", Algo.c_str());
+      printRow("contains", Profile.Contains);
+      printRow("insert", Profile.Insert);
+      printRow("remove", Profile.Remove);
+    }
+  }
+  return 0;
+}

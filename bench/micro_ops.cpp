@@ -1,0 +1,101 @@
+//===- bench/micro_ops.cpp - Per-operation cost of every algorithm -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Single-threaded per-operation latency of every registered list plus
+/// a mutex-protected std::set reference point, on a prefilled range.
+/// Complements the throughput figures: differences here are pure
+/// algorithmic overhead (traversal representation, lock protocol,
+/// reclamation bookkeeping), with zero contention.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Workload.h"
+#include "lists/SetInterface.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <set>
+
+using namespace vbl;
+
+namespace {
+
+constexpr SetKey Range = 2000;
+
+void mixedOps(benchmark::State &State, ConcurrentSet &Set) {
+  Xoshiro256 Rng(1234);
+  const harness::OpPicker Picker(20);
+  for (auto _ : State) {
+    const SetKey Key = static_cast<SetKey>(Rng.nextBounded(Range));
+    bool Result = false;
+    switch (Picker.pick(Rng)) {
+    case SetOp::Insert:
+      Result = Set.insert(Key);
+      break;
+    case SetOp::Remove:
+      Result = Set.remove(Key);
+      break;
+    case SetOp::Contains:
+      Result = Set.contains(Key);
+      break;
+    }
+    benchmark::DoNotOptimize(Result);
+  }
+}
+
+void benchAlgorithm(benchmark::State &State, const std::string &Name) {
+  auto Set = makeSet(Name);
+  harness::prefill(*Set, Range, 99);
+  mixedOps(State, *Set);
+}
+
+void benchStdSetMutex(benchmark::State &State) {
+  std::set<SetKey> Set;
+  std::mutex Mutex;
+  Xoshiro256 Prefill(99 ^ 0x5eedULL);
+  for (SetKey Key = 0; Key != Range; ++Key)
+    if (Prefill.nextPercent(50))
+      Set.insert(Key);
+
+  Xoshiro256 Rng(1234);
+  const harness::OpPicker Picker(20);
+  for (auto _ : State) {
+    const SetKey Key = static_cast<SetKey>(Rng.nextBounded(Range));
+    bool Result = false;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    switch (Picker.pick(Rng)) {
+    case SetOp::Insert:
+      Result = Set.insert(Key).second;
+      break;
+    case SetOp::Remove:
+      Result = Set.erase(Key) == 1;
+      break;
+    case SetOp::Contains:
+      Result = Set.count(Key) == 1;
+      break;
+    }
+    benchmark::DoNotOptimize(Result);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (const std::string &Name : registeredSetNames())
+    benchmark::RegisterBenchmark(("mixed20/" + Name).c_str(),
+                                 [Name](benchmark::State &State) {
+                                   benchAlgorithm(State, Name);
+                                 });
+  benchmark::RegisterBenchmark("mixed20/std_set_mutex",
+                               &benchStdSetMutex);
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

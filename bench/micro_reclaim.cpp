@@ -1,0 +1,89 @@
+//===- bench/micro_reclaim.cpp - Reclamation primitive costs -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-primitive costs of the reclamation substrate that replaces the
+/// paper's JVM GC: epoch guard enter/exit (paid once per list
+/// operation), hazard-pointer protection (paid once per traversal hop
+/// in the HP variant), and retire throughput. These numbers explain the
+/// deltas in bench/reclamation_cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/EpochDomain.h"
+#include "reclaim/HazardPointerDomain.h"
+#include "reclaim/LeakyDomain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vbl;
+using namespace vbl::reclaim;
+
+namespace {
+
+void benchEpochGuard(benchmark::State &State) {
+  static EpochDomain Domain;
+  for (auto _ : State) {
+    EpochDomain::Guard G(Domain);
+    benchmark::DoNotOptimize(&G);
+  }
+}
+
+void benchEpochGuardNested(benchmark::State &State) {
+  static EpochDomain Domain;
+  EpochDomain::Guard Outer(Domain);
+  for (auto _ : State) {
+    EpochDomain::Guard Inner(Domain);
+    benchmark::DoNotOptimize(&Inner);
+  }
+}
+
+void benchHazardProtect(benchmark::State &State) {
+  static HazardPointerDomain Domain;
+  static std::atomic<int *> Source{new int(7)};
+  HazardPointerDomain::Guard G(Domain);
+  for (auto _ : State) {
+    int *P = G.protect(0, Source);
+    benchmark::DoNotOptimize(P);
+  }
+}
+
+void benchEpochRetire(benchmark::State &State) {
+  static EpochDomain Domain;
+  // Guard per iteration: holding one guard across the whole loop would
+  // pin the epoch and make every retirement unreclaimable — a
+  // pathological pattern, not the one the lists use (guard per op).
+  for (auto _ : State) {
+    EpochDomain::Guard G(Domain);
+    Domain.retire(new int(1));
+  }
+}
+
+void benchHazardRetire(benchmark::State &State) {
+  static HazardPointerDomain Domain;
+  for (auto _ : State)
+    Domain.retire(new int(1));
+}
+
+void benchLeakyGuard(benchmark::State &State) {
+  static LeakyDomain Domain;
+  for (auto _ : State) {
+    LeakyDomain::Guard G(Domain);
+    benchmark::DoNotOptimize(&G);
+  }
+}
+
+} // namespace
+
+BENCHMARK(benchLeakyGuard)->Name("guard/leaky");
+BENCHMARK(benchEpochGuard)->Name("guard/epoch");
+BENCHMARK(benchEpochGuard)->Name("guard/epoch_mt")->Threads(4);
+BENCHMARK(benchEpochGuardNested)->Name("guard/epoch_nested");
+BENCHMARK(benchHazardProtect)->Name("protect/hazard");
+BENCHMARK(benchEpochRetire)->Name("retire/epoch");
+BENCHMARK(benchHazardRetire)->Name("retire/hazard");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+//===- bench/reclamation_cost.cpp - EBR vs leaky (tech-report C++) -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's Java implementations lean on the GC; its technical
+/// report evaluates C++ translations *without* memory management. This
+/// bench quantifies what safe reclamation costs each algorithm: the
+/// epoch-based default vs the leaky no-op domain, on the contended
+/// Fig. 1 workload where retirement traffic is highest. The expected
+/// shape: EBR costs a few percent (one announce per operation plus
+/// amortized collection), identically across algorithms — so the
+/// paper's leak-based C++ comparison carries over to a
+/// production-reclaimed build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/TablePrinter.h"
+#include "support/CommandLine.h"
+
+using namespace vbl;
+using namespace vbl::harness;
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("Reclamation cost: epoch-based vs leaky");
+  Flags.addUnsignedList("threads", {1, 2, 4}, "thread counts");
+  Flags.addInt("range", 50, "key range");
+  Flags.addInt("update-percent", 20, "percentage of updates");
+  Flags.addInt("duration-ms", 80, "measured window per repetition");
+  Flags.addInt("warmup-ms", 25, "warm-up per window");
+  Flags.addInt("repeats", 2, "repetitions per point");
+  Flags.addInt("seed", 42, "base RNG seed");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  WorkloadConfig Base;
+  Base.UpdatePercent =
+      static_cast<unsigned>(Flags.getInt("update-percent"));
+  Base.KeyRange = Flags.getInt("range");
+  Base.DurationMs = static_cast<unsigned>(Flags.getInt("duration-ms"));
+  Base.WarmupMs = static_cast<unsigned>(Flags.getInt("warmup-ms"));
+  Base.Repeats = static_cast<unsigned>(Flags.getInt("repeats"));
+  Base.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+
+  const std::vector<std::pair<const char *, const char *>> Pairs = {
+      {"vbl", "vbl-leaky"},
+      {"lazy", "lazy-leaky"},
+      {"harris-michael", "harris-michael-leaky"},
+  };
+  for (const auto &[Reclaimed, Leaky] : Pairs) {
+    Panel P(std::string(Reclaimed) + ": EBR vs leaky",
+            {Leaky, Reclaimed}, Flags.getUnsignedList("threads"));
+    P.measureAll(Base);
+    P.print();
+  }
+  return 0;
+}

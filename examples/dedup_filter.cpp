@@ -1,0 +1,124 @@
+//===- examples/dedup_filter.cpp - Concurrent stream deduplication -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Build & run:  ./build/examples/dedup_filter [--threads N] ...
+///
+/// A workload the paper's introduction motivates: a small, hot
+/// membership structure hammered by many threads where most operations
+/// do not modify it. Worker threads consume an event stream; an event
+/// id already in the window set is a duplicate and is dropped; fresh
+/// ids are admitted and expired ids are removed by the same workers
+/// (cooperative expiry). Duplicate-heavy traffic means most inserts
+/// FAIL — exactly the case where VBL's decide-before-lock rule shines,
+/// because failed updates stay lock-free.
+///
+/// The example runs the same stream over VBL and Lazy and reports
+/// events/second plus exact duplicate accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/SetInterface.h"
+#include "support/Barrier.h"
+#include "support/CommandLine.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+namespace {
+
+struct FilterStats {
+  uint64_t Events = 0;
+  uint64_t Admitted = 0;
+  uint64_t Duplicates = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the dedup filter on \p Algorithm. Every worker processes
+/// EventsPerThread synthetic events whose ids are Zipf-ish (a small hot
+/// set plus a long tail), so duplicates dominate.
+FilterStats runFilter(const std::string &Algorithm, unsigned Threads,
+                      uint64_t EventsPerThread, uint64_t HotIds,
+                      uint64_t Seed) {
+  auto Window = makeSet(Algorithm);
+  std::atomic<uint64_t> Admitted{0}, Duplicates{0};
+  SpinBarrier Barrier(Threads);
+
+  std::vector<std::thread> Workers;
+  Stopwatch Timer;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(Seed + T);
+      uint64_t MyAdmitted = 0, MyDuplicates = 0;
+      Barrier.arriveAndWait();
+      for (uint64_t I = 0; I != EventsPerThread; ++I) {
+        // 90% of events hit the hot id set; 10% are long-tail ids.
+        const bool Hot = Rng.nextPercent(90);
+        const SetKey Id =
+            Hot ? static_cast<SetKey>(Rng.nextBounded(HotIds))
+                : static_cast<SetKey>(HotIds + Rng.nextBounded(1 << 20));
+        if (Window->insert(Id)) {
+          ++MyAdmitted;
+          // Cooperative expiry: each admission retires one random hot
+          // id so the window stays small and contended.
+          Window->remove(static_cast<SetKey>(Rng.nextBounded(HotIds)));
+        } else {
+          ++MyDuplicates; // Failed insert == duplicate suppressed.
+        }
+      }
+      Admitted.fetch_add(MyAdmitted, std::memory_order_relaxed);
+      Duplicates.fetch_add(MyDuplicates, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Worker : Workers)
+    Worker.join();
+
+  FilterStats Stats;
+  Stats.Seconds = Timer.elapsedSeconds();
+  Stats.Events = static_cast<uint64_t>(Threads) * EventsPerThread;
+  Stats.Admitted = Admitted.load();
+  Stats.Duplicates = Duplicates.load();
+  return Stats;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("Concurrent event-stream deduplication filter");
+  Flags.addInt("threads", 4, "worker threads");
+  Flags.addInt("events-per-thread", 200000, "events each worker handles");
+  Flags.addInt("hot-ids", 32, "size of the hot id set");
+  Flags.addInt("seed", 7, "stream seed");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  const auto Threads = static_cast<unsigned>(Flags.getInt("threads"));
+  const auto Events =
+      static_cast<uint64_t>(Flags.getInt("events-per-thread"));
+  const auto HotIds = static_cast<uint64_t>(Flags.getInt("hot-ids"));
+  const auto Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+
+  std::printf("%-8s %12s %12s %12s %14s\n", "algo", "events",
+              "admitted", "duplicates", "events/s");
+  for (const char *Algorithm : {"vbl", "lazy", "harris-michael"}) {
+    const FilterStats Stats =
+        runFilter(Algorithm, Threads, Events, HotIds, Seed);
+    std::printf("%-8s %12llu %12llu %12llu %14.0f\n", Algorithm,
+                static_cast<unsigned long long>(Stats.Events),
+                static_cast<unsigned long long>(Stats.Admitted),
+                static_cast<unsigned long long>(Stats.Duplicates),
+                static_cast<double>(Stats.Events) / Stats.Seconds);
+  }
+  std::printf("\n(duplicate-heavy streams make most inserts fail: VBL "
+              "handles those without touching a lock)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- examples/schedule_explorer.cpp - Walk through Fig. 2 step by step -===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Build & run:  ./build/examples/schedule_explorer
+///
+/// A narrated version of the paper's Figure 2 using the deterministic
+/// scheduler: it prints the correct schedule built by interleaving the
+/// *sequential* code, then replays it against VBL (accepted, with the
+/// full raw trace showing no lock on the failing insert) and against
+/// the Lazy list (rejected: the failing insert blocks on X1's lock).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/VblList.h"
+#include "lists/LazyList.h"
+#include "lists/SequentialList.h"
+#include "reclaim/LeakyDomain.h"
+#include "sched/InterleavingExplorer.h"
+#include "sched/ScheduleChecker.h"
+#include "sched/ScheduleExport.h"
+
+#include <cstdio>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+template <class ListT> EpisodeFactory fig2Factory() {
+  return []() -> Episode {
+    auto List = std::make_shared<ListT>();
+    List->insert(1);
+    Episode Ep;
+    Ep.HeadNode = List->headNode();
+    Ep.InitialChain = List->nodeChain();
+    Ep.Holder = List;
+    Ep.Bodies = {
+        [List] {
+          tracedOp(SetOp::Insert, 1, [&] { return List->insert(1); });
+        },
+        [List] {
+          tracedOp(SetOp::Insert, 2, [&] { return List->insert(2); });
+        }};
+    return Ep;
+  };
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 2 of 'Optimal Concurrency for List-Based "
+              "Sets', executed ===\n\n");
+  std::printf("Initial list: {1}.  T0 runs insert(1), T1 runs "
+              "insert(2).\n");
+  std::printf("The schedule: T1 traverses and creates its node X2, THEN "
+              "T0 completes\n(returning false), THEN T1 links X2.\n\n");
+
+  // Build the schedule by interleaving the sequential implementation.
+  InterleavingExplorer Explorer(
+      fig2Factory<SequentialList<TracedPolicy>>());
+  const EpisodeResult LL = Explorer.run({1, 1, 1, 1, 1, 0, 0, 0, 1});
+  const Schedule Target = exportLLSchedule(LL.Raw, LL.Meta.HeadNode);
+
+  std::printf("--- The schedule (exported LL events) ---\n%s\n",
+              Target.toString().c_str());
+
+  const CorrectnessResult Check =
+      checkScheduleCorrect(Target, LL.Meta.InitialChain, {1, 2});
+  std::printf("Definition 1 check: locally serializable=%s, "
+              "sigma-bar(v) linearizable=%s -> %s\n\n",
+              Check.LocallySerializable ? "yes" : "no",
+              Check.Linearizable ? "yes" : "no",
+              Check.correct() ? "CORRECT" : "INCORRECT");
+
+  // Replay on VBL.
+  using TracedVbl = VblList<reclaim::LeakyDomain, TracedPolicy>;
+  const ReplayResult OnVbl =
+      replaySchedule(fig2Factory<TracedVbl>(), Target);
+  std::printf("--- VBL replay: %s ---\n",
+              OnVbl.Accepted ? "ACCEPTED" : "REJECTED");
+  std::printf("%s\n", OnVbl.RawTrace.toString().c_str());
+
+  // Replay on Lazy.
+  using TracedLazy = LazyList<reclaim::LeakyDomain, TracedPolicy>;
+  const ReplayResult OnLazy =
+      replaySchedule(fig2Factory<TracedLazy>(), Target);
+  std::printf("--- Lazy replay: %s (%s) ---\n",
+              OnLazy.Accepted ? "ACCEPTED" : "REJECTED",
+              OnLazy.Reason.c_str());
+  std::printf("%s\n", OnLazy.RawTrace.toString().c_str());
+
+  std::printf("Summary: the Lazy list rejects a correct schedule "
+              "(insert(1) is parked on X1's lock,\nheld by the "
+              "still-unfinished insert(2)); VBL accepts it because a "
+              "failing insert decides\nfrom values alone and never "
+              "locks. That is the concurrency-optimality gap.\n");
+  return OnVbl.Accepted && !OnLazy.Accepted ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+//===- core/SetConfig.h - Key type and sentinels for list-based sets -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The set type of the paper stores integers; every list in this repo
+/// stores SetKey with the two reserved sentinel values the sequential
+/// specification LL uses for head (-inf) and tail (+inf).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_CORE_SETCONFIG_H
+#define VBL_CORE_SETCONFIG_H
+
+#include <cstdint>
+#include <limits>
+
+namespace vbl {
+
+/// Element type of the integer set. 64-bit so benchmark key ranges and
+/// hash-expanded test keys never collide with the sentinels.
+using SetKey = int64_t;
+
+/// head.val: smaller than every user key.
+inline constexpr SetKey MinSentinel = std::numeric_limits<SetKey>::min();
+/// tail.val: greater than every user key.
+inline constexpr SetKey MaxSentinel = std::numeric_limits<SetKey>::max();
+
+/// User keys live strictly between the sentinels.
+inline constexpr bool isUserKey(SetKey Key) {
+  return Key > MinSentinel && Key < MaxSentinel;
+}
+
+} // namespace vbl
+
+#endif // VBL_CORE_SETCONFIG_H

@@ -1,0 +1,68 @@
+//===- core/ValueAwareTryLock.h - The paper's §3.1 locking primitive -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value-aware try-lock of §3.1. The primitive couples a CAS-based
+/// lock acquisition with a *validation* executed under the lock: if the
+/// validation fails the lock is released immediately and the caller is
+/// told to re-traverse. The two concrete validations of the paper —
+/// lockNextAt (the successor is still the expected node) and
+/// lockNextAtValue (the successor still carries the expected *value*) —
+/// are built on the generic acquireIfValid() by the VBL node.
+///
+/// What makes the lock "value-aware" is the second validation: it
+/// tolerates the successor *node* having been replaced as long as the
+/// successor *value* is unchanged, which is precisely the schedule class
+/// the Lazy Linked List needlessly rejects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_CORE_VALUEAWARETRYLOCK_H
+#define VBL_CORE_VALUEAWARETRYLOCK_H
+
+#include "sync/Policy.h"
+#include "sync/SpinLocks.h"
+
+namespace vbl {
+
+/// Wraps a spinlock with the acquire-validate-or-release protocol. All
+/// lock traffic is routed through the access Policy so the deterministic
+/// scheduler can observe blocking and release.
+template <class LockT = TasLock> class ValueAwareTryLock {
+public:
+  ValueAwareTryLock() = default;
+  ValueAwareTryLock(const ValueAwareTryLock &) = delete;
+  ValueAwareTryLock &operator=(const ValueAwareTryLock &) = delete;
+
+  /// Acquires the lock, then evaluates \p Validate under it. On success
+  /// the lock is *kept* and true is returned; on validation failure the
+  /// lock is released and false is returned, telling the caller that the
+  /// schedule it observed is gone and it must re-traverse.
+  template <class Policy, class ValidateFn>
+  bool acquireIfValid(const void *NodeId, ValidateFn &&Validate) {
+    Policy::lockAcquire(Inner, NodeId);
+    if (Validate())
+      return true;
+    Policy::lockRelease(Inner, NodeId);
+    return false;
+  }
+
+  /// Releases a lock previously kept by acquireIfValid().
+  template <class Policy> void release(const void *NodeId) {
+    Policy::lockRelease(Inner, NodeId);
+  }
+
+  /// Observability for tests.
+  bool isLocked() const { return Inner.isLocked(); }
+
+private:
+  LockT Inner;
+};
+
+} // namespace vbl
+
+#endif // VBL_CORE_VALUEAWARETRYLOCK_H

@@ -1,0 +1,311 @@
+//===- core/VblList.h - The concurrency-optimal Value-Based List ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VBL list (Algorithm 2 of the paper): a linearizable,
+/// deadlock-free, *concurrency-optimal* list-based set. Three ideas
+/// compose:
+///
+///  1. Wait-free value-based traversals (shared with the Lazy list, but
+///     without reading any deletion metadata), restarting from `prev`
+///     rather than from the head after a failed validation.
+///  2. Logical deletion before physical unlink (from Harris-Michael),
+///     done under locks so each node is unlinked exactly once.
+///  3. The value-aware try-lock (§3.1): updates validate the *data*
+///     they are about to act on after acquiring the lock — and inserts
+///     or removes that turn out to be read-only never lock at all.
+///
+/// Template knobs (used by the ablation benchmark):
+///  - ReclaimT: memory reclamation domain (default epoch-based; the
+///    paper's Java original delegates this to the GC).
+///  - PolicyT: shared-memory access policy (DirectPolicy for production,
+///    sched::TracedPolicy for deterministic schedule exploration).
+///  - LockT: node lock (default CAS test-and-set, as in the paper).
+///  - RestartFromPrev: restart failed attempts from `prev` (paper's
+///    line-24 optimisation) instead of from the head.
+///  - ValueAware: use lockNextAtValue for removals and decide
+///    insert-present before locking. Setting this false degrades the
+///    algorithm to Lazy-style node-identity validation, quantifying the
+///    contribution of the value-aware rule in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_CORE_VBLLIST_H
+#define VBL_CORE_VBLLIST_H
+
+#include "core/SetConfig.h"
+#include "core/ValueAwareTryLock.h"
+#include "reclaim/EpochDomain.h"
+#include "sync/Policy.h"
+#include "sync/SpinLocks.h"
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+namespace vbl {
+
+template <class ReclaimT = reclaim::EpochDomain,
+          class PolicyT = DirectPolicy, class LockT = TasLock,
+          bool RestartFromPrev = true, bool ValueAware = true>
+class VblList {
+public:
+  using Reclaim = ReclaimT;
+  using Policy = PolicyT;
+
+  VblList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(Tail, std::memory_order_relaxed);
+  }
+
+  ~VblList() {
+    // Reachable nodes are freed here; unlinked nodes were retired and
+    // are freed (or deliberately leaked) by the domain's destructor.
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = Curr->Next.load(std::memory_order_relaxed);
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  VblList(const VblList &) = delete;
+  VblList &operator=(const VblList &) = delete;
+
+  /// Adds \p Key; returns true iff it was absent. Never blocks — and
+  /// never even locks — when the key is already present (ValueAware).
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    Node *Prev = Head;
+    for (;;) {
+      auto [P, Curr, Val] = traverse(Key, Prev);
+      Prev = P;
+      if (ValueAware && Val == Key) {
+        // Present: decided from data alone, no lock was taken. This is
+        // the schedule of Fig. 2 that the Lazy list rejects.
+        delete NewNode; // Never published; plain delete is safe.
+        return false;
+      }
+      if (!NewNode) {
+        NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+      }
+      Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
+                    MemField::Next);
+      if (!lockNextAt(Prev, Curr)) {
+        Policy::onRestart();
+        continue;
+      }
+      if (!ValueAware && Val == Key) {
+        // Ablation mode: Lazy-style decision under the lock.
+        Prev->NodeLock.template release<Policy>(Prev);
+        delete NewNode;
+        return false;
+      }
+      // Publish: the release store makes NewNode's fields visible to any
+      // traversal that acquires Prev->Next.
+      Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
+                    MemField::Next);
+      Prev->NodeLock.template release<Policy>(Prev);
+      return true;
+    }
+  }
+
+  /// Removes \p Key; returns true iff it was present. Marks the node
+  /// deleted, then unlinks it, both under the (prev, curr) locks.
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *Prev = Head;
+    for (;;) {
+      auto [P, Curr, Val] = traverse(Key, Prev);
+      Prev = P;
+      if (Val != Key)
+        return false; // Absent: no lock taken.
+      Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                                MemField::Next);
+      const bool PrevLocked =
+          ValueAware ? lockNextAtValue(Prev, Key) : lockNextAt(Prev, Curr);
+      if (!PrevLocked) {
+        Policy::onRestart();
+        continue;
+      }
+      // Under Prev's lock Prev->Next is stable: every writer of a next
+      // field holds the owning node's lock. (A validation re-read: the
+      // LL-visible read of curr was done by the traversal.)
+      Node *Victim = Policy::readCheck(Prev->Next, std::memory_order_acquire,
+                                       Prev, MemField::Next);
+      VBL_ASSERT(!ValueAware || Victim->Val == Key,
+                 "lockNextAtValue validated the successor value");
+      if (!ValueAware && Victim != Curr)
+        vbl_unreachable("lockNextAt validated the successor identity");
+      if (!lockNextAt(Victim, Succ)) {
+        Prev->NodeLock.template release<Policy>(Prev);
+        Policy::onRestart();
+        continue;
+      }
+      // Logical deletion first (release: a traversal that reads the flag
+      // must also see the list state that justified it), then unlink.
+      Policy::write(Victim->Deleted, true, std::memory_order_release,
+                    Victim, MemField::Marked);
+      Policy::write(Prev->Next, Succ, std::memory_order_release, Prev,
+                    MemField::Next);
+      Victim->NodeLock.template release<Policy>(Victim);
+      Prev->NodeLock.template release<Policy>(Prev);
+      Domain.retire(Victim);
+      return true;
+    }
+  }
+
+  /// Wait-free membership test. Reads only values and next pointers —
+  /// no locks, no deletion marks (the "value-based" in VBL).
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    const Node *Curr = Head;
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return Val == Key;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Test and tooling support (not part of the concurrent hot path).
+  //===--------------------------------------------------------------===//
+
+  /// Collects the user keys currently in the list. Quiescent use only.
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr = Head->Next.load(std::memory_order_acquire);
+         Curr->Val != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_acquire))
+      Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  /// Structural invariants that must hold when no operation is running:
+  /// strictly sorted, properly terminated, nothing marked, nothing
+  /// locked. Returns false (and asserts in debug) on violation.
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      if (Curr->Deleted.load(std::memory_order_acquire))
+        return false;
+      if (Curr->NodeLock.isLocked())
+        return false;
+      const Node *Next = Curr->Next.load(std::memory_order_acquire);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr;
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  /// Number of user keys; O(n), quiescent use only.
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive,
+  /// used by the schedule checker to reconstruct list states.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<Node *> Next{nullptr};
+    std::atomic<bool> Deleted{false};
+    ValueAwareTryLock<LockT> NodeLock;
+  };
+
+  /// §3.2 waitfreeTraversal: returns (prev, curr, curr.val) with
+  /// prev.val < Key <= curr.val. Starts from \p Start unless it has been
+  /// logically deleted, in which case it falls back to the head. The
+  /// value is returned so callers decide from the traversal's own read
+  /// (LL's tval) instead of re-reading.
+  std::tuple<Node *, Node *, SetKey> traverse(SetKey Key,
+                                              Node *Start) const {
+    Node *Prev = Start;
+    if (!RestartFromPrev ||
+        Policy::read(Prev->Deleted, std::memory_order_acquire, Prev,
+                     MemField::Marked))
+      Prev = Head;
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
+                              MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Prev = Curr;
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return {Prev, Curr, Val};
+  }
+
+  /// §3.1 lockNextAt: lock \p Node, keep it only if Node is alive and
+  /// still points at \p Expected.
+  bool lockNextAt(Node *NodePtr, Node *Expected) {
+    return NodePtr->NodeLock.template acquireIfValid<Policy>(
+        NodePtr, [&] {
+          if (Policy::readCheck(NodePtr->Deleted,
+                                std::memory_order_acquire, NodePtr,
+                                MemField::Marked))
+            return false;
+          return Policy::readCheck(NodePtr->Next,
+                                   std::memory_order_acquire, NodePtr,
+                                   MemField::Next) == Expected;
+        });
+  }
+
+  /// §3.1 lockNextAtValue: lock \p Node, keep it only if Node is alive
+  /// and its successor still stores \p Val — the successor node itself
+  /// may have been replaced, which is exactly the schedule the identity
+  /// check of the Lazy list would reject.
+  bool lockNextAtValue(Node *NodePtr, SetKey Val) {
+    return NodePtr->NodeLock.template acquireIfValid<Policy>(
+        NodePtr, [&] {
+          if (Policy::readCheck(NodePtr->Deleted,
+                                std::memory_order_acquire, NodePtr,
+                                MemField::Marked))
+            return false;
+          Node *Succ = Policy::readCheck(NodePtr->Next,
+                                         std::memory_order_acquire,
+                                         NodePtr, MemField::Next);
+          return Policy::readValueCheck(Succ->Val, Succ) == Val;
+        });
+  }
+
+  Node *Head;
+  Node *Tail;
+  /// Mutable so the const, read-only contains() can enter a read-side
+  /// critical section.
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_CORE_VBLLIST_H

@@ -1,0 +1,63 @@
+//===- harness/Runner.h - Timed throughput measurement -------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a workload against an algorithm and reports throughput, with
+/// the paper's protocol: pre-populate, warm up, measure a fixed window,
+/// repeat, average. A fresh list is built for every repetition so the
+/// measured state is identical across algorithms and repeats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_HARNESS_RUNNER_H
+#define VBL_HARNESS_RUNNER_H
+
+#include "harness/Workload.h"
+#include "support/Stats.h"
+
+#include <string>
+
+namespace vbl {
+namespace harness {
+
+struct RunResult {
+  double OpsPerSecond = 0.0;
+  uint64_t TotalOps = 0;
+  double Seconds = 0.0;
+  bool InvariantsHeld = true;
+};
+
+/// One measured window against an existing (already prefilled) set.
+RunResult runOnce(ConcurrentSet &Set, const WorkloadConfig &Config);
+
+/// Full protocol for one (algorithm, config) point: Repeats fresh
+/// lists, each prefilled, warmed and measured; returns the throughput
+/// samples (ops/second). Aborts the process if the algorithm name is
+/// unknown or a structural invariant breaks (a benchmark must never
+/// publish numbers from a corrupt structure).
+SampleStats measureAlgorithm(const std::string &Algorithm,
+                             const WorkloadConfig &Config);
+
+/// Per-operation latency samples (nanoseconds), split by operation
+/// type. Collected by runOnceLatency.
+struct LatencyProfile {
+  SampleStats Insert;
+  SampleStats Remove;
+  SampleStats Contains;
+};
+
+/// Like runOnce but times every operation individually (two clock
+/// reads per op of overhead — fine for latency analysis, do not mix
+/// with throughput numbers). Sample count is capped per thread to
+/// bound memory.
+RunResult runOnceLatency(ConcurrentSet &Set, const WorkloadConfig &Config,
+                         LatencyProfile &Profile);
+
+} // namespace harness
+} // namespace vbl
+
+#endif // VBL_HARNESS_RUNNER_H

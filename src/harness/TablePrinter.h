@@ -1,0 +1,68 @@
+//===- harness/TablePrinter.h - Figure/table rendering -------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders one benchmark panel the way the paper's figures are read:
+/// one row per thread count, one column per algorithm, cells in Mops/s,
+/// plus derived ratio columns (e.g. vbl/lazy, the paper's headline
+/// 1.6x). Also emits the raw series as CSV for external plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_HARNESS_TABLEPRINTER_H
+#define VBL_HARNESS_TABLEPRINTER_H
+
+#include "harness/Runner.h"
+#include "support/Csv.h"
+
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace harness {
+
+/// One figure panel: a thread sweep of several algorithms under one
+/// workload.
+class Panel {
+public:
+  Panel(std::string Title, std::vector<std::string> Algorithms,
+        std::vector<unsigned> ThreadCounts);
+
+  /// Stores the samples for (Threads, Algorithm).
+  void setResult(unsigned Threads, const std::string &Algorithm,
+                 const SampleStats &Stats);
+
+  /// Runs the full sweep with \p Base (Threads field overwritten).
+  void measureAll(const WorkloadConfig &Base);
+
+  /// Prints the panel as an aligned text table to stdout. When two or
+  /// more algorithms are present the ratio first/second is appended —
+  /// the paper's speedup column.
+  void print() const;
+
+  /// Appends this panel's series to a CSV (columns: panel, algorithm,
+  /// threads, mops_mean, mops_stddev).
+  void appendCsv(CsvWriter &Csv) const;
+
+  /// Header for appendCsv output.
+  static CsvWriter makeCsv();
+
+  double mean(unsigned Threads, const std::string &Algorithm) const;
+
+private:
+  size_t indexOf(const std::string &Algorithm) const;
+
+  std::string Title;
+  std::vector<std::string> Algorithms;
+  std::vector<unsigned> ThreadCounts;
+  std::vector<std::vector<SampleStats>> Results; // [thread][algo]
+};
+
+} // namespace harness
+} // namespace vbl
+
+#endif // VBL_HARNESS_TABLEPRINTER_H

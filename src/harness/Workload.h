@@ -1,0 +1,70 @@
+//===- harness/Workload.h - Synchrobench-style workload definition -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's experimental methodology (§4), reproduced: a workload is
+/// x% updates (split evenly between insert and remove) and (100-x)%
+/// contains, keys uniform over a fixed range, the list pre-populated
+/// with each key present with probability 1/2 (so the steady-state size
+/// is about half the range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_HARNESS_WORKLOAD_H
+#define VBL_HARNESS_WORKLOAD_H
+
+#include "core/SetConfig.h"
+#include "lists/SetInterface.h"
+#include "support/Random.h"
+#include "sync/Policy.h"
+
+#include <cstdint>
+
+namespace vbl {
+namespace harness {
+
+struct WorkloadConfig {
+  /// x: percentage of update operations (x/2 insert + x/2 remove).
+  unsigned UpdatePercent = 20;
+  /// Keys are drawn uniformly from [0, KeyRange).
+  SetKey KeyRange = 50;
+  unsigned Threads = 1;
+  /// Measured window per repetition.
+  unsigned DurationMs = 100;
+  /// Unmeasured warm-up before each measured window.
+  unsigned WarmupMs = 30;
+  /// Repetitions; the reported figure is the mean (the paper uses 5).
+  unsigned Repeats = 3;
+  uint64_t Seed = 42;
+};
+
+/// One thread's operation picker. Matches the paper's split exactly:
+/// updates are x%, half insert and half remove.
+class OpPicker {
+public:
+  explicit OpPicker(unsigned UpdatePercent)
+      : UpdatePercent(UpdatePercent) {}
+
+  SetOp pick(Xoshiro256 &Rng) const {
+    const uint64_t Roll = Rng.nextBounded(100);
+    if (Roll >= UpdatePercent)
+      return SetOp::Contains;
+    return Roll * 2 < UpdatePercent ? SetOp::Insert : SetOp::Remove;
+  }
+
+private:
+  unsigned UpdatePercent;
+};
+
+/// Pre-populates \p Set: each key in [0, KeyRange) present with
+/// probability 1/2 (§4's methodology). Returns the number inserted.
+size_t prefill(ConcurrentSet &Set, SetKey KeyRange, uint64_t Seed);
+
+} // namespace harness
+} // namespace vbl
+
+#endif // VBL_HARNESS_WORKLOAD_H

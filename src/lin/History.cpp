@@ -1,0 +1,39 @@
+//===- lin/History.cpp - Concurrent operation histories ------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lin/History.h"
+
+#include <algorithm>
+
+using namespace vbl;
+using namespace vbl::lin;
+
+HistoryRecorder::HistoryRecorder(unsigned NumThreads) : Logs(NumThreads) {
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Logs[I].Thread = I;
+}
+
+std::vector<CompletedOp> HistoryRecorder::merged() const {
+  std::vector<CompletedOp> All;
+  All.reserve(totalOps());
+  for (const ThreadLog &Log : Logs)
+    All.insert(All.end(), Log.Ops.begin(), Log.Ops.end());
+  std::sort(All.begin(), All.end(),
+            [](const CompletedOp &A, const CompletedOp &B) {
+              if (A.Invoke != B.Invoke)
+                return A.Invoke < B.Invoke;
+              return A.Thread < B.Thread;
+            });
+  return All;
+}
+
+size_t HistoryRecorder::totalOps() const {
+  size_t Total = 0;
+  for (const ThreadLog &Log : Logs)
+    Total += Log.Ops.size();
+  return Total;
+}

@@ -1,0 +1,150 @@
+//===- lists/HandOverHandList.h - Lock-coupling list ----------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fine-grained "hand-over-hand" locking (Herlihy & Shavit §9.5): a
+/// traversal always holds the lock of the node it stands on, acquiring
+/// the successor's lock before releasing the current one. Pipelined but
+/// never truly parallel on the shared prefix, so it illustrates why
+/// lock-coupling does not scale — the contrast that motivates the
+/// optimistic/lazy/VBL family.
+///
+/// Because any thread positioned on a node holds that node's lock, a
+/// remover holding (prev, curr) has exclusive access to curr: unlinked
+/// nodes can be freed immediately, no reclamation domain needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_HANDOVERHANDLIST_H
+#define VBL_LISTS_HANDOVERHANDLIST_H
+
+#include "core/SetConfig.h"
+#include "sync/SpinLocks.h"
+
+#include <vector>
+
+namespace vbl {
+
+template <class LockT = TasLock> class HandOverHandList {
+public:
+  HandOverHandList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next = Tail;
+  }
+
+  ~HandOverHandList() {
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = Curr->Next;
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  HandOverHandList(const HandOverHandList &) = delete;
+  HandOverHandList &operator=(const HandOverHandList &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    auto [Prev, Curr] = lockedTraverse(Key);
+    const bool Absent = Curr->Val != Key;
+    if (Absent) {
+      Node *NewNode = new Node(Key);
+      NewNode->Next = Curr;
+      Prev->Next = NewNode;
+    }
+    Curr->NodeLock.unlock();
+    Prev->NodeLock.unlock();
+    return Absent;
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    auto [Prev, Curr] = lockedTraverse(Key);
+    const bool Present = Curr->Val == Key;
+    if (Present) {
+      Prev->Next = Curr->Next;
+      Curr->NodeLock.unlock();
+      // Exclusive: nobody else can stand on Curr without its lock.
+      delete Curr;
+    } else {
+      Curr->NodeLock.unlock();
+    }
+    Prev->NodeLock.unlock();
+    return Present;
+  }
+
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    auto [Prev, Curr] =
+        const_cast<HandOverHandList *>(this)->lockedTraverse(Key);
+    const bool Present = Curr->Val == Key;
+    Curr->NodeLock.unlock();
+    Prev->NodeLock.unlock();
+    return Present;
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr = Head->Next; Curr->Val != MaxSentinel;
+         Curr = Curr->Next)
+      Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      if (Curr->NodeLock.isLocked())
+        return false;
+      const Node *Next = Curr->Next;
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr;
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    /// Plain pointer: reads and writes happen only under NodeLock.
+    Node *Next = nullptr;
+    LockT NodeLock;
+  };
+
+  /// Returns (prev, curr) with both locks held and
+  /// prev.val < Key <= curr.val.
+  std::pair<Node *, Node *> lockedTraverse(SetKey Key) {
+    Node *Prev = Head;
+    Prev->NodeLock.lock();
+    Node *Curr = Prev->Next;
+    Curr->NodeLock.lock();
+    while (Curr->Val < Key) {
+      Prev->NodeLock.unlock();
+      Prev = Curr;
+      Curr = Curr->Next;
+      Curr->NodeLock.lock();
+    }
+    return {Prev, Curr};
+  }
+
+  Node *Head;
+  Node *Tail;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_HANDOVERHANDLIST_H

@@ -1,0 +1,258 @@
+//===- lists/HarrisList.h - Harris's original non-blocking list ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Harris's original lock-free linked list (DISC 2001), kept alongside
+/// the Michael variant because the paper cites both [5, 6]. The
+/// difference is the cleanup granularity: Harris's search snips a whole
+/// run of consecutively marked nodes with a single CAS on the last
+/// unmarked predecessor, where Michael's find unlinks one node at a
+/// time. Same mark-bit-in-pointer representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_HARRISLIST_H
+#define VBL_LISTS_HARRISLIST_H
+
+#include "core/SetConfig.h"
+#include "reclaim/EpochDomain.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vbl {
+
+template <class ReclaimT = reclaim::EpochDomain,
+          class PolicyT = DirectPolicy>
+class HarrisList {
+public:
+  using Reclaim = ReclaimT;
+  using Policy = PolicyT;
+
+  HarrisList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(pack(Tail, false), std::memory_order_relaxed);
+  }
+
+  ~HarrisList() {
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = ptrOf(Curr->Next.load(std::memory_order_relaxed));
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  HarrisList(const HarrisList &) = delete;
+  HarrisList &operator=(const HarrisList &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    for (;;) {
+      auto [Left, Right] = search(Key);
+      if (Right->Val == Key) {
+        delete NewNode;
+        return false;
+      }
+      if (!NewNode) {
+        NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+      }
+      NewNode->Next.store(pack(Right, false), std::memory_order_relaxed);
+      uintptr_t Expected = pack(Right, false);
+      if (Policy::casStrong(Left->Next, Expected, pack(NewNode, false),
+                            std::memory_order_release, Left,
+                            MemField::Next))
+        return true;
+      Policy::onRestart();
+    }
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Left, Right] = search(Key);
+      if (Right->Val != Key)
+        return false;
+      const uintptr_t SuccWord =
+          Policy::read(Right->Next, std::memory_order_acquire, Right,
+                       MemField::Next);
+      if (markOf(SuccWord)) {
+        Policy::onRestart();
+        continue;
+      }
+      uintptr_t Expected = SuccWord;
+      // Logical deletion (linearization point).
+      if (!Policy::casStrong(Right->Next, Expected,
+                             SuccWord | uintptr_t(1),
+                             std::memory_order_release, Right,
+                             MemField::Next)) {
+        Policy::onRestart();
+        continue;
+      }
+      // Try the cheap single-node unlink; otherwise let a future search
+      // snip the marked run.
+      Expected = pack(Right, false);
+      if (Policy::casStrong(Left->Next, Expected,
+                            pack(ptrOf(SuccWord), false),
+                            std::memory_order_release, Left,
+                            MemField::Next))
+        Domain.retire(Right);
+      return true;
+    }
+  }
+
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    const Node *Curr = Head;
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
+                                Curr, MemField::Next));
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    if (Val != Key)
+      return false;
+    return !markOf(Policy::read(Curr->Next, std::memory_order_acquire,
+                                Curr, MemField::Next));
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr =
+             ptrOf(Head->Next.load(std::memory_order_acquire));
+         Curr->Val != MaxSentinel;
+         Curr = ptrOf(Curr->Next.load(std::memory_order_acquire)))
+      if (!markOf(Curr->Next.load(std::memory_order_acquire)))
+        Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      const uintptr_t Word = Curr->Next.load(std::memory_order_acquire);
+      const Node *Next = ptrOf(Word);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr && !markOf(Word);
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<uintptr_t> Next{0};
+  };
+
+  static Node *ptrOf(uintptr_t Word) {
+    return reinterpret_cast<Node *>(Word & ~uintptr_t(1));
+  }
+  static bool markOf(uintptr_t Word) { return Word & 1; }
+  static uintptr_t pack(const Node *Ptr, bool Marked) {
+    const auto Raw = reinterpret_cast<uintptr_t>(Ptr);
+    VBL_ASSERT((Raw & 1) == 0, "node pointers must be 2-byte aligned");
+    return Raw | static_cast<uintptr_t>(Marked);
+  }
+
+  /// Harris's search: returns adjacent unmarked (left, right) with
+  /// left.val < Key <= right.val, snipping any marked run in between
+  /// with one CAS. The snip winner retires the whole run.
+  std::pair<Node *, Node *> search(SetKey Key) {
+    for (;;) {
+      Node *Left = Head;
+      uintptr_t LeftNextWord =
+          Policy::read(Head->Next, std::memory_order_acquire, Head,
+                       MemField::Next);
+      Node *Right = nullptr;
+
+      // Phase 1: locate left (last unmarked node with val < Key) and
+      // right (first unmarked node with val >= Key).
+      {
+        Node *T = Head;
+        uintptr_t TNextWord = LeftNextWord;
+        do {
+          if (!markOf(TNextWord)) {
+            Left = T;
+            LeftNextWord = TNextWord;
+          }
+          T = ptrOf(TNextWord);
+          if (T->Val == MaxSentinel)
+            break;
+          TNextWord = Policy::read(T->Next, std::memory_order_acquire, T,
+                                   MemField::Next);
+        } while (markOf(TNextWord) ||
+                 Policy::readValue(T->Val, T) < Key);
+        Right = T;
+      }
+
+      // Phase 2: already adjacent?
+      if (ptrOf(LeftNextWord) == Right) {
+        if (rightBecameMarked(Right)) {
+          Policy::onRestart();
+          continue;
+        }
+        return {Left, Right};
+      }
+
+      // Phase 3: snip the marked run [left.next, right).
+      uintptr_t Expected = LeftNextWord;
+      if (Policy::casStrong(Left->Next, Expected, pack(Right, false),
+                            std::memory_order_release, Left,
+                            MemField::Next)) {
+        // Winner retires the snipped run. See the adjacency argument in
+        // tests/HarrisSnipTest: no other successful snip can contain
+        // these nodes.
+        for (Node *Dead = ptrOf(LeftNextWord); Dead != Right;) {
+          Node *DeadNext = ptrOf(Dead->Next.load(std::memory_order_acquire));
+          Domain.retire(Dead);
+          Dead = DeadNext;
+        }
+        if (rightBecameMarked(Right)) {
+          Policy::onRestart();
+          continue;
+        }
+        return {Left, Right};
+      }
+      Policy::onRestart();
+    }
+  }
+
+  bool rightBecameMarked(Node *Right) const {
+    if (Right->Val == MaxSentinel)
+      return false;
+    return markOf(Policy::read(Right->Next, std::memory_order_acquire,
+                               Right, MemField::Next));
+  }
+
+  Node *Head;
+  Node *Tail;
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_HARRISLIST_H

@@ -1,0 +1,249 @@
+//===- lists/HarrisMichaelList.h - Michael's lock-free list --------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Harris-Michael lock-free list (Michael, SPAA 2002; Herlihy &
+/// Shavit ch. 9) — the paper's second comparator. Removal is split into
+/// a logical CAS (setting the mark bit in the victim's next word) and a
+/// physical CAS on the predecessor; if the physical step fails, the
+/// *next* traversal that encounters the marked node unlinks it, and a
+/// traversal whose unlink CAS fails restarts from the head. That
+/// delegation is what makes the algorithm lock-free — and what rejects
+/// the correct schedule of Fig. 3.
+///
+/// Representation: the mark lives in bit 0 of the 'next' word. The
+/// paper's Java version needs an RTTI-subclass trick to read the mark
+/// without an extra indirection; pointer tagging is the C++ equivalent
+/// with zero indirections (see DESIGN.md substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_HARRISMICHAELLIST_H
+#define VBL_LISTS_HARRISMICHAELLIST_H
+
+#include "core/SetConfig.h"
+#include "reclaim/EpochDomain.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vbl {
+
+template <class ReclaimT = reclaim::EpochDomain,
+          class PolicyT = DirectPolicy>
+class HarrisMichaelList {
+public:
+  using Reclaim = ReclaimT;
+  using Policy = PolicyT;
+
+  HarrisMichaelList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(pack(Tail, false), std::memory_order_relaxed);
+  }
+
+  ~HarrisMichaelList() {
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = ptrOf(Curr->Next.load(std::memory_order_relaxed));
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  HarrisMichaelList(const HarrisMichaelList &) = delete;
+  HarrisMichaelList &operator=(const HarrisMichaelList &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    for (;;) {
+      auto [Prev, Curr] = find(Key);
+      if (Curr->Val == Key) {
+        delete NewNode; // Never published.
+        return false;
+      }
+      if (!NewNode) {
+        NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+      }
+      NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
+      uintptr_t Expected = pack(Curr, false);
+      // Release: publishes NewNode's fields together with the link.
+      if (Policy::casStrong(Prev->Next, Expected, pack(NewNode, false),
+                            std::memory_order_release, Prev,
+                            MemField::Next))
+        return true;
+      Policy::onRestart();
+    }
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Prev, Curr] = find(Key);
+      if (Curr->Val != Key)
+        return false;
+      const uintptr_t SuccWord =
+          Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                       MemField::Next);
+      if (markOf(SuccWord)) {
+        // Someone else is removing Curr; help by re-finding.
+        Policy::onRestart();
+        continue;
+      }
+      Node *Succ = ptrOf(SuccWord);
+      // Logical deletion: this CAS is the linearization point.
+      uintptr_t Expected = pack(Succ, false);
+      if (!Policy::casStrong(Curr->Next, Expected, pack(Succ, true),
+                             std::memory_order_release, Curr,
+                             MemField::Next)) {
+        Policy::onRestart();
+        continue;
+      }
+      // Physical unlink: best effort. On failure the node stays linked
+      // (marked) and some future find() unlinks and retires it.
+      Expected = pack(Curr, false);
+      if (Policy::casStrong(Prev->Next, Expected, pack(Succ, false),
+                            std::memory_order_release, Prev,
+                            MemField::Next))
+        Domain.retire(Curr);
+      return true;
+    }
+  }
+
+  /// Wait-free contains: traverses without helping, then reads the mark
+  /// from the found node's next word.
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    const Node *Curr = Head;
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
+                                Curr, MemField::Next));
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    if (Val != Key)
+      return false;
+    return !markOf(Policy::read(Curr->Next, std::memory_order_acquire,
+                                Curr, MemField::Next));
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr =
+             ptrOf(Head->Next.load(std::memory_order_acquire));
+         Curr->Val != MaxSentinel;
+         Curr = ptrOf(Curr->Next.load(std::memory_order_acquire)))
+      if (!markOf(Curr->Next.load(std::memory_order_acquire)))
+        Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      const uintptr_t Word = Curr->Next.load(std::memory_order_acquire);
+      // Quiescent check: marked nodes may legally linger (delegated
+      // unlinks), but order must hold along the unmarked chain too.
+      const Node *Next = ptrOf(Word);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr && !markOf(Word);
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive
+  /// (marked nodes included — they are physically present).
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = ptrOf(Curr->Next.load(std::memory_order_relaxed)))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    /// Tagged word: successor pointer in the upper bits, "this node is
+    /// logically deleted" in bit 0.
+    std::atomic<uintptr_t> Next{0};
+  };
+
+  static Node *ptrOf(uintptr_t Word) {
+    return reinterpret_cast<Node *>(Word & ~uintptr_t(1));
+  }
+  static bool markOf(uintptr_t Word) { return Word & 1; }
+  static uintptr_t pack(const Node *Ptr, bool Marked) {
+    const auto Raw = reinterpret_cast<uintptr_t>(Ptr);
+    VBL_ASSERT((Raw & 1) == 0, "node pointers must be 2-byte aligned");
+    return Raw | static_cast<uintptr_t>(Marked);
+  }
+
+  /// Michael's find: returns (prev, curr) with curr unmarked,
+  /// prev.val < Key <= curr.val and prev->next == curr. Unlinks every
+  /// marked node it encounters; restarts from the head when an unlink
+  /// CAS loses a race.
+  std::pair<Node *, Node *> find(SetKey Key) {
+  Retry:
+    Node *Prev = Head;
+    Node *Curr = ptrOf(Policy::read(Prev->Next, std::memory_order_acquire,
+                                    Prev, MemField::Next));
+    for (;;) {
+      const uintptr_t SuccWord =
+          Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                       MemField::Next);
+      Node *Succ = ptrOf(SuccWord);
+      if (markOf(SuccWord)) {
+        // Curr is logically deleted: delegated physical unlink.
+        uintptr_t Expected = pack(Curr, false);
+        if (!Policy::casStrong(Prev->Next, Expected, pack(Succ, false),
+                               std::memory_order_release, Prev,
+                               MemField::Next)) {
+          Policy::onRestart();
+          goto Retry; // The restart Fig. 3 exploits.
+        }
+        Domain.retire(Curr);
+        Curr = Succ;
+        continue;
+      }
+      if (Policy::readValue(Curr->Val, Curr) >= Key)
+        return {Prev, Curr};
+      Prev = Curr;
+      Curr = Succ;
+    }
+  }
+
+  Node *Head;
+  Node *Tail;
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_HARRISMICHAELLIST_H

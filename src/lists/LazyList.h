@@ -1,0 +1,233 @@
+//===- lists/LazyList.h - The Lazy Linked List (Heller et al.) -----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lazy Linked List (Heller et al., OPODIS 2006; Herlihy & Shavit
+/// §9.7) — the paper's primary comparator. Updates traverse wait-free,
+/// then lock the (prev, curr) window and validate *under* the locks that
+/// neither node is marked and prev still points at curr; removal marks
+/// before unlinking so contains() can stay wait-free.
+///
+/// The paper's §2.3 suboptimality argument lives in the code shape: the
+/// presence check of insert/remove happens *after* the locks are taken,
+/// so an update that will not modify the list still contends on
+/// metadata. Fig. 2's schedule — insert(1) completing while insert(2)
+/// holds X1's lock — is therefore rejected (insert(1) blocks), which the
+/// schedule tests demonstrate via the traced policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_LAZYLIST_H
+#define VBL_LISTS_LAZYLIST_H
+
+#include "core/SetConfig.h"
+#include "reclaim/EpochDomain.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+#include "sync/SpinLocks.h"
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+namespace vbl {
+
+template <class ReclaimT = reclaim::EpochDomain,
+          class PolicyT = DirectPolicy, class LockT = TasLock>
+class LazyList {
+public:
+  using Reclaim = ReclaimT;
+  using Policy = PolicyT;
+
+  LazyList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(Tail, std::memory_order_relaxed);
+  }
+
+  ~LazyList() {
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = Curr->Next.load(std::memory_order_relaxed);
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  LazyList(const LazyList &) = delete;
+  LazyList &operator=(const LazyList &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Prev, Curr, Val] = traverse(Key);
+      // Locks are taken BEFORE the presence check: this is the
+      // suboptimality of §2.3 — a failing insert still serializes on
+      // the window locks.
+      Policy::lockAcquire(Prev->NodeLock, Prev);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
+      if (!validate(Prev, Curr)) {
+        Policy::lockRelease(Curr->NodeLock, Curr);
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
+        continue;
+      }
+      const bool Absent = Val != Key;
+      if (Absent) {
+        Node *NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+        NewNode->Next.store(Curr, std::memory_order_relaxed);
+        Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
+                      MemField::Next);
+      }
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      Policy::lockRelease(Prev->NodeLock, Prev);
+      return Absent;
+    }
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Prev, Curr, Val] = traverse(Key);
+      Policy::lockAcquire(Prev->NodeLock, Prev);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
+      if (!validate(Prev, Curr)) {
+        Policy::lockRelease(Curr->NodeLock, Curr);
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
+        continue;
+      }
+      const bool Present = Val == Key;
+      if (Present) {
+        // Logical deletion first so wait-free contains() never reports
+        // a key whose removal already linearized.
+        Policy::write(Curr->Marked, true, std::memory_order_release, Curr,
+                      MemField::Marked);
+        Policy::write(Prev->Next,
+                      Policy::read(Curr->Next, std::memory_order_acquire,
+                                   Curr, MemField::Next),
+                      std::memory_order_release, Prev, MemField::Next);
+      }
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      Policy::lockRelease(Prev->NodeLock, Prev);
+      if (Present)
+        Domain.retire(Curr);
+      return Present;
+    }
+  }
+
+  /// Wait-free contains: traverse by value, then consult the mark.
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    const Node *Curr = Head;
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return Val == Key && !Policy::read(Curr->Marked,
+                                       std::memory_order_acquire, Curr,
+                                       MemField::Marked);
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr = Head->Next.load(std::memory_order_acquire);
+         Curr->Val != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_acquire))
+      Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      if (Curr->Marked.load(std::memory_order_acquire))
+        return false;
+      if (Curr->NodeLock.isLocked())
+        return false;
+      const Node *Next = Curr->Next.load(std::memory_order_acquire);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr;
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<Node *> Next{nullptr};
+    std::atomic<bool> Marked{false};
+    LockT NodeLock;
+  };
+
+  /// Wait-free traversal from the head (the Lazy list has no
+  /// restart-from-prev optimisation). Returns curr's value as well:
+  /// values are immutable, so the presence decision made under the
+  /// locks can reuse the traversal's read.
+  std::tuple<Node *, Node *, SetKey> traverse(SetKey Key) const {
+    Node *Prev = Head;
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
+                              MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Prev = Curr;
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return {Prev, Curr, Val};
+  }
+
+  /// Heller et al. validation, under both locks: the window is live and
+  /// adjacent.
+  bool validate(Node *Prev, Node *Curr) const {
+    if (Policy::readCheck(Prev->Marked, std::memory_order_acquire, Prev,
+                          MemField::Marked))
+      return false;
+    if (Policy::readCheck(Curr->Marked, std::memory_order_acquire, Curr,
+                          MemField::Marked))
+      return false;
+    return Policy::readCheck(Prev->Next, std::memory_order_acquire, Prev,
+                             MemField::Next) == Curr;
+  }
+
+  Node *Head;
+  Node *Tail;
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_LAZYLIST_H

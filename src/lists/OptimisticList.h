@@ -1,0 +1,197 @@
+//===- lists/OptimisticList.h - Optimistic locking with re-traversal -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimistic synchronization (Herlihy & Shavit §9.6): traverse without
+/// locks, lock the (prev, curr) window, then *validate by re-traversing
+/// from the head* that prev is still reachable and still points at curr.
+/// The historical stepping stone between lock-coupling and the Lazy
+/// list: it removes lock traffic from traversals but pays a full second
+/// traversal per update, and contains() must lock and validate too
+/// (there is no deletion mark to make it wait-free).
+///
+/// Unlinked nodes may still be visited by concurrent lock-free
+/// traversals, so this list needs a reclamation domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_OPTIMISTICLIST_H
+#define VBL_LISTS_OPTIMISTICLIST_H
+
+#include "core/SetConfig.h"
+#include "reclaim/EpochDomain.h"
+#include "support/Compiler.h"
+#include "sync/SpinLocks.h"
+
+#include <atomic>
+#include <vector>
+
+namespace vbl {
+
+template <class ReclaimT = reclaim::EpochDomain, class LockT = TasLock>
+class OptimisticList {
+public:
+  using Reclaim = ReclaimT;
+
+  OptimisticList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(Tail, std::memory_order_relaxed);
+  }
+
+  ~OptimisticList() {
+    Node *Curr = Head;
+    while (Curr) {
+      Node *Next = Curr->Next.load(std::memory_order_relaxed);
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  OptimisticList(const OptimisticList &) = delete;
+  OptimisticList &operator=(const OptimisticList &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Prev, Curr] = traverse(Key);
+      Prev->NodeLock.lock();
+      Curr->NodeLock.lock();
+      if (!validate(Prev, Curr)) {
+        Curr->NodeLock.unlock();
+        Prev->NodeLock.unlock();
+        continue;
+      }
+      const bool Absent = Curr->Val != Key;
+      if (Absent) {
+        Node *NewNode = new Node(Key);
+        NewNode->Next.store(Curr, std::memory_order_relaxed);
+        Prev->Next.store(NewNode, std::memory_order_release);
+      }
+      Curr->NodeLock.unlock();
+      Prev->NodeLock.unlock();
+      return Absent;
+    }
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Prev, Curr] = traverse(Key);
+      Prev->NodeLock.lock();
+      Curr->NodeLock.lock();
+      if (!validate(Prev, Curr)) {
+        Curr->NodeLock.unlock();
+        Prev->NodeLock.unlock();
+        continue;
+      }
+      const bool Present = Curr->Val == Key;
+      if (Present)
+        Prev->Next.store(Curr->Next.load(std::memory_order_relaxed),
+                         std::memory_order_release);
+      Curr->NodeLock.unlock();
+      Prev->NodeLock.unlock();
+      if (Present)
+        Domain.retire(Curr);
+      return Present;
+    }
+  }
+
+  /// Membership test; locks and validates like the updates do (the
+  /// optimistic list has no wait-free contains — one reason the Lazy
+  /// list superseded it).
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    auto *Self = const_cast<OptimisticList *>(this);
+    for (;;) {
+      auto [Prev, Curr] = Self->traverse(Key);
+      Prev->NodeLock.lock();
+      Curr->NodeLock.lock();
+      if (!Self->validate(Prev, Curr)) {
+        Curr->NodeLock.unlock();
+        Prev->NodeLock.unlock();
+        continue;
+      }
+      const bool Present = Curr->Val == Key;
+      Curr->NodeLock.unlock();
+      Prev->NodeLock.unlock();
+      return Present;
+    }
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr = Head->Next.load(std::memory_order_acquire);
+         Curr->Val != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_acquire))
+      Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      if (Curr->NodeLock.isLocked())
+        return false;
+      const Node *Next = Curr->Next.load(std::memory_order_acquire);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr;
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<Node *> Next{nullptr};
+    LockT NodeLock;
+  };
+
+  std::pair<Node *, Node *> traverse(SetKey Key) {
+    Node *Prev = Head;
+    Node *Curr = Prev->Next.load(std::memory_order_acquire);
+    while (Curr->Val < Key) {
+      Prev = Curr;
+      Curr = Curr->Next.load(std::memory_order_acquire);
+    }
+    return {Prev, Curr};
+  }
+
+  /// Re-traverses from the head to prove (prev, curr) is still a live
+  /// adjacent window. Runs under both locks, so a positive answer stays
+  /// true until they are released.
+  bool validate(const Node *Prev, const Node *Curr) const {
+    const Node *Probe = Head;
+    while (Probe->Val <= Prev->Val) {
+      if (Probe == Prev)
+        return Prev->Next.load(std::memory_order_acquire) == Curr;
+      Probe = Probe->Next.load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  Node *Head;
+  Node *Tail;
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_OPTIMISTICLIST_H

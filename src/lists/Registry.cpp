@@ -1,0 +1,98 @@
+//===- lists/Registry.cpp - Name -> algorithm factory table --------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lists/SetInterface.h"
+
+#include "core/VblList.h"
+#include "lists/CoarseList.h"
+#include "lists/HandOverHandList.h"
+#include "lists/HarrisList.h"
+#include "lists/HarrisMichaelList.h"
+#include "lists/HarrisMichaelListHp.h"
+#include "lists/LazyList.h"
+#include "lists/LazySkipList.h"
+#include "lists/OptimisticList.h"
+#include "lists/TombstoneBst.h"
+#include "reclaim/LeakyDomain.h"
+#include "sync/VersionedLock.h"
+
+using namespace vbl;
+
+ConcurrentSet::~ConcurrentSet() = default;
+
+namespace {
+
+struct RegistryEntry {
+  const char *Name;
+  std::unique_ptr<ConcurrentSet> (*Factory)(const std::string &Name);
+};
+
+} // namespace
+
+template <class ListT>
+static std::unique_ptr<ConcurrentSet> makeAdapter(const std::string &Name) {
+  return std::make_unique<SetAdapter<ListT>>(Name);
+}
+
+// Variant aliases. The default reclamation is epoch-based; "-leaky"
+// variants reproduce the paper's C++-without-memory-management setup.
+using VblDefault = VblList<>;
+using VblLeaky = VblList<reclaim::LeakyDomain>;
+using VblHeadRestart =
+    VblList<reclaim::EpochDomain, DirectPolicy, TasLock,
+            /*RestartFromPrev=*/false, /*ValueAware=*/true>;
+using VblNodeAware =
+    VblList<reclaim::EpochDomain, DirectPolicy, TasLock,
+            /*RestartFromPrev=*/true, /*ValueAware=*/false>;
+using VblTtas = VblList<reclaim::EpochDomain, DirectPolicy, TtasLock>;
+using VblVersioned =
+    VblList<reclaim::EpochDomain, DirectPolicy, VersionedLock>;
+using LazyDefault = LazyList<>;
+using LazyLeaky = LazyList<reclaim::LeakyDomain>;
+using HarrisMichaelDefault = HarrisMichaelList<>;
+using HarrisMichaelLeaky = HarrisMichaelList<reclaim::LeakyDomain>;
+using HarrisDefault = HarrisList<>;
+using OptimisticDefault = OptimisticList<>;
+using HandOverHandDefault = HandOverHandList<>;
+
+static const RegistryEntry Registry[] = {
+    {"vbl", &makeAdapter<VblDefault>},
+    {"lazy", &makeAdapter<LazyDefault>},
+    {"harris-michael", &makeAdapter<HarrisMichaelDefault>},
+    {"harris", &makeAdapter<HarrisDefault>},
+    {"optimistic", &makeAdapter<OptimisticDefault>},
+    {"hand-over-hand", &makeAdapter<HandOverHandDefault>},
+    {"coarse", &makeAdapter<CoarseList>},
+    {"vbl-leaky", &makeAdapter<VblLeaky>},
+    {"lazy-leaky", &makeAdapter<LazyLeaky>},
+    {"harris-michael-leaky", &makeAdapter<HarrisMichaelLeaky>},
+    {"vbl-head-restart", &makeAdapter<VblHeadRestart>},
+    {"vbl-node-aware", &makeAdapter<VblNodeAware>},
+    {"vbl-ttas", &makeAdapter<VblTtas>},
+    {"vbl-versioned", &makeAdapter<VblVersioned>},
+    {"harris-michael-hp", &makeAdapter<HarrisMichaelListHp>},
+    {"skiplist-lazy", &makeAdapter<LazySkipList<>>},
+    {"bst-tombstone", &makeAdapter<TombstoneBst<>>},
+};
+
+std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {
+  for (const RegistryEntry &Entry : Registry)
+    if (Name == Entry.Name)
+      return Entry.Factory(Name);
+  return nullptr;
+}
+
+std::vector<std::string> vbl::registeredSetNames() {
+  std::vector<std::string> Names;
+  for (const RegistryEntry &Entry : Registry)
+    Names.push_back(Entry.Name);
+  return Names;
+}
+
+std::vector<std::string> vbl::paperComparisonSetNames() {
+  return {"vbl", "lazy", "harris-michael"};
+}

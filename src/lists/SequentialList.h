@@ -1,0 +1,187 @@
+//===- lists/SequentialList.h - The sequential specification LL ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: the plain sequential sorted linked list LL
+/// that defines the set type and — crucially — defines what a *schedule*
+/// is: an interleaving of exactly these reads, writes and node
+/// creations. Three roles in this repo:
+///
+///  1. The oracle for differential tests of every concurrent list.
+///  2. Run under sched::TracedPolicy by the interleaving explorer, its
+///     unsynchronized steps *generate* the schedule space § of §2.2.
+///  3. The reference the SpecInterpreter checks local serializability
+///     against.
+///
+/// NOT thread-safe under DirectPolicy; concurrent execution is only
+/// meaningful under the deterministic scheduler, which serializes steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_SEQUENTIALLIST_H
+#define VBL_LISTS_SEQUENTIALLIST_H
+
+#include "core/SetConfig.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+#include <vector>
+
+namespace vbl {
+
+template <class PolicyT = DirectPolicy> class SequentialList {
+public:
+  using Policy = PolicyT;
+
+  SequentialList() {
+    Tail = new Node(MaxSentinel);
+    Head = new Node(MinSentinel);
+    Head->Next.store(Tail, std::memory_order_relaxed);
+  }
+
+  ~SequentialList() {
+    // Under the deterministic scheduler this list is deliberately run
+    // through *incorrect* interleavings too (that is the point of the
+    // schedule experiments), which can double-add a node to the garbage
+    // list or even re-link a garbage node into the chain. Deduplicate
+    // before freeing.
+    std::vector<Node *> ToFree;
+    std::unordered_set<Node *> Seen;
+    for (Node *Curr = Head; Curr && Seen.insert(Curr).second;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      ToFree.push_back(Curr);
+    ToFree.insert(ToFree.end(), Garbage.begin(), Garbage.end());
+    std::sort(ToFree.begin(), ToFree.end());
+    ToFree.erase(std::unique(ToFree.begin(), ToFree.end()), ToFree.end());
+    for (Node *Dead : ToFree)
+      delete Dead;
+  }
+
+  SequentialList(const SequentialList &) = delete;
+  SequentialList &operator=(const SequentialList &) = delete;
+
+  /// LL insert(v): lines 6-15 of Algorithm 1.
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    Node *Prev = Head;
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_relaxed, Prev,
+                              MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Prev = Curr;
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    if (Val == Key)
+      return false;
+    Node *NewNode = new Node(Key);
+    NewNode->Next.store(Curr, std::memory_order_relaxed);
+    Policy::onNewNode(NewNode, Key);
+    Policy::write(Prev->Next, NewNode, std::memory_order_relaxed, Prev,
+                  MemField::Next);
+    return true;
+  }
+
+  /// LL remove(v): lines 16-25 of Algorithm 1. The removed node is kept
+  /// in a garbage list because, under the deterministic scheduler, a
+  /// concurrent LL operation may still be positioned on it.
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    Node *Prev = Head;
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_relaxed, Prev,
+                              MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Prev = Curr;
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    if (Val != Key)
+      return false;
+    Node *Succ = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                              MemField::Next);
+    Policy::write(Prev->Next, Succ, std::memory_order_relaxed, Prev,
+                  MemField::Next);
+    Garbage.push_back(Curr);
+    return true;
+  }
+
+  /// LL contains(v): lines 26-31 of Algorithm 1.
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    const Node *Curr = Policy::read(Head->Next, std::memory_order_relaxed,
+                                    Head, MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val < Key) {
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return Val == Key;
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (const Node *Curr = Head->Next.load(std::memory_order_relaxed);
+         Curr->Val != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Keys.push_back(Curr->Val);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    const Node *Curr = Head;
+    if (Curr->Val != MinSentinel)
+      return false;
+    while (true) {
+      const Node *Next = Curr->Next.load(std::memory_order_relaxed);
+      if (Curr->Val == MaxSentinel)
+        return Next == nullptr;
+      if (!Next || Next->Val <= Curr->Val)
+        return false;
+      Curr = Next;
+    }
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive,
+  /// used by the schedule checker to reconstruct list states.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+private:
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    /// Atomic only so TracedPolicy can mediate the access; the
+    /// sequential algorithm itself uses relaxed plain-memory semantics.
+    std::atomic<Node *> Next{nullptr};
+  };
+
+  Node *Head;
+  Node *Tail;
+  std::vector<Node *> Garbage;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_SEQUENTIALLIST_H

@@ -1,0 +1,82 @@
+//===- lists/SetInterface.h - Type-erased concurrent set API -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal virtual interface over every concurrent list in the repo so
+/// the benchmark harness, stress tests and examples can treat algorithms
+/// uniformly. The virtual dispatch cost is identical across algorithms,
+/// so relative benchmark comparisons are unaffected; micro-benchmarks
+/// that want zero overhead instantiate the concrete templates directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_SETINTERFACE_H
+#define VBL_LISTS_SETINTERFACE_H
+
+#include "core/SetConfig.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vbl {
+
+/// Uniform view of a concurrent integer set.
+class ConcurrentSet {
+public:
+  virtual ~ConcurrentSet();
+
+  /// Adds \p Key; true iff it was absent.
+  virtual bool insert(SetKey Key) = 0;
+  /// Removes \p Key; true iff it was present.
+  virtual bool remove(SetKey Key) = 0;
+  /// Membership test.
+  virtual bool contains(SetKey Key) = 0;
+
+  /// Quiescent-only: the user keys currently stored, in order.
+  virtual std::vector<SetKey> snapshot() const = 0;
+  /// Quiescent-only: structural invariants of the underlying list.
+  virtual bool checkInvariants() const = 0;
+
+  /// Registry name of the algorithm backing this instance.
+  virtual const std::string &name() const = 0;
+};
+
+/// Wraps any concrete list type that provides the common template API.
+template <class ListT> class SetAdapter final : public ConcurrentSet {
+public:
+  explicit SetAdapter(std::string Name) : Name(std::move(Name)) {}
+
+  bool insert(SetKey Key) override { return List.insert(Key); }
+  bool remove(SetKey Key) override { return List.remove(Key); }
+  bool contains(SetKey Key) override { return List.contains(Key); }
+
+  std::vector<SetKey> snapshot() const override { return List.snapshot(); }
+  bool checkInvariants() const override { return List.checkInvariants(); }
+  const std::string &name() const override { return Name; }
+
+  ListT &underlying() { return List; }
+
+private:
+  std::string Name;
+  ListT List;
+};
+
+/// Creates a set by registry name ("vbl", "lazy", "harris-michael",
+/// ...); null for unknown names. See Registry.cpp for the full table.
+std::unique_ptr<ConcurrentSet> makeSet(const std::string &Name);
+
+/// All registered algorithm names, in registration order.
+std::vector<std::string> registeredSetNames();
+
+/// The subset of names the paper's evaluation compares (VBL, Lazy,
+/// Harris-Michael), used as the default series of the figure benches.
+std::vector<std::string> paperComparisonSetNames();
+
+} // namespace vbl
+
+#endif // VBL_LISTS_SETINTERFACE_H

@@ -1,0 +1,204 @@
+//===- lists/TombstoneBst.h - Decide-before-lock in a tree ---------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5 conjectures that the value-aware, decide-before-lock
+/// treatment extends to tree dictionaries (citing the authors'
+/// concurrency-optimal BST). This class carries the *principle* to a
+/// tree in its simplest airtight form: a partially-external BST whose
+/// structure only ever grows.
+///
+///  - A key's membership is one atomic state word on its unique node
+///    (DATA = present, ROUTING = tombstone).
+///  - contains() is wait-free and lock-free: a traversal plus one state
+///    load.
+///  - insert()/remove() that do NOT change membership (key already
+///    present / already absent) decide from the traversal alone and
+///    take no lock — the VBL rule, in a tree.
+///  - Mutations are one state flip or one child-pointer publication
+///    under a single node lock, validated after acquisition.
+///
+/// The deliberate trade-off: removed keys leave ROUTING tombstones and
+/// nodes are never unlinked (so there is nothing to reclaim and no
+/// rebalancing). That makes every correctness argument monotone — a
+/// key's search path only extends, a key's node is unique forever — at
+/// the cost of memory proportional to the historical key universe.
+/// Fine for bounded key ranges (this repo's workloads); a compacting
+/// variant is the open research the paper points at.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_LISTS_TOMBSTONEBST_H
+#define VBL_LISTS_TOMBSTONEBST_H
+
+#include "core/SetConfig.h"
+#include "support/Compiler.h"
+#include "sync/SpinLocks.h"
+
+#include <atomic>
+#include <vector>
+
+namespace vbl {
+
+template <class LockT = TasLock> class TombstoneBst {
+public:
+  TombstoneBst() : Root(new Node(0, /*IsData=*/false)) {}
+
+  ~TombstoneBst() { destroySubtree(Root); }
+
+  TombstoneBst(const TombstoneBst &) = delete;
+  TombstoneBst &operator=(const TombstoneBst &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    for (;;) {
+      Node *Found = nullptr;
+      Node *Parent = locate(Key, Found);
+      if (Found) {
+        // The key's node exists; membership is its state word.
+        if (Found->IsData.load(std::memory_order_acquire))
+          return false; // Present: decided without any lock.
+        Found->NodeLock.lock();
+        const bool Revived =
+            !Found->IsData.load(std::memory_order_relaxed);
+        if (Revived)
+          Found->IsData.store(true, std::memory_order_release);
+        Found->NodeLock.unlock();
+        if (Revived)
+          return true;
+        continue; // Lost to a concurrent insert; key now present.
+      }
+      // No node yet: publish a new DATA leaf under the frontier node.
+      std::atomic<Node *> &Slot =
+          (Parent == Root || Key > Parent->Key) ? Parent->Right
+                                                : Parent->Left;
+      Parent->NodeLock.lock();
+      if (Slot.load(std::memory_order_relaxed) != nullptr) {
+        // The path grew underneath us; re-traverse (the new subtree
+        // may or may not contain the key).
+        Parent->NodeLock.unlock();
+        continue;
+      }
+      Node *Leaf = new Node(Key, /*IsData=*/true);
+      Slot.store(Leaf, std::memory_order_release);
+      Parent->NodeLock.unlock();
+      return true;
+    }
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    for (;;) {
+      Node *Found = nullptr;
+      locate(Key, Found);
+      if (!Found || !Found->IsData.load(std::memory_order_acquire))
+        return false; // Absent: decided without any lock.
+      Found->NodeLock.lock();
+      const bool Killed = Found->IsData.load(std::memory_order_relaxed);
+      if (Killed)
+        Found->IsData.store(false, std::memory_order_release);
+      Found->NodeLock.unlock();
+      if (Killed)
+        return true;
+      // Lost to a concurrent remove; key now absent: retry decides.
+    }
+  }
+
+  /// Wait-free: the search path to a key only ever extends, so the
+  /// traversal terminates at the key's unique node or a frontier.
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    Node *Found = nullptr;
+    const_cast<TombstoneBst *>(this)->locate(Key, Found);
+    return Found && Found->IsData.load(std::memory_order_acquire);
+  }
+
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    inorder(Root->Right.load(std::memory_order_acquire), Keys);
+    return Keys;
+  }
+
+  bool checkInvariants() const {
+    // In-order over DATA and ROUTING alike must be strictly sorted,
+    // and no lock may remain held.
+    std::vector<SetKey> All;
+    if (!inorderAll(Root->Right.load(std::memory_order_acquire), All))
+      return false;
+    for (size_t I = 1; I < All.size(); ++I)
+      if (All[I - 1] >= All[I])
+        return false;
+    return true;
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+private:
+  struct Node {
+    Node(SetKey Key, bool IsDataIn) : Key(Key), IsData(IsDataIn) {}
+
+    const SetKey Key;
+    std::atomic<bool> IsData;
+    std::atomic<Node *> Left{nullptr};
+    std::atomic<Node *> Right{nullptr};
+    LockT NodeLock;
+  };
+
+  /// Walks the search path of \p Key. If the key's node exists, sets
+  /// \p Found; otherwise returns the frontier node whose (null) child
+  /// slot the key would occupy.
+  Node *locate(SetKey Key, Node *&Found) {
+    Found = nullptr;
+    Node *Curr = Root; // Pseudo-root: every user key lives to its right.
+    for (;;) {
+      if (Curr != Root && Key == Curr->Key) {
+        Found = Curr;
+        return Curr;
+      }
+      std::atomic<Node *> &Slot =
+          (Curr == Root || Key > Curr->Key) ? Curr->Right : Curr->Left;
+      Node *Child = Slot.load(std::memory_order_acquire);
+      if (!Child)
+        return Curr;
+      Curr = Child;
+    }
+  }
+
+  static void inorder(const Node *N, std::vector<SetKey> &Out) {
+    if (!N)
+      return;
+    inorder(N->Left.load(std::memory_order_acquire), Out);
+    if (N->IsData.load(std::memory_order_acquire))
+      Out.push_back(N->Key);
+    inorder(N->Right.load(std::memory_order_acquire), Out);
+  }
+
+  static bool inorderAll(const Node *N, std::vector<SetKey> &Out) {
+    if (!N)
+      return true;
+    if (N->NodeLock.isLocked())
+      return false;
+    if (!inorderAll(N->Left.load(std::memory_order_acquire), Out))
+      return false;
+    Out.push_back(N->Key);
+    return inorderAll(N->Right.load(std::memory_order_acquire), Out);
+  }
+
+  static void destroySubtree(Node *N) {
+    if (!N)
+      return;
+    destroySubtree(N->Left.load(std::memory_order_relaxed));
+    destroySubtree(N->Right.load(std::memory_order_relaxed));
+    delete N;
+  }
+
+  Node *Root;
+};
+
+} // namespace vbl
+
+#endif // VBL_LISTS_TOMBSTONEBST_H

@@ -1,0 +1,178 @@
+//===- reclaim/EpochDomain.h - Epoch-based memory reclamation ------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based reclamation (EBR), the default replacement for the JVM
+/// garbage collector the paper relies on. The lists' wait-free traversals
+/// may hold pointers to nodes that have been unlinked; EBR guarantees an
+/// unlinked node is not freed until every thread that could have observed
+/// it has left its read-side critical section.
+///
+/// Protocol (classic Fraser 3-epoch scheme):
+///  - A global epoch counter advances when every attached thread that is
+///    inside a guard has announced the current epoch.
+///  - Guards announce the global epoch on entry and clear their active
+///    flag on exit; guards nest.
+///  - retire() stamps the pointer with the current global epoch. A
+///    pointer retired in epoch e is freed once the global epoch reaches
+///    e + 2: any reader that could still hold it announced at most e + 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_RECLAIM_EPOCHDOMAIN_H
+#define VBL_RECLAIM_EPOCHDOMAIN_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vbl {
+namespace reclaim {
+
+/// An independent EBR instance. Each concurrent set owns one (or shares
+/// one); threads attach lazily on first guard entry and detach
+/// automatically at thread exit.
+class EpochDomain {
+public:
+  /// Upper bound on concurrently attached threads. Records are claimed
+  /// and recycled, so this bounds *simultaneous* threads, not total.
+  static constexpr unsigned MaxThreads = 512;
+
+  /// Retired pointers per thread that trigger a collection attempt.
+  /// Small enough to bound floating garbage in the benchmarks, large
+  /// enough that the scan cost amortizes.
+  static constexpr size_t CollectThreshold = 128;
+
+  EpochDomain();
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain &) = delete;
+  EpochDomain &operator=(const EpochDomain &) = delete;
+
+  class Guard;
+
+  /// Schedules \p Ptr for deletion once no reader can hold it. Must be
+  /// called with a guard held (the unlink that made the node unreachable
+  /// happened inside the same critical section).
+  template <class T> void retire(T *Ptr) {
+    retireRaw(Ptr, [](void *P) { delete static_cast<T *>(P); });
+  }
+
+  /// Type-erased retire for adapters.
+  void retireRaw(void *Ptr, void (*Deleter)(void *));
+
+  /// Forces collection attempts until nothing more can be freed without
+  /// another epoch advance. Test/teardown helper; not thread-safe with
+  /// concurrent guards on the *calling* thread.
+  void collectAll();
+
+  uint64_t globalEpoch() const {
+    return GlobalEpoch.load(std::memory_order_acquire);
+  }
+
+  /// Observability for tests and the reclamation benchmark.
+  uint64_t freedCount() const {
+    return Freed.load(std::memory_order_relaxed);
+  }
+  uint64_t retiredCount() const {
+    return Retired.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct RetiredPtr {
+    void *Ptr;
+    void (*Deleter)(void *);
+    uint64_t Epoch;
+  };
+
+  struct alignas(CacheLineBytes) ThreadRecord {
+    /// 0 when the thread is outside any guard; counts nesting.
+    std::atomic<uint32_t> ActiveDepth{0};
+    /// Epoch announced at outermost guard entry; only meaningful while
+    /// ActiveDepth > 0.
+    std::atomic<uint64_t> LocalEpoch{0};
+    /// Slot ownership flag, claimed with CAS on attach.
+    std::atomic<bool> InUse{false};
+    /// Owner-thread-only while attached; handed to the domain on detach.
+    std::vector<RetiredPtr> RetireList;
+  };
+
+  ThreadRecord *attachCurrentThread();
+  static void detachTrampoline(void *Domain, void *Record);
+  void detach(ThreadRecord *Record);
+
+  /// Tries to advance the global epoch, then frees everything in
+  /// \p Record that became safe. Returns true if anything was freed.
+  bool collect(ThreadRecord *Record);
+  bool tryAdvanceEpoch();
+  void freeSafe(std::vector<RetiredPtr> &List, uint64_t SafeEpoch);
+
+  const uint64_t DomainId;
+  alignas(CacheLineBytes) std::atomic<uint64_t> GlobalEpoch{2};
+  std::atomic<uint32_t> HighWater{0}; ///< One past the highest slot used.
+  std::atomic<uint64_t> Freed{0};
+  std::atomic<uint64_t> Retired{0};
+  std::vector<ThreadRecord> Records;
+
+  /// Retire lists of threads that exited while the domain lives on.
+  std::mutex OrphanMutex;
+  std::vector<RetiredPtr> Orphans;
+
+public:
+  /// RAII read-side critical section. Entering pins the current global
+  /// epoch for this thread; nodes unlinked before entry may be freed,
+  /// nodes unlinked after entry will not be freed until exit.
+  class Guard {
+  public:
+    explicit Guard(EpochDomain &Domain)
+        : Domain(Domain), Record(Domain.attachCurrentThread()) {
+      const uint32_t Depth =
+          Record->ActiveDepth.load(std::memory_order_relaxed);
+      if (Depth != 0) {
+        // Nested guard: the outermost entry already announced.
+        Record->ActiveDepth.store(Depth + 1, std::memory_order_relaxed);
+        return;
+      }
+      // Publish activity BEFORE reading the global epoch. If the scanner
+      // misses this store it means our epoch load comes later in the
+      // seq_cst order than any advance the scanner performed, so we can
+      // only announce the advanced (current) epoch — never a stale one.
+      // Announce-then-read would open the classic EBR race where a
+      // stalled thread pins an epoch nobody can see.
+      Record->ActiveDepth.store(1, std::memory_order_seq_cst);
+      Record->LocalEpoch.store(
+          Domain.GlobalEpoch.load(std::memory_order_seq_cst),
+          std::memory_order_seq_cst);
+    }
+
+    ~Guard() {
+      const uint32_t Depth =
+          Record->ActiveDepth.load(std::memory_order_relaxed);
+      VBL_ASSERT(Depth > 0, "guard exit without matching entry");
+      // Release so the epoch-advancer observing Depth==0 also observes
+      // every read this critical section performed as complete.
+      Record->ActiveDepth.store(Depth - 1, std::memory_order_release);
+    }
+
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+
+  private:
+    [[maybe_unused]] EpochDomain &Domain;
+    ThreadRecord *Record;
+  };
+
+  friend class Guard;
+};
+
+} // namespace reclaim
+} // namespace vbl
+
+#endif // VBL_RECLAIM_EPOCHDOMAIN_H

@@ -1,0 +1,128 @@
+//===- reclaim/HazardPointerDomain.cpp - Hazard-pointer reclamation ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/HazardPointerDomain.h"
+
+#include "reclaim/DomainRegistry.h"
+
+#include <algorithm>
+
+using namespace vbl;
+using namespace vbl::reclaim;
+
+HazardPointerDomain::HazardPointerDomain()
+    : DomainId(registerDomain()), Records(MaxThreads) {}
+
+HazardPointerDomain::~HazardPointerDomain() {
+  unregisterDomain(DomainId);
+  for (ThreadRecord &Record : Records) {
+    for (unsigned I = 0; I != SlotsPerThread; ++I)
+      VBL_ASSERT(
+          Record.Hazards[I].load(std::memory_order_acquire) == nullptr,
+          "HazardPointerDomain destroyed while a pointer is protected");
+    for (const RetiredPtr &R : Record.RetireList)
+      R.Deleter(R.Ptr);
+    Record.RetireList.clear();
+  }
+  std::lock_guard<std::mutex> Lock(OrphanMutex);
+  for (const RetiredPtr &R : Orphans)
+    R.Deleter(R.Ptr);
+  Orphans.clear();
+}
+
+HazardPointerDomain::ThreadRecord *
+HazardPointerDomain::attachCurrentThread() {
+  thread_local uint64_t CachedDomainId = 0;
+  thread_local ThreadRecord *CachedRecord = nullptr;
+  if (CachedDomainId == DomainId)
+    return CachedRecord;
+
+  if (void *Known = findThreadRecord(DomainId)) {
+    CachedDomainId = DomainId;
+    CachedRecord = static_cast<ThreadRecord *>(Known);
+    return CachedRecord;
+  }
+
+  for (uint32_t I = 0; I != MaxThreads; ++I) {
+    ThreadRecord &Record = Records[I];
+    bool Expected = false;
+    if (!Record.InUse.compare_exchange_strong(Expected, true,
+                                              std::memory_order_acq_rel))
+      continue;
+    uint32_t HW = HighWater.load(std::memory_order_relaxed);
+    while (HW < I + 1 && !HighWater.compare_exchange_weak(
+                             HW, I + 1, std::memory_order_acq_rel)) {
+    }
+    rememberThreadRecord(DomainId, this, &Record, &detachTrampoline);
+    CachedDomainId = DomainId;
+    CachedRecord = &Record;
+    return &Record;
+  }
+  vbl_unreachable("HazardPointerDomain: too many concurrent threads");
+}
+
+void HazardPointerDomain::detachTrampoline(void *Domain, void *Record) {
+  static_cast<HazardPointerDomain *>(Domain)->detach(
+      static_cast<ThreadRecord *>(Record));
+}
+
+void HazardPointerDomain::detach(ThreadRecord *Record) {
+  for (unsigned I = 0; I != SlotsPerThread; ++I)
+    Record->Hazards[I].store(nullptr, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(OrphanMutex);
+    Orphans.insert(Orphans.end(), Record->RetireList.begin(),
+                   Record->RetireList.end());
+  }
+  Record->RetireList.clear();
+  Record->InUse.store(false, std::memory_order_release);
+}
+
+void HazardPointerDomain::retireRaw(void *Ptr, void (*Deleter)(void *)) {
+  VBL_ASSERT(Ptr, "retiring null");
+  ThreadRecord *Record = attachCurrentThread();
+  Record->RetireList.push_back({Ptr, Deleter});
+  Retired.fetch_add(1, std::memory_order_relaxed);
+  if (Record->RetireList.size() >= ScanThreshold)
+    scan(Record->RetireList);
+}
+
+void HazardPointerDomain::scan(std::vector<RetiredPtr> &List) {
+  // Stage 1: snapshot every published hazard.
+  std::vector<void *> Protected;
+  Protected.reserve(64);
+  const uint32_t HW = HighWater.load(std::memory_order_acquire);
+  for (uint32_t I = 0; I != HW; ++I) {
+    const ThreadRecord &Record = Records[I];
+    // Slots of unattached records are all null, so no InUse filter is
+    // needed for correctness; reading them is cheap.
+    for (unsigned S = 0; S != SlotsPerThread; ++S)
+      if (void *Ptr = Record.Hazards[S].load(std::memory_order_seq_cst))
+        Protected.push_back(Ptr);
+  }
+  std::sort(Protected.begin(), Protected.end());
+
+  // Stage 2: free everything not protected.
+  size_t Kept = 0;
+  for (size_t I = 0, E = List.size(); I != E; ++I) {
+    if (std::binary_search(Protected.begin(), Protected.end(),
+                           List[I].Ptr)) {
+      List[Kept++] = List[I];
+      continue;
+    }
+    List[I].Deleter(List[I].Ptr);
+    Freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  List.resize(Kept);
+}
+
+void HazardPointerDomain::collectAll() {
+  ThreadRecord *Record = attachCurrentThread();
+  scan(Record->RetireList);
+  std::lock_guard<std::mutex> Lock(OrphanMutex);
+  scan(Orphans);
+}

@@ -1,0 +1,172 @@
+//===- reclaim/HazardPointerDomain.h - Hazard-pointer reclamation --------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Michael-style hazard pointers (SPAA 2002), the reclamation scheme the
+/// Harris-Michael list was originally published with. Readers publish
+/// each pointer they are about to dereference in a per-thread hazard
+/// slot; retirement scans all slots and frees only unprotected pointers.
+///
+/// Compared to the default EpochDomain: bounded garbage (at most
+/// #threads x slots survivors per scan) at the price of one seq_cst
+/// store + re-validation per traversal hop, which is exactly the
+/// metadata-traffic trade-off the reclamation benchmark quantifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_RECLAIM_HAZARDPOINTERDOMAIN_H
+#define VBL_RECLAIM_HAZARDPOINTERDOMAIN_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vbl {
+namespace reclaim {
+
+/// An independent hazard-pointer instance. Threads attach lazily;
+/// Guard gives RAII slot management for one operation.
+class HazardPointerDomain {
+public:
+  static constexpr unsigned MaxThreads = 512;
+  /// Slots per thread. List traversals need three live protections
+  /// (prev, curr, succ); one spare for algorithm extensions.
+  static constexpr unsigned SlotsPerThread = 4;
+  /// Retired pointers per thread that trigger a scan.
+  static constexpr size_t ScanThreshold = 128;
+
+  HazardPointerDomain();
+  ~HazardPointerDomain();
+
+  HazardPointerDomain(const HazardPointerDomain &) = delete;
+  HazardPointerDomain &operator=(const HazardPointerDomain &) = delete;
+
+  class Guard;
+
+  template <class T> void retire(T *Ptr) {
+    retireRaw(Ptr, [](void *P) { delete static_cast<T *>(P); });
+  }
+
+  void retireRaw(void *Ptr, void (*Deleter)(void *));
+
+  /// Scans and frees whatever is unprotected right now (teardown/tests).
+  void collectAll();
+
+  uint64_t freedCount() const {
+    return Freed.load(std::memory_order_relaxed);
+  }
+  uint64_t retiredCount() const {
+    return Retired.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct RetiredPtr {
+    void *Ptr;
+    void (*Deleter)(void *);
+  };
+
+  struct alignas(CacheLineBytes) ThreadRecord {
+    std::atomic<void *> Hazards[SlotsPerThread] = {};
+    std::atomic<bool> InUse{false};
+    std::vector<RetiredPtr> RetireList; ///< Owner-thread-only.
+  };
+
+  ThreadRecord *attachCurrentThread();
+  static void detachTrampoline(void *Domain, void *Record);
+  void detach(ThreadRecord *Record);
+  void scan(std::vector<RetiredPtr> &List);
+
+  const uint64_t DomainId;
+  std::atomic<uint32_t> HighWater{0};
+  std::atomic<uint64_t> Freed{0};
+  std::atomic<uint64_t> Retired{0};
+  std::vector<ThreadRecord> Records;
+
+  std::mutex OrphanMutex;
+  std::vector<RetiredPtr> Orphans;
+
+public:
+  /// RAII wrapper around this thread's hazard slots. All slots are
+  /// cleared on destruction, so one Guard per operation is the intended
+  /// pattern.
+  class Guard {
+  public:
+    explicit Guard(HazardPointerDomain &Domain)
+        : Record(Domain.attachCurrentThread()) {}
+
+    ~Guard() { clearAll(); }
+
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+
+    /// Publishes protection for the pointer currently stored in \p Src
+    /// and returns it. Loops until the published value matches a re-read
+    /// of the source, which proves the pointer was reachable (hence not
+    /// yet passed to retire) at the moment of protection.
+    template <class T>
+    T *protect(unsigned Slot, const std::atomic<T *> &Src) {
+      VBL_ASSERT(Slot < SlotsPerThread, "hazard slot out of range");
+      T *Ptr = Src.load(std::memory_order_acquire);
+      for (;;) {
+        // seq_cst store: must be visible to scanning threads before we
+        // re-validate, otherwise scan could miss the protection.
+        Record->Hazards[Slot].store(Ptr, std::memory_order_seq_cst);
+        T *Again = Src.load(std::memory_order_seq_cst);
+        if (Again == Ptr)
+          return Ptr;
+        Ptr = Again;
+      }
+    }
+
+    /// Variant for mark-tagged pointer words (Harris-Michael): protects
+    /// the unmarked address while validating against the raw word.
+    template <class ClearFn>
+    void *protectWord(unsigned Slot, const std::atomic<uintptr_t> &Src,
+                      ClearFn StripTag) {
+      VBL_ASSERT(Slot < SlotsPerThread, "hazard slot out of range");
+      uintptr_t Word = Src.load(std::memory_order_acquire);
+      for (;;) {
+        void *Ptr = StripTag(Word);
+        Record->Hazards[Slot].store(Ptr, std::memory_order_seq_cst);
+        const uintptr_t Again = Src.load(std::memory_order_seq_cst);
+        if (StripTag(Again) == Ptr)
+          return Ptr;
+        Word = Again;
+      }
+    }
+
+    /// Publishes an already-validated pointer (caller guarantees it is
+    /// still reachable through some protected path).
+    void set(unsigned Slot, void *Ptr) {
+      VBL_ASSERT(Slot < SlotsPerThread, "hazard slot out of range");
+      Record->Hazards[Slot].store(Ptr, std::memory_order_seq_cst);
+    }
+
+    void clear(unsigned Slot) {
+      VBL_ASSERT(Slot < SlotsPerThread, "hazard slot out of range");
+      Record->Hazards[Slot].store(nullptr, std::memory_order_release);
+    }
+
+    void clearAll() {
+      for (unsigned I = 0; I != SlotsPerThread; ++I)
+        Record->Hazards[I].store(nullptr, std::memory_order_release);
+    }
+
+  private:
+    ThreadRecord *Record;
+  };
+
+  friend class Guard;
+};
+
+} // namespace reclaim
+} // namespace vbl
+
+#endif // VBL_RECLAIM_HAZARDPOINTERDOMAIN_H

@@ -1,0 +1,62 @@
+//===- reclaim/LeakyDomain.h - No-op reclamation --------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "no memory management" domain: retire() leaks. This reproduces the
+/// paper's own C++ translations, which the technical report evaluates
+/// *without* memory management, and serves as the zero-overhead baseline
+/// in the reclamation benchmark. Unlinked nodes stay allocated forever,
+/// which also makes wait-free traversals trivially safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_RECLAIM_LEAKYDOMAIN_H
+#define VBL_RECLAIM_LEAKYDOMAIN_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace vbl {
+namespace reclaim {
+
+/// Satisfies the same Reclaimer shape as EpochDomain but never frees.
+/// The destructor does not free retired nodes either: a leaked node may
+/// still be referenced through another leaked node's next pointer, so
+/// freeing at destruction would require tracing. Tests that care about
+/// leaks use TrackingDomain instead.
+class LeakyDomain {
+public:
+  class Guard {
+  public:
+    explicit Guard(LeakyDomain &) {}
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+  };
+
+  template <class T> void retire(T * /*Ptr*/) {
+    RetiredCount.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void retireRaw(void *, void (*)(void *)) {
+    RetiredCount.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void collectAll() {}
+
+  uint64_t retiredCount() const {
+    return RetiredCount.load(std::memory_order_relaxed);
+  }
+  uint64_t freedCount() const { return 0; }
+
+private:
+  std::atomic<uint64_t> RetiredCount{0};
+};
+
+} // namespace reclaim
+} // namespace vbl
+
+#endif // VBL_RECLAIM_LEAKYDOMAIN_H

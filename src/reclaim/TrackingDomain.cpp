@@ -1,0 +1,27 @@
+//===- reclaim/TrackingDomain.cpp - Debug reclamation domain -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/TrackingDomain.h"
+
+using namespace vbl;
+using namespace vbl::reclaim;
+
+TrackingDomain::~TrackingDomain() {
+  VBL_ASSERT(ActiveGuards.load(std::memory_order_acquire) == 0,
+             "TrackingDomain destroyed while a guard is active");
+  for (const auto &[Ptr, Deleter] : RetiredPtrs)
+    Deleter(Ptr);
+}
+
+void TrackingDomain::retireRaw(void *Ptr, void (*Deleter)(void *)) {
+  VBL_ASSERT(Ptr, "retiring null");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RetiredTotal.fetch_add(1, std::memory_order_relaxed);
+  const bool Inserted = RetiredPtrs.emplace(Ptr, Deleter).second;
+  if (!Inserted)
+    DoubleRetire.store(true, std::memory_order_release);
+}

@@ -1,0 +1,97 @@
+//===- sched/Event.h - Shared-memory events and schedules ----------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event model behind §2.2: an execution is a sequence of
+/// shared-memory events; a *schedule* is its projection onto the reads,
+/// writes and node creations of the sequential implementation LL.
+/// Raw traces recorded by the deterministic scheduler contain everything
+/// (locks, marks, validation reads, restarts); the exporter in
+/// ScheduleExport.h distils them into LL-comparable schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_EVENT_H
+#define VBL_SCHED_EVENT_H
+
+#include "core/SetConfig.h"
+#include "sync/Policy.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace sched {
+
+enum class EventKind : uint8_t {
+  Read,        ///< LL-relevant read of Val/Next.
+  Write,       ///< LL-relevant write of Next (or Marked for variants).
+  Cas,         ///< CAS on a next word (lock-free lists); Value2 = success.
+  ReadCheck,   ///< Validation read under a lock; not part of LL.
+  NewNode,     ///< Creation of a node (LL's new-node(v, next)).
+  LockAcquire, ///< Lock successfully taken.
+  LockBlocked, ///< tryLock failed; thread is parked until release.
+  LockRelease,
+  OpBegin, ///< High-level invocation: Value = key, Field unused.
+  OpEnd,   ///< High-level response: Value = boolean result.
+  Restart, ///< Operation abandoned an attempt and re-traverses.
+};
+
+const char *eventKindName(EventKind Kind);
+
+/// One step of one logical thread. Interpretation of Value depends on
+/// Kind/Field: node address for Next reads/writes, key for Val reads,
+/// 0/1 for Marked, raw word for Cas.
+struct Event {
+  uint32_t Thread = 0;
+  uint32_t OpIndex = 0; ///< Per-thread operation counter.
+  uint32_t Attempt = 0; ///< Per-op attempt number (bumped by Restart).
+  EventKind Kind = EventKind::Read;
+  MemField Field = MemField::Val;
+  SetOp Op = SetOp::Contains; ///< Valid on OpBegin/OpEnd.
+  const void *Node = nullptr;
+  uint64_t Value = 0;
+  uint64_t Value2 = 0;
+
+  std::string toString() const;
+};
+
+/// An ordered event sequence plus queries used by the checkers.
+class Schedule {
+public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Event> EventsIn)
+      : Events(std::move(EventsIn)) {}
+
+  const std::vector<Event> &events() const { return Events; }
+  std::vector<Event> &events() { return Events; }
+  bool empty() const { return Events.empty(); }
+  size_t size() const { return Events.size(); }
+
+  /// Projection sigma|pi: the steps of one operation, in order.
+  std::vector<Event> opProjection(uint32_t Thread, uint32_t OpIndex) const;
+
+  /// All (thread, op) pairs present, in first-appearance order.
+  std::vector<std::pair<uint32_t, uint32_t>> operations() const;
+
+  /// Canonical fingerprint: node addresses are relabelled in order of
+  /// first appearance, so two runs of the same abstract schedule with
+  /// different allocations compare equal.
+  std::string canonicalKey() const;
+
+  /// Multi-line dump for test failure messages.
+  std::string toString() const;
+
+private:
+  std::vector<Event> Events;
+};
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_EVENT_H

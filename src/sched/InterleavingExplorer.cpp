@@ -1,0 +1,171 @@
+//===- sched/InterleavingExplorer.cpp - Enumerate and replay schedules ---===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/InterleavingExplorer.h"
+
+#include "sched/ScheduleExport.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+EpisodeResult InterleavingExplorer::run(
+    const std::vector<unsigned> &Forced,
+    std::vector<std::vector<unsigned>> *RunnableSets) {
+  EpisodeResult Result;
+  Result.Meta = Factory();
+  StepScheduler Sched(Result.Meta.Bodies);
+
+  size_t StepIndex = 0;
+  for (;;) {
+    const std::vector<unsigned> Runnable = Sched.runnableThreads();
+    if (Runnable.empty()) {
+      Result.Deadlocked = !Sched.allFinished();
+      break;
+    }
+    unsigned Choice;
+    if (StepIndex < Forced.size()) {
+      Choice = Forced[StepIndex];
+      VBL_ASSERT(std::find(Runnable.begin(), Runnable.end(), Choice) !=
+                     Runnable.end(),
+                 "forced choice is not runnable (nondeterministic "
+                 "episode?)");
+    } else {
+      Choice = Runnable.front();
+    }
+    if (RunnableSets)
+      RunnableSets->push_back(Runnable);
+    Result.Choices.push_back(Choice);
+    Sched.step(Choice);
+    ++StepIndex;
+    VBL_ASSERT(StepIndex < (size_t(1) << 22),
+               "episode exceeded the step budget");
+  }
+  Result.Raw = Sched.schedule();
+  return Result;
+}
+
+size_t InterleavingExplorer::exploreAll(
+    const std::function<void(const EpisodeResult &)> &Visitor,
+    size_t MaxEpisodes) {
+  // Lexicographic DFS with whole-episode replay: re-run with a forced
+  // prefix, extend greedily with the lowest runnable thread, then
+  // backtrack to the deepest position where a larger alternative
+  // remains. Determinism of the algorithms under a fixed interleaving
+  // makes replay sound.
+  size_t Episodes = 0;
+  std::vector<unsigned> Prefix;
+  for (;;) {
+    std::vector<std::vector<unsigned>> RunnableSets;
+    const EpisodeResult Result = run(Prefix, &RunnableSets);
+    ++Episodes;
+    Visitor(Result);
+    if (Episodes >= MaxEpisodes)
+      return Episodes;
+
+    // Find the deepest step with an untried larger alternative.
+    size_t Pos = Result.Choices.size();
+    std::vector<unsigned> Next;
+    while (Pos != 0) {
+      --Pos;
+      const std::vector<unsigned> &Avail = RunnableSets[Pos];
+      const auto It = std::upper_bound(Avail.begin(), Avail.end(),
+                                       Result.Choices[Pos]);
+      if (It != Avail.end()) {
+        Next.assign(Result.Choices.begin(),
+                    Result.Choices.begin() + Pos);
+        Next.push_back(*It);
+        break;
+      }
+    }
+    if (Next.empty() && Pos == 0)
+      return Episodes; // Tree exhausted.
+    Prefix = std::move(Next);
+  }
+}
+
+ReplayResult vbl::sched::replaySchedule(const EpisodeFactory &Factory,
+                                        const Schedule &Target) {
+  ReplayResult Out;
+  Episode Ep = Factory();
+  StepScheduler Sched(Ep.Bodies);
+
+  const auto &TargetEvents = Target.events();
+  auto targetPrefixKey = [&](size_t Count) {
+    return Schedule(std::vector<Event>(TargetEvents.begin(),
+                                       TargetEvents.begin() + Count))
+        .canonicalKey();
+  };
+  auto exportedPrefix = [&](size_t Count, std::string &KeyOut) -> bool {
+    const Schedule Exp = exportLLSchedule(Sched.schedule(), Ep.HeadNode);
+    if (Exp.size() < Count)
+      return false;
+    KeyOut = Schedule(std::vector<Event>(Exp.events().begin(),
+                                         Exp.events().begin() + Count))
+                 .canonicalKey();
+    return true;
+  };
+
+  for (size_t I = 0; I != TargetEvents.size(); ++I) {
+    const unsigned Thread = TargetEvents[I].Thread;
+    const std::string WantKey = targetPrefixKey(I + 1);
+    bool Matched = false;
+    // Step the owning thread until the exported prefix grows to cover
+    // the target event. The bound is generous: one exported step costs
+    // at most a handful of raw steps (locks, validations) in any of the
+    // lists in this repo.
+    for (int Tries = 0; Tries != 512; ++Tries) {
+      std::string HaveKey;
+      if (exportedPrefix(I + 1, HaveKey)) {
+        if (HaveKey == WantKey) {
+          Matched = true;
+          break;
+        }
+        Out.Reason = "diverged at exported event " + std::to_string(I) +
+                     ": wanted [" + TargetEvents[I].toString() + "]";
+        Out.RawTrace = Sched.schedule();
+        return Out;
+      }
+      if (!Sched.runnable(Thread)) {
+        Out.Reason =
+            Sched.finished(Thread)
+                ? "thread finished before emitting exported event " +
+                      std::to_string(I)
+                : "thread blocked on a lock before exported event " +
+                      std::to_string(I) + " [" +
+                      TargetEvents[I].toString() + "]";
+        Out.RawTrace = Sched.schedule();
+        return Out;
+      }
+      Sched.step(Thread);
+    }
+    if (!Matched) {
+      Out.Reason = "no progress towards exported event " +
+                   std::to_string(I) + " [" + TargetEvents[I].toString() +
+                   "] (operation keeps restarting)";
+      Out.RawTrace = Sched.schedule();
+      return Out;
+    }
+  }
+
+  // Let trailing bookkeeping (unlocks, returns) finish.
+  if (!Sched.drain()) {
+    Out.Reason = "episode could not be drained after the last event";
+    Out.RawTrace = Sched.schedule();
+    return Out;
+  }
+  Out.RawTrace = Sched.schedule();
+  const Schedule Final = exportLLSchedule(Out.RawTrace, Ep.HeadNode);
+  if (Final.canonicalKey() != Target.canonicalKey()) {
+    Out.Reason = "drained execution exported a different schedule";
+    return Out;
+  }
+  Out.Accepted = true;
+  return Out;
+}

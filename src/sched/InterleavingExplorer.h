@@ -1,0 +1,104 @@
+//===- sched/InterleavingExplorer.h - Enumerate and replay schedules -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two engines on top of the StepScheduler:
+///
+///  - InterleavingExplorer::exploreAll enumerates EVERY interleaving of
+///    an episode's threads (lexicographic DFS with replay-from-scratch,
+///    standard stateless model checking). Running the *sequential*
+///    implementation LL under it generates the schedule space § of
+///    §2.2; running a concurrent list under it model-checks small
+///    scenarios exhaustively.
+///
+///  - replaySchedule drives an implementation so that its execution
+///    exports a given target schedule. Success constructs the existence
+///    witness of §2.2's "implementation I accepts schedule sigma";
+///    failure (a thread blocks on a lock, diverges, or cannot make the
+///    required step) is a rejection — the operational content of the
+///    paper's Figs. 2 and 3 and of the concurrency-optimality theorem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_INTERLEAVINGEXPLORER_H
+#define VBL_SCHED_INTERLEAVINGEXPLORER_H
+
+#include "sched/Event.h"
+#include "sched/StepScheduler.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace sched {
+
+/// A fresh system-under-test instance plus the thread programs to run
+/// against it. Recreated for every episode.
+struct Episode {
+  /// One body per logical thread; bodies run ops via tracedOp().
+  std::vector<std::function<void()>> Bodies;
+  /// Identity of the list's head sentinel.
+  const void *HeadNode = nullptr;
+  /// Initial (node, key) chain head..tail for state reconstruction.
+  std::vector<std::pair<const void *, SetKey>> InitialChain;
+  /// Keeps the list (and anything the bodies capture) alive.
+  std::shared_ptr<void> Holder;
+};
+
+using EpisodeFactory = std::function<Episode()>;
+
+/// Outcome of one fully-executed episode.
+struct EpisodeResult {
+  Schedule Raw;
+  Episode Meta;                  ///< Head/chain of the instance that ran.
+  std::vector<unsigned> Choices; ///< Thread granted at each step.
+  bool Deadlocked = false;
+};
+
+class InterleavingExplorer {
+public:
+  explicit InterleavingExplorer(EpisodeFactory Factory)
+      : Factory(std::move(Factory)) {}
+
+  /// Runs one episode: follows \p Forced while it lasts, then always
+  /// grants the lowest runnable thread. Records the actual choice at
+  /// every step and (optionally) the runnable set per step.
+  EpisodeResult
+  run(const std::vector<unsigned> &Forced,
+      std::vector<std::vector<unsigned>> *RunnableSets = nullptr);
+
+  /// Exhaustive lexicographic DFS over all interleavings. Calls
+  /// \p Visitor for every complete episode. Returns the number of
+  /// episodes executed; stops early (returning what it has) once
+  /// \p MaxEpisodes is reached.
+  size_t exploreAll(const std::function<void(const EpisodeResult &)> &Visitor,
+                    size_t MaxEpisodes);
+
+private:
+  EpisodeFactory Factory;
+};
+
+/// Result of a schedule-driven replay.
+struct ReplayResult {
+  bool Accepted = false;
+  std::string Reason; ///< Why the schedule was rejected.
+  Schedule RawTrace;  ///< Full raw trace of the attempt.
+};
+
+/// Attempts to drive a fresh episode from \p Factory so that its
+/// execution exports exactly \p Target (canonical comparison, §2.2
+/// node-renaming equivalence). \p Target must be an *exported* schedule
+/// of complete operations.
+ReplayResult replaySchedule(const EpisodeFactory &Factory,
+                            const Schedule &Target);
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_INTERLEAVINGEXPLORER_H

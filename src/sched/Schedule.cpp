@@ -1,0 +1,145 @@
+//===- sched/Schedule.cpp - Event and schedule utilities -----------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Event.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+const char *vbl::sched::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::Read:
+    return "read";
+  case EventKind::Write:
+    return "write";
+  case EventKind::Cas:
+    return "cas";
+  case EventKind::ReadCheck:
+    return "readcheck";
+  case EventKind::NewNode:
+    return "newnode";
+  case EventKind::LockAcquire:
+    return "lock+";
+  case EventKind::LockBlocked:
+    return "lock?";
+  case EventKind::LockRelease:
+    return "lock-";
+  case EventKind::OpBegin:
+    return "begin";
+  case EventKind::OpEnd:
+    return "end";
+  case EventKind::Restart:
+    return "restart";
+  }
+  return "?";
+}
+
+static const char *fieldName(MemField Field) {
+  switch (Field) {
+  case MemField::Val:
+    return "val";
+  case MemField::Next:
+    return "next";
+  case MemField::Marked:
+    return "marked";
+  case MemField::Lock:
+    return "lock";
+  }
+  return "?";
+}
+
+std::string Event::toString() const {
+  char Buf[160];
+  switch (Kind) {
+  case EventKind::OpBegin:
+    std::snprintf(Buf, sizeof(Buf), "T%u.%u begin %s(%lld)", Thread,
+                  OpIndex, setOpName(Op), static_cast<long long>(Value));
+    break;
+  case EventKind::OpEnd:
+    std::snprintf(Buf, sizeof(Buf), "T%u.%u end -> %s", Thread, OpIndex,
+                  Value ? "true" : "false");
+    break;
+  case EventKind::NewNode:
+    std::snprintf(Buf, sizeof(Buf), "T%u.%u newnode %p val=%lld", Thread,
+                  OpIndex, Node, static_cast<long long>(Value));
+    break;
+  default:
+    std::snprintf(Buf, sizeof(Buf), "T%u.%u %s %s(%p)=%llx", Thread,
+                  OpIndex, eventKindName(Kind), fieldName(Field), Node,
+                  static_cast<unsigned long long>(Value));
+    break;
+  }
+  return Buf;
+}
+
+std::vector<Event> Schedule::opProjection(uint32_t Thread,
+                                          uint32_t OpIndex) const {
+  std::vector<Event> Out;
+  for (const Event &E : Events)
+    if (E.Thread == Thread && E.OpIndex == OpIndex)
+      Out.push_back(E);
+  return Out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Schedule::operations() const {
+  std::vector<std::pair<uint32_t, uint32_t>> Ops;
+  for (const Event &E : Events) {
+    const std::pair<uint32_t, uint32_t> Id{E.Thread, E.OpIndex};
+    bool Seen = false;
+    for (const auto &Existing : Ops)
+      if (Existing == Id) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Ops.push_back(Id);
+  }
+  return Ops;
+}
+
+std::string Schedule::canonicalKey() const {
+  std::unordered_map<const void *, unsigned> Labels;
+  auto label = [&](const void *Node) -> unsigned {
+    if (!Node)
+      return 0;
+    auto [It, Inserted] =
+        Labels.emplace(Node, static_cast<unsigned>(Labels.size() + 1));
+    (void)Inserted;
+    return It->second;
+  };
+  std::string Key;
+  char Buf[96];
+  for (const Event &E : Events) {
+    // Next-field values are node addresses and must be relabelled too;
+    // Val-field values are keys and stay literal.
+    const bool ValueIsNode =
+        E.Field == MemField::Next &&
+        (E.Kind == EventKind::Read || E.Kind == EventKind::Write);
+    const unsigned NodeLabel = label(E.Node);
+    const unsigned long long Value =
+        ValueIsNode ? label(reinterpret_cast<const void *>(
+                          static_cast<uintptr_t>(E.Value)))
+                    : static_cast<unsigned long long>(E.Value);
+    std::snprintf(Buf, sizeof(Buf), "%u.%u:%s.%d n%u v%llu;", E.Thread,
+                  E.OpIndex, eventKindName(E.Kind),
+                  static_cast<int>(E.Field), NodeLabel, Value);
+    Key += Buf;
+  }
+  return Key;
+}
+
+std::string Schedule::toString() const {
+  std::string Out;
+  for (const Event &E : Events) {
+    Out += E.toString();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,237 @@
+//===- sched/ScheduleExport.cpp - Project raw traces onto LL -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ScheduleExport.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+/// A kept event together with its global ordering key. Sub orders a
+/// hoisted NewNode (0) before the link write (1) it precedes.
+struct KeptEvent {
+  size_t RawIndex;
+  int Sub;
+  Event E;
+};
+
+/// Builder for one operation's export.
+class OpExportBuilder {
+public:
+  OpExportBuilder(const void *HeadNode) : HeadNode(HeadNode) {}
+
+  void add(size_t RawIndex, const Event &E) {
+    switch (E.Kind) {
+    case EventKind::OpBegin:
+      Out.Thread = E.Thread;
+      Out.OpIndex = E.OpIndex;
+      Out.Op = E.Op;
+      Out.Key = static_cast<SetKey>(E.Value);
+      BeginIndex = RawIndex;
+      HaveBegin = true;
+      return;
+    case EventKind::OpEnd:
+      Out.Result = E.Value != 0;
+      Out.Completed = true;
+      EndIndex = RawIndex;
+      return;
+    case EventKind::Restart:
+      Attempts.emplace_back();
+      return;
+    case EventKind::NewNode:
+      // Keep the creation at its true position (its placement relative
+      // to other threads' steps is semantically meaningful — Fig. 2
+      // turns on it); finalize() removes it again if the node is never
+      // published, or re-inserts it before the publish write if a
+      // restart trimmed it away.
+      NewNodeId = E.Node;
+      NewNodeEvent = E;
+      break;
+    case EventKind::Read:
+      // LL never reads head.val; implementations may.
+      if (E.Field == MemField::Val && E.Node == HeadNode)
+        return;
+      if (E.Field != MemField::Val && E.Field != MemField::Next)
+        return;
+      break;
+    case EventKind::Write:
+      if (E.Field != MemField::Next)
+        return; // Deletion marks are metadata.
+      if (E.Node == NewNodeId)
+        return; // Initialization of the unpublished node.
+      break;
+    case EventKind::Cas:
+      // Lock-free lists: a successful CAS on a next word is LL's write;
+      // failed CASes take no effect.
+      if (E.Value2 == 0 || E.Field != MemField::Next)
+        return;
+      break;
+    case EventKind::ReadCheck:
+    case EventKind::LockAcquire:
+    case EventKind::LockBlocked:
+    case EventKind::LockRelease:
+      return;
+    }
+    if (Attempts.empty())
+      Attempts.emplace_back();
+    Attempts.back().push_back({RawIndex, 1, E});
+  }
+
+  /// Splices attempts and finalizes the op's kept steps.
+  void finalize() {
+    std::vector<KeptEvent> Walk;
+    for (const auto &Attempt : Attempts) {
+      if (Attempt.empty())
+        continue;
+      const Event &First = Attempt.front().E;
+      const bool StartsTraversal =
+          First.Kind == EventKind::Read && First.Field == MemField::Next;
+      if (StartsTraversal && First.Node == HeadNode) {
+        // Restart from the head: the old walk took no effect.
+        Walk.clear();
+      } else if (StartsTraversal && !Walk.empty()) {
+        // Restart from prev: trim the stale tail of the old walk (every
+        // step after the continuation node's val read), then continue.
+        const void *Continue = First.Node;
+        size_t Keep = Walk.size();
+        while (Keep != 0) {
+          const Event &W = Walk[Keep - 1].E;
+          if (W.Kind == EventKind::Read && W.Field == MemField::Val &&
+              W.Node == Continue)
+            break;
+          --Keep;
+        }
+        if (Keep != 0)
+          Walk.resize(Keep);
+      }
+      Walk.insert(Walk.end(), Attempt.begin(), Attempt.end());
+    }
+
+    // Normalize the NewNode event: drop it when the node was never
+    // published (LL's failed insert creates nothing); when a restart
+    // trimmed the creation away but the publish survived, re-insert it
+    // directly before the publish write (where LL would create it).
+    if (NewNodeId) {
+      const auto isNewNode = [&](const KeptEvent &K) {
+        return K.E.Kind == EventKind::NewNode;
+      };
+      const auto PublishIt = std::find_if(
+          Walk.begin(), Walk.end(), [&](const KeptEvent &K) {
+            return (K.E.Kind == EventKind::Write ||
+                    K.E.Kind == EventKind::Cas) &&
+                   K.E.Field == MemField::Next &&
+                   reinterpret_cast<const void *>(static_cast<uintptr_t>(
+                       K.E.Value)) == NewNodeId;
+          });
+      if (PublishIt == Walk.end()) {
+        // Drop the creation only once the op has completed without
+        // publishing (a failed insert); while the op is in flight the
+        // creation is real and the publish may still come.
+        if (Out.Completed)
+          Walk.erase(std::remove_if(Walk.begin(), Walk.end(), isNewNode),
+                     Walk.end());
+      } else if (std::none_of(Walk.begin(), PublishIt, isNewNode)) {
+        const size_t PublishPos =
+            static_cast<size_t>(PublishIt - Walk.begin());
+        Walk.erase(std::remove_if(Walk.begin(), Walk.end(), isNewNode),
+                   Walk.end());
+        Walk.insert(Walk.begin() + PublishPos,
+                    {Walk[PublishPos].RawIndex, 0, NewNodeEvent});
+      }
+    }
+
+    Kept = std::move(Walk);
+    for (const KeptEvent &K : Kept)
+      Out.Steps.push_back(K.E);
+  }
+
+  ExportedOp Out;
+  std::vector<KeptEvent> Kept;
+  size_t BeginIndex = 0;
+  size_t EndIndex = 0;
+  bool HaveBegin = false;
+
+private:
+  const void *HeadNode;
+  const void *NewNodeId = nullptr;
+  Event NewNodeEvent;
+  std::vector<std::vector<KeptEvent>> Attempts;
+};
+
+std::map<std::pair<uint32_t, uint32_t>, OpExportBuilder>
+buildOps(const Schedule &Raw, const void *HeadNode) {
+  std::map<std::pair<uint32_t, uint32_t>, OpExportBuilder> Builders;
+  const auto &Events = Raw.events();
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    const std::pair<uint32_t, uint32_t> Id{E.Thread, E.OpIndex};
+    auto It = Builders.find(Id);
+    if (It == Builders.end())
+      It = Builders.emplace(Id, OpExportBuilder(HeadNode)).first;
+    It->second.add(I, E);
+  }
+  for (auto &[Id, Builder] : Builders)
+    Builder.finalize();
+  return Builders;
+}
+
+} // namespace
+
+std::vector<ExportedOp> vbl::sched::exportOps(const Schedule &Raw,
+                                              const void *HeadNode) {
+  auto Builders = buildOps(Raw, HeadNode);
+  std::vector<ExportedOp> Ops;
+  Ops.reserve(Builders.size());
+  for (auto &[Id, Builder] : Builders)
+    Ops.push_back(std::move(Builder.Out));
+  return Ops;
+}
+
+Schedule vbl::sched::exportLLSchedule(const Schedule &Raw,
+                                      const void *HeadNode) {
+  auto Builders = buildOps(Raw, HeadNode);
+  std::vector<KeptEvent> All;
+  for (auto &[Id, Builder] : Builders) {
+    for (const KeptEvent &K : Builder.Kept)
+      All.push_back(K);
+    if (Builder.HaveBegin) {
+      Event Begin;
+      Begin.Thread = Builder.Out.Thread;
+      Begin.OpIndex = Builder.Out.OpIndex;
+      Begin.Kind = EventKind::OpBegin;
+      Begin.Op = Builder.Out.Op;
+      Begin.Value = static_cast<uint64_t>(Builder.Out.Key);
+      All.push_back({Builder.BeginIndex, 1, Begin});
+    }
+    if (Builder.Out.Completed) {
+      Event End;
+      End.Thread = Builder.Out.Thread;
+      End.OpIndex = Builder.Out.OpIndex;
+      End.Kind = EventKind::OpEnd;
+      End.Op = Builder.Out.Op;
+      End.Value = Builder.Out.Result ? 1 : 0;
+      All.push_back({Builder.EndIndex, 1, End});
+    }
+  }
+  std::sort(All.begin(), All.end(),
+            [](const KeptEvent &A, const KeptEvent &B) {
+              if (A.RawIndex != B.RawIndex)
+                return A.RawIndex < B.RawIndex;
+              return A.Sub < B.Sub;
+            });
+  std::vector<Event> Events;
+  Events.reserve(All.size());
+  for (const KeptEvent &K : All)
+    Events.push_back(K.E);
+  return Schedule(std::move(Events));
+}

@@ -1,0 +1,56 @@
+//===- sched/ScheduleExport.h - Project raw traces onto LL ---------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §2.2 projection: "the schedule exported by an execution" keeps
+/// only the reads, writes and node creations *corresponding to the
+/// sequential implementation LL* that *take effect*. The raw traces of
+/// the step scheduler contain much more (lock traffic, deletion marks,
+/// validation re-reads, abandoned attempts); this exporter distils them:
+///
+///  - drops Lock*, Marked, ReadCheck and Restart events;
+///  - drops val-reads of the head sentinel (LL never reads head.val);
+///  - drops writes to an operation's own not-yet-published node and the
+///    NewNode event of an insert that never published (LL's failed
+///    insert creates nothing);
+///  - re-positions the NewNode event of a published insert directly
+///    before its link write (LL creates the node there);
+///  - splices traversals across restarts: a restart-from-prev
+///    continues the previous walk, so the stale tail of the old walk
+///    (everything after the continuation node) is trimmed and the new
+///    reads are appended; a restart from the head discards the old walk
+///    entirely. The result is the single monotone head-to-target walk
+///    that "takes effect".
+///
+/// OpBegin/OpEnd events are retained: §2.1's histories include
+/// invocations and responses, and the checkers need the results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_SCHEDULEEXPORT_H
+#define VBL_SCHED_SCHEDULEEXPORT_H
+
+#include "sched/Event.h"
+#include "sched/SpecInterpreter.h"
+
+#include <vector>
+
+namespace vbl {
+namespace sched {
+
+/// Per-operation export: LL-comparable steps plus metadata.
+std::vector<ExportedOp> exportOps(const Schedule &Raw,
+                                  const void *HeadNode);
+
+/// Whole-schedule export, preserving the global order of the kept
+/// events (with each published NewNode hoisted before its link write).
+Schedule exportLLSchedule(const Schedule &Raw, const void *HeadNode);
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_SCHEDULEEXPORT_H

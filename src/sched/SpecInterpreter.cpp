@@ -1,0 +1,362 @@
+//===- sched/SpecInterpreter.cpp - Local serializability vs LL -----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SpecInterpreter.h"
+
+#include "support/Compiler.h"
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+/// Cursor over an op's steps with fail-with-message helpers.
+class StepCursor {
+public:
+  StepCursor(const ExportedOp &Op, std::string *Error)
+      : Op(Op), Error(Error) {}
+
+  /// True when all steps are consumed.
+  bool atEnd() const { return Index == Op.Steps.size(); }
+
+  /// The op ran out of recorded steps: fine iff it is still in flight.
+  bool acceptPrefix() const { return !Op.Completed; }
+
+  const Event *peek() const {
+    return atEnd() ? nullptr : &Op.Steps[Index];
+  }
+
+  const Event &take() { return Op.Steps[Index++]; }
+
+  bool fail(const std::string &Message) {
+    if (Error) {
+      *Error = "op T" + std::to_string(Op.Thread) + "." +
+               std::to_string(Op.OpIndex) + " (" + setOpName(Op.Op) + "(" +
+               std::to_string(Op.Key) + ")): " + Message;
+      if (!atEnd())
+        *Error += " at step " + std::to_string(Index) + " [" +
+                  Op.Steps[Index].toString() + "]";
+    }
+    return false;
+  }
+
+private:
+  const ExportedOp &Op;
+  std::string *Error;
+  size_t Index = 0;
+};
+
+} // namespace
+
+namespace {
+
+const void *ptrOfWord(uint64_t Word) {
+  return reinterpret_cast<const void *>(
+      static_cast<uintptr_t>(Word & ~uint64_t(1)));
+}
+bool markOfWord(uint64_t Word) { return Word & 1; }
+
+} // namespace
+
+bool vbl::sched::validateAgainstAdjustedSpec(const ExportedOp &Op,
+                                             const void *HeadNode,
+                                             std::string *Error) {
+  StepCursor Cursor(Op, Error);
+
+  // contains uses the plain alternating walk plus a trailing mark read.
+  if (Op.Op == SetOp::Contains) {
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() || Cursor.fail("no steps recorded");
+    const Event &First = Cursor.take();
+    if (First.Kind != EventKind::Read || First.Field != MemField::Next ||
+        First.Node != HeadNode)
+      return Cursor.fail("must start by reading head.next");
+    const void *Curr = ptrOfWord(First.Value);
+    SetKey Val = 0;
+    for (;;) {
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() ||
+               Cursor.fail("traversal ended without a val read");
+      const Event &ValE = Cursor.take();
+      if (ValE.Kind != EventKind::Read || ValE.Field != MemField::Val ||
+          ValE.Node != Curr)
+        return Cursor.fail("expected val read of the current node");
+      Val = static_cast<SetKey>(ValE.Value);
+      if (Val >= Op.Key)
+        break;
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() ||
+               Cursor.fail("traversal ended mid-hop");
+      const Event &NextE = Cursor.take();
+      if (NextE.Kind != EventKind::Read ||
+          NextE.Field != MemField::Next || NextE.Node != Curr)
+        return Cursor.fail("expected next read of the current node");
+      Curr = ptrOfWord(NextE.Value);
+    }
+    if (Val != Op.Key) {
+      if (!Cursor.atEnd())
+        return Cursor.fail("missing contains must stop at the val read");
+      if (Op.Completed && Op.Result)
+        return Cursor.fail("contains of an absent key returned true");
+      return true;
+    }
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("contains found the key but never read its mark");
+    const Event &MarkE = Cursor.take();
+    if (MarkE.Kind != EventKind::Read || MarkE.Field != MemField::Next ||
+        MarkE.Node != Curr)
+      return Cursor.fail("expected the found node's mark read");
+    if (!Cursor.atEnd())
+      return Cursor.fail("contains must stop after the mark read");
+    if (Op.Completed && Op.Result != !markOfWord(MarkE.Value))
+      return Cursor.fail("contains result contradicts the mark read");
+    return true;
+  }
+
+  // insert / remove share the helping find() walk: the next word of
+  // curr is read BEFORE its value (the mark decides whether to unlink).
+  if (Cursor.atEnd())
+    return Cursor.acceptPrefix() || Cursor.fail("no steps recorded");
+  {
+    const Event &First = Cursor.take();
+    if (First.Kind != EventKind::Read || First.Field != MemField::Next ||
+        First.Node != HeadNode)
+      return Cursor.fail("must start by reading head.next");
+  }
+  const void *Prev = HeadNode;
+  const void *Curr = ptrOfWord(Op.Steps[0].Value);
+  SetKey Val = 0;
+  for (;;) {
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("find ended without locating the key");
+    const Event &WordE = Cursor.take();
+    if (WordE.Kind != EventKind::Read || WordE.Field != MemField::Next ||
+        WordE.Node != Curr)
+      return Cursor.fail("expected the current node's next-word read");
+    const uint64_t SuccWord = WordE.Value;
+    if (markOfWord(SuccWord)) {
+      // Delegated physical removal of the marked curr.
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() ||
+               Cursor.fail("saw a marked node but never unlinked it");
+      const Event &CasE = Cursor.take();
+      if (CasE.Kind != EventKind::Cas || CasE.Field != MemField::Next ||
+          CasE.Node != Prev)
+        return Cursor.fail("expected the helping unlink CAS on prev");
+      if (ptrOfWord(CasE.Value) != ptrOfWord(SuccWord) ||
+          markOfWord(CasE.Value))
+        return Cursor.fail("helping unlink must install the successor");
+      Curr = ptrOfWord(SuccWord);
+      continue;
+    }
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("find ended before the val read");
+    const Event &ValE = Cursor.take();
+    if (ValE.Kind != EventKind::Read || ValE.Field != MemField::Val ||
+        ValE.Node != Curr)
+      return Cursor.fail("expected val read of the current node");
+    Val = static_cast<SetKey>(ValE.Value);
+    if (Val >= Op.Key)
+      break;
+    Prev = Curr;
+    Curr = ptrOfWord(SuccWord);
+  }
+
+  if (Op.Op == SetOp::Insert) {
+    if (Val == Op.Key) {
+      if (!Cursor.atEnd())
+        return Cursor.fail("failed insert must not take further steps");
+      if (Op.Completed && Op.Result)
+        return Cursor.fail("insert of a found key must return false");
+      return true;
+    }
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("successful insert is missing its steps");
+    const Event &NewE = Cursor.take();
+    if (NewE.Kind != EventKind::NewNode ||
+        static_cast<SetKey>(NewE.Value) != Op.Key)
+      return Cursor.fail("expected creation of the key's node");
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("insert created a node but never linked it");
+    const Event &LinkE = Cursor.take();
+    if (LinkE.Kind != EventKind::Cas || LinkE.Field != MemField::Next ||
+        LinkE.Node != Prev)
+      return Cursor.fail("expected the link CAS on prev");
+    if (ptrOfWord(LinkE.Value) != NewE.Node || markOfWord(LinkE.Value))
+      return Cursor.fail("link CAS must publish the new node unmarked");
+    if (!Cursor.atEnd())
+      return Cursor.fail("insert must stop after the link CAS");
+    if (Op.Completed && !Op.Result)
+      return Cursor.fail("insert that linked a node must return true");
+    return true;
+  }
+
+  // Remove under the adjusted spec: logical deletion, optional unlink.
+  if (Val != Op.Key) {
+    if (!Cursor.atEnd())
+      return Cursor.fail("failed remove must not take further steps");
+    if (Op.Completed && Op.Result)
+      return Cursor.fail("remove of an absent key must return false");
+    return true;
+  }
+  if (Cursor.atEnd())
+    return Cursor.acceptPrefix() ||
+           Cursor.fail("successful remove is missing its steps");
+  const Event &SuccE = Cursor.take();
+  if (SuccE.Kind != EventKind::Read || SuccE.Field != MemField::Next ||
+      SuccE.Node != Curr)
+    return Cursor.fail("expected re-read of the victim's next word");
+  if (markOfWord(SuccE.Value))
+    return Cursor.fail("last attempt saw an already-marked victim");
+  if (Cursor.atEnd())
+    return Cursor.acceptPrefix() ||
+           Cursor.fail("remove never performed its logical deletion");
+  const Event &MarkE = Cursor.take();
+  if (MarkE.Kind != EventKind::Cas || MarkE.Field != MemField::Next ||
+      MarkE.Node != Curr)
+    return Cursor.fail("expected the marking CAS on the victim");
+  if (MarkE.Value != (SuccE.Value | uint64_t(1)))
+    return Cursor.fail("marking CAS must set exactly the mark bit");
+  if (!Cursor.atEnd()) {
+    const Event &UnlinkE = Cursor.take();
+    if (UnlinkE.Kind != EventKind::Cas ||
+        UnlinkE.Field != MemField::Next || UnlinkE.Node != Prev)
+      return Cursor.fail("expected the optional physical unlink on prev");
+    if (ptrOfWord(UnlinkE.Value) != ptrOfWord(SuccE.Value) ||
+        markOfWord(UnlinkE.Value))
+      return Cursor.fail("unlink must install the successor unmarked");
+    if (!Cursor.atEnd())
+      return Cursor.fail("remove must stop after the unlink");
+  }
+  if (Op.Completed && !Op.Result)
+    return Cursor.fail("remove that marked a node must return true");
+  return true;
+}
+
+bool vbl::sched::validateAgainstSpec(const ExportedOp &Op,
+                                     const void *HeadNode,
+                                     std::string *Error) {
+  StepCursor Cursor(Op, Error);
+
+  // --- Traversal: read next(head), then alternate val/next reads. ---
+  const void *Prev = HeadNode;
+  if (Cursor.atEnd())
+    return Cursor.acceptPrefix() || Cursor.fail("no steps recorded");
+  {
+    const Event &E = Cursor.take();
+    if (E.Kind != EventKind::Read || E.Field != MemField::Next ||
+        E.Node != HeadNode)
+      return Cursor.fail("must start by reading head.next");
+  }
+  const void *Curr = reinterpret_cast<const void *>(
+      static_cast<uintptr_t>(Op.Steps[0].Value));
+  SetKey Val = 0;
+  for (;;) {
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("traversal ended without a val read");
+    {
+      const Event &E = Cursor.take();
+      if (E.Kind != EventKind::Read || E.Field != MemField::Val ||
+          E.Node != Curr)
+        return Cursor.fail("expected val read of the current node");
+      Val = static_cast<SetKey>(E.Value);
+    }
+    if (Val >= Op.Key)
+      break; // LL's loop exit: tval >= v.
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("traversal ended mid-hop");
+    const Event &E = Cursor.take();
+    if (E.Kind != EventKind::Read || E.Field != MemField::Next ||
+        E.Node != Curr)
+      return Cursor.fail("expected next read of the current node");
+    Prev = Curr;
+    Curr = reinterpret_cast<const void *>(
+        static_cast<uintptr_t>(E.Value));
+  }
+
+  // --- Post-traversal, by operation type. ---
+  switch (Op.Op) {
+  case SetOp::Contains:
+    if (!Cursor.atEnd())
+      return Cursor.fail("contains must stop after the final val read");
+    if (Op.Completed && Op.Result != (Val == Op.Key))
+      return Cursor.fail("contains result contradicts the value read");
+    return true;
+
+  case SetOp::Insert: {
+    if (Val == Op.Key) {
+      if (!Cursor.atEnd())
+        return Cursor.fail("failed insert must not take further steps");
+      if (Op.Completed && Op.Result)
+        return Cursor.fail("insert of a found key must return false");
+      return true;
+    }
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("successful insert is missing its steps");
+    const Event &NewE = Cursor.take();
+    if (NewE.Kind != EventKind::NewNode)
+      return Cursor.fail("expected node creation");
+    if (static_cast<SetKey>(NewE.Value) != Op.Key)
+      return Cursor.fail("created node stores the wrong value");
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("insert created a node but never linked it");
+    const Event &WriteE = Cursor.take();
+    if (WriteE.Kind != EventKind::Write || WriteE.Field != MemField::Next ||
+        WriteE.Node != Prev)
+      return Cursor.fail("expected the link write to prev.next");
+    if (reinterpret_cast<const void *>(static_cast<uintptr_t>(
+            WriteE.Value)) != NewE.Node)
+      return Cursor.fail("link write must publish the new node");
+    if (!Cursor.atEnd())
+      return Cursor.fail("insert must stop after the link write");
+    if (Op.Completed && !Op.Result)
+      return Cursor.fail("insert that linked a node must return true");
+    return true;
+  }
+
+  case SetOp::Remove: {
+    if (Val != Op.Key) {
+      if (!Cursor.atEnd())
+        return Cursor.fail("failed remove must not take further steps");
+      if (Op.Completed && Op.Result)
+        return Cursor.fail("remove of an absent key must return false");
+      return true;
+    }
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("successful remove is missing its steps");
+    const Event &SuccE = Cursor.take();
+    if (SuccE.Kind != EventKind::Read || SuccE.Field != MemField::Next ||
+        SuccE.Node != Curr)
+      return Cursor.fail("expected read of the victim's next");
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() ||
+             Cursor.fail("remove read the successor but never unlinked");
+    const Event &WriteE = Cursor.take();
+    if (WriteE.Kind != EventKind::Write || WriteE.Field != MemField::Next ||
+        WriteE.Node != Prev)
+      return Cursor.fail("expected the unlink write to prev.next");
+    if (WriteE.Value != SuccE.Value)
+      return Cursor.fail("unlink must write the successor that was read");
+    if (!Cursor.atEnd())
+      return Cursor.fail("remove must stop after the unlink write");
+    if (Op.Completed && !Op.Result)
+      return Cursor.fail("remove that unlinked a node must return true");
+    return true;
+  }
+  }
+  vbl_unreachable("covered switch");
+}

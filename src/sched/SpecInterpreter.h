@@ -1,0 +1,70 @@
+//===- sched/SpecInterpreter.h - Local serializability vs LL -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides *local serializability* (Definition 1, condition 1): an
+/// operation's projected steps must be producible by the sequential
+/// implementation LL — i.e., the step sequence must follow LL's control
+/// flow with the read values driving the branches. The interpreter
+/// replays the projection against Algorithm 1's shape:
+///
+///   read next(head) -> c ; { read val(c); [<v] read next(c) -> c }* ;
+///   insert:   val==v ? end(false) : newnode ; write next(prev) ; end(true)
+///   remove:   val!=v ? end(false) : read next(c) ; write next(prev) ;
+///             end(true)
+///   contains: end(val==v)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_SPECINTERPRETER_H
+#define VBL_SCHED_SPECINTERPRETER_H
+
+#include "sched/Event.h"
+
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace sched {
+
+/// One operation's exported projection.
+struct ExportedOp {
+  uint32_t Thread = 0;
+  uint32_t OpIndex = 0;
+  SetOp Op = SetOp::Contains;
+  SetKey Key = 0;
+  bool Result = false;
+  bool Completed = false;
+  /// LL-comparable steps only (Read Val/Next, Write Next, NewNode); no
+  /// OpBegin/OpEnd markers.
+  std::vector<Event> Steps;
+};
+
+/// Validates \p Op's steps as a legal LL execution of Op(Key) returning
+/// Result, starting at \p HeadNode. On failure, *Error (if non-null)
+/// receives a description. Incomplete operations validate as a legal
+/// *prefix*.
+bool validateAgainstSpec(const ExportedOp &Op, const void *HeadNode,
+                         std::string *Error = nullptr);
+
+/// Validates against the *adjusted* sequential specification of §2.3,
+/// used for the Harris-Michael family: next words carry the owner's
+/// logical-deletion mark in bit 0; remove(v) performs only the logical
+/// deletion (a marking write on the victim's next word, optionally
+/// followed by the physical unlink); traversals of update operations
+/// may unlink marked nodes they encounter ("physical removals are put
+/// to the traversal procedure of future update operations"); and
+/// contains reads the found node's mark. Successful CAS events play the
+/// role of LL's writes.
+bool validateAgainstAdjustedSpec(const ExportedOp &Op,
+                                 const void *HeadNode,
+                                 std::string *Error = nullptr);
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_SPECINTERPRETER_H

@@ -1,0 +1,129 @@
+//===- sched/StepScheduler.cpp - Deterministic step-gated execution ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/StepScheduler.h"
+
+using namespace vbl;
+using namespace vbl::sched;
+
+StepScheduler::StepScheduler(std::vector<std::function<void()>> Bodies) {
+  VBL_ASSERT(!Bodies.empty(), "episode needs at least one thread");
+  Workers.reserve(Bodies.size());
+  for (size_t I = 0; I != Bodies.size(); ++I) {
+    auto W = std::make_unique<Worker>();
+    W->Parent = this;
+    W->ThreadId = static_cast<uint32_t>(I);
+    W->Body = std::move(Bodies[I]);
+    Workers.push_back(std::move(W));
+  }
+  // Spawn after the vector is final so Worker addresses are stable.
+  for (auto &W : Workers)
+    W->Thread = std::thread([this, Raw = W.get()] { workerMain(*Raw); });
+}
+
+StepScheduler::~StepScheduler() {
+  if (!allFinished() && !drain())
+    vbl_unreachable("StepScheduler: episode cannot be drained (deadlock "
+                    "in the algorithm under test?)");
+  for (auto &W : Workers)
+    W->Thread.join();
+}
+
+void StepScheduler::workerMain(Worker &W) {
+  W.Go.acquire(); // First grant starts the body.
+  TraceContext::current() = &W;
+  W.Body();
+  TraceContext::current() = nullptr;
+  W.Finished.store(true, std::memory_order_release);
+  W.Done.release();
+}
+
+void StepScheduler::Worker::yield() {
+  Done.release();
+  Go.acquire();
+}
+
+void StepScheduler::Worker::record(Event E) {
+  // Only the step-token holder executes, so this append is ordered with
+  // every other append.
+  Parent->Trace.push_back(E);
+}
+
+void StepScheduler::Worker::blockOnLock(const void *LockAddr) {
+  BlockedOn.store(LockAddr, std::memory_order_release);
+  Done.release(); // End the step that discovered the held lock.
+  Go.acquire();   // Parked until noteLockReleased + a fresh grant.
+}
+
+void StepScheduler::Worker::noteLockReleased(const void *LockAddr) {
+  for (auto &Other : Parent->Workers) {
+    const void *Expected = LockAddr;
+    Other->BlockedOn.compare_exchange_strong(Expected, nullptr,
+                                             std::memory_order_acq_rel);
+  }
+}
+
+bool StepScheduler::finished(unsigned Thread) const {
+  VBL_ASSERT(Thread < Workers.size(), "thread index out of range");
+  return Workers[Thread]->Finished.load(std::memory_order_acquire);
+}
+
+bool StepScheduler::blocked(unsigned Thread) const {
+  VBL_ASSERT(Thread < Workers.size(), "thread index out of range");
+  return Workers[Thread]->BlockedOn.load(std::memory_order_acquire) !=
+         nullptr;
+}
+
+bool StepScheduler::allFinished() const {
+  for (unsigned I = 0; I != numThreads(); ++I)
+    if (!finished(I))
+      return false;
+  return true;
+}
+
+std::vector<unsigned> StepScheduler::runnableThreads() const {
+  std::vector<unsigned> Out;
+  for (unsigned I = 0; I != numThreads(); ++I)
+    if (runnable(I))
+      Out.push_back(I);
+  return Out;
+}
+
+void StepScheduler::step(unsigned Thread) {
+  VBL_ASSERT(runnable(Thread), "stepping a finished or blocked thread");
+  Worker &W = *Workers[Thread];
+  W.Go.release();
+  W.Done.acquire();
+}
+
+bool StepScheduler::drain(size_t MaxSteps) {
+  size_t Steps = 0;
+  unsigned Next = 0;
+  while (!allFinished()) {
+    // Round-robin over runnable threads.
+    unsigned Tried = 0;
+    while (Tried != numThreads() && !runnable(Next)) {
+      Next = (Next + 1) % numThreads();
+      ++Tried;
+    }
+    if (Tried == numThreads())
+      return false; // Everyone is finished or blocked: deadlock.
+    if (++Steps > MaxSteps)
+      return false;
+    step(Next);
+    Next = (Next + 1) % numThreads();
+  }
+  return true;
+}
+
+std::vector<Event> StepScheduler::opEndEvents() const {
+  std::vector<Event> Out;
+  for (const Event &E : Trace)
+    if (E.Kind == EventKind::OpEnd)
+      Out.push_back(E);
+  return Out;
+}

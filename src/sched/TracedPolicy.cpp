@@ -1,0 +1,58 @@
+//===- sched/TracedPolicy.cpp - TraceContext plumbing --------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/TracedPolicy.h"
+
+using namespace vbl;
+using namespace vbl::sched;
+
+TraceContext::~TraceContext() = default;
+
+TraceContext *&TraceContext::current() {
+  thread_local TraceContext *Current = nullptr;
+  return Current;
+}
+
+void TraceContext::beginOp(SetOp Op, SetKey Key) {
+  ++OpIndex;
+  Attempt = 0;
+  CurrentOp = Op;
+  Event E;
+  E.Thread = ThreadId;
+  E.OpIndex = OpIndex;
+  E.Attempt = 0;
+  E.Kind = EventKind::OpBegin;
+  E.Op = Op;
+  E.Value = static_cast<uint64_t>(Key);
+  record(E);
+}
+
+void TraceContext::endOp(bool Result) {
+  Event E;
+  E.Thread = ThreadId;
+  E.OpIndex = OpIndex;
+  E.Attempt = Attempt;
+  E.Kind = EventKind::OpEnd;
+  E.Op = CurrentOp;
+  E.Value = Result ? 1 : 0;
+  record(E);
+}
+
+void TraceContext::emit(EventKind Kind, MemField Field, const void *Node,
+                        uint64_t Value, uint64_t Value2) {
+  Event E;
+  E.Thread = ThreadId;
+  E.OpIndex = OpIndex;
+  E.Attempt = Attempt;
+  E.Kind = Kind;
+  E.Field = Field;
+  E.Op = CurrentOp;
+  E.Node = Node;
+  E.Value = Value;
+  E.Value2 = Value2;
+  record(E);
+}

@@ -1,0 +1,226 @@
+//===- sched/TracedPolicy.h - Scheduler-mediated access policy -----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TracedPolicy plugs into the lists' Policy template parameter and
+/// routes every shared-memory access through a thread-local
+/// TraceContext: the access waits for a grant from the deterministic
+/// StepScheduler and is recorded into the episode trace. Code running
+/// without a context (setup, prefill) behaves exactly like DirectPolicy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_TRACEDPOLICY_H
+#define VBL_SCHED_TRACEDPOLICY_H
+
+#include "sched/Event.h"
+
+#include <atomic>
+
+namespace vbl {
+namespace sched {
+
+/// Per-logical-thread hook surface the policy talks to. Implemented by
+/// StepScheduler's worker state; tests can substitute their own.
+class TraceContext {
+public:
+  virtual ~TraceContext();
+
+  /// Blocks until the scheduler grants one step. Called immediately
+  /// before every shared access.
+  virtual void yield() = 0;
+
+  /// Appends an event to the episode trace (only called while this
+  /// thread holds the step token, so appends are ordered).
+  virtual void record(Event E) = 0;
+
+  /// Parks this thread until \p LockAddr is released, then returns so
+  /// the caller can retry its tryLock.
+  virtual void blockOnLock(const void *LockAddr) = 0;
+
+  /// Called by the releasing thread: wakes threads parked on LockAddr.
+  virtual void noteLockReleased(const void *LockAddr) = 0;
+
+  /// High-level operation bracketing (used by tracedOp below).
+  void beginOp(SetOp Op, SetKey Key);
+  void endOp(bool Result);
+
+  /// Stamps thread/op bookkeeping onto an event and records it.
+  void emit(EventKind Kind, MemField Field, const void *Node,
+            uint64_t Value, uint64_t Value2 = 0);
+
+  /// The context of the calling thread; null outside scheduled
+  /// episodes.
+  static TraceContext *&current();
+
+  uint32_t ThreadId = 0;
+  uint32_t OpIndex = 0;
+  uint32_t Attempt = 0;
+  SetOp CurrentOp = SetOp::Contains;
+};
+
+/// Encodes a policy value (pointer / bool / integer) into an event's
+/// 64-bit payload.
+template <class T> uint64_t encodeValue(T Value) {
+  if constexpr (std::is_pointer_v<T>)
+    return reinterpret_cast<uintptr_t>(Value);
+  else
+    return static_cast<uint64_t>(Value);
+}
+
+/// The traced counterpart of DirectPolicy. All hooks are static and
+/// dispatch on TraceContext::current().
+struct TracedPolicy {
+  static constexpr bool Traced = true;
+
+  template <class T>
+  static T read(const std::atomic<T> &Atom, std::memory_order Order,
+                const void *Node, MemField Field) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Atom.load(Order);
+    Ctx->yield();
+    T Value = Atom.load(Order);
+    Ctx->emit(EventKind::Read, Field, Node, encodeValue(Value));
+    return Value;
+  }
+
+  template <class T>
+  static T readCheck(const std::atomic<T> &Atom, std::memory_order Order,
+                     const void *Node, MemField Field) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Atom.load(Order);
+    Ctx->yield();
+    T Value = Atom.load(Order);
+    Ctx->emit(EventKind::ReadCheck, Field, Node, encodeValue(Value));
+    return Value;
+  }
+
+  template <class T>
+  static void write(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx) {
+      Atom.store(Value, Order);
+      return;
+    }
+    Ctx->yield();
+    Atom.store(Value, Order);
+    Ctx->emit(EventKind::Write, Field, Node, encodeValue(Value));
+  }
+
+  template <class T>
+  static bool casStrong(std::atomic<T> &Atom, T &Expected, T Desired,
+                        std::memory_order Order, const void *Node,
+                        MemField Field) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Atom.compare_exchange_strong(Expected, Desired, Order,
+                                          std::memory_order_acquire);
+    Ctx->yield();
+    const bool Ok = Atom.compare_exchange_strong(
+        Expected, Desired, Order, std::memory_order_acquire);
+    Ctx->emit(EventKind::Cas, Field, Node, encodeValue(Desired), Ok);
+    return Ok;
+  }
+
+  template <class T> static T readValue(const T &Plain, const void *Node) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Plain;
+    Ctx->yield();
+    Ctx->emit(EventKind::Read, MemField::Val, Node, encodeValue(Plain));
+    return Plain;
+  }
+
+  template <class T>
+  static T readValueCheck(const T &Plain, const void *Node) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Plain;
+    Ctx->yield();
+    Ctx->emit(EventKind::ReadCheck, MemField::Val, Node,
+              encodeValue(Plain));
+    return Plain;
+  }
+
+  template <class L> static void lockAcquire(L &Lock, const void *Node) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx) {
+      Lock.lock();
+      return;
+    }
+    for (;;) {
+      Ctx->yield();
+      if (Lock.tryLock()) {
+        Ctx->emit(EventKind::LockAcquire, MemField::Lock, Node, 0);
+        return;
+      }
+      // Record the refusal, then park until the holder releases. The
+      // schedule-acceptance tests key off this event: a LockBlocked in
+      // a replay means the schedule forced the operation to wait.
+      Ctx->emit(EventKind::LockBlocked, MemField::Lock, Node, 0);
+      Ctx->blockOnLock(&Lock);
+    }
+  }
+
+  template <class L>
+  static bool lockTryAcquire(L &Lock, const void *Node) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Lock.tryLock();
+    Ctx->yield();
+    const bool Ok = Lock.tryLock();
+    Ctx->emit(Ok ? EventKind::LockAcquire : EventKind::LockBlocked,
+              MemField::Lock, Node, 0);
+    return Ok;
+  }
+
+  template <class L> static void lockRelease(L &Lock, const void *Node) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx) {
+      Lock.unlock();
+      return;
+    }
+    Ctx->yield();
+    Lock.unlock();
+    Ctx->emit(EventKind::LockRelease, MemField::Lock, Node, 0);
+    Ctx->noteLockReleased(&Lock);
+  }
+
+  static void onNewNode(const void *Node, int64_t Val) {
+    if (TraceContext *Ctx = TraceContext::current())
+      Ctx->emit(EventKind::NewNode, MemField::Val, Node,
+                static_cast<uint64_t>(Val));
+  }
+
+  static void onRestart() {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return;
+    Ctx->emit(EventKind::Restart, MemField::Val, nullptr, 0);
+    ++Ctx->Attempt;
+  }
+};
+
+/// Runs \p Call as one high-level operation, bracketing it with
+/// OpBegin/OpEnd events when executing inside a scheduled episode.
+template <class Fn> bool tracedOp(SetOp Op, SetKey Key, Fn &&Call) {
+  TraceContext *Ctx = TraceContext::current();
+  if (Ctx)
+    Ctx->beginOp(Op, Key);
+  const bool Result = Call();
+  if (Ctx)
+    Ctx->endOp(Result);
+  return Result;
+}
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_TRACEDPOLICY_H

@@ -1,0 +1,103 @@
+//===- support/AsciiChart.cpp - Terminal line charts ---------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace vbl;
+
+static const char SeriesGlyphs[] = {'*', 'o', '+', 'x', '^', '%'};
+
+std::string vbl::renderAsciiChart(
+    const std::vector<std::string> &XLabels,
+    const std::vector<ChartSeries> &Series, unsigned Height,
+    const std::string &YUnit) {
+  VBL_ASSERT(Height >= 4, "chart too short to be readable");
+  if (XLabels.empty() || Series.empty())
+    return "(no data)\n";
+
+  double MaxValue = 0.0;
+  for (const ChartSeries &S : Series) {
+    VBL_ASSERT(S.Values.size() == XLabels.size(),
+               "series length must match the x-axis");
+    for (double V : S.Values)
+      MaxValue = std::max(MaxValue, V);
+  }
+  if (MaxValue <= 0.0)
+    MaxValue = 1.0;
+
+  // Layout: y-axis gutter of 10 columns, then ColumnWidth per x point.
+  constexpr unsigned Gutter = 10;
+  const unsigned ColumnWidth = 6;
+  const unsigned Width = Gutter + ColumnWidth * (unsigned)XLabels.size();
+  std::vector<std::string> Rows(Height, std::string(Width, ' '));
+
+  // Axis.
+  for (unsigned R = 0; R != Height; ++R)
+    Rows[R][Gutter - 1] = '|';
+  Rows[Height - 1].assign(Width, '-');
+  Rows[Height - 1].replace(0, Gutter, std::string(Gutter - 1, ' ') + "+");
+
+  // Y labels: top and midpoint.
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%8.2f", MaxValue);
+  Rows[0].replace(0, 8, Buf);
+  std::snprintf(Buf, sizeof(Buf), "%8.2f", MaxValue / 2);
+  Rows[Height / 2].replace(0, 8, Buf);
+
+  // Points.
+  for (size_t SI = 0; SI != Series.size(); ++SI) {
+    const char Glyph =
+        SeriesGlyphs[SI % (sizeof(SeriesGlyphs) / sizeof(char))];
+    for (size_t X = 0; X != XLabels.size(); ++X) {
+      const double V = Series[SI].Values[X];
+      // Row 0 is the max; the axis row is reserved.
+      const double Frac = V / MaxValue;
+      unsigned R = Height - 2 -
+                   static_cast<unsigned>(Frac * (Height - 2) + 0.5);
+      R = std::min(R, Height - 2);
+      const unsigned C =
+          Gutter + static_cast<unsigned>(X) * ColumnWidth +
+          ColumnWidth / 2;
+      char &Cell = Rows[R][C];
+      Cell = Cell == ' ' ? Glyph : '#';
+    }
+  }
+
+  std::string Out;
+  for (const std::string &Row : Rows) {
+    Out += Row;
+    Out += '\n';
+  }
+
+  // X labels.
+  std::string XAxis(Gutter, ' ');
+  for (const std::string &Label : XLabels) {
+    std::string Cell = Label.substr(0, ColumnWidth - 1);
+    while (Cell.size() < ColumnWidth)
+      Cell = (Cell.size() % 2) ? Cell + ' ' : ' ' + Cell;
+    XAxis += Cell;
+  }
+  Out += XAxis + '\n';
+
+  // Legend.
+  std::string Legend = "          ";
+  for (size_t SI = 0; SI != Series.size(); ++SI) {
+    const char Glyph =
+        SeriesGlyphs[SI % (sizeof(SeriesGlyphs) / sizeof(char))];
+    Legend += Glyph;
+    Legend += "=" + Series[SI].Label + "  ";
+  }
+  if (!YUnit.empty())
+    Legend += "(y: " + YUnit + ")";
+  Out += Legend + '\n';
+  return Out;
+}

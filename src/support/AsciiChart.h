@@ -1,0 +1,40 @@
+//===- support/AsciiChart.h - Terminal line charts -----------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders small multi-series line charts as text so the benchmark
+/// binaries can *draw* the paper's figures directly in the terminal
+/// (throughput on Y, thread count on X), next to the numeric tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_ASCIICHART_H
+#define VBL_SUPPORT_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace vbl {
+
+/// One plotted series: a label and y-values over the shared x-axis.
+struct ChartSeries {
+  std::string Label;
+  std::vector<double> Values;
+};
+
+/// Renders series over \p XLabels into a fixed-height chart. Each
+/// series gets a distinct glyph; collisions print '#'. Y is scaled
+/// from zero to the maximum value so relative heights read like the
+/// paper's throughput plots.
+std::string renderAsciiChart(const std::vector<std::string> &XLabels,
+                             const std::vector<ChartSeries> &Series,
+                             unsigned Height = 12,
+                             const std::string &YUnit = "");
+
+} // namespace vbl
+
+#endif // VBL_SUPPORT_ASCIICHART_H

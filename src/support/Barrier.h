@@ -1,0 +1,59 @@
+//===- support/Barrier.h - Sense-reversing spin barrier ------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable spin barrier. The benchmark runner lines every worker up on
+/// one of these before starting the measured window so thread-creation
+/// skew never leaks into throughput numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_BARRIER_H
+#define VBL_SUPPORT_BARRIER_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <thread>
+
+namespace vbl {
+
+/// Sense-reversing centralized barrier. Reusable across any number of
+/// phases; spins with yield so it behaves sanely when threads outnumber
+/// cores (the common case for this repo's oversubscription sweeps).
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned NumThreads)
+      : Total(NumThreads), Remaining(NumThreads) {
+    VBL_ASSERT(NumThreads > 0, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier &) = delete;
+  SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+  /// Blocks until all participants have arrived. The last arrival flips
+  /// the global sense, releasing everyone.
+  void arriveAndWait() {
+    const bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Remaining.store(Total, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    while (Sense.load(std::memory_order_acquire) != MySense)
+      std::this_thread::yield();
+  }
+
+private:
+  const unsigned Total;
+  std::atomic<unsigned> Remaining;
+  std::atomic<bool> Sense{false};
+};
+
+} // namespace vbl
+
+#endif // VBL_SUPPORT_BARRIER_H

@@ -1,0 +1,213 @@
+//===- support/CommandLine.cpp - Tiny flag parser ------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/Compiler.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+using namespace vbl;
+
+void FlagSet::addInt(const std::string &Name, int64_t Default,
+                     const std::string &Help) {
+  VBL_ASSERT(!find(Name), "duplicate flag");
+  Flag F;
+  F.Name = Name;
+  F.Kind = FlagKind::Int;
+  F.Help = Help;
+  F.IntValue = Default;
+  F.DefaultText = std::to_string(Default);
+  Flags.push_back(std::move(F));
+}
+
+void FlagSet::addBool(const std::string &Name, bool Default,
+                      const std::string &Help) {
+  VBL_ASSERT(!find(Name), "duplicate flag");
+  Flag F;
+  F.Name = Name;
+  F.Kind = FlagKind::Bool;
+  F.Help = Help;
+  F.BoolValue = Default;
+  F.DefaultText = Default ? "true" : "false";
+  Flags.push_back(std::move(F));
+}
+
+void FlagSet::addString(const std::string &Name, const std::string &Default,
+                        const std::string &Help) {
+  VBL_ASSERT(!find(Name), "duplicate flag");
+  Flag F;
+  F.Name = Name;
+  F.Kind = FlagKind::String;
+  F.Help = Help;
+  F.StringValue = Default;
+  F.DefaultText = Default;
+  Flags.push_back(std::move(F));
+}
+
+void FlagSet::addUnsignedList(const std::string &Name,
+                              const std::vector<unsigned> &Default,
+                              const std::string &Help) {
+  VBL_ASSERT(!find(Name), "duplicate flag");
+  Flag F;
+  F.Name = Name;
+  F.Kind = FlagKind::UnsignedList;
+  F.Help = Help;
+  F.ListValue = Default;
+  for (size_t I = 0, E = Default.size(); I != E; ++I) {
+    if (I)
+      F.DefaultText += ',';
+    F.DefaultText += std::to_string(Default[I]);
+  }
+  Flags.push_back(std::move(F));
+}
+
+FlagSet::Flag *FlagSet::find(const std::string &Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const FlagSet::Flag *FlagSet::findOrDie(const std::string &Name,
+                                        FlagKind Kind) const {
+  for (const Flag &F : Flags) {
+    if (F.Name != Name)
+      continue;
+    VBL_ASSERT(F.Kind == Kind, "flag accessed with wrong type");
+    return &F;
+  }
+  vbl_unreachable("unknown flag queried");
+}
+
+static bool parseInt64(const std::string &Text, int64_t &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  const long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (errno != 0 || End != Text.c_str() + Text.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool FlagSet::assign(Flag &F, const std::string &Text) {
+  switch (F.Kind) {
+  case FlagKind::Int:
+    return parseInt64(Text, F.IntValue);
+  case FlagKind::Bool:
+    if (Text == "true" || Text == "1") {
+      F.BoolValue = true;
+      return true;
+    }
+    if (Text == "false" || Text == "0") {
+      F.BoolValue = false;
+      return true;
+    }
+    return false;
+  case FlagKind::String:
+    F.StringValue = Text;
+    return true;
+  case FlagKind::UnsignedList: {
+    std::vector<unsigned> Values;
+    size_t Pos = 0;
+    while (Pos <= Text.size()) {
+      const size_t Comma = Text.find(',', Pos);
+      const std::string Piece =
+          Text.substr(Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+      int64_t V = 0;
+      if (!parseInt64(Piece, V) || V < 0)
+        return false;
+      Values.push_back(static_cast<unsigned>(V));
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+    if (Values.empty())
+      return false;
+    F.ListValue = std::move(Values);
+    return true;
+  }
+  }
+  vbl_unreachable("covered switch");
+}
+
+bool FlagSet::parse(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printHelp(Argv[0]);
+      return false;
+    }
+    if (Arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+    Arg = Arg.substr(2);
+    std::string Value;
+    bool HaveValue = false;
+    const size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos) {
+      Value = Arg.substr(Eq + 1);
+      Arg = Arg.substr(0, Eq);
+      HaveValue = true;
+    }
+    Flag *F = find(Arg);
+    if (!F) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", Arg.c_str());
+      return false;
+    }
+    // A bool flag with no inline value means "set to true".
+    if (!HaveValue && F->Kind == FlagKind::Bool) {
+      F->BoolValue = true;
+      continue;
+    }
+    if (!HaveValue) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag '--%s' expects a value\n",
+                     Arg.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!assign(*F, Value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for flag '--%s'\n",
+                   Value.c_str(), Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t FlagSet::getInt(const std::string &Name) const {
+  return findOrDie(Name, FlagKind::Int)->IntValue;
+}
+
+bool FlagSet::getBool(const std::string &Name) const {
+  return findOrDie(Name, FlagKind::Bool)->BoolValue;
+}
+
+const std::string &FlagSet::getString(const std::string &Name) const {
+  return findOrDie(Name, FlagKind::String)->StringValue;
+}
+
+const std::vector<unsigned> &
+FlagSet::getUnsignedList(const std::string &Name) const {
+  return findOrDie(Name, FlagKind::UnsignedList)->ListValue;
+}
+
+void FlagSet::printHelp(const char *Argv0) const {
+  std::fprintf(stderr, "%s\n\nusage: %s [flags]\n\nflags:\n",
+               Description.c_str(), Argv0);
+  for (const Flag &F : Flags)
+    std::fprintf(stderr, "  --%-20s %s (default: %s)\n", F.Name.c_str(),
+                 F.Help.c_str(), F.DefaultText.c_str());
+}

@@ -1,0 +1,60 @@
+//===- support/Compiler.h - Portability and assertion helpers ------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler portability macros, cache-line constants, and the project
+/// assertion macros used across every module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_COMPILER_H
+#define VBL_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define VBL_LIKELY(X) __builtin_expect(!!(X), 1)
+#define VBL_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define VBL_NOINLINE __attribute__((noinline))
+#define VBL_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define VBL_LIKELY(X) (X)
+#define VBL_UNLIKELY(X) (X)
+#define VBL_NOINLINE
+#define VBL_ALWAYS_INLINE inline
+#endif
+
+namespace vbl {
+
+/// Size every contended shared variable is padded to. 64 bytes is the
+/// line size on every x86-64 and most AArch64 parts; 128 would also cover
+/// adjacent-line prefetchers but doubles footprint for small lists.
+inline constexpr unsigned CacheLineBytes = 64;
+
+/// Marks a point in the program that must never be reached. Aborts with a
+/// message in all build modes; unlike assert() it is not compiled out,
+/// because reaching one of these in a concurrent data structure means
+/// memory is already corrupt.
+[[noreturn]] inline void unreachableInternal(const char *Msg,
+                                             const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}
+
+} // namespace vbl
+
+#define vbl_unreachable(MSG) ::vbl::unreachableInternal(MSG, __FILE__, __LINE__)
+
+/// Assertion used across the project. Kept separate from <cassert> so test
+/// builds can grep for it and so the message convention (predicate &&
+/// "explanation") is uniform.
+#define VBL_ASSERT(COND, MSG) assert((COND) && (MSG))
+
+#endif // VBL_SUPPORT_COMPILER_H

@@ -1,0 +1,78 @@
+//===- support/Csv.cpp - Minimal CSV emission ----------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/Compiler.h"
+
+using namespace vbl;
+
+CsvWriter::CsvWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  VBL_ASSERT(!this->Header.empty(), "CSV needs at least one column");
+}
+
+void CsvWriter::addRow(std::vector<std::string> Row) {
+  VBL_ASSERT(Row.size() == Header.size(), "CSV row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string CsvWriter::cell(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return Buf;
+}
+
+std::string CsvWriter::cell(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+std::string CsvWriter::cell(unsigned long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", Value);
+  return Buf;
+}
+
+/// Quotes a cell when it contains a character CSV treats specially.
+static std::string escapeCell(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+static void writeRow(std::FILE *Out, const std::vector<std::string> &Row) {
+  for (size_t I = 0, E = Row.size(); I != E; ++I) {
+    if (I)
+      std::fputc(',', Out);
+    std::fputs(escapeCell(Row[I]).c_str(), Out);
+  }
+  std::fputc('\n', Out);
+}
+
+void CsvWriter::writeStream(std::FILE *Out) const {
+  writeRow(Out, Header);
+  for (const auto &Row : Rows)
+    writeRow(Out, Row);
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  writeStream(Out);
+  std::fclose(Out);
+  return true;
+}

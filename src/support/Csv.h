@@ -1,0 +1,52 @@
+//===- support/Csv.h - Minimal CSV emission ------------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small CSV writer used by the benchmark binaries to dump the raw series
+/// behind each figure so plots can be regenerated outside the repo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_CSV_H
+#define VBL_SUPPORT_CSV_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vbl {
+
+/// Buffers rows and writes them to a file (or any FILE*). Values are
+/// escaped per RFC 4180 when they contain commas, quotes or newlines.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> Header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats arbitrary printf-style cells.
+  static std::string cell(double Value);
+  static std::string cell(long long Value);
+  static std::string cell(unsigned long long Value);
+
+  /// Writes header + rows to \p Path. Returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+  /// Writes header + rows to an already-open stream.
+  void writeStream(std::FILE *Out) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace vbl
+
+#endif // VBL_SUPPORT_CSV_H

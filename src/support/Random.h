@@ -1,0 +1,89 @@
+//===- support/Random.h - Fast seedable PRNGs ----------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 and Xoshiro256** pseudo-random generators. The benchmark
+/// harness gives every worker thread its own Xoshiro256** stream so key
+/// selection never contends on shared generator state; SplitMix64 seeds
+/// the streams and is also handy for cheap hashing in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_RANDOM_H
+#define VBL_SUPPORT_RANDOM_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+
+namespace vbl {
+
+/// SplitMix64: tiny, passes BigCrush, and any seed (even 0) is fine.
+/// Primarily used to expand one user seed into independent stream seeds.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the harness's per-thread generator. Fast (one rotl, one
+/// multiply per draw) and with 2^256-1 period, so per-thread streams
+/// seeded from SplitMix64 never collide in practice.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform draw in [0, Bound) without modulo bias beyond 2^-64 (Lemire's
+  /// multiply-shift; the bias is negligible for benchmark key ranges).
+  uint64_t nextBounded(uint64_t Bound) {
+    VBL_ASSERT(Bound > 0, "nextBounded requires a positive bound");
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Bernoulli draw: true with probability Percent/100.
+  bool nextPercent(unsigned Percent) {
+    VBL_ASSERT(Percent <= 100, "percentage above 100");
+    return nextBounded(100) < Percent;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace vbl
+
+#endif // VBL_SUPPORT_RANDOM_H

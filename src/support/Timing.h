@@ -1,0 +1,46 @@
+//===- support/Timing.h - Monotonic clock helpers ------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over std::chrono::steady_clock used by the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_TIMING_H
+#define VBL_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace vbl {
+
+/// Monotonic timestamp in nanoseconds.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple start/elapsed stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() : Start(nowNanos()) {}
+
+  void reset() { Start = nowNanos(); }
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace vbl
+
+#endif // VBL_SUPPORT_TIMING_H

@@ -1,0 +1,126 @@
+//===- sync/ChaosPolicy.h - Random-delay schedule fuzzing ----------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A third access policy between DirectPolicy (nothing) and
+/// sched::TracedPolicy (full determinism): ChaosPolicy perturbs real
+/// concurrent executions by injecting random pauses before shared
+/// accesses. It widens the window of every race by orders of magnitude,
+/// so stress tests reach interleavings that are astronomically rare
+/// under plain timing — cheap schedule fuzzing where the deterministic
+/// explorer would be too slow (big lists, many ops).
+///
+/// The pause distribution is heavy-tailed on purpose: mostly nothing,
+/// sometimes a few relax loops, rarely a full OS yield (which on an
+/// oversubscribed host parks the thread mid-critical-section — the
+/// harshest realistic schedule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SYNC_CHAOSPOLICY_H
+#define VBL_SYNC_CHAOSPOLICY_H
+
+#include "support/Random.h"
+#include "sync/Policy.h"
+#include "sync/SpinLocks.h"
+
+#include <thread>
+
+namespace vbl {
+
+/// DirectPolicy plus randomized pauses. All hooks are static; each
+/// thread fuzzes with its own generator.
+struct ChaosPolicy {
+  static constexpr bool Traced = false;
+
+  /// Injected before every shared access. Roughly: 7/8 nothing, 1/8 a
+  /// short spin, 1/64 an OS yield.
+  static void perturb() {
+    thread_local Xoshiro256 Rng(
+        0x9e3779b97f4a7c15ULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const uint64_t Roll = Rng.next();
+    if ((Roll & 7) != 0)
+      return;
+    if ((Roll & 63) == 0) {
+      std::this_thread::yield();
+      return;
+    }
+    for (unsigned I = 0, E = 1 + (Roll >> 8) % 32; I != E; ++I)
+      cpuRelax();
+  }
+
+  template <class T>
+  static T read(const std::atomic<T> &Atom, std::memory_order Order,
+                const void *Node, MemField Field) {
+    perturb();
+    return DirectPolicy::read(Atom, Order, Node, Field);
+  }
+
+  template <class T>
+  static T readCheck(const std::atomic<T> &Atom, std::memory_order Order,
+                     const void *Node, MemField Field) {
+    perturb();
+    return DirectPolicy::readCheck(Atom, Order, Node, Field);
+  }
+
+  template <class T>
+  static void write(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field) {
+    perturb();
+    DirectPolicy::write(Atom, Value, Order, Node, Field);
+  }
+
+  template <class T>
+  static bool casStrong(std::atomic<T> &Atom, T &Expected, T Desired,
+                        std::memory_order Order, const void *Node,
+                        MemField Field) {
+    perturb();
+    return DirectPolicy::casStrong(Atom, Expected, Desired, Order, Node,
+                                   Field);
+  }
+
+  template <class T> static T readValue(const T &Plain, const void *Node) {
+    perturb();
+    return DirectPolicy::readValue(Plain, Node);
+  }
+
+  template <class T>
+  static T readValueCheck(const T &Plain, const void *Node) {
+    perturb();
+    return DirectPolicy::readValueCheck(Plain, Node);
+  }
+
+  template <class L> static void lockAcquire(L &Lock, const void *Node) {
+    perturb();
+    DirectPolicy::lockAcquire(Lock, Node);
+    // A pause right AFTER acquiring is the nastiest one: it simulates
+    // preemption inside the critical section.
+    perturb();
+  }
+
+  template <class L>
+  static bool lockTryAcquire(L &Lock, const void *Node) {
+    perturb();
+    return DirectPolicy::lockTryAcquire(Lock, Node);
+  }
+
+  template <class L> static void lockRelease(L &Lock, const void *Node) {
+    perturb();
+    DirectPolicy::lockRelease(Lock, Node);
+  }
+
+  static void onNewNode(const void *Node, int64_t Val) {
+    DirectPolicy::onNewNode(Node, Val);
+  }
+
+  static void onRestart() { DirectPolicy::onRestart(); }
+};
+
+} // namespace vbl
+
+#endif // VBL_SYNC_CHAOSPOLICY_H

@@ -1,0 +1,131 @@
+//===- sync/Policy.h - Shared-memory access policies ---------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every list implementation in this repo is templated on an *access
+/// policy* that mediates loads, stores, CASes, lock operations and node
+/// creation on list shared state. Two policies exist:
+///
+///  - DirectPolicy (this header): forwards straight to std::atomic with
+///    the requested memory order. Compiles to exactly the plain
+///    implementation; this is what benchmarks and production users get.
+///
+///  - sched::TracedPolicy (src/sched/TracedPolicy.h): yields to a
+///    deterministic scheduler before every access and records the event
+///    stream, turning the paper's Section 2 "schedules" into executable
+///    objects.
+///
+/// The hooks receive a stable node identifier (the node address) and a
+/// field tag so the trace can be mapped back onto the sequential
+/// specification LL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SYNC_POLICY_H
+#define VBL_SYNC_POLICY_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace vbl {
+
+/// Which logical field of a list node an access touches. `Val` and
+/// `Next` are the fields of the sequential spec LL; `Marked` and `Lock`
+/// are synchronization metadata that concrete algorithms add.
+enum class MemField : uint8_t { Val, Next, Marked, Lock };
+
+/// High-level set operation kinds, shared by tracing, histories and the
+/// linearizability checker.
+enum class SetOp : uint8_t { Insert, Remove, Contains };
+
+inline const char *setOpName(SetOp Op) {
+  switch (Op) {
+  case SetOp::Insert:
+    return "insert";
+  case SetOp::Remove:
+    return "remove";
+  case SetOp::Contains:
+    return "contains";
+  }
+  return "?";
+}
+
+/// The zero-overhead policy: every hook forwards to std::atomic and the
+/// bookkeeping callbacks vanish. All hooks are static so instantiating a
+/// list with DirectPolicy carries no state.
+struct DirectPolicy {
+  static constexpr bool Traced = false;
+
+  template <class T>
+  static T read(const std::atomic<T> &Atom, std::memory_order Order,
+                const void * /*Node*/, MemField /*Field*/) {
+    return Atom.load(Order);
+  }
+
+  template <class T>
+  static void write(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void * /*Node*/, MemField /*Field*/) {
+    Atom.store(Value, Order);
+  }
+
+  template <class T>
+  static bool casStrong(std::atomic<T> &Atom, T &Expected, T Desired,
+                        std::memory_order Order, const void * /*Node*/,
+                        MemField /*Field*/) {
+    return Atom.compare_exchange_strong(Expected, Desired, Order,
+                                        std::memory_order_acquire);
+  }
+
+  /// Reads an immutable (non-atomic) key field. Traced mode still wants a
+  /// yield point here because LL's traversal reads `val`.
+  template <class T>
+  static T readValue(const T &Plain, const void * /*Node*/) {
+    return Plain;
+  }
+
+  /// A *validation* read: performed under a lock purely to re-check a
+  /// condition, never part of the sequential specification LL. The
+  /// schedule exporter drops these when projecting an execution onto LL
+  /// (§2.2: the exported schedule keeps only LL's reads and writes).
+  template <class T>
+  static T readCheck(const std::atomic<T> &Atom, std::memory_order Order,
+                     const void * /*Node*/, MemField /*Field*/) {
+    return Atom.load(Order);
+  }
+
+  /// Validation flavour of readValue (see readCheck).
+  template <class T>
+  static T readValueCheck(const T &Plain, const void * /*Node*/) {
+    return Plain;
+  }
+
+  /// Blocking lock acquisition. Traced mode converts the spin into a
+  /// scheduler-visible "blocked on lock" state; direct mode just spins.
+  template <class L> static void lockAcquire(L &Lock, const void * /*Node*/) {
+    Lock.lock();
+  }
+
+  template <class L>
+  static bool lockTryAcquire(L &Lock, const void * /*Node*/) {
+    return Lock.tryLock();
+  }
+
+  template <class L> static void lockRelease(L &Lock, const void * /*Node*/) {
+    Lock.unlock();
+  }
+
+  /// A new list node became visible to the algorithm (LL's `new-node`).
+  static void onNewNode(const void * /*Node*/, int64_t /*Val*/) {}
+
+  /// The operation abandoned its current attempt and will re-traverse.
+  /// The paper's exported schedule keeps only the last attempt's steps.
+  static void onRestart() {}
+};
+
+} // namespace vbl
+
+#endif // VBL_SYNC_POLICY_H

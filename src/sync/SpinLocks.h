@@ -1,0 +1,174 @@
+//===- sync/SpinLocks.h - Spinlock primitives ----------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spinlock primitives used as the mutual-exclusion substrate of the
+/// lock-based lists. The paper's value-aware try-lock is "implemented
+/// using compare-and-swap"; TasLock is that CAS lock. TtasLock and
+/// TicketLock exist for the lock micro-benchmark and as drop-in
+/// alternatives in the lock-based lists.
+///
+/// All locks expose lock / tryLock / unlock and are neither copyable nor
+/// movable (nodes embed them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SYNC_SPINLOCKS_H
+#define VBL_SYNC_SPINLOCKS_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace vbl {
+
+/// Pause hint for spin loops; keeps the spinning hyperthread from
+/// starving the lock holder and cuts the exit latency of the loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Bounded spin helper: relax for a while, then yield to the OS so the
+/// lock holder can run when threads outnumber cores (this repo's
+/// benchmarks oversubscribe deliberately).
+class SpinBackoff {
+public:
+  void spin() {
+    if (Count < YieldThreshold) {
+      ++Count;
+      cpuRelax();
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+private:
+  static constexpr unsigned YieldThreshold = 64;
+  unsigned Count = 0;
+};
+
+/// Test-and-set lock: a single exchanged byte. This is the paper's
+/// CAS-based lock and the default node lock of the VBL and Lazy lists.
+class TasLock {
+public:
+  TasLock() = default;
+  TasLock(const TasLock &) = delete;
+  TasLock &operator=(const TasLock &) = delete;
+
+  bool tryLock() {
+    return !Locked.exchange(true, std::memory_order_acquire);
+  }
+
+  void lock() {
+    SpinBackoff Backoff;
+    while (!tryLock())
+      Backoff.spin();
+  }
+
+  void unlock() {
+    VBL_ASSERT(Locked.load(std::memory_order_relaxed),
+               "unlock of an unlocked TasLock");
+    Locked.store(false, std::memory_order_release);
+  }
+
+  bool isLocked() const { return Locked.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> Locked{false};
+};
+
+/// Test-and-test-and-set lock: spins on a plain load so waiters keep the
+/// line shared instead of bouncing it in exclusive state.
+class TtasLock {
+public:
+  TtasLock() = default;
+  TtasLock(const TtasLock &) = delete;
+  TtasLock &operator=(const TtasLock &) = delete;
+
+  bool tryLock() {
+    if (Locked.load(std::memory_order_relaxed))
+      return false;
+    return !Locked.exchange(true, std::memory_order_acquire);
+  }
+
+  void lock() {
+    SpinBackoff Backoff;
+    for (;;) {
+      while (Locked.load(std::memory_order_relaxed))
+        Backoff.spin();
+      if (!Locked.exchange(true, std::memory_order_acquire))
+        return;
+    }
+  }
+
+  void unlock() {
+    VBL_ASSERT(Locked.load(std::memory_order_relaxed),
+               "unlock of an unlocked TtasLock");
+    Locked.store(false, std::memory_order_release);
+  }
+
+  bool isLocked() const { return Locked.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> Locked{false};
+};
+
+/// FIFO ticket lock. Fair under contention, which the lock
+/// micro-benchmark uses to show why the lists prefer unfair TAS locks
+/// (fairness costs throughput when the critical section is two stores).
+class TicketLock {
+public:
+  TicketLock() = default;
+  TicketLock(const TicketLock &) = delete;
+  TicketLock &operator=(const TicketLock &) = delete;
+
+  bool tryLock() {
+    // Acquire: the release in unlock() is on NowServing, so THIS load is
+    // the edge that makes the previous critical section visible. (Found
+    // the hard way: with a relaxed load here, two serialized tryLock
+    // holders have no happens-before edge — a genuine data race.)
+    uint32_t Serving = NowServing.load(std::memory_order_acquire);
+    uint32_t Expected = Serving;
+    // Only take a ticket if it would be served immediately.
+    return NextTicket.compare_exchange_strong(Expected, Serving + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+  }
+
+  void lock() {
+    const uint32_t My = NextTicket.fetch_add(1, std::memory_order_relaxed);
+    SpinBackoff Backoff;
+    while (NowServing.load(std::memory_order_acquire) != My)
+      Backoff.spin();
+  }
+
+  void unlock() {
+    NowServing.store(NowServing.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  }
+
+  bool isLocked() const {
+    return NowServing.load(std::memory_order_acquire) !=
+           NextTicket.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<uint32_t> NextTicket{0};
+  std::atomic<uint32_t> NowServing{0};
+};
+
+} // namespace vbl
+
+#endif // VBL_SYNC_SPINLOCKS_H

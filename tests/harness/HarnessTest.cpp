@@ -1,0 +1,109 @@
+//===- tests/harness/HarnessTest.cpp - Workload/runner/printer tests -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Runner.h"
+#include "harness/TablePrinter.h"
+#include "harness/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::harness;
+
+TEST(OpPicker, ZeroUpdatesIsAllContains) {
+  OpPicker Picker(0);
+  Xoshiro256 Rng(1);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(Picker.pick(Rng), SetOp::Contains);
+}
+
+TEST(OpPicker, HundredUpdatesHasNoContains) {
+  OpPicker Picker(100);
+  Xoshiro256 Rng(2);
+  int Inserts = 0, Removes = 0;
+  for (int I = 0; I != 100000; ++I) {
+    const SetOp Op = Picker.pick(Rng);
+    ASSERT_NE(Op, SetOp::Contains);
+    Inserts += Op == SetOp::Insert;
+    Removes += Op == SetOp::Remove;
+  }
+  // Paper's split: x/2 insert, x/2 remove.
+  EXPECT_NEAR(Inserts, 50000, 1500);
+  EXPECT_NEAR(Removes, 50000, 1500);
+}
+
+TEST(OpPicker, TwentyPercentSplit) {
+  OpPicker Picker(20);
+  Xoshiro256 Rng(3);
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I != 100000; ++I)
+    ++Counts[static_cast<int>(Picker.pick(Rng))];
+  EXPECT_NEAR(Counts[static_cast<int>(SetOp::Insert)], 10000, 700);
+  EXPECT_NEAR(Counts[static_cast<int>(SetOp::Remove)], 10000, 700);
+  EXPECT_NEAR(Counts[static_cast<int>(SetOp::Contains)], 80000, 1500);
+}
+
+TEST(Prefill, HalfDensity) {
+  auto Set = makeSet("vbl");
+  const size_t Inserted = prefill(*Set, 2000, 9);
+  EXPECT_EQ(Set->snapshot().size(), Inserted);
+  // Binomial(2000, 0.5): 1000 +- ~100 is > 4 sigma.
+  EXPECT_NEAR(static_cast<double>(Inserted), 1000.0, 100.0);
+}
+
+TEST(Prefill, DeterministicForSeed) {
+  auto A = makeSet("vbl");
+  auto B = makeSet("lazy");
+  prefill(*A, 500, 77);
+  prefill(*B, 500, 77);
+  EXPECT_EQ(A->snapshot(), B->snapshot())
+      << "same seed must give identical initial sets across algorithms";
+}
+
+TEST(Runner, ProducesPlausibleThroughput) {
+  WorkloadConfig Config;
+  Config.UpdatePercent = 20;
+  Config.KeyRange = 64;
+  Config.Threads = 2;
+  Config.DurationMs = 30;
+  Config.WarmupMs = 5;
+  auto Set = makeSet("vbl");
+  prefill(*Set, Config.KeyRange, 1);
+  const RunResult Result = runOnce(*Set, Config);
+  EXPECT_TRUE(Result.InvariantsHeld);
+  EXPECT_GT(Result.TotalOps, 1000u);
+  EXPECT_GT(Result.OpsPerSecond, 0.0);
+  EXPECT_NEAR(Result.Seconds, 0.030, 0.050);
+}
+
+TEST(Runner, MeasureAlgorithmCollectsRepeats) {
+  WorkloadConfig Config;
+  Config.UpdatePercent = 50;
+  Config.KeyRange = 32;
+  Config.Threads = 1;
+  Config.DurationMs = 10;
+  Config.WarmupMs = 2;
+  Config.Repeats = 3;
+  const SampleStats Stats = measureAlgorithm("coarse", Config);
+  EXPECT_EQ(Stats.count(), 3u);
+  EXPECT_GT(Stats.mean(), 0.0);
+}
+
+TEST(Panel, MeansAndCsv) {
+  Panel P("unit", {"a", "b"}, {1, 2});
+  SampleStats SA, SB;
+  SA.add(2e6);
+  SB.add(1e6);
+  P.setResult(1, "a", SA);
+  P.setResult(1, "b", SB);
+  EXPECT_DOUBLE_EQ(P.mean(1, "a"), 2e6);
+  EXPECT_DOUBLE_EQ(P.mean(1, "b"), 1e6);
+
+  CsvWriter Csv = Panel::makeCsv();
+  P.appendCsv(Csv);
+  EXPECT_EQ(Csv.numRows(), 2u) << "only filled cells are emitted";
+}

@@ -1,0 +1,188 @@
+//===- tests/lin/LinCheckerTest.cpp - Linearizability checker tests ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lin/LinChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::lin;
+
+namespace {
+
+/// Shorthand for building histories: op on key K over [Invoke,Response].
+CompletedOp op(SetOp Kind, SetKey Key, bool Result, uint64_t Invoke,
+               uint64_t Response, uint32_t Thread = 0) {
+  return {Kind, Key, Result, Invoke, Response, Thread};
+}
+
+} // namespace
+
+TEST(LinChecker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(checkSetHistory({}, {}).Ok);
+  EXPECT_TRUE(checkSingleKeyHistory({}, false));
+  EXPECT_TRUE(checkSingleKeyHistory({}, true));
+}
+
+TEST(LinChecker, SequentialCorrectHistory) {
+  std::vector<CompletedOp> H = {
+      op(SetOp::Insert, 1, true, 0, 1),
+      op(SetOp::Contains, 1, true, 2, 3),
+      op(SetOp::Remove, 1, true, 4, 5),
+      op(SetOp::Contains, 1, false, 6, 7),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, SequentialWrongResultRejected) {
+  // contains(1)=true before any insert is impossible.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Contains, 1, true, 0, 1),
+      op(SetOp::Insert, 1, true, 2, 3),
+  };
+  const LinResult R = checkSetHistory(H, {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ViolatingKey, 1);
+  EXPECT_FALSE(R.Message.empty());
+}
+
+TEST(LinChecker, InitialKeysRespected) {
+  std::vector<CompletedOp> H = {
+      op(SetOp::Contains, 5, true, 0, 1),
+      op(SetOp::Insert, 5, false, 2, 3),
+      op(SetOp::Remove, 5, true, 4, 5),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {5}).Ok);
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, ConcurrentOpsMayReorder) {
+  // contains(1)=true overlaps insert(1): linearize contains after.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Contains, 1, true, 0, 10, 0),
+      op(SetOp::Insert, 1, true, 1, 2, 1),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, RealTimeOrderIsBinding) {
+  // contains(1)=true strictly BEFORE insert(1): no reordering allowed.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Contains, 1, true, 0, 1, 0),
+      op(SetOp::Insert, 1, true, 2, 3, 1),
+  };
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, LostUpdateDetected) {
+  // Two concurrent successful inserts of the same key: only one can
+  // linearize first; the second must return false. Both true = lost
+  // update (the paper's §2.2 example).
+  std::vector<CompletedOp> H = {
+      op(SetOp::Insert, 2, true, 0, 10, 0),
+      op(SetOp::Insert, 2, true, 1, 9, 1),
+  };
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, ConcurrentInsertsOneFails) {
+  std::vector<CompletedOp> H = {
+      op(SetOp::Insert, 2, true, 0, 10, 0),
+      op(SetOp::Insert, 2, false, 1, 9, 1),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, ConcurrentRemoveInsertInterleaving) {
+  // remove(3)=true, insert(3)=true concurrent. With 3 initially
+  // present, the only order is remove-then-insert, so a later contains
+  // must see true.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Remove, 3, true, 0, 10, 0),
+      op(SetOp::Insert, 3, true, 1, 9, 1),
+      op(SetOp::Contains, 3, true, 20, 21, 0),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {3}).Ok);
+  H[2] = op(SetOp::Contains, 3, false, 20, 21, 0);
+  EXPECT_FALSE(checkSetHistory(H, {3}).Ok);
+
+  // With 3 initially absent the only order is insert-then-remove, so a
+  // later contains must see false.
+  H[2] = op(SetOp::Contains, 3, false, 20, 21, 0);
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+  H[2] = op(SetOp::Contains, 3, true, 20, 21, 0);
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, DoubleSuccessfulRemoveRejected) {
+  std::vector<CompletedOp> H = {
+      op(SetOp::Remove, 4, true, 0, 10, 0),
+      op(SetOp::Remove, 4, true, 1, 9, 1),
+  };
+  EXPECT_FALSE(checkSetHistory(H, {4}).Ok);
+}
+
+TEST(LinChecker, KeysCheckedIndependently) {
+  // Key 1 is fine; key 2 is violated. The checker must name key 2.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Insert, 1, true, 0, 1),
+      op(SetOp::Contains, 2, true, 2, 3),
+  };
+  const LinResult R = checkSetHistory(H, {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ViolatingKey, 2);
+}
+
+TEST(LinChecker, ContainsFalseDuringPresenceWindowNeedsOverlap) {
+  // Key present throughout [0,100]; a contains(5)=false fully inside
+  // that window with no overlapping remove must be rejected.
+  std::vector<CompletedOp> H = {
+      op(SetOp::Insert, 5, true, 0, 1, 0),
+      op(SetOp::Contains, 5, false, 10, 11, 1),
+      op(SetOp::Remove, 5, true, 20, 21, 0),
+  };
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+
+  // But if the contains overlaps the remove, it may linearize after it.
+  H[1] = op(SetOp::Contains, 5, false, 10, 25, 1);
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, LongToggleChain) {
+  // Alternating sequential insert/remove with matching results: valid
+  // and must complete fast (exercises the sliding-window memoization).
+  std::vector<CompletedOp> H;
+  uint64_t T = 0;
+  for (int I = 0; I != 2000; ++I) {
+    H.push_back(op(SetOp::Insert, 9, true, T, T + 1));
+    T += 2;
+    H.push_back(op(SetOp::Remove, 9, true, T, T + 1));
+    T += 2;
+  }
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, WideConcurrencyWithinWindow) {
+  // 16 concurrent inserts of one absent key, exactly one reporting
+  // true: linearizable, and exercises a wide frontier.
+  std::vector<CompletedOp> H;
+  for (uint32_t T = 0; T != 16; ++T)
+    H.push_back(op(SetOp::Insert, 7, T == 9, 0, 100, T));
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+
+  // Two winners: not linearizable.
+  H[0].Result = true;
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, UnorderedInputIsSorted) {
+  std::vector<CompletedOp> H = {
+      op(SetOp::Remove, 1, true, 4, 5),
+      op(SetOp::Insert, 1, true, 0, 1),
+  };
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+}

@@ -1,0 +1,113 @@
+//===- tests/lists/CrossDifferentialTest.cpp - All algorithms agree ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential testing across the whole registry: the same operation
+/// sequence must produce bit-identical result sequences on every
+/// algorithm (they all implement the same sequential set type). Any
+/// divergence pinpoints the first differing operation. Parameterized
+/// over seeds and key ranges as a property-style sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/SequentialList.h"
+#include "lists/SetInterface.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+
+namespace {
+
+struct SweepCase {
+  uint64_t Seed;
+  SetKey KeyRange;
+  int Ops;
+};
+
+class CrossDifferentialTest
+    : public ::testing::TestWithParam<SweepCase> {};
+
+struct OpRecord {
+  SetOp Op;
+  SetKey Key;
+  bool Result;
+};
+
+std::vector<OpRecord> generateReference(const SweepCase &Case) {
+  SequentialList<> Reference;
+  Xoshiro256 Rng(Case.Seed);
+  std::vector<OpRecord> Trace;
+  Trace.reserve(static_cast<size_t>(Case.Ops));
+  for (int I = 0; I != Case.Ops; ++I) {
+    const SetKey Key = static_cast<SetKey>(
+        Rng.nextBounded(static_cast<uint64_t>(Case.KeyRange)));
+    OpRecord Record;
+    Record.Key = Key;
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      Record.Op = SetOp::Insert;
+      Record.Result = Reference.insert(Key);
+      break;
+    case 1:
+      Record.Op = SetOp::Remove;
+      Record.Result = Reference.remove(Key);
+      break;
+    default:
+      Record.Op = SetOp::Contains;
+      Record.Result = Reference.contains(Key);
+      break;
+    }
+    Trace.push_back(Record);
+  }
+  return Trace;
+}
+
+} // namespace
+
+TEST_P(CrossDifferentialTest, EveryAlgorithmMatchesTheSpec) {
+  const SweepCase &Case = GetParam();
+  const std::vector<OpRecord> Reference = generateReference(Case);
+
+  for (const std::string &Algo : registeredSetNames()) {
+    auto Set = makeSet(Algo);
+    ASSERT_NE(Set, nullptr);
+    for (size_t I = 0; I != Reference.size(); ++I) {
+      const OpRecord &Expected = Reference[I];
+      bool Got = false;
+      switch (Expected.Op) {
+      case SetOp::Insert:
+        Got = Set->insert(Expected.Key);
+        break;
+      case SetOp::Remove:
+        Got = Set->remove(Expected.Key);
+        break;
+      case SetOp::Contains:
+        Got = Set->contains(Expected.Key);
+        break;
+      }
+      ASSERT_EQ(Got, Expected.Result)
+          << Algo << " diverges from LL at op " << I << ": "
+          << setOpName(Expected.Op) << "(" << Expected.Key << ")";
+    }
+    EXPECT_TRUE(Set->checkInvariants()) << Algo;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossDifferentialTest,
+    ::testing::Values(SweepCase{1, 4, 3000},      // tiny, hot
+                      SweepCase{2, 32, 5000},     // small
+                      SweepCase{3, 512, 5000},    // medium
+                      SweepCase{4, 8192, 4000},   // sparse
+                      SweepCase{5, 2, 2000},      // two keys only
+                      SweepCase{6, 100000, 2000}, // mostly misses
+                      SweepCase{7, 64, 8000}),    // long toggle mix
+    [](const ::testing::TestParamInfo<SweepCase> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "_range" +
+             std::to_string(Info.param.KeyRange);
+    });

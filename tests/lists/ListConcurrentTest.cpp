@@ -1,0 +1,212 @@
+//===- tests/lists/ListConcurrentTest.cpp - Concurrent stress battery ----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Concurrency stress tests parameterized over every registered
+/// algorithm. Correctness oracles used:
+///
+///  - Per-key accounting: for each key, (successful inserts) minus
+///    (successful removes) must equal the key's final presence (0 or 1).
+///    Any linearizable set satisfies this; a lost update breaks it.
+///  - Structural invariants after quiescence.
+///  - Two-phase disjoint workloads with exact expected outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/SetInterface.h"
+
+#include "support/Barrier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+namespace {
+
+struct StressCase {
+  std::string Algo;
+  unsigned Threads;
+  SetKey KeyRange;
+};
+
+std::vector<StressCase> allStressCases() {
+  std::vector<StressCase> Cases;
+  for (const std::string &Algo : registeredSetNames()) {
+    // Small range = heavy contention; large range = mostly disjoint.
+    Cases.push_back({Algo, 4, 8});
+    Cases.push_back({Algo, 4, 512});
+  }
+  return Cases;
+}
+
+class ListStressTest : public ::testing::TestWithParam<StressCase> {};
+
+std::string stressCaseName(
+    const ::testing::TestParamInfo<StressCase> &Info) {
+  std::string Name = Info.param.Algo + "_t" +
+                     std::to_string(Info.param.Threads) + "_r" +
+                     std::to_string(Info.param.KeyRange);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(ListStressTest, PerKeyAccountingHolds) {
+  const StressCase &Case = GetParam();
+  auto Set = makeSet(Case.Algo);
+  ASSERT_NE(Set, nullptr);
+
+  constexpr int OpsPerThread = 20000;
+  const auto Range = static_cast<uint64_t>(Case.KeyRange);
+
+  // Per-thread, per-key success tallies; merged after the run.
+  struct Tally {
+    std::vector<long> Inserts, Removes;
+  };
+  std::vector<Tally> Tallies(Case.Threads);
+  SpinBarrier Barrier(Case.Threads);
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Case.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Tally &Mine = Tallies[T];
+      Mine.Inserts.assign(Range, 0);
+      Mine.Removes.assign(Range, 0);
+      Xoshiro256 Rng(1000 + T);
+      Barrier.arriveAndWait();
+      for (int I = 0; I != OpsPerThread; ++I) {
+        const SetKey Key = static_cast<SetKey>(Rng.nextBounded(Range));
+        switch (Rng.nextBounded(3)) {
+        case 0:
+          Mine.Inserts[Key] += Set->insert(Key);
+          break;
+        case 1:
+          Mine.Removes[Key] += Set->remove(Key);
+          break;
+        default:
+          Set->contains(Key); // Result checked by accounting below.
+          break;
+        }
+      }
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+
+  ASSERT_TRUE(Set->checkInvariants()) << Case.Algo;
+  const std::vector<SetKey> Final = Set->snapshot();
+  std::vector<bool> Present(Range, false);
+  for (SetKey Key : Final) {
+    ASSERT_GE(Key, 0);
+    ASSERT_LT(Key, Case.KeyRange);
+    Present[static_cast<size_t>(Key)] = true;
+  }
+
+  for (uint64_t Key = 0; Key != Range; ++Key) {
+    long Inserts = 0, Removes = 0;
+    for (const Tally &T : Tallies) {
+      Inserts += T.Inserts[Key];
+      Removes += T.Removes[Key];
+    }
+    const long Balance = Inserts - Removes;
+    ASSERT_TRUE(Balance == 0 || Balance == 1)
+        << Case.Algo << " key " << Key << ": " << Inserts << " inserts vs "
+        << Removes << " removes";
+    ASSERT_EQ(Balance == 1, static_cast<bool>(Present[Key]))
+        << Case.Algo << " key " << Key;
+  }
+}
+
+TEST_P(ListStressTest, DisjointInsertersThenRemovers) {
+  const StressCase &Case = GetParam();
+  auto Set = makeSet(Case.Algo);
+  ASSERT_NE(Set, nullptr);
+
+  // Phase 1: each thread inserts a disjoint arithmetic progression.
+  constexpr SetKey PerThread = 400;
+  {
+    SpinBarrier Barrier(Case.Threads);
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != Case.Threads; ++T) {
+      Threads.emplace_back([&, T] {
+        Barrier.arriveAndWait();
+        for (SetKey I = 0; I != PerThread; ++I)
+          ASSERT_TRUE(Set->insert(static_cast<SetKey>(I) * Case.Threads + T));
+      });
+    }
+    for (auto &Thread : Threads)
+      Thread.join();
+  }
+  EXPECT_EQ(Set->snapshot().size(),
+            static_cast<size_t>(PerThread) * Case.Threads);
+  EXPECT_TRUE(Set->checkInvariants());
+
+  // Phase 2: threads remove each other's progressions (shifted by one).
+  {
+    SpinBarrier Barrier(Case.Threads);
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != Case.Threads; ++T) {
+      Threads.emplace_back([&, T] {
+        const unsigned Victim = (T + 1) % Case.Threads;
+        Barrier.arriveAndWait();
+        for (SetKey I = 0; I != PerThread; ++I)
+          ASSERT_TRUE(
+              Set->remove(static_cast<SetKey>(I) * Case.Threads + Victim));
+      });
+    }
+    for (auto &Thread : Threads)
+      Thread.join();
+  }
+  EXPECT_TRUE(Set->snapshot().empty());
+  EXPECT_TRUE(Set->checkInvariants());
+}
+
+TEST_P(ListStressTest, ContendedSingleKeyToggle) {
+  // All threads fight over one key; exactly accounting must survive.
+  const StressCase &Case = GetParam();
+  auto Set = makeSet(Case.Algo);
+  ASSERT_NE(Set, nullptr);
+  constexpr SetKey Key = 42;
+  constexpr int OpsPerThread = 10000;
+
+  std::atomic<long> Inserts{0}, Removes{0};
+  SpinBarrier Barrier(Case.Threads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Case.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(77 + T);
+      long MyIns = 0, MyRem = 0;
+      Barrier.arriveAndWait();
+      for (int I = 0; I != OpsPerThread; ++I) {
+        if (Rng.nextPercent(50))
+          MyIns += Set->insert(Key);
+        else
+          MyRem += Set->remove(Key);
+      }
+      Inserts.fetch_add(MyIns, std::memory_order_relaxed);
+      Removes.fetch_add(MyRem, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+
+  const long Balance = Inserts.load() - Removes.load();
+  ASSERT_TRUE(Balance == 0 || Balance == 1) << Case.Algo;
+  EXPECT_EQ(Balance == 1, Set->contains(Key)) << Case.Algo;
+  EXPECT_TRUE(Set->checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ListStressTest,
+                         ::testing::ValuesIn(allStressCases()),
+                         stressCaseName);

@@ -1,0 +1,127 @@
+//===- tests/lists/LockFreeListTest.cpp - Harris / HM specifics ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests specific to the two lock-free lists: delegated physical
+/// unlinking, mark-bit semantics through the type-erased API, and the
+/// single-retire discipline under the TrackingDomain (the property the
+/// HarrisList snip-adjacency argument promises).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/HarrisList.h"
+#include "lists/HarrisMichaelList.h"
+
+#include "reclaim/TrackingDomain.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+template <class ListT> class LockFreeListTest : public ::testing::Test {};
+
+using LockFreeTypes =
+    ::testing::Types<HarrisMichaelList<reclaim::TrackingDomain>,
+                     HarrisList<reclaim::TrackingDomain>>;
+TYPED_TEST_SUITE(LockFreeListTest, LockFreeTypes);
+
+TYPED_TEST(LockFreeListTest, SingleRetirePerRemovedNode) {
+  TypeParam List;
+  constexpr unsigned NumThreads = 4;
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<long> Removals{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(13 + T);
+      long Local = 0;
+      Barrier.arriveAndWait();
+      for (int I = 0; I != 20000; ++I) {
+        const SetKey Key = static_cast<SetKey>(Rng.nextBounded(8));
+        if (Rng.nextPercent(50))
+          List.insert(Key);
+        else
+          Local += List.remove(Key);
+      }
+      Removals.fetch_add(Local, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_FALSE(List.reclaimDomain().sawDoubleRetire())
+      << "double physical unlink of one node";
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TYPED_TEST(LockFreeListTest, EveryRemovalEventuallyRetires) {
+  // After quiescence, a full traversal (via insert of a max key, which
+  // walks the whole list and unlinks marked nodes) must leave the
+  // retire tally equal to the removal tally: no node lost.
+  TypeParam List;
+  long Removals = 0;
+  Xoshiro256 Rng(99);
+  for (int I = 0; I != 40000; ++I) {
+    const SetKey Key = static_cast<SetKey>(Rng.nextBounded(64));
+    if (Rng.nextPercent(50))
+      List.insert(Key);
+    else
+      Removals += List.remove(Key);
+  }
+  // Sweep: a remove of a guaranteed-present far key walks past every
+  // marked node and unlinks it.
+  List.insert(1000000);
+  List.remove(1000000);
+  ++Removals; // The sweep key itself was removed.
+  EXPECT_EQ(List.reclaimDomain().retiredCount(),
+            static_cast<uint64_t>(Removals));
+  EXPECT_FALSE(List.reclaimDomain().sawDoubleRetire());
+}
+
+TYPED_TEST(LockFreeListTest, ContainsIgnoresMarkedNode) {
+  // Single-threaded we cannot leave a node marked-but-linked via public
+  // API (remove always attempts the unlink), but we can check the
+  // contract from outside: after remove(v), contains(v) is false even
+  // though EBR-style reclamation may keep the node allocated.
+  TypeParam List;
+  EXPECT_TRUE(List.insert(5));
+  EXPECT_TRUE(List.remove(5));
+  EXPECT_FALSE(List.contains(5));
+  EXPECT_TRUE(List.insert(5));
+  EXPECT_TRUE(List.contains(5));
+}
+
+TYPED_TEST(LockFreeListTest, HighContentionAccounting) {
+  TypeParam List;
+  constexpr unsigned NumThreads = 8; // Oversubscribed on small hosts.
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<long> Balance{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(3 + T);
+      long Local = 0;
+      Barrier.arriveAndWait();
+      for (int I = 0; I != 5000; ++I) {
+        const SetKey Key = static_cast<SetKey>(Rng.nextBounded(4));
+        if (Rng.nextPercent(50))
+          Local += List.insert(Key);
+        else
+          Local -= List.remove(Key);
+      }
+      Balance.fetch_add(Local, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_EQ(static_cast<long>(List.sizeSlow()), Balance.load());
+  EXPECT_TRUE(List.checkInvariants());
+}

@@ -1,0 +1,141 @@
+//===- tests/lists/PropertyTest.cpp - Metamorphic set properties ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-style sweeps over every registered algorithm: algebraic
+/// facts any correct set must satisfy, checked on randomized inputs.
+/// These complement the oracle-differential tests: a bug that happened
+/// to also exist in the reference implementation would slip the
+/// differential net but not these.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/SetInterface.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace vbl;
+
+namespace {
+
+class SetPropertyTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override {
+    Set = makeSet(GetParam());
+    ASSERT_NE(Set, nullptr);
+  }
+
+  std::unique_ptr<ConcurrentSet> Set;
+};
+
+std::vector<SetKey> randomKeys(uint64_t Seed, size_t Count,
+                               uint64_t Range) {
+  Xoshiro256 Rng(Seed);
+  std::vector<SetKey> Keys;
+  Keys.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Keys.push_back(static_cast<SetKey>(Rng.nextBounded(Range)) -
+                   static_cast<SetKey>(Range / 2));
+  return Keys;
+}
+
+} // namespace
+
+TEST_P(SetPropertyTest, SnapshotIsSortedUniqueUnion) {
+  // Inserting any multiset of keys yields exactly sorted(unique(keys)).
+  const std::vector<SetKey> Keys = randomKeys(1, 500, 300);
+  for (SetKey Key : Keys)
+    Set->insert(Key);
+  std::set<SetKey> Expected(Keys.begin(), Keys.end());
+  EXPECT_EQ(Set->snapshot(),
+            std::vector<SetKey>(Expected.begin(), Expected.end()));
+}
+
+TEST_P(SetPropertyTest, FailedOpsAreSnapshotInvisible) {
+  for (SetKey Key : randomKeys(2, 200, 100))
+    Set->insert(Key);
+  const std::vector<SetKey> Before = Set->snapshot();
+  // Failed inserts (all present) and failed removes (all absent).
+  for (SetKey Key : Before)
+    EXPECT_FALSE(Set->insert(Key));
+  for (SetKey Key : {100000, 100001, 100002})
+    EXPECT_FALSE(Set->remove(Key));
+  EXPECT_EQ(Set->snapshot(), Before);
+}
+
+TEST_P(SetPropertyTest, InsertRemoveRoundTripIsIdentity) {
+  for (SetKey Key : randomKeys(3, 150, 80))
+    Set->insert(Key);
+  const std::vector<SetKey> Before = Set->snapshot();
+  for (SetKey Key : randomKeys(4, 100, 2000)) {
+    const bool Added = Set->insert(Key);
+    if (Added) {
+      EXPECT_TRUE(Set->remove(Key));
+    }
+  }
+  EXPECT_EQ(Set->snapshot(), Before);
+  EXPECT_TRUE(Set->checkInvariants());
+}
+
+TEST_P(SetPropertyTest, ContainsAgreesWithSnapshot) {
+  for (SetKey Key : randomKeys(5, 300, 200))
+    Set->insert(Key);
+  for (SetKey Key : randomKeys(6, 200, 300))
+    Set->remove(Key);
+  const std::vector<SetKey> Snap = Set->snapshot();
+  for (SetKey Key = -160; Key != 160; ++Key)
+    EXPECT_EQ(Set->contains(Key),
+              std::binary_search(Snap.begin(), Snap.end(), Key))
+        << "key " << Key;
+}
+
+TEST_P(SetPropertyTest, RemoveAllEmptiesTheSet) {
+  const std::vector<SetKey> Keys = randomKeys(7, 400, 250);
+  for (SetKey Key : Keys)
+    Set->insert(Key);
+  for (SetKey Key : Set->snapshot())
+    EXPECT_TRUE(Set->remove(Key));
+  EXPECT_TRUE(Set->snapshot().empty());
+  EXPECT_TRUE(Set->checkInvariants());
+}
+
+TEST_P(SetPropertyTest, OperationsCommutePerDisjointKeySets) {
+  // Applying two op-batches on disjoint key ranges in either order
+  // yields the same final set.
+  auto OtherSet = makeSet(GetParam());
+  const std::vector<SetKey> BatchA = randomKeys(8, 120, 100);
+  std::vector<SetKey> BatchB = randomKeys(9, 120, 100);
+  for (SetKey &Key : BatchB)
+    Key += 10000; // Disjoint range.
+
+  for (SetKey Key : BatchA)
+    Set->insert(Key);
+  for (SetKey Key : BatchB)
+    Set->insert(Key);
+
+  for (SetKey Key : BatchB)
+    OtherSet->insert(Key);
+  for (SetKey Key : BatchA)
+    OtherSet->insert(Key);
+
+  EXPECT_EQ(Set->snapshot(), OtherSet->snapshot());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, SetPropertyTest,
+    ::testing::ValuesIn(registeredSetNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,100 @@
+//===- tests/lists/SequentialListTest.cpp - LL spec tests ----------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lists/SequentialList.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vbl;
+
+TEST(SequentialList, EmptyContainsNothing) {
+  SequentialList<> List;
+  EXPECT_FALSE(List.contains(1));
+  EXPECT_FALSE(List.contains(-5));
+  EXPECT_EQ(List.sizeSlow(), 0u);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SequentialList, InsertThenContains) {
+  SequentialList<> List;
+  EXPECT_TRUE(List.insert(5));
+  EXPECT_TRUE(List.contains(5));
+  EXPECT_FALSE(List.contains(4));
+  EXPECT_FALSE(List.contains(6));
+}
+
+TEST(SequentialList, DuplicateInsertFails) {
+  SequentialList<> List;
+  EXPECT_TRUE(List.insert(7));
+  EXPECT_FALSE(List.insert(7));
+  EXPECT_EQ(List.sizeSlow(), 1u);
+}
+
+TEST(SequentialList, RemovePresentAndAbsent) {
+  SequentialList<> List;
+  EXPECT_FALSE(List.remove(3));
+  EXPECT_TRUE(List.insert(3));
+  EXPECT_TRUE(List.remove(3));
+  EXPECT_FALSE(List.remove(3));
+  EXPECT_FALSE(List.contains(3));
+}
+
+TEST(SequentialList, KeepsSortedOrder) {
+  SequentialList<> List;
+  for (SetKey Key : {5, 1, 9, 3, 7})
+    EXPECT_TRUE(List.insert(Key));
+  EXPECT_EQ(List.snapshot(), (std::vector<SetKey>{1, 3, 5, 7, 9}));
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SequentialList, NegativeAndExtremeUserKeys) {
+  SequentialList<> List;
+  EXPECT_TRUE(List.insert(MinSentinel + 1));
+  EXPECT_TRUE(List.insert(MaxSentinel - 1));
+  EXPECT_TRUE(List.insert(0));
+  EXPECT_TRUE(List.contains(MinSentinel + 1));
+  EXPECT_TRUE(List.contains(MaxSentinel - 1));
+  EXPECT_EQ(List.sizeSlow(), 3u);
+}
+
+TEST(SequentialList, DifferentialAgainstStdSet) {
+  SequentialList<> List;
+  std::set<SetKey> Oracle;
+  Xoshiro256 Rng(2024);
+  for (int I = 0; I != 20000; ++I) {
+    const SetKey Key = static_cast<SetKey>(Rng.nextBounded(64));
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      EXPECT_EQ(List.insert(Key), Oracle.insert(Key).second);
+      break;
+    case 1:
+      EXPECT_EQ(List.remove(Key), Oracle.erase(Key) == 1);
+      break;
+    default:
+      EXPECT_EQ(List.contains(Key), Oracle.count(Key) == 1);
+      break;
+    }
+  }
+  EXPECT_EQ(List.snapshot(),
+            std::vector<SetKey>(Oracle.begin(), Oracle.end()));
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SequentialList, RemoveHeadMiddleTailOfRun) {
+  SequentialList<> List;
+  for (SetKey Key = 1; Key <= 5; ++Key)
+    List.insert(Key);
+  EXPECT_TRUE(List.remove(1)); // first
+  EXPECT_TRUE(List.remove(3)); // middle
+  EXPECT_TRUE(List.remove(5)); // last
+  EXPECT_EQ(List.snapshot(), (std::vector<SetKey>{2, 4}));
+  EXPECT_TRUE(List.checkInvariants());
+}

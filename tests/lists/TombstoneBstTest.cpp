@@ -1,0 +1,130 @@
+//===- tests/lists/TombstoneBstTest.cpp - Tree decide-before-lock --------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tree-specific tests (set semantics are covered by the shared
+/// registry batteries): decide-before-lock behaviour for no-op updates,
+/// node uniqueness under racing inserts, tombstone revival, and shape
+/// invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/TombstoneBst.h"
+
+#include "support/Barrier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+TEST(TombstoneBst, TombstoneRevival) {
+  TombstoneBst<> Tree;
+  EXPECT_TRUE(Tree.insert(5));
+  EXPECT_TRUE(Tree.remove(5));
+  EXPECT_FALSE(Tree.contains(5));
+  // Reinsert revives the tombstone in place rather than adding a node.
+  EXPECT_TRUE(Tree.insert(5));
+  EXPECT_TRUE(Tree.contains(5));
+  EXPECT_EQ(Tree.snapshot(), (std::vector<SetKey>{5}));
+}
+
+TEST(TombstoneBst, InorderIsSorted) {
+  TombstoneBst<> Tree;
+  Xoshiro256 Rng(4);
+  for (int I = 0; I != 3000; ++I)
+    Tree.insert(static_cast<SetKey>(Rng.nextBounded(1 << 20)) -
+                (1 << 19)); // Mix of negative and positive keys.
+  const std::vector<SetKey> Keys = Tree.snapshot();
+  for (size_t I = 1; I < Keys.size(); ++I)
+    ASSERT_LT(Keys[I - 1], Keys[I]);
+  EXPECT_TRUE(Tree.checkInvariants());
+}
+
+TEST(TombstoneBst, RacingInsertsCreateOneWinner) {
+  // All threads hammer insert/remove of the same key; per-key
+  // accounting must stay exact (node uniqueness + state serialization).
+  TombstoneBst<> Tree;
+  constexpr unsigned NumThreads = 4;
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<long> Balance{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(41 + T);
+      long Local = 0;
+      Barrier.arriveAndWait();
+      for (int I = 0; I != 20000; ++I) {
+        if (Rng.nextPercent(50))
+          Local += Tree.insert(7);
+        else
+          Local -= Tree.remove(7);
+      }
+      Balance.fetch_add(Local, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  ASSERT_TRUE(Balance.load() == 0 || Balance.load() == 1);
+  EXPECT_EQ(Tree.contains(7), Balance.load() == 1);
+  EXPECT_LE(Tree.sizeSlow(), 1u);
+  EXPECT_TRUE(Tree.checkInvariants());
+}
+
+TEST(TombstoneBst, ConcurrentMixedAccounting) {
+  TombstoneBst<> Tree;
+  constexpr unsigned NumThreads = 4;
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<long> Balance{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(61 + T);
+      long Local = 0;
+      Barrier.arriveAndWait();
+      for (int I = 0; I != 20000; ++I) {
+        const SetKey Key = static_cast<SetKey>(Rng.nextBounded(64));
+        if (Rng.nextPercent(50))
+          Local += Tree.insert(Key);
+        else
+          Local -= Tree.remove(Key);
+      }
+      Balance.fetch_add(Local, std::memory_order_relaxed);
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_EQ(static_cast<long>(Tree.sizeSlow()), Balance.load());
+  EXPECT_TRUE(Tree.checkInvariants());
+}
+
+TEST(TombstoneBst, FailedUpdatesCompleteUnderPermanentChurn) {
+  // Key 9 stays present; failing inserts of 9 decide lock-free while a
+  // churner toggles neighbours (the VBL rule in a tree).
+  TombstoneBst<> Tree;
+  ASSERT_TRUE(Tree.insert(9));
+  std::atomic<bool> Stop{false};
+  std::thread Churner([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      Tree.insert(8);
+      Tree.remove(8);
+      Tree.insert(10);
+      Tree.remove(10);
+    }
+  });
+  for (int I = 0; I != 50000; ++I) {
+    ASSERT_FALSE(Tree.insert(9));
+    ASSERT_FALSE(Tree.remove(12345 + I % 7)); // Absent: also lock-free.
+  }
+  Stop.store(true, std::memory_order_release);
+  Churner.join();
+  EXPECT_TRUE(Tree.contains(9));
+  EXPECT_TRUE(Tree.checkInvariants());
+}

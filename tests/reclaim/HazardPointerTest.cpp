@@ -1,0 +1,203 @@
+//===- tests/reclaim/HazardPointerTest.cpp - HP unit tests ---------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/HazardPointerDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+using namespace vbl::reclaim;
+
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int> &Counter) : Counter(Counter) {}
+  ~Tracked() { Counter.fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int> &Counter;
+};
+
+/// Minimal Treiber stack: the canonical hazard-pointer client. Used as
+/// an integration test of protect/retire under real contention.
+class TreiberStack {
+public:
+  explicit TreiberStack(HazardPointerDomain &Domain) : Domain(Domain) {}
+
+  ~TreiberStack() {
+    Node *Curr = Top.load(std::memory_order_relaxed);
+    while (Curr) {
+      Node *Next = Curr->Next;
+      delete Curr;
+      Curr = Next;
+    }
+  }
+
+  void push(long Value) {
+    Node *NewNode = new Node{Value, nullptr};
+    NewNode->Next = Top.load(std::memory_order_relaxed);
+    while (!Top.compare_exchange_weak(NewNode->Next, NewNode,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  bool pop(long &Out) {
+    HazardPointerDomain::Guard G(Domain);
+    for (;;) {
+      Node *Head = G.protect(0, Top);
+      if (!Head)
+        return false;
+      Node *Next = Head->Next;
+      if (Top.compare_exchange_strong(Head, Next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        Out = Head->Value;
+        Domain.retire(Head);
+        return true;
+      }
+    }
+  }
+
+private:
+  struct Node {
+    long Value;
+    Node *Next;
+  };
+  HazardPointerDomain &Domain;
+  std::atomic<Node *> Top{nullptr};
+};
+
+} // namespace
+
+TEST(HazardPointerDomain, RetireWithoutProtectionFrees) {
+  std::atomic<int> Destroyed{0};
+  {
+    HazardPointerDomain Domain;
+    for (int I = 0; I != 8; ++I)
+      Domain.retire(new Tracked(Destroyed));
+    Domain.collectAll();
+    EXPECT_EQ(Destroyed.load(), 8);
+  }
+}
+
+TEST(HazardPointerDomain, ProtectedPointerSurvivesScan) {
+  std::atomic<int> Destroyed{0};
+  HazardPointerDomain Domain;
+  std::atomic<Tracked *> Source{new Tracked(Destroyed)};
+  {
+    HazardPointerDomain::Guard G(Domain);
+    Tracked *P = G.protect(0, Source);
+    ASSERT_NE(P, nullptr);
+    Domain.retire(P);
+    Domain.collectAll();
+    EXPECT_EQ(Destroyed.load(), 0) << "freed while protected";
+  }
+  // Guard destroyed: protection gone.
+  Domain.collectAll();
+  EXPECT_EQ(Destroyed.load(), 1);
+}
+
+TEST(HazardPointerDomain, ClearSlotReleasesProtection) {
+  std::atomic<int> Destroyed{0};
+  HazardPointerDomain Domain;
+  std::atomic<Tracked *> Source{new Tracked(Destroyed)};
+  HazardPointerDomain::Guard G(Domain);
+  Tracked *P = G.protect(1, Source);
+  Domain.retire(P);
+  Domain.collectAll();
+  EXPECT_EQ(Destroyed.load(), 0);
+  G.clear(1);
+  Domain.collectAll();
+  EXPECT_EQ(Destroyed.load(), 1);
+}
+
+TEST(HazardPointerDomain, ProtectFollowsConcurrentSwap) {
+  // protect() must re-validate: if the source moves mid-protection the
+  // returned pointer must match a value that was protected while still
+  // reachable. We simulate the swap deterministically by swapping
+  // between two objects and checking protect returns one of them.
+  std::atomic<int> Destroyed{0};
+  HazardPointerDomain Domain;
+  Tracked *A = new Tracked(Destroyed);
+  Tracked *B = new Tracked(Destroyed);
+  std::atomic<Tracked *> Source{A};
+  std::atomic<bool> Stop{false};
+  std::thread Swapper([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      Source.store(B, std::memory_order_release);
+      Source.store(A, std::memory_order_release);
+    }
+  });
+  for (int I = 0; I != 10000; ++I) {
+    HazardPointerDomain::Guard G(Domain);
+    Tracked *P = G.protect(0, Source);
+    EXPECT_TRUE(P == A || P == B);
+  }
+  Stop.store(true, std::memory_order_release);
+  Swapper.join();
+  delete A;
+  delete B;
+}
+
+TEST(HazardPointerDomain, TreiberStackStress) {
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 5000;
+  HazardPointerDomain Domain;
+  std::atomic<long> PopSum{0};
+  std::atomic<int> PopCount{0};
+  {
+    TreiberStack Stack(Domain);
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        long Local = 0;
+        for (int I = 0; I != PerThread; ++I) {
+          Stack.push(T * PerThread + I);
+          long V;
+          if (Stack.pop(V)) {
+            Local += V;
+            PopCount.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        PopSum.fetch_add(Local, std::memory_order_relaxed);
+      });
+    }
+    for (auto &Thread : Threads)
+      Thread.join();
+    // Every push is eventually popped or still in the stack; pops must
+    // never exceed pushes.
+    EXPECT_LE(PopCount.load(), NumThreads * PerThread);
+
+    // Drain what is left and check conservation of the total sum.
+    long V;
+    while (Stack.pop(V)) {
+      PopSum.fetch_add(V, std::memory_order_relaxed);
+      PopCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    EXPECT_EQ(PopCount.load(), NumThreads * PerThread);
+    const long N = static_cast<long>(NumThreads) * PerThread;
+    EXPECT_EQ(PopSum.load(), N * (N - 1) / 2);
+  }
+  Domain.collectAll();
+  EXPECT_EQ(Domain.freedCount(), Domain.retiredCount());
+}
+
+TEST(HazardPointerDomain, ThreadExitOrphansAdopted) {
+  std::atomic<int> Destroyed{0};
+  {
+    HazardPointerDomain Domain;
+    std::thread Worker([&] {
+      for (int I = 0; I != 3; ++I)
+        Domain.retire(new Tracked(Destroyed));
+    });
+    Worker.join();
+  }
+  EXPECT_EQ(Destroyed.load(), 3);
+}

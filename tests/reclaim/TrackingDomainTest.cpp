@@ -1,0 +1,74 @@
+//===- tests/reclaim/TrackingDomainTest.cpp - Debug domain tests ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/TrackingDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace vbl;
+using namespace vbl::reclaim;
+
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int> &Counter) : Counter(Counter) {}
+  ~Tracked() { Counter.fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int> &Counter;
+};
+
+} // namespace
+
+TEST(TrackingDomain, NothingFreedDuringRun) {
+  std::atomic<int> Destroyed{0};
+  {
+    TrackingDomain Domain;
+    Domain.retire(new Tracked(Destroyed));
+    Domain.collectAll();
+    EXPECT_EQ(Destroyed.load(), 0);
+    EXPECT_EQ(Domain.retiredCount(), 1u);
+  }
+  EXPECT_EQ(Destroyed.load(), 1) << "destructor frees exactly once";
+}
+
+TEST(TrackingDomain, DetectsDoubleRetire) {
+  std::atomic<int> Destroyed{0};
+  TrackingDomain Domain;
+  Tracked *P = new Tracked(Destroyed);
+  Domain.retire(P);
+  EXPECT_FALSE(Domain.sawDoubleRetire());
+  Domain.retire(P);
+  EXPECT_TRUE(Domain.sawDoubleRetire());
+}
+
+TEST(TrackingDomain, GuardCounting) {
+  TrackingDomain Domain;
+  EXPECT_EQ(Domain.activeGuards(), 0u);
+  {
+    TrackingDomain::Guard Outer(Domain);
+    EXPECT_EQ(Domain.activeGuards(), 1u);
+    {
+      TrackingDomain::Guard Inner(Domain);
+      EXPECT_EQ(Domain.activeGuards(), 2u);
+    }
+    EXPECT_EQ(Domain.activeGuards(), 1u);
+  }
+  EXPECT_EQ(Domain.activeGuards(), 0u);
+}
+
+TEST(TrackingDomain, ManyDistinctRetires) {
+  std::atomic<int> Destroyed{0};
+  {
+    TrackingDomain Domain;
+    for (int I = 0; I != 100; ++I)
+      Domain.retire(new Tracked(Destroyed));
+    EXPECT_FALSE(Domain.sawDoubleRetire());
+    EXPECT_EQ(Domain.retiredCount(), 100u);
+  }
+  EXPECT_EQ(Destroyed.load(), 100);
+}

@@ -1,0 +1,126 @@
+//===- tests/sched/AdjustedSpecTest.cpp - §2.3 adjusted LL for HM --------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Soundness of the Harris-Michael list against the *adjusted*
+/// sequential specification of §2.3 (logical-deletion-only removes,
+/// delegated unlinks in traversals): every explored HM interleaving
+/// must export a schedule that is locally serializable wrt the adjusted
+/// spec and whose sigma-bar(v) extension linearizes, with membership
+/// computed mark-aware.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/HarrisMichaelList.h"
+#include "reclaim/LeakyDomain.h"
+#include "sched/InterleavingExplorer.h"
+#include "sched/ScheduleChecker.h"
+#include "sched/ScheduleExport.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+using TracedHm = HarrisMichaelList<reclaim::LeakyDomain, TracedPolicy>;
+
+EpisodeFactory hmFactory(std::vector<SetKey> Prefill,
+                         std::vector<std::pair<SetOp, SetKey>> Ops) {
+  return [Prefill = std::move(Prefill),
+          Ops = std::move(Ops)]() -> Episode {
+    auto List = std::make_shared<TracedHm>();
+    for (SetKey Key : Prefill)
+      List->insert(Key);
+    Episode Ep;
+    Ep.HeadNode = List->headNode();
+    Ep.InitialChain = List->nodeChain();
+    Ep.Holder = List;
+    for (const auto &Spec : Ops) {
+      Ep.Bodies.push_back([List, Spec] {
+        const auto [Op, Key] = Spec;
+        switch (Op) {
+        case SetOp::Insert:
+          tracedOp(SetOp::Insert, Key, [&] { return List->insert(Key); });
+          break;
+        case SetOp::Remove:
+          tracedOp(SetOp::Remove, Key, [&] { return List->remove(Key); });
+          break;
+        case SetOp::Contains:
+          tracedOp(SetOp::Contains, Key,
+                   [&] { return List->contains(Key); });
+          break;
+        }
+      });
+    }
+    return Ep;
+  };
+}
+
+void checkAllAdjusted(std::vector<SetKey> Prefill,
+                      std::vector<std::pair<SetOp, SetKey>> Ops,
+                      std::vector<SetKey> Universe, size_t MaxEpisodes) {
+  InterleavingExplorer Explorer(
+      hmFactory(std::move(Prefill), std::move(Ops)));
+  size_t Episodes = 0;
+  Explorer.exploreAll(
+      [&](const EpisodeResult &Result) {
+        ++Episodes;
+        ASSERT_FALSE(Result.Deadlocked);
+        const Schedule Exported =
+            exportLLSchedule(Result.Raw, Result.Meta.HeadNode);
+        const CorrectnessResult Check =
+            checkScheduleCorrect(Exported, Result.Meta.InitialChain,
+                                 Universe, SpecKind::AdjustedLL);
+        ASSERT_TRUE(Check.correct())
+            << Check.Error << "\nexported:\n"
+            << Exported.toString() << "raw:\n"
+            << Result.Raw.toString();
+      },
+      MaxEpisodes);
+  ASSERT_GT(Episodes, 50u);
+}
+
+} // namespace
+
+TEST(AdjustedSpec, HmSequentialOpsValidate) {
+  // Single-threaded: every op projection must match the adjusted spec.
+  checkAllAdjusted({2, 4},
+                   {{SetOp::Insert, 3},
+                    {SetOp::Remove, 2},
+                    {SetOp::Contains, 4}},
+                   {2, 3, 4}, 4000);
+}
+
+TEST(AdjustedSpec, HmInsertVsRemove) {
+  checkAllAdjusted({1},
+                   {{SetOp::Insert, 1}, {SetOp::Remove, 1}}, {1}, 4000);
+}
+
+TEST(AdjustedSpec, HmRemoveVsRemove) {
+  checkAllAdjusted({3},
+                   {{SetOp::Remove, 3}, {SetOp::Remove, 3}}, {3}, 4000);
+}
+
+TEST(AdjustedSpec, HmDelegatedUnlinkValidates) {
+  // A removal whose physical unlink loses to a concurrent insert on the
+  // predecessor leaves a marked node behind; the next update's
+  // traversal unlinks it. All of that must validate as adjusted-LL.
+  checkAllAdjusted({2, 3},
+                   {{SetOp::Insert, 1}, {SetOp::Remove, 2}}, {1, 2, 3},
+                   6000);
+}
+
+TEST(AdjustedSpec, HmAdjacentInsertsOnEmpty) {
+  checkAllAdjusted({}, {{SetOp::Insert, 1}, {SetOp::Insert, 2}}, {1, 2},
+                   4000);
+}
+
+TEST(AdjustedSpec, HmContainsDuringRemoval) {
+  checkAllAdjusted({5}, {{SetOp::Remove, 5}, {SetOp::Contains, 5}}, {5},
+                   4000);
+}

@@ -1,0 +1,174 @@
+//===- tests/sched/AdjustedSpecUnitTest.cpp - Adjusted-LL negatives ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Hand-built traces that the §2.3 adjusted-spec validator must accept
+/// or reject: the model-checking tests prove real HM executions
+/// validate; these prove the validator actually *can* say no.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/SpecInterpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+int Cells[8];
+const void *head() { return &Cells[0]; }
+const void *node(int I) { return &Cells[I]; }
+
+uint64_t word(const void *P, bool Marked) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(P)) |
+         (Marked ? 1 : 0);
+}
+
+Event read(const void *Node, MemField Field, uint64_t Value) {
+  Event E;
+  E.Kind = EventKind::Read;
+  E.Field = Field;
+  E.Node = Node;
+  E.Value = Value;
+  return E;
+}
+
+Event cas(const void *Node, uint64_t Value) {
+  Event E;
+  E.Kind = EventKind::Cas;
+  E.Field = MemField::Next;
+  E.Node = Node;
+  E.Value = Value;
+  E.Value2 = 1;
+  return E;
+}
+
+Event newNode(const void *Node, SetKey Key) {
+  Event E;
+  E.Kind = EventKind::NewNode;
+  E.Node = Node;
+  E.Value = static_cast<uint64_t>(Key);
+  return E;
+}
+
+ExportedOp makeOp(SetOp Kind, SetKey Key, bool Result,
+                  std::vector<Event> Steps) {
+  ExportedOp Op;
+  Op.Op = Kind;
+  Op.Key = Key;
+  Op.Result = Result;
+  Op.Completed = true;
+  Op.Steps = std::move(Steps);
+  return Op;
+}
+
+} // namespace
+
+TEST(AdjustedSpecUnit, AcceptsRemoveWithLogicalDeletionOnly) {
+  // head -> n1(5) -> n2(+inf): remove(5) marks n1 and never unlinks.
+  const auto Op = makeOp(
+      SetOp::Remove, 5, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), false)),
+       cas(node(1), word(node(2), true))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstAdjustedSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(AdjustedSpecUnit, AcceptsRemoveWithUnlink) {
+  const auto Op = makeOp(
+      SetOp::Remove, 5, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), false)),
+       cas(node(1), word(node(2), true)),
+       cas(head(), word(node(2), false))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstAdjustedSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(AdjustedSpecUnit, RejectsRemoveWithoutMarking) {
+  // Physical unlink without the logical deletion first: not adjusted-LL.
+  const auto Op = makeOp(
+      SetOp::Remove, 5, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), false)),
+       cas(head(), word(node(2), false))});
+  EXPECT_FALSE(validateAgainstAdjustedSpec(Op, head()));
+}
+
+TEST(AdjustedSpecUnit, AcceptsTraversalHelpingUnlink) {
+  // insert(9) walks past a marked n1, unlinking it via head.
+  const auto Op = makeOp(
+      SetOp::Insert, 9, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), true)), // n1 marked
+       cas(head(), word(node(2), false)),                  // helping
+       read(node(2), MemField::Next, word(node(3), false)),
+       read(node(2), MemField::Val, 11), newNode(node(4), 9),
+       cas(head(), word(node(4), false))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstAdjustedSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(AdjustedSpecUnit, RejectsHelpingUnlinkOnWrongNode) {
+  // The helping CAS must target prev (head here), not the marked node.
+  const auto Op = makeOp(
+      SetOp::Insert, 9, false,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), true)),
+       cas(node(1), word(node(2), false))});
+  EXPECT_FALSE(validateAgainstAdjustedSpec(Op, head()));
+}
+
+TEST(AdjustedSpecUnit, RejectsInsertPublishingMarkedNode) {
+  const auto Op = makeOp(
+      SetOp::Insert, 9, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), false)),
+       read(node(1), MemField::Val, 11), newNode(node(4), 9),
+       cas(head(), word(node(4), true))}); // mark bit set: corrupt
+  EXPECT_FALSE(validateAgainstAdjustedSpec(Op, head()));
+}
+
+TEST(AdjustedSpecUnit, AcceptsContainsReadingMark) {
+  const auto Op = makeOp(
+      SetOp::Contains, 5, false,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), true))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstAdjustedSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(AdjustedSpecUnit, RejectsContainsIgnoringMark) {
+  // Found the key, mark bit set, but claims present.
+  const auto Op = makeOp(
+      SetOp::Contains, 5, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), true))});
+  EXPECT_FALSE(validateAgainstAdjustedSpec(Op, head()));
+}
+
+TEST(AdjustedSpecUnit, RejectsMarkingWrongBitPattern) {
+  // The marking CAS must set exactly the read word plus the mark bit.
+  const auto Op = makeOp(
+      SetOp::Remove, 5, true,
+      {read(head(), MemField::Next, word(node(1), false)),
+       read(node(1), MemField::Next, word(node(2), false)),
+       read(node(1), MemField::Val, 5),
+       read(node(1), MemField::Next, word(node(2), false)),
+       cas(node(1), word(node(3), true))}); // different successor
+  EXPECT_FALSE(validateAgainstAdjustedSpec(Op, head()));
+}

@@ -1,0 +1,97 @@
+//===- tests/sched/DeadlockDetectionTest.cpp - Scheduler wedge cases -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The step scheduler's job includes *reporting* deadlocks, not just
+/// avoiding them: a genuinely wedged episode (classic ABBA locking)
+/// must make drain() return false, and the destructor must refuse to
+/// leak the wedged threads silently (it aborts — checked with a death
+/// test). None of the repo's algorithms can reach this state (their
+/// lock orders are consistent); this test drives it with raw bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/StepScheduler.h"
+
+#include "sync/SpinLocks.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+/// Two threads taking two locks in opposite orders; steered into the
+/// wedge by the scheduler.
+struct AbbaRig {
+  TasLock A, B;
+
+  std::vector<std::function<void()>> bodies() {
+    return {[this] {
+              TracedPolicy::lockAcquire(A, &A);
+              TracedPolicy::lockAcquire(B, &B);
+              TracedPolicy::lockRelease(B, &B);
+              TracedPolicy::lockRelease(A, &A);
+            },
+            [this] {
+              TracedPolicy::lockAcquire(B, &B);
+              TracedPolicy::lockAcquire(A, &A);
+              TracedPolicy::lockRelease(A, &A);
+              TracedPolicy::lockRelease(B, &B);
+            }};
+  }
+};
+
+} // namespace
+
+TEST(DeadlockDetection, DrainReportsAbbaWedge) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // The wedged scheduler cannot be destroyed (its workers are parked
+  // forever), so the whole experiment runs in a death-test child that
+  // is expected to abort in the destructor.
+  EXPECT_DEATH(
+      {
+        AbbaRig Rig;
+        StepScheduler Sched(Rig.bodies());
+        // T0: reach first yield, acquire A, park before acquiring B.
+        Sched.step(0);
+        Sched.step(0);
+        // T1: reach first yield, acquire B, then try A -> blocked.
+        Sched.step(1);
+        Sched.step(1);
+        Sched.step(1);
+        // T0: try B -> blocked. Both blocked: wedged.
+        Sched.step(0);
+        if (!Sched.blocked(0) || !Sched.blocked(1))
+          std::abort(); // Wrong steering would be a test bug; die too.
+        if (Sched.drain())
+          _exit(0); // Drain must NOT succeed; exiting 0 fails the test.
+        std::fputs("drain reported deadlock\n", stderr);
+        // Destructor aborts: the required behaviour under wedge.
+      },
+      "drain reported deadlock");
+}
+
+TEST(DeadlockDetection, ConsistentOrderDoesNotWedge) {
+  // Same locks, same steering attempt, but both threads take A then B:
+  // the scheduler must always be able to drain.
+  TasLock A, B;
+  auto Body = [&] {
+    TracedPolicy::lockAcquire(A, &A);
+    TracedPolicy::lockAcquire(B, &B);
+    TracedPolicy::lockRelease(B, &B);
+    TracedPolicy::lockRelease(A, &A);
+  };
+  StepScheduler Sched({Body, Body});
+  Sched.step(0);
+  Sched.step(0); // T0 holds A.
+  Sched.step(1);
+  Sched.step(1); // T1 blocks on A.
+  EXPECT_TRUE(Sched.blocked(1));
+  EXPECT_TRUE(Sched.drain());
+  EXPECT_TRUE(Sched.allFinished());
+}

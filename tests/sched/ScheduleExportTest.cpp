@@ -1,0 +1,244 @@
+//===- tests/sched/ScheduleExportTest.cpp - Exporter unit tests ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the raw-trace -> LL-schedule projection: metadata
+/// filtering, restart splicing (both from-head and from-prev), and
+/// NewNode normalization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/ScheduleExport.h"
+
+#include "core/VblList.h"
+#include "reclaim/LeakyDomain.h"
+#include "sched/StepScheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+int Cells[8];
+const void *head() { return &Cells[0]; }
+const void *node(int I) { return &Cells[I]; }
+
+Event mk(EventKind Kind, MemField Field, const void *Node, uint64_t Value,
+         uint32_t Attempt = 0) {
+  Event E;
+  E.Thread = 0;
+  E.OpIndex = 1;
+  E.Attempt = Attempt;
+  E.Kind = Kind;
+  E.Field = Field;
+  E.Node = Node;
+  E.Value = Value;
+  return E;
+}
+
+uint64_t ptrVal(const void *P) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(P));
+}
+
+Event begin(SetOp Op, SetKey Key) {
+  Event E;
+  E.Thread = 0;
+  E.OpIndex = 1;
+  E.Kind = EventKind::OpBegin;
+  E.Op = Op;
+  E.Value = static_cast<uint64_t>(Key);
+  return E;
+}
+
+Event end(bool Result) {
+  Event E;
+  E.Thread = 0;
+  E.OpIndex = 1;
+  E.Kind = EventKind::OpEnd;
+  E.Value = Result;
+  return E;
+}
+
+std::vector<EventKind> kinds(const std::vector<Event> &Events) {
+  std::vector<EventKind> Out;
+  for (const Event &E : Events)
+    Out.push_back(E.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(ScheduleExport, DropsMetadataEvents) {
+  Schedule Raw({
+      begin(SetOp::Contains, 5),
+      mk(EventKind::Read, MemField::Marked, head(), 0),
+      mk(EventKind::Read, MemField::Val, head(),
+         static_cast<uint64_t>(MinSentinel)), // head.val read: dropped
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::LockAcquire, MemField::Lock, node(1), 0),
+      mk(EventKind::ReadCheck, MemField::Next, node(1), ptrVal(node(2))),
+      mk(EventKind::Read, MemField::Val, node(1), 5),
+      mk(EventKind::LockRelease, MemField::Lock, node(1), 0),
+      end(true),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  EXPECT_EQ(kinds(Ops[0].Steps),
+            (std::vector<EventKind>{EventKind::Read, EventKind::Read}));
+  EXPECT_EQ(Ops[0].Steps[0].Field, MemField::Next);
+  EXPECT_EQ(Ops[0].Steps[1].Field, MemField::Val);
+}
+
+TEST(ScheduleExport, RestartFromHeadDiscardsOldWalk) {
+  Schedule Raw({
+      begin(SetOp::Remove, 7),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 7),
+      mk(EventKind::Restart, MemField::Val, nullptr, 0),
+      // Second attempt starts from the head again.
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(2)), 1),
+      mk(EventKind::Read, MemField::Val, node(2), 9, 1),
+      end(false),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  ASSERT_EQ(Ops[0].Steps.size(), 2u);
+  EXPECT_EQ(Ops[0].Steps[0].Value, ptrVal(node(2)))
+      << "only the final walk takes effect";
+}
+
+TEST(ScheduleExport, RestartFromPrevSplicesWalks) {
+  // Walk head->n1(3)->n2(7: stale), restart continuing from n1, then
+  // n1->n3(7 fresh). The spliced walk must read: next(head)=n1,
+  // val(n1)=3, next(n1)=n3, val(n3)=7 — the stale tail is trimmed.
+  Schedule Raw({
+      begin(SetOp::Remove, 7),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 3),
+      mk(EventKind::Read, MemField::Next, node(1), ptrVal(node(2))),
+      mk(EventKind::Read, MemField::Val, node(2), 7),
+      mk(EventKind::Restart, MemField::Val, nullptr, 0),
+      mk(EventKind::Read, MemField::Next, node(1), ptrVal(node(3)), 1),
+      mk(EventKind::Read, MemField::Val, node(3), 7, 1),
+      end(false),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  ASSERT_EQ(Ops[0].Steps.size(), 4u);
+  EXPECT_EQ(Ops[0].Steps[0].Node, head());
+  EXPECT_EQ(Ops[0].Steps[1].Node, node(1));
+  EXPECT_EQ(Ops[0].Steps[2].Node, node(1));
+  EXPECT_EQ(Ops[0].Steps[2].Value, ptrVal(node(3)));
+  EXPECT_EQ(Ops[0].Steps[3].Node, node(3));
+}
+
+TEST(ScheduleExport, UnpublishedNewNodeDroppedOnCompletedOp) {
+  // A VBL insert that created a node, then discovered the key present
+  // after a retry: LL's failed insert creates nothing.
+  Schedule Raw({
+      begin(SetOp::Insert, 5),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 9),
+      mk(EventKind::NewNode, MemField::Val, node(4), 5),
+      mk(EventKind::Restart, MemField::Val, nullptr, 0),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(2)), 1),
+      mk(EventKind::Read, MemField::Val, node(2), 5, 1),
+      end(false),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  for (const Event &E : Ops[0].Steps)
+    EXPECT_NE(E.Kind, EventKind::NewNode);
+}
+
+TEST(ScheduleExport, WritesToOwnNewNodeDropped) {
+  Schedule Raw({
+      begin(SetOp::Insert, 5),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 9),
+      mk(EventKind::NewNode, MemField::Val, node(4), 5),
+      mk(EventKind::Write, MemField::Next, node(4), ptrVal(node(1))),
+      mk(EventKind::Write, MemField::Next, head(), ptrVal(node(4))),
+      end(true),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  EXPECT_EQ(kinds(Ops[0].Steps),
+            (std::vector<EventKind>{EventKind::Read, EventKind::Read,
+                                    EventKind::NewNode,
+                                    EventKind::Write}));
+  EXPECT_EQ(Ops[0].Steps.back().Node, head());
+}
+
+TEST(ScheduleExport, NewNodeReinsertedBeforePublishAfterRestartTrim) {
+  // Creation in attempt 0, restart from head (walk cleared), publish in
+  // attempt 1: the creation must be re-materialized before the publish.
+  Schedule Raw({
+      begin(SetOp::Insert, 5),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 9),
+      mk(EventKind::NewNode, MemField::Val, node(4), 5),
+      mk(EventKind::Restart, MemField::Val, nullptr, 0),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(2)), 1),
+      mk(EventKind::Read, MemField::Val, node(2), 9, 1),
+      mk(EventKind::Write, MemField::Next, head(), ptrVal(node(4)), 1),
+      end(true),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  const auto Kinds = kinds(Ops[0].Steps);
+  ASSERT_EQ(Kinds, (std::vector<EventKind>{EventKind::Read,
+                                           EventKind::Read,
+                                           EventKind::NewNode,
+                                           EventKind::Write}));
+}
+
+TEST(ScheduleExport, CanonicalKeyIsAllocationInvariant) {
+  // Two runs of the same VBL episode produce different addresses but
+  // identical canonical keys.
+  auto runOnce = [] {
+    using TracedVbl = VblList<reclaim::LeakyDomain, TracedPolicy>;
+    auto List = std::make_shared<TracedVbl>();
+    List->insert(2);
+    StepScheduler Sched({[List] {
+      tracedOp(SetOp::Insert, 1, [&] { return List->insert(1); });
+    }});
+    EXPECT_TRUE(Sched.drain());
+    return exportLLSchedule(Sched.schedule(), List->headNode())
+        .canonicalKey();
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(ScheduleExport, FailedCasDropped) {
+  Schedule Raw({
+      begin(SetOp::Insert, 5),
+      mk(EventKind::Read, MemField::Next, head(), ptrVal(node(1))),
+      mk(EventKind::Read, MemField::Val, node(1), 9),
+      mk(EventKind::NewNode, MemField::Val, node(4), 5),
+      [&] {
+        Event E = mk(EventKind::Cas, MemField::Next, head(),
+                     ptrVal(node(4)));
+        E.Value2 = 0; // failed
+        return E;
+      }(),
+      [&] {
+        Event E = mk(EventKind::Cas, MemField::Next, head(),
+                     ptrVal(node(4)));
+        E.Value2 = 1; // success: LL's write
+        return E;
+      }(),
+      end(true),
+  });
+  const auto Ops = exportOps(Raw, head());
+  ASSERT_EQ(Ops.size(), 1u);
+  int CasCount = 0;
+  for (const Event &E : Ops[0].Steps)
+    CasCount += E.Kind == EventKind::Cas;
+  EXPECT_EQ(CasCount, 1);
+}

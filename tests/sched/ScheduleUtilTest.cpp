@@ -1,0 +1,93 @@
+//===- tests/sched/ScheduleUtilTest.cpp - Event/Schedule utilities -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Event.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+Event ev(uint32_t Thread, uint32_t OpIndex, EventKind Kind,
+         const void *Node = nullptr, uint64_t Value = 0) {
+  Event E;
+  E.Thread = Thread;
+  E.OpIndex = OpIndex;
+  E.Kind = Kind;
+  E.Node = Node;
+  E.Value = Value;
+  return E;
+}
+
+} // namespace
+
+TEST(ScheduleUtil, OpProjectionFiltersByThreadAndOp) {
+  Schedule S({ev(0, 1, EventKind::OpBegin), ev(1, 1, EventKind::OpBegin),
+              ev(0, 1, EventKind::Read), ev(0, 2, EventKind::OpBegin),
+              ev(1, 1, EventKind::OpEnd), ev(0, 1, EventKind::OpEnd)});
+  const auto P01 = S.opProjection(0, 1);
+  ASSERT_EQ(P01.size(), 3u);
+  EXPECT_EQ(P01[0].Kind, EventKind::OpBegin);
+  EXPECT_EQ(P01[1].Kind, EventKind::Read);
+  EXPECT_EQ(P01[2].Kind, EventKind::OpEnd);
+  EXPECT_EQ(S.opProjection(1, 1).size(), 2u);
+  EXPECT_TRUE(S.opProjection(2, 1).empty());
+}
+
+TEST(ScheduleUtil, OperationsInFirstAppearanceOrder) {
+  Schedule S({ev(1, 1, EventKind::OpBegin), ev(0, 1, EventKind::OpBegin),
+              ev(1, 1, EventKind::OpEnd), ev(1, 2, EventKind::OpBegin)});
+  const auto Ops = S.operations();
+  ASSERT_EQ(Ops.size(), 3u);
+  EXPECT_EQ(Ops[0], (std::pair<uint32_t, uint32_t>{1, 1}));
+  EXPECT_EQ(Ops[1], (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(Ops[2], (std::pair<uint32_t, uint32_t>{1, 2}));
+}
+
+TEST(ScheduleUtil, CanonicalKeyRelabelsNodes) {
+  int A, B;
+  // Same shape, different node identities: identical canonical keys.
+  Schedule S1({ev(0, 1, EventKind::Read, &A, 7)});
+  Schedule S2({ev(0, 1, EventKind::Read, &B, 7)});
+  EXPECT_EQ(S1.canonicalKey(), S2.canonicalKey());
+
+  // Different event kinds: different keys.
+  Schedule S3({ev(0, 1, EventKind::Write, &A, 7)});
+  EXPECT_NE(S1.canonicalKey(), S3.canonicalKey());
+}
+
+TEST(ScheduleUtil, CanonicalKeyRelabelsNextValues) {
+  int A, B, C;
+  // next-reads whose VALUES are different addresses but the same
+  // first-appearance pattern must compare equal.
+  auto mkRead = [](const void *Node, const void *Target) {
+    Event E;
+    E.Kind = EventKind::Read;
+    E.Field = MemField::Next;
+    E.Node = Node;
+    E.Value =
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Target));
+    return E;
+  };
+  Schedule S1({mkRead(&A, &B)});
+  Schedule S2({mkRead(&B, &C)});
+  EXPECT_EQ(S1.canonicalKey(), S2.canonicalKey());
+  // Self-loop vs distinct target: different patterns.
+  Schedule S3({mkRead(&A, &A)});
+  EXPECT_NE(S1.canonicalKey(), S3.canonicalKey());
+}
+
+TEST(ScheduleUtil, ToStringMentionsEveryEvent) {
+  Schedule S({ev(0, 1, EventKind::OpBegin), ev(0, 1, EventKind::Restart),
+              ev(0, 1, EventKind::OpEnd)});
+  const std::string Text = S.toString();
+  EXPECT_NE(Text.find("begin"), std::string::npos);
+  EXPECT_NE(Text.find("restart"), std::string::npos);
+  EXPECT_NE(Text.find("end"), std::string::npos);
+}

@@ -1,0 +1,214 @@
+//===- tests/sched/SpecInterpreterTest.cpp - LL validation tests ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/SpecInterpreter.h"
+
+#include "lists/SequentialList.h"
+#include "sched/ScheduleExport.h"
+#include "sched/StepScheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+/// Fabricated node identities for hand-built traces.
+int Cells[8];
+const void *head() { return &Cells[0]; }
+const void *node(int I) { return &Cells[I]; }
+
+Event read(const void *Node, MemField Field, uint64_t Value) {
+  Event E;
+  E.Kind = EventKind::Read;
+  E.Field = Field;
+  E.Node = Node;
+  E.Value = Value;
+  return E;
+}
+
+Event readNextTo(const void *Node, const void *Target) {
+  return read(Node, MemField::Next,
+              static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Target)));
+}
+
+Event write(const void *Node, const void *Target) {
+  Event E;
+  E.Kind = EventKind::Write;
+  E.Field = MemField::Next;
+  E.Node = Node;
+  E.Value = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Target));
+  return E;
+}
+
+Event newNode(const void *Node, SetKey Key) {
+  Event E;
+  E.Kind = EventKind::NewNode;
+  E.Node = Node;
+  E.Value = static_cast<uint64_t>(Key);
+  return E;
+}
+
+ExportedOp makeOp(SetOp Kind, SetKey Key, bool Result,
+                  std::vector<Event> Steps) {
+  ExportedOp Op;
+  Op.Op = Kind;
+  Op.Key = Key;
+  Op.Result = Result;
+  Op.Completed = true;
+  Op.Steps = std::move(Steps);
+  return Op;
+}
+
+} // namespace
+
+TEST(SpecInterpreter, AcceptsCanonicalContains) {
+  // head -> n1(5) -> tail(+inf): contains(5) reads next(head), val(n1).
+  const auto Op = makeOp(SetOp::Contains, 5, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5)});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(SpecInterpreter, RejectsContainsWithWrongResult) {
+  const auto Op = makeOp(SetOp::Contains, 5, false,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5)});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, AcceptsSuccessfulInsert) {
+  // insert(3) into head -> n1(5): traverse, create n2, link.
+  const auto Op = makeOp(SetOp::Insert, 3, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          newNode(node(2), 3), write(head(), node(2))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(SpecInterpreter, RejectsInsertLinkingFromWrongNode) {
+  // The link write must target prev (= head here), not another node.
+  const auto Op = makeOp(SetOp::Insert, 3, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          newNode(node(2), 3), write(node(1), node(2))});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, RejectsInsertWithoutCreation) {
+  const auto Op = makeOp(SetOp::Insert, 3, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          write(head(), node(2))});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, AcceptsFailedInsertStoppingAtMatch) {
+  const auto Op = makeOp(SetOp::Insert, 5, false,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5)});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(SpecInterpreter, RejectsFailedInsertThatKeepsGoing) {
+  const auto Op = makeOp(SetOp::Insert, 5, false,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          readNextTo(node(1), node(3))});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, AcceptsSuccessfulRemove) {
+  // remove(5): traverse to n1(5), read its next, unlink via head.
+  const auto Op = makeOp(SetOp::Remove, 5, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          readNextTo(node(1), node(3)),
+                          write(head(), node(3))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(SpecInterpreter, RejectsRemoveUnlinkingWrongSuccessor) {
+  const auto Op = makeOp(SetOp::Remove, 5, true,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 5),
+                          readNextTo(node(1), node(3)),
+                          write(head(), node(4))});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, RejectsTraversalSkippingValRead) {
+  // Two next reads in a row without the val read LL performs.
+  const auto Op = makeOp(SetOp::Contains, 9, false,
+                         {readNextTo(head(), node(1)),
+                          readNextTo(node(1), node(2)),
+                          read(node(2), MemField::Val, 11)});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, RejectsTraversalJumpingNodes) {
+  // The val read must target the node the last next read produced.
+  const auto Op = makeOp(SetOp::Contains, 9, false,
+                         {readNextTo(head(), node(1)),
+                          read(node(2), MemField::Val, 11)});
+  EXPECT_FALSE(validateAgainstSpec(Op, head()));
+}
+
+TEST(SpecInterpreter, AcceptsIncompletePrefix) {
+  auto Op = makeOp(SetOp::Insert, 7, false,
+                   {readNextTo(head(), node(1)),
+                    read(node(1), MemField::Val, 5)});
+  Op.Completed = false; // Mid-flight: val(5) < 7, next hop not yet read.
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+TEST(SpecInterpreter, MultiHopTraversal) {
+  // head -> n1(2) -> n2(4) -> n3(+inf); contains(9) walks them all.
+  const auto Op = makeOp(SetOp::Contains, 9, false,
+                         {readNextTo(head(), node(1)),
+                          read(node(1), MemField::Val, 2),
+                          readNextTo(node(1), node(2)),
+                          read(node(2), MemField::Val, 4),
+                          readNextTo(node(2), node(3)),
+                          read(node(3), MemField::Val,
+                               static_cast<uint64_t>(MaxSentinel))});
+  std::string Error;
+  EXPECT_TRUE(validateAgainstSpec(Op, head(), &Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: traces of the real traced lists validate against LL.
+//===----------------------------------------------------------------------===//
+
+TEST(SpecInterpreter, SequentialListTracesAreLocallySerializable) {
+  auto List = std::make_shared<SequentialList<TracedPolicy>>();
+  List->insert(10);
+  List->insert(20);
+  const void *Head = List->headNode();
+
+  StepScheduler Sched(
+      {[List] {
+         tracedOp(SetOp::Insert, 15, [&] { return List->insert(15); });
+         tracedOp(SetOp::Remove, 10, [&] { return List->remove(10); });
+         tracedOp(SetOp::Contains, 20,
+                  [&] { return List->contains(20); });
+         tracedOp(SetOp::Insert, 20, [&] { return List->insert(20); });
+         tracedOp(SetOp::Remove, 99, [&] { return List->remove(99); });
+       }});
+  ASSERT_TRUE(Sched.drain());
+
+  for (const ExportedOp &Op : exportOps(Sched.schedule(), Head)) {
+    std::string Error;
+    EXPECT_TRUE(validateAgainstSpec(Op, Head, &Error)) << Error;
+  }
+}

@@ -1,0 +1,74 @@
+//===- tests/support/AsciiChartTest.cpp - Chart renderer tests -----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbl;
+
+TEST(AsciiChart, EmptyInputsProduceNoData) {
+  EXPECT_EQ(renderAsciiChart({}, {}), "(no data)\n");
+  EXPECT_EQ(renderAsciiChart({"1"}, {}), "(no data)\n");
+}
+
+TEST(AsciiChart, ContainsLegendAndLabels) {
+  const std::string Out = renderAsciiChart(
+      {"1", "2", "4"},
+      {{"vbl", {1.0, 2.0, 3.0}}, {"lazy", {1.0, 1.5, 1.2}}}, 8,
+      "Mops/s");
+  EXPECT_NE(Out.find("*=vbl"), std::string::npos);
+  EXPECT_NE(Out.find("o=lazy"), std::string::npos);
+  EXPECT_NE(Out.find("Mops/s"), std::string::npos);
+  EXPECT_NE(Out.find('1'), std::string::npos);
+  EXPECT_NE(Out.find('4'), std::string::npos);
+}
+
+TEST(AsciiChart, GlyphCountsMatchPoints) {
+  const std::string Out =
+      renderAsciiChart({"1", "2", "4", "8"}, {{"s", {1, 2, 3, 4}}}, 10);
+  // Four distinct y-positions: four '*' glyphs, no collisions.
+  size_t Stars = 0;
+  for (char C : Out)
+    Stars += C == '*';
+  EXPECT_EQ(Stars, 4u + 1u) << "4 points plus the legend glyph";
+}
+
+TEST(AsciiChart, CollidingPointsMarked) {
+  const std::string Out = renderAsciiChart(
+      {"1"}, {{"a", {5.0}}, {"b", {5.0}}}, 8);
+  EXPECT_NE(Out.find('#'), std::string::npos)
+      << "two series at the same cell must print '#'";
+}
+
+TEST(AsciiChart, HigherValueIsHigherRow) {
+  const std::string Out =
+      renderAsciiChart({"1", "2"}, {{"s", {1.0, 10.0}}}, 10);
+  const size_t FirstStar = Out.find('*');
+  const size_t SecondStar = Out.find('*', FirstStar + 1);
+  ASSERT_NE(SecondStar, std::string::npos);
+  // The 10.0 point (x=2) must appear on an earlier line than the 1.0
+  // point: find their line numbers.
+  const size_t LineOfFirst =
+      std::count(Out.begin(), Out.begin() + (long)FirstStar, '\n');
+  const size_t LineOfSecond =
+      std::count(Out.begin(), Out.begin() + (long)SecondStar, '\n');
+  EXPECT_LT(LineOfFirst, LineOfSecond)
+      << "row order must reflect values:\n"
+      << Out;
+  // And the earlier (higher) line must be the larger value's column
+  // (further right).
+  const size_t ColOfFirst = FirstStar - Out.rfind('\n', FirstStar) - 1;
+  const size_t ColOfSecond = SecondStar - Out.rfind('\n', SecondStar) - 1;
+  EXPECT_GT(ColOfFirst, ColOfSecond) << Out;
+}
+
+TEST(AsciiChart, AllZeroSeriesRendersOnAxis) {
+  const std::string Out =
+      renderAsciiChart({"1", "2"}, {{"s", {0.0, 0.0}}}, 8);
+  EXPECT_NE(Out.find('*'), std::string::npos);
+}

@@ -1,0 +1,70 @@
+//===- tests/support/BarrierTest.cpp - SpinBarrier unit tests ------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+TEST(SpinBarrier, SingleThreadPassesImmediately) {
+  SpinBarrier Barrier(1);
+  for (int I = 0; I != 10; ++I)
+    Barrier.arriveAndWait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, PhasesStaySynchronized) {
+  constexpr unsigned NumThreads = 4;
+  constexpr int Phases = 50;
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<int> Counter{0};
+  std::atomic<bool> Failed{false};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      for (int Phase = 0; Phase != Phases; ++Phase) {
+        Counter.fetch_add(1, std::memory_order_relaxed);
+        Barrier.arriveAndWait();
+        // Between the two barriers every thread must observe the full
+        // count of this phase.
+        const int Expected = (Phase + 1) * static_cast<int>(NumThreads);
+        if (Counter.load(std::memory_order_relaxed) != Expected)
+          Failed.store(true, std::memory_order_relaxed);
+        Barrier.arriveAndWait();
+      }
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_FALSE(Failed.load());
+  EXPECT_EQ(Counter.load(), Phases * static_cast<int>(NumThreads));
+}
+
+TEST(SpinBarrier, ReusableAcrossManyRounds) {
+  constexpr unsigned NumThreads = 2;
+  SpinBarrier Barrier(NumThreads);
+  std::atomic<int> Rounds{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      for (int I = 0; I != 500; ++I) {
+        Barrier.arriveAndWait();
+        if (I == 0)
+          Rounds.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto &Thread : Threads)
+    Thread.join();
+  EXPECT_EQ(Rounds.load(), static_cast<int>(NumThreads));
+}

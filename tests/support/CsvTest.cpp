@@ -1,0 +1,85 @@
+//===- tests/support/CsvTest.cpp - CsvWriter unit tests ------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace vbl;
+
+namespace {
+
+std::string renderToString(const CsvWriter &Writer) {
+  std::FILE *Tmp = std::tmpfile();
+  EXPECT_NE(Tmp, nullptr);
+  Writer.writeStream(Tmp);
+  std::rewind(Tmp);
+  std::string Out;
+  char Buf[256];
+  while (std::fgets(Buf, sizeof(Buf), Tmp))
+    Out += Buf;
+  std::fclose(Tmp);
+  return Out;
+}
+
+} // namespace
+
+TEST(CsvWriter, HeaderOnly) {
+  CsvWriter Writer({"a", "b"});
+  EXPECT_EQ(renderToString(Writer), "a,b\n");
+}
+
+TEST(CsvWriter, SimpleRows) {
+  CsvWriter Writer({"threads", "throughput"});
+  Writer.addRow({"4", "123.5"});
+  Writer.addRow({"8", "99"});
+  EXPECT_EQ(renderToString(Writer), "threads,throughput\n4,123.5\n8,99\n");
+  EXPECT_EQ(Writer.numRows(), 2u);
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  CsvWriter Writer({"name"});
+  Writer.addRow({"a,b"});
+  Writer.addRow({"say \"hi\""});
+  EXPECT_EQ(renderToString(Writer), "name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, EscapesNewlines) {
+  CsvWriter Writer({"name"});
+  Writer.addRow({"two\nlines"});
+  EXPECT_EQ(renderToString(Writer), "name\n\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, CellFormatting) {
+  EXPECT_EQ(CsvWriter::cell(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(CsvWriter::cell(static_cast<unsigned long long>(9)), "9");
+  EXPECT_EQ(CsvWriter::cell(1.5), "1.5");
+}
+
+TEST(CsvWriter, WriteFileRoundTrip) {
+  CsvWriter Writer({"x"});
+  Writer.addRow({"1"});
+  const std::string Path = ::testing::TempDir() + "/vbl_csv_test.csv";
+  ASSERT_TRUE(Writer.writeFile(Path));
+  std::FILE *In = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(In, nullptr);
+  char Buf[64];
+  std::string Content;
+  while (std::fgets(Buf, sizeof(Buf), In))
+    Content += Buf;
+  std::fclose(In);
+  std::remove(Path.c_str());
+  EXPECT_EQ(Content, "x\n1\n");
+}
+
+TEST(CsvWriter, WriteFileFailsOnBadPath) {
+  CsvWriter Writer({"x"});
+  EXPECT_FALSE(Writer.writeFile("/nonexistent-dir-zz/file.csv"));
+}

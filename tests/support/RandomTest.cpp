@@ -1,0 +1,97 @@
+//===- tests/support/RandomTest.cpp - PRNG unit tests --------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace vbl;
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(SplitMix64, ZeroSeedIsUsable) {
+  SplitMix64 Gen(0);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 32; ++I)
+    Seen.insert(Gen.next());
+  EXPECT_EQ(Seen.size(), 32u);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 Gen(123);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 50ull, 20000ull}) {
+    for (int I = 0; I != 1000; ++I)
+      EXPECT_LT(Gen.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 Gen(9);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Gen.nextBounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedRoughlyUniform) {
+  Xoshiro256 Gen(99);
+  constexpr uint64_t Buckets = 10;
+  constexpr int Draws = 100000;
+  std::vector<int> Counts(Buckets, 0);
+  for (int I = 0; I != Draws; ++I)
+    ++Counts[Gen.nextBounded(Buckets)];
+  // Each bucket expects 10000; allow +-10% which is ~30 sigma.
+  for (uint64_t B = 0; B != Buckets; ++B) {
+    EXPECT_GT(Counts[B], 9000) << "bucket " << B;
+    EXPECT_LT(Counts[B], 11000) << "bucket " << B;
+  }
+}
+
+TEST(Xoshiro256, PercentExtremes) {
+  Xoshiro256 Gen(5);
+  for (int I = 0; I != 200; ++I) {
+    EXPECT_FALSE(Gen.nextPercent(0));
+    EXPECT_TRUE(Gen.nextPercent(100));
+  }
+}
+
+TEST(Xoshiro256, PercentRoughlyCalibrated) {
+  Xoshiro256 Gen(77);
+  int Hits = 0;
+  constexpr int Draws = 100000;
+  for (int I = 0; I != Draws; ++I)
+    Hits += Gen.nextPercent(20);
+  EXPECT_GT(Hits, 18500);
+  EXPECT_LT(Hits, 21500);
+}
+
+TEST(Xoshiro256, StreamsFromDistinctSeedsDiffer) {
+  Xoshiro256 A(1000), B(1001);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_EQ(Same, 0);
+}
