@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vbl.dir/ablation_vbl.cpp.o"
+  "CMakeFiles/ablation_vbl.dir/ablation_vbl.cpp.o.d"
+  "ablation_vbl"
+  "ablation_vbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_small_contended.dir/fig1_small_contended.cpp.o"
+  "CMakeFiles/fig1_small_contended.dir/fig1_small_contended.cpp.o.d"
+  "fig1_small_contended"
+  "fig1_small_contended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_small_contended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

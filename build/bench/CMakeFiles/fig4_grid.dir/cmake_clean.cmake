@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_grid.dir/fig4_grid.cpp.o"
+  "CMakeFiles/fig4_grid.dir/fig4_grid.cpp.o.d"
+  "fig4_grid"
+  "fig4_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_locks.dir/micro_locks.cpp.o"
+  "CMakeFiles/micro_locks.dir/micro_locks.cpp.o.d"
+  "micro_locks"
+  "micro_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

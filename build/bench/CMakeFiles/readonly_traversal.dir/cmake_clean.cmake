@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readonly_traversal.dir/readonly_traversal.cpp.o"
+  "CMakeFiles/readonly_traversal.dir/readonly_traversal.cpp.o.d"
+  "readonly_traversal"
+  "readonly_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readonly_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclamation_cost.dir/reclamation_cost.cpp.o"
+  "CMakeFiles/reclamation_cost.dir/reclamation_cost.cpp.o.d"
+  "reclamation_cost"
+  "reclamation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclamation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

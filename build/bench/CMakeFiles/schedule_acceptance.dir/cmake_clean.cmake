@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_acceptance.dir/schedule_acceptance.cpp.o"
+  "CMakeFiles/schedule_acceptance.dir/schedule_acceptance.cpp.o.d"
+  "schedule_acceptance"
+  "schedule_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

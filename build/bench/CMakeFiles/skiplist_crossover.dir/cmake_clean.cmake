@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_crossover.dir/skiplist_crossover.cpp.o"
+  "CMakeFiles/skiplist_crossover.dir/skiplist_crossover.cpp.o.d"
+  "skiplist_crossover"
+  "skiplist_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

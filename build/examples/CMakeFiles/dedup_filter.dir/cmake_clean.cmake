@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_filter.dir/dedup_filter.cpp.o"
+  "CMakeFiles/dedup_filter.dir/dedup_filter.cpp.o.d"
+  "dedup_filter"
+  "dedup_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

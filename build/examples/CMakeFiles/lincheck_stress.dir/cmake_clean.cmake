@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lincheck_stress.dir/lincheck_stress.cpp.o"
+  "CMakeFiles/lincheck_stress.dir/lincheck_stress.cpp.o.d"
+  "lincheck_stress"
+  "lincheck_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lincheck_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_harness.dir/harness/Runner.cpp.o"
+  "CMakeFiles/vbl_harness.dir/harness/Runner.cpp.o.d"
+  "CMakeFiles/vbl_harness.dir/harness/TablePrinter.cpp.o"
+  "CMakeFiles/vbl_harness.dir/harness/TablePrinter.cpp.o.d"
+  "CMakeFiles/vbl_harness.dir/harness/Workload.cpp.o"
+  "CMakeFiles/vbl_harness.dir/harness/Workload.cpp.o.d"
+  "libvbl_harness.a"
+  "libvbl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

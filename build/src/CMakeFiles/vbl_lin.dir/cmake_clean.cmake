@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_lin.dir/lin/History.cpp.o"
+  "CMakeFiles/vbl_lin.dir/lin/History.cpp.o.d"
+  "CMakeFiles/vbl_lin.dir/lin/LinChecker.cpp.o"
+  "CMakeFiles/vbl_lin.dir/lin/LinChecker.cpp.o.d"
+  "libvbl_lin.a"
+  "libvbl_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbl_lin.a"
+)

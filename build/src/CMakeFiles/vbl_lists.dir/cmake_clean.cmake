@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_lists.dir/lists/Registry.cpp.o"
+  "CMakeFiles/vbl_lists.dir/lists/Registry.cpp.o.d"
+  "libvbl_lists.a"
+  "libvbl_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reclaim/EpochDomain.cpp" "src/CMakeFiles/vbl_reclaim.dir/reclaim/EpochDomain.cpp.o" "gcc" "src/CMakeFiles/vbl_reclaim.dir/reclaim/EpochDomain.cpp.o.d"
+  "/root/repo/src/reclaim/HazardPointerDomain.cpp" "src/CMakeFiles/vbl_reclaim.dir/reclaim/HazardPointerDomain.cpp.o" "gcc" "src/CMakeFiles/vbl_reclaim.dir/reclaim/HazardPointerDomain.cpp.o.d"
+  "/root/repo/src/reclaim/TrackingDomain.cpp" "src/CMakeFiles/vbl_reclaim.dir/reclaim/TrackingDomain.cpp.o" "gcc" "src/CMakeFiles/vbl_reclaim.dir/reclaim/TrackingDomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

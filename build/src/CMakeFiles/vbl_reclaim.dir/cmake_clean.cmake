@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_reclaim.dir/reclaim/EpochDomain.cpp.o"
+  "CMakeFiles/vbl_reclaim.dir/reclaim/EpochDomain.cpp.o.d"
+  "CMakeFiles/vbl_reclaim.dir/reclaim/HazardPointerDomain.cpp.o"
+  "CMakeFiles/vbl_reclaim.dir/reclaim/HazardPointerDomain.cpp.o.d"
+  "CMakeFiles/vbl_reclaim.dir/reclaim/TrackingDomain.cpp.o"
+  "CMakeFiles/vbl_reclaim.dir/reclaim/TrackingDomain.cpp.o.d"
+  "libvbl_reclaim.a"
+  "libvbl_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

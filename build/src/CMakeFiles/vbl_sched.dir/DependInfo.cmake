@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/InterleavingExplorer.cpp" "src/CMakeFiles/vbl_sched.dir/sched/InterleavingExplorer.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/InterleavingExplorer.cpp.o.d"
+  "/root/repo/src/sched/Schedule.cpp" "src/CMakeFiles/vbl_sched.dir/sched/Schedule.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/Schedule.cpp.o.d"
+  "/root/repo/src/sched/ScheduleChecker.cpp" "src/CMakeFiles/vbl_sched.dir/sched/ScheduleChecker.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/ScheduleChecker.cpp.o.d"
+  "/root/repo/src/sched/ScheduleExport.cpp" "src/CMakeFiles/vbl_sched.dir/sched/ScheduleExport.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/ScheduleExport.cpp.o.d"
+  "/root/repo/src/sched/SpecInterpreter.cpp" "src/CMakeFiles/vbl_sched.dir/sched/SpecInterpreter.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/SpecInterpreter.cpp.o.d"
+  "/root/repo/src/sched/StepScheduler.cpp" "src/CMakeFiles/vbl_sched.dir/sched/StepScheduler.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/StepScheduler.cpp.o.d"
+  "/root/repo/src/sched/TracedPolicy.cpp" "src/CMakeFiles/vbl_sched.dir/sched/TracedPolicy.cpp.o" "gcc" "src/CMakeFiles/vbl_sched.dir/sched/TracedPolicy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbl_lists.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_lin.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_sched.dir/sched/InterleavingExplorer.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/InterleavingExplorer.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/Schedule.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/Schedule.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/ScheduleChecker.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/ScheduleChecker.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/ScheduleExport.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/ScheduleExport.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/SpecInterpreter.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/SpecInterpreter.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/StepScheduler.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/StepScheduler.cpp.o.d"
+  "CMakeFiles/vbl_sched.dir/sched/TracedPolicy.cpp.o"
+  "CMakeFiles/vbl_sched.dir/sched/TracedPolicy.cpp.o.d"
+  "libvbl_sched.a"
+  "libvbl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

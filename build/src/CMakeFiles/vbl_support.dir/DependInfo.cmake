@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/AsciiChart.cpp" "src/CMakeFiles/vbl_support.dir/support/AsciiChart.cpp.o" "gcc" "src/CMakeFiles/vbl_support.dir/support/AsciiChart.cpp.o.d"
+  "/root/repo/src/support/CommandLine.cpp" "src/CMakeFiles/vbl_support.dir/support/CommandLine.cpp.o" "gcc" "src/CMakeFiles/vbl_support.dir/support/CommandLine.cpp.o.d"
+  "/root/repo/src/support/Csv.cpp" "src/CMakeFiles/vbl_support.dir/support/Csv.cpp.o" "gcc" "src/CMakeFiles/vbl_support.dir/support/Csv.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/vbl_support.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/vbl_support.dir/support/Stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbl_support.dir/support/AsciiChart.cpp.o"
+  "CMakeFiles/vbl_support.dir/support/AsciiChart.cpp.o.d"
+  "CMakeFiles/vbl_support.dir/support/CommandLine.cpp.o"
+  "CMakeFiles/vbl_support.dir/support/CommandLine.cpp.o.d"
+  "CMakeFiles/vbl_support.dir/support/Csv.cpp.o"
+  "CMakeFiles/vbl_support.dir/support/Csv.cpp.o.d"
+  "CMakeFiles/vbl_support.dir/support/Stats.cpp.o"
+  "CMakeFiles/vbl_support.dir/support/Stats.cpp.o.d"
+  "libvbl_support.a"
+  "libvbl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

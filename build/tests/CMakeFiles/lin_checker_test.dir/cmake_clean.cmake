@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_checker_test.dir/lin/LinCheckerTest.cpp.o"
+  "CMakeFiles/lin_checker_test.dir/lin/LinCheckerTest.cpp.o.d"
+  "lin_checker_test"
+  "lin_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

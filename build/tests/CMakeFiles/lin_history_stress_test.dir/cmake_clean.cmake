@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_history_stress_test.dir/lin/HistoryStressTest.cpp.o"
+  "CMakeFiles/lin_history_stress_test.dir/lin/HistoryStressTest.cpp.o.d"
+  "lin_history_stress_test"
+  "lin_history_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_history_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_basic_test.dir/lists/ListBasicTest.cpp.o"
+  "CMakeFiles/lists_basic_test.dir/lists/ListBasicTest.cpp.o.d"
+  "lists_basic_test"
+  "lists_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lists/TombstoneBstTest.cpp" "tests/CMakeFiles/lists_bst_test.dir/lists/TombstoneBstTest.cpp.o" "gcc" "tests/CMakeFiles/lists_bst_test.dir/lists/TombstoneBstTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbl_lists.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_bst_test.dir/lists/TombstoneBstTest.cpp.o"
+  "CMakeFiles/lists_bst_test.dir/lists/TombstoneBstTest.cpp.o.d"
+  "lists_bst_test"
+  "lists_bst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_bst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

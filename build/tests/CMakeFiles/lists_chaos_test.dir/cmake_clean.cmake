@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_chaos_test.dir/lists/ChaosStressTest.cpp.o"
+  "CMakeFiles/lists_chaos_test.dir/lists/ChaosStressTest.cpp.o.d"
+  "lists_chaos_test"
+  "lists_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

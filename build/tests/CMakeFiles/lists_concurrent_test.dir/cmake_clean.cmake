@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_concurrent_test.dir/lists/ListConcurrentTest.cpp.o"
+  "CMakeFiles/lists_concurrent_test.dir/lists/ListConcurrentTest.cpp.o.d"
+  "lists_concurrent_test"
+  "lists_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_crossdiff_test.dir/lists/CrossDifferentialTest.cpp.o"
+  "CMakeFiles/lists_crossdiff_test.dir/lists/CrossDifferentialTest.cpp.o.d"
+  "lists_crossdiff_test"
+  "lists_crossdiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_crossdiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

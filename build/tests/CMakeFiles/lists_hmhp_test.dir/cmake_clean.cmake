@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_hmhp_test.dir/lists/HarrisMichaelHpTest.cpp.o"
+  "CMakeFiles/lists_hmhp_test.dir/lists/HarrisMichaelHpTest.cpp.o.d"
+  "lists_hmhp_test"
+  "lists_hmhp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_hmhp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_lockfree_test.dir/lists/LockFreeListTest.cpp.o"
+  "CMakeFiles/lists_lockfree_test.dir/lists/LockFreeListTest.cpp.o.d"
+  "lists_lockfree_test"
+  "lists_lockfree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_lockfree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

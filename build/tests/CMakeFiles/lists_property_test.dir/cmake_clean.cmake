@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_property_test.dir/lists/PropertyTest.cpp.o"
+  "CMakeFiles/lists_property_test.dir/lists/PropertyTest.cpp.o.d"
+  "lists_property_test"
+  "lists_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

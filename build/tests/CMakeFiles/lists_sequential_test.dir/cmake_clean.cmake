@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_sequential_test.dir/lists/SequentialListTest.cpp.o"
+  "CMakeFiles/lists_sequential_test.dir/lists/SequentialListTest.cpp.o.d"
+  "lists_sequential_test"
+  "lists_sequential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

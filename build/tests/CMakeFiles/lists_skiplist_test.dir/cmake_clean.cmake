@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_skiplist_test.dir/lists/SkipListTest.cpp.o"
+  "CMakeFiles/lists_skiplist_test.dir/lists/SkipListTest.cpp.o.d"
+  "lists_skiplist_test"
+  "lists_skiplist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lists_vbl_test.dir/lists/VblListTest.cpp.o"
+  "CMakeFiles/lists_vbl_test.dir/lists/VblListTest.cpp.o.d"
+  "lists_vbl_test"
+  "lists_vbl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lists_vbl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_epoch_test.dir/reclaim/EpochDomainTest.cpp.o"
+  "CMakeFiles/reclaim_epoch_test.dir/reclaim/EpochDomainTest.cpp.o.d"
+  "reclaim_epoch_test"
+  "reclaim_epoch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_hazard_test.dir/reclaim/HazardPointerTest.cpp.o"
+  "CMakeFiles/reclaim_hazard_test.dir/reclaim/HazardPointerTest.cpp.o.d"
+  "reclaim_hazard_test"
+  "reclaim_hazard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_hazard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

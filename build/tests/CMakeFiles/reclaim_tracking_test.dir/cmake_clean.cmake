@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_tracking_test.dir/reclaim/TrackingDomainTest.cpp.o"
+  "CMakeFiles/reclaim_tracking_test.dir/reclaim/TrackingDomainTest.cpp.o.d"
+  "reclaim_tracking_test"
+  "reclaim_tracking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

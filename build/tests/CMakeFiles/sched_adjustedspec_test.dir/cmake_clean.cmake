@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_adjustedspec_test.dir/sched/AdjustedSpecTest.cpp.o"
+  "CMakeFiles/sched_adjustedspec_test.dir/sched/AdjustedSpecTest.cpp.o.d"
+  "sched_adjustedspec_test"
+  "sched_adjustedspec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_adjustedspec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_deadlock_test.dir/sched/DeadlockDetectionTest.cpp.o"
+  "CMakeFiles/sched_deadlock_test.dir/sched/DeadlockDetectionTest.cpp.o.d"
+  "sched_deadlock_test"
+  "sched_deadlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_explorer_exactness_test.dir/sched/ExplorerExactnessTest.cpp.o"
+  "CMakeFiles/sched_explorer_exactness_test.dir/sched/ExplorerExactnessTest.cpp.o.d"
+  "sched_explorer_exactness_test"
+  "sched_explorer_exactness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_explorer_exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

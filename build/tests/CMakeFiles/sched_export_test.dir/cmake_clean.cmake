@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_export_test.dir/sched/ScheduleExportTest.cpp.o"
+  "CMakeFiles/sched_export_test.dir/sched/ScheduleExportTest.cpp.o.d"
+  "sched_export_test"
+  "sched_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_figures_test.dir/sched/ScheduleFiguresTest.cpp.o"
+  "CMakeFiles/sched_figures_test.dir/sched/ScheduleFiguresTest.cpp.o.d"
+  "sched_figures_test"
+  "sched_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

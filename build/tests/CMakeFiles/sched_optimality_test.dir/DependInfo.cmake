@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/OptimalityTest.cpp" "tests/CMakeFiles/sched_optimality_test.dir/sched/OptimalityTest.cpp.o" "gcc" "tests/CMakeFiles/sched_optimality_test.dir/sched/OptimalityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vbl_lists.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_reclaim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vbl_lin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

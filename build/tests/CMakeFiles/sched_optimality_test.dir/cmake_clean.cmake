@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_optimality_test.dir/sched/OptimalityTest.cpp.o"
+  "CMakeFiles/sched_optimality_test.dir/sched/OptimalityTest.cpp.o.d"
+  "sched_optimality_test"
+  "sched_optimality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

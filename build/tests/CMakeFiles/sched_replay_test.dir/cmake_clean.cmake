@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_replay_test.dir/sched/ReplayTest.cpp.o"
+  "CMakeFiles/sched_replay_test.dir/sched/ReplayTest.cpp.o.d"
+  "sched_replay_test"
+  "sched_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_schedulechecker_test.dir/sched/ScheduleCheckerTest.cpp.o"
+  "CMakeFiles/sched_schedulechecker_test.dir/sched/ScheduleCheckerTest.cpp.o.d"
+  "sched_schedulechecker_test"
+  "sched_schedulechecker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_schedulechecker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_scheduleutil_test.dir/sched/ScheduleUtilTest.cpp.o"
+  "CMakeFiles/sched_scheduleutil_test.dir/sched/ScheduleUtilTest.cpp.o.d"
+  "sched_scheduleutil_test"
+  "sched_scheduleutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_scheduleutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

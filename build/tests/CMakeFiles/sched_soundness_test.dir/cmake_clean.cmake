@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_soundness_test.dir/sched/SoundnessTest.cpp.o"
+  "CMakeFiles/sched_soundness_test.dir/sched/SoundnessTest.cpp.o.d"
+  "sched_soundness_test"
+  "sched_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_specinterpreter_test.dir/sched/SpecInterpreterTest.cpp.o"
+  "CMakeFiles/sched_specinterpreter_test.dir/sched/SpecInterpreterTest.cpp.o.d"
+  "sched_specinterpreter_test"
+  "sched_specinterpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_specinterpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

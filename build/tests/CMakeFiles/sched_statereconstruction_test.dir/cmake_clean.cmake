@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_statereconstruction_test.dir/sched/StateReconstructionTest.cpp.o"
+  "CMakeFiles/sched_statereconstruction_test.dir/sched/StateReconstructionTest.cpp.o.d"
+  "sched_statereconstruction_test"
+  "sched_statereconstruction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_statereconstruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

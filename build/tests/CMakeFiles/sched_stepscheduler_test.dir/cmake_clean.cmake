@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_stepscheduler_test.dir/sched/StepSchedulerTest.cpp.o"
+  "CMakeFiles/sched_stepscheduler_test.dir/sched/StepSchedulerTest.cpp.o.d"
+  "sched_stepscheduler_test"
+  "sched_stepscheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_stepscheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

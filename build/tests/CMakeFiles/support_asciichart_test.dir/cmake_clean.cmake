@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_asciichart_test.dir/support/AsciiChartTest.cpp.o"
+  "CMakeFiles/support_asciichart_test.dir/support/AsciiChartTest.cpp.o.d"
+  "support_asciichart_test"
+  "support_asciichart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_asciichart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_barrier_test.dir/support/BarrierTest.cpp.o"
+  "CMakeFiles/support_barrier_test.dir/support/BarrierTest.cpp.o.d"
+  "support_barrier_test"
+  "support_barrier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_commandline_test.dir/support/CommandLineTest.cpp.o"
+  "CMakeFiles/support_commandline_test.dir/support/CommandLineTest.cpp.o.d"
+  "support_commandline_test"
+  "support_commandline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_commandline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_spinlocks_test.dir/sync/SpinLocksTest.cpp.o"
+  "CMakeFiles/sync_spinlocks_test.dir/sync/SpinLocksTest.cpp.o.d"
+  "sync_spinlocks_test"
+  "sync_spinlocks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_spinlocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_versionedlock_test.dir/sync/VersionedLockTest.cpp.o"
+  "CMakeFiles/sync_versionedlock_test.dir/sync/VersionedLockTest.cpp.o.d"
+  "sync_versionedlock_test"
+  "sync_versionedlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_versionedlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
