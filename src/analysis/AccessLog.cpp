@@ -1,0 +1,101 @@
+//===- analysis/AccessLog.cpp - Per-episode access log -------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessLog.h"
+
+#include <cstring>
+#include <sstream>
+
+using namespace vbl;
+using namespace vbl::analysis;
+
+const char *vbl::analysis::recordKindName(RecordKind Kind) {
+  switch (Kind) {
+  case RecordKind::Read:
+    return "read";
+  case RecordKind::Write:
+    return "write";
+  case RecordKind::RmwSuccess:
+    return "cas";
+  case RecordKind::RmwFail:
+    return "cas-fail";
+  case RecordKind::PlainRead:
+    return "plain-read";
+  case RecordKind::NodeInit:
+    return "node-init";
+  case RecordKind::LockAcquire:
+    return "lock-acquire";
+  case RecordKind::LockRelease:
+    return "lock-release";
+  }
+  return "?";
+}
+
+static const char *fieldName(MemField Field) {
+  switch (Field) {
+  case MemField::Val:
+    return "Val";
+  case MemField::Next:
+    return "Next";
+  case MemField::Marked:
+    return "Marked";
+  case MemField::Lock:
+    return "Lock";
+  }
+  return "?";
+}
+
+static const char *orderName(std::memory_order Order) {
+  switch (Order) {
+  case std::memory_order_relaxed:
+    return "relaxed";
+  case std::memory_order_consume:
+    return "consume";
+  case std::memory_order_acquire:
+    return "acquire";
+  case std::memory_order_release:
+    return "release";
+  case std::memory_order_acq_rel:
+    return "acq_rel";
+  case std::memory_order_seq_cst:
+    return "seq_cst";
+  }
+  return "?";
+}
+
+static const char *baseName(const char *Path) {
+  if (const char *Slash = std::strrchr(Path, '/'))
+    return Slash + 1;
+  return Path;
+}
+
+std::string AccessRecord::toString() const {
+  std::ostringstream Out;
+  Out << baseName(File) << ":" << Line << "  T" << Thread << " "
+      << setOpName(Op) << "#" << OpIndex << " " << recordKindName(Kind);
+  if (isMemoryAccess()) {
+    Out << " " << fieldName(Field);
+    if (Kind != RecordKind::PlainRead && Kind != RecordKind::NodeInit)
+      Out << "(" << orderName(Order) << ")";
+  }
+  Out << " @" << Node << " (access #" << Step << ")";
+  return Out.str();
+}
+
+AccessLog &AccessLog::instance() {
+  static AccessLog Log;
+  return Log;
+}
+
+void AccessLog::enable() {
+  Records.clear();
+  Enabled.store(true, std::memory_order_release);
+}
+
+void AccessLog::disable() {
+  Enabled.store(false, std::memory_order_release);
+}

@@ -1,0 +1,148 @@
+//===- analysis/AccessLog.h - Per-episode shared-memory access log -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input stream of the happens-before race detector. The event
+/// trace the StepScheduler already records (sched/Event.h) deliberately
+/// abstracts away the C++ memory orders — schedules compare against the
+/// sequential spec LL, which has none. Race detection needs exactly the
+/// opposite: the *synchronization strength* of every access and its
+/// source location, and nothing about LL. AnalyzedPolicy
+/// (sched/AnalyzedPolicy.h) therefore appends a parallel stream of
+/// AccessRecords here while delegating the scheduling behaviour to the
+/// TracedPolicy machinery.
+///
+/// Appends are not internally synchronized: records are only written by
+/// the thread currently holding the step token of the deterministic
+/// scheduler, which serializes them exactly like the event trace
+/// (StepScheduler::Worker::record). The log is a process-wide singleton
+/// because policy hooks are static.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_ANALYSIS_ACCESSLOG_H
+#define VBL_ANALYSIS_ACCESSLOG_H
+
+#include "sync/Policy.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace analysis {
+
+/// What one record describes. Memory accesses carry a memory order;
+/// lock operations carry the lock identity; NodeInit models the
+/// constructor's plain writes to a freshly allocated node (Val and the
+/// initial Next), which race with any reader not ordered after the
+/// node's publication.
+enum class RecordKind : uint8_t {
+  Read,        ///< Atomic load (order in Order).
+  Write,       ///< Atomic store (order in Order).
+  RmwSuccess,  ///< Successful CAS: atomic read-modify-write.
+  RmwFail,     ///< Failed CAS: pure load with the failure order.
+  PlainRead,   ///< Non-atomic read of an immutable field (readValue).
+  NodeInit,    ///< Plain initialising writes of a new node's fields.
+  LockAcquire, ///< Lock taken (sync edge: lock clock -> thread).
+  LockRelease, ///< Lock dropped (sync edge: thread -> lock clock).
+};
+
+const char *recordKindName(RecordKind Kind);
+
+/// One logged access or synchronization operation.
+struct AccessRecord {
+  RecordKind Kind = RecordKind::Read;
+  uint32_t Thread = 0;
+  uint32_t OpIndex = 0;               ///< Per-thread operation counter.
+  SetOp Op = SetOp::Contains;         ///< Operation performing the access.
+  MemField Field = MemField::Val;     ///< Memory accesses only.
+  const void *Node = nullptr;         ///< Node (accesses) / lock (lock ops).
+  std::memory_order Order = std::memory_order_relaxed;
+  const char *File = "";              ///< Call site (std::source_location).
+  uint32_t Line = 0;
+  uint32_t Step = 0;                  ///< Index in the episode's log.
+
+  bool isMemoryAccess() const {
+    return Kind != RecordKind::LockAcquire && Kind != RecordKind::LockRelease;
+  }
+  bool isWrite() const {
+    return Kind == RecordKind::Write || Kind == RecordKind::RmwSuccess ||
+           Kind == RecordKind::NodeInit;
+  }
+  /// Plain in the algorithmic sense: an access the implementation
+  /// declared to need no synchronization (relaxed atomics, non-atomic
+  /// field reads, constructor writes). A race must involve at least one
+  /// plain access — acquire/release accesses to the same location are
+  /// the synchronization itself and never race with each other.
+  bool isPlain() const {
+    if (Kind == RecordKind::PlainRead || Kind == RecordKind::NodeInit)
+      return true;
+    if (!isMemoryAccess())
+      return false;
+    return Order == std::memory_order_relaxed;
+  }
+  /// The store half publishes (release or stronger).
+  bool isReleaseWrite() const {
+    return (Kind == RecordKind::Write || Kind == RecordKind::RmwSuccess) &&
+           (Order == std::memory_order_release ||
+            Order == std::memory_order_acq_rel ||
+            Order == std::memory_order_seq_cst);
+  }
+  /// The load half synchronizes (acquire or stronger). Failed CASes are
+  /// loads performed with the hard-wired acquire failure order of the
+  /// access policies.
+  bool isAcquireRead() const {
+    if (Kind == RecordKind::RmwFail)
+      return true;
+    if (Kind == RecordKind::Read || Kind == RecordKind::RmwSuccess)
+      return Order == std::memory_order_acquire ||
+             Order == std::memory_order_acq_rel ||
+             Order == std::memory_order_seq_cst ||
+             Order == std::memory_order_consume;
+    return false;
+  }
+
+  /// "file.h:123 T0 insert#0 write Next @0x..".
+  std::string toString() const;
+};
+
+/// The per-episode record stream. enable()/disable() bracket an episode
+/// (the InterleavingExplorer drives this); while disabled, AnalyzedPolicy
+/// logs nothing and costs one branch per access.
+class AccessLog {
+public:
+  static AccessLog &instance();
+
+  /// Clears the log and starts recording.
+  void enable();
+  /// Stops recording (records are kept until the next enable()).
+  void disable();
+  bool enabled() const { return Enabled.load(std::memory_order_acquire); }
+
+  void append(AccessRecord Record) {
+    if (!enabled())
+      return;
+    Record.Step = static_cast<uint32_t>(Records.size());
+    Records.push_back(Record);
+  }
+
+  const std::vector<AccessRecord> &records() const { return Records; }
+  size_t size() const { return Records.size(); }
+
+private:
+  AccessLog() = default;
+
+  std::atomic<bool> Enabled{false};
+  std::vector<AccessRecord> Records;
+};
+
+} // namespace analysis
+} // namespace vbl
+
+#endif // VBL_ANALYSIS_ACCESSLOG_H

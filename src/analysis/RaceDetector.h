@@ -1,0 +1,60 @@
+//===- analysis/RaceDetector.h - Vector-clock happens-before analysis ----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The happens-before race detector. It replays an episode's
+/// AccessRecord stream (already in global execution order — the
+/// deterministic scheduler serializes steps) and maintains:
+///
+///  - one vector clock per thread (advanced on every record),
+///  - one clock per lock: acquire joins the lock clock into the thread,
+///    release joins the thread clock into the lock,
+///  - one sync clock per (node, field) location: a release-class write
+///    joins the writer's clock into it, an acquire-class read joins it
+///    into the reader. Joining (rather than replacing) over-approximates
+///    the C++ release-sequence rules, which can only hide races, never
+///    invent them — the right bias for a checker whose positives are
+///    asserted exact by tests.
+///
+/// Two accesses race iff they touch the same (node, field), at least
+/// one writes, at least one is *plain* (relaxed / non-atomic — see
+/// AccessRecord::isPlain), they come from different threads, and
+/// neither happens-before the other. Because records are processed in
+/// schedule order, "unordered" reduces to an epoch test: prior access
+/// A by thread u races with current access B by thread t iff
+/// C_t[u] < epoch(A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_ANALYSIS_RACEDETECTOR_H
+#define VBL_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/AccessLog.h"
+#include "analysis/RaceReport.h"
+#include "analysis/VectorClock.h"
+
+#include <vector>
+
+namespace vbl {
+namespace analysis {
+
+class RaceDetector {
+public:
+  /// Analyses \p Records (one episode, in execution order) and returns
+  /// every race found, in order of the second access. \p Choices is the
+  /// episode's scheduler-choice sequence; each report carries the
+  /// prefix that exposes its race. Duplicate site pairs are reported
+  /// once per episode.
+  static std::vector<RaceReport>
+  detect(const std::vector<AccessRecord> &Records,
+         const std::vector<unsigned> &Choices = {});
+};
+
+} // namespace analysis
+} // namespace vbl
+
+#endif // VBL_ANALYSIS_RACEDETECTOR_H

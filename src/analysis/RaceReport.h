@@ -1,0 +1,48 @@
+//===- analysis/RaceReport.h - Race diagnostics --------------------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RaceReport names a pair of conflicting shared-memory accesses that
+/// the happens-before analysis found unordered: the two access sites
+/// (file:line, thread, operation), the node field they collided on, and
+/// the scheduler-choice prefix that exposes the race (feed it back into
+/// InterleavingExplorer::run to reproduce the interleaving).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_ANALYSIS_RACEREPORT_H
+#define VBL_ANALYSIS_RACEREPORT_H
+
+#include "analysis/AccessLog.h"
+
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace analysis {
+
+struct RaceReport {
+  AccessRecord First;  ///< The earlier access in the explored schedule.
+  AccessRecord Second; ///< The later, conflicting access.
+  /// Scheduler choices (thread granted per step) up to and including
+  /// the step of Second: replaying this prefix re-exposes the race.
+  std::vector<unsigned> SchedulePrefix;
+
+  /// Multi-line human-readable diagnostic.
+  std::string toString() const;
+
+  /// True iff both access sites match (same file, line, field and
+  /// kind), ignoring schedule/thread specifics. Tests use this to
+  /// assert *which* race was found without depending on exploration
+  /// order.
+  bool sameSites(const RaceReport &Other) const;
+};
+
+} // namespace analysis
+} // namespace vbl
+
+#endif // VBL_ANALYSIS_RACEREPORT_H

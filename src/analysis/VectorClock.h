@@ -1,0 +1,98 @@
+//===- analysis/VectorClock.h - Happens-before vector clocks -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain vector clocks for the happens-before race detector. One clock
+/// per logical thread, per lock and per synchronizing memory location;
+/// the component VC[t] counts the accesses thread t has performed. The
+/// detector only ever asks one question — "is access A ordered before
+/// the current point of thread t?" — which reduces to a scalar
+/// comparison against A's epoch (its thread's own component at the time
+/// of the access), so individual accesses never store a full clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_ANALYSIS_VECTORCLOCK_H
+#define VBL_ANALYSIS_VECTORCLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace analysis {
+
+class VectorClock {
+public:
+  VectorClock() = default;
+  explicit VectorClock(unsigned Threads) : Components(Threads, 0) {}
+
+  /// Component for \p Thread; zero for threads never seen.
+  uint64_t get(unsigned Thread) const {
+    return Thread < Components.size() ? Components[Thread] : 0;
+  }
+
+  void set(unsigned Thread, uint64_t Value) {
+    grow(Thread + 1);
+    Components[Thread] = Value;
+  }
+
+  /// Advances \p Thread's own component (one more event performed).
+  void tick(unsigned Thread) {
+    grow(Thread + 1);
+    ++Components[Thread];
+  }
+
+  /// Pointwise maximum: after join(O), everything ordered before O is
+  /// also ordered before this clock.
+  void join(const VectorClock &Other) {
+    grow(static_cast<unsigned>(Other.Components.size()));
+    for (size_t I = 0; I != Other.Components.size(); ++I)
+      if (Other.Components[I] > Components[I])
+        Components[I] = Other.Components[I];
+  }
+
+  /// True iff every component of this clock is <= the corresponding
+  /// component of \p Other (this point happens-before-or-equals Other).
+  bool lessOrEqual(const VectorClock &Other) const {
+    for (size_t I = 0; I != Components.size(); ++I)
+      if (Components[I] > Other.get(static_cast<unsigned>(I)))
+        return false;
+    return true;
+  }
+
+  void clear() { Components.clear(); }
+  bool empty() const {
+    for (uint64_t C : Components)
+      if (C != 0)
+        return false;
+    return true;
+  }
+
+  std::string toString() const {
+    std::string Out = "[";
+    for (size_t I = 0; I != Components.size(); ++I) {
+      if (I)
+        Out += " ";
+      Out += std::to_string(Components[I]);
+    }
+    return Out + "]";
+  }
+
+private:
+  void grow(unsigned Threads) {
+    if (Components.size() < Threads)
+      Components.resize(Threads, 0);
+  }
+
+  std::vector<uint64_t> Components;
+};
+
+} // namespace analysis
+} // namespace vbl
+
+#endif // VBL_ANALYSIS_VECTORCLOCK_H

@@ -24,6 +24,7 @@
 #ifndef VBL_CORE_VALUEAWARETRYLOCK_H
 #define VBL_CORE_VALUEAWARETRYLOCK_H
 
+#include "support/ThreadSafety.h"
 #include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
@@ -32,7 +33,8 @@ namespace vbl {
 /// Wraps a spinlock with the acquire-validate-or-release protocol. All
 /// lock traffic is routed through the access Policy so the deterministic
 /// scheduler can observe blocking and release.
-template <class LockT = TasLock> class ValueAwareTryLock {
+template <class LockT = TasLock>
+class VBL_CAPABILITY("mutex") ValueAwareTryLock {
 public:
   ValueAwareTryLock() = default;
   ValueAwareTryLock(const ValueAwareTryLock &) = delete;
@@ -42,8 +44,13 @@ public:
   /// the lock is *kept* and true is returned; on validation failure the
   /// lock is released and false is returned, telling the caller that the
   /// schedule it observed is gone and it must re-traverse.
+  //
+  // Suppressed body: the wrapper capability is realized by the embedded
+  // Inner lock, and the analysis has no way to express that the two
+  // capabilities alias (acquiring Inner IS acquiring this).
   template <class Policy, class ValidateFn>
-  bool acquireIfValid(const void *NodeId, ValidateFn &&Validate) {
+  bool acquireIfValid(const void *NodeId, ValidateFn &&Validate)
+      VBL_TRY_ACQUIRE(true) VBL_NO_THREAD_SAFETY_ANALYSIS {
     Policy::lockAcquire(Inner, NodeId);
     if (Validate())
       return true;
@@ -52,7 +59,12 @@ public:
   }
 
   /// Releases a lock previously kept by acquireIfValid().
-  template <class Policy> void release(const void *NodeId) {
+  //
+  // Suppressed body: releases the aliased Inner capability (see
+  // acquireIfValid).
+  template <class Policy>
+  void release(const void *NodeId)
+      VBL_RELEASE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     Policy::lockRelease(Inner, NodeId);
   }
 

@@ -131,8 +131,14 @@ public:
         return false; // Absent: no lock taken.
       Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                                 MemField::Next);
-      const bool PrevLocked =
-          ValueAware ? lockNextAtValue(Prev, Key) : lockNextAt(Prev, Curr);
+      // if constexpr (not a ternary) so the thread-safety analysis sees
+      // a single unconditional try-acquire of Prev->NodeLock per
+      // instantiation.
+      bool PrevLocked;
+      if constexpr (ValueAware)
+        PrevLocked = lockNextAtValue(Prev, Key);
+      else
+        PrevLocked = lockNextAt(Prev, Curr);
       if (!PrevLocked) {
         Policy::onRestart();
         continue;
@@ -268,7 +274,8 @@ private:
 
   /// §3.1 lockNextAt: lock \p Node, keep it only if Node is alive and
   /// still points at \p Expected.
-  bool lockNextAt(Node *NodePtr, Node *Expected) {
+  bool lockNextAt(Node *NodePtr, Node *Expected)
+      VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
     return NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
           if (Policy::readCheck(NodePtr->Deleted,
@@ -285,7 +292,8 @@ private:
   /// and its successor still stores \p Val — the successor node itself
   /// may have been replaced, which is exactly the schedule the identity
   /// check of the Lazy list would reject.
-  bool lockNextAtValue(Node *NodePtr, SetKey Val) {
+  bool lockNextAtValue(Node *NodePtr, SetKey Val)
+      VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
     return NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
           if (Policy::readCheck(NodePtr->Deleted,

@@ -32,6 +32,7 @@
 #include "reclaim/EpochDomain.h"
 #include "support/Compiler.h"
 #include "support/Random.h"
+#include "support/ThreadSafety.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
@@ -70,7 +71,10 @@ public:
   LazySkipList(const LazySkipList &) = delete;
   LazySkipList &operator=(const LazySkipList &) = delete;
 
-  bool insert(SetKey Key) {
+  // Suppressed: predecessor locks are taken conditionally (distinct
+  // nodes only) across a tower array and released by unlockPreds — a
+  // data-dependent lock set the analysis cannot name.
+  bool insert(SetKey Key) VBL_NO_THREAD_SAFETY_ANALYSIS {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     const int TopLevel = randomLevel();
@@ -131,7 +135,9 @@ public:
     }
   }
 
-  bool remove(SetKey Key) {
+  // Suppressed: see insert(); additionally the victim's lock is held
+  // across find() retries between loop iterations.
+  bool remove(SetKey Key) VBL_NO_THREAD_SAFETY_ANALYSIS {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     Node *Preds[MaxLevel];
@@ -288,7 +294,10 @@ private:
     return FoundLevel;
   }
 
-  void unlockPreds(Node **Preds, int HighestLocked) {
+  // Suppressed: releases the data-dependent lock set insert()/remove()
+  // built up (see insert).
+  void unlockPreds(Node **Preds, int HighestLocked)
+      VBL_NO_THREAD_SAFETY_ANALYSIS {
     Node *LastUnlocked = nullptr;
     for (int Level = 0; Level <= HighestLocked; ++Level) {
       if (Preds[Level] != LastUnlocked) {

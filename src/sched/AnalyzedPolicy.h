@@ -1,0 +1,184 @@
+//===- sched/AnalyzedPolicy.h - Traced policy + race-detector feed -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnalyzedPolicy is TracedPolicy plus instrumentation for the
+/// happens-before race detector: every hook delegates its scheduling
+/// and event-trace behaviour to TracedPolicy (so schedules, replays and
+/// exports are bit-identical), then appends an analysis::AccessRecord —
+/// carrying the C++ memory order and the call site, the two things the
+/// schedule trace deliberately abstracts away — to the global
+/// AccessLog.
+///
+/// The call site is captured through a defaulted std::source_location
+/// parameter: list code invokes `Policy::read(...)` with the ordinary
+/// four arguments, and the diagnostic names the list's own source line.
+///
+/// Appends happen inside the access's scheduler step (the calling
+/// thread holds the step token until its next yield), so the log order
+/// equals the execution order with no extra synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SCHED_ANALYZEDPOLICY_H
+#define VBL_SCHED_ANALYZEDPOLICY_H
+
+#include "analysis/AccessLog.h"
+#include "sched/TracedPolicy.h"
+#include "support/ThreadSafety.h"
+
+#include <source_location>
+
+namespace vbl {
+namespace sched {
+
+struct AnalyzedPolicy {
+  static constexpr bool Traced = true;
+
+  /// Stamps thread/op bookkeeping onto a record and appends it. No-op
+  /// outside scheduled episodes (prefill) and while the log is
+  /// disabled.
+  static void log(analysis::RecordKind Kind, MemField Field,
+                  const void *Node, std::memory_order Order,
+                  const std::source_location &Loc) {
+    analysis::AccessLog &Log = analysis::AccessLog::instance();
+    if (!Log.enabled())
+      return;
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return;
+    analysis::AccessRecord R;
+    R.Kind = Kind;
+    R.Thread = Ctx->ThreadId;
+    R.OpIndex = Ctx->OpIndex;
+    R.Op = Ctx->CurrentOp;
+    R.Field = Field;
+    R.Node = Node;
+    R.Order = Order;
+    R.File = Loc.file_name();
+    R.Line = Loc.line();
+    Log.append(R);
+  }
+
+  template <class T>
+  static T read(const std::atomic<T> &Atom, std::memory_order Order,
+                const void *Node, MemField Field,
+                const std::source_location &Loc =
+                    std::source_location::current()) {
+    T Value = TracedPolicy::read(Atom, Order, Node, Field);
+    log(analysis::RecordKind::Read, Field, Node, Order, Loc);
+    return Value;
+  }
+
+  template <class T>
+  static T readCheck(const std::atomic<T> &Atom, std::memory_order Order,
+                     const void *Node, MemField Field,
+                     const std::source_location &Loc =
+                         std::source_location::current()) {
+    T Value = TracedPolicy::readCheck(Atom, Order, Node, Field);
+    log(analysis::RecordKind::Read, Field, Node, Order, Loc);
+    return Value;
+  }
+
+  template <class T>
+  static void write(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field,
+                    const std::source_location &Loc =
+                        std::source_location::current()) {
+    TracedPolicy::write(Atom, Value, Order, Node, Field);
+    log(analysis::RecordKind::Write, Field, Node, Order, Loc);
+  }
+
+  template <class T>
+  static bool casStrong(std::atomic<T> &Atom, T &Expected, T Desired,
+                        std::memory_order Order, const void *Node,
+                        MemField Field,
+                        const std::source_location &Loc =
+                            std::source_location::current()) {
+    const bool Ok =
+        TracedPolicy::casStrong(Atom, Expected, Desired, Order, Node, Field);
+    // Failed CASes load with the policies' hard-wired acquire failure
+    // order; record it so the detector grants the acquire edge.
+    log(Ok ? analysis::RecordKind::RmwSuccess : analysis::RecordKind::RmwFail,
+        Field, Node, Ok ? Order : std::memory_order_acquire, Loc);
+    return Ok;
+  }
+
+  template <class T>
+  static T readValue(const T &Plain, const void *Node,
+                     const std::source_location &Loc =
+                         std::source_location::current()) {
+    T Value = TracedPolicy::readValue(Plain, Node);
+    log(analysis::RecordKind::PlainRead, MemField::Val, Node,
+        std::memory_order_relaxed, Loc);
+    return Value;
+  }
+
+  template <class T>
+  static T readValueCheck(const T &Plain, const void *Node,
+                          const std::source_location &Loc =
+                              std::source_location::current()) {
+    T Value = TracedPolicy::readValueCheck(Plain, Node);
+    log(analysis::RecordKind::PlainRead, MemField::Val, Node,
+        std::memory_order_relaxed, Loc);
+    return Value;
+  }
+
+  template <class L>
+  static void lockAcquire(L &Lock, const void *Node,
+                          const std::source_location &Loc =
+                              std::source_location::current())
+      VBL_ACQUIRE(Lock) {
+    TracedPolicy::lockAcquire(Lock, Node);
+    // Keyed by the lock object, not the owning node: a node may embed
+    // several locks and the clock must follow the mutex itself.
+    log(analysis::RecordKind::LockAcquire, MemField::Lock, &Lock,
+        std::memory_order_acquire, Loc);
+  }
+
+  template <class L>
+  static bool lockTryAcquire(L &Lock, const void *Node,
+                             const std::source_location &Loc =
+                                 std::source_location::current())
+      VBL_TRY_ACQUIRE(true, Lock) {
+    const bool Ok = TracedPolicy::lockTryAcquire(Lock, Node);
+    if (Ok)
+      log(analysis::RecordKind::LockAcquire, MemField::Lock, &Lock,
+          std::memory_order_acquire, Loc);
+    return Ok;
+  }
+
+  template <class L>
+  static void lockRelease(L &Lock, const void *Node,
+                          const std::source_location &Loc =
+                              std::source_location::current())
+      VBL_RELEASE(Lock) {
+    TracedPolicy::lockRelease(Lock, Node);
+    log(analysis::RecordKind::LockRelease, MemField::Lock, &Lock,
+        std::memory_order_release, Loc);
+  }
+
+  /// Models the constructor's plain initialising writes: any thread
+  /// reading a field of this node must be ordered after its
+  /// publication, or it observes a half-built node.
+  static void onNewNode(const void *Node, int64_t Val,
+                        const std::source_location &Loc =
+                            std::source_location::current()) {
+    TracedPolicy::onNewNode(Node, Val);
+    for (MemField Field :
+         {MemField::Val, MemField::Next, MemField::Marked})
+      log(analysis::RecordKind::NodeInit, Field, Node,
+          std::memory_order_relaxed, Loc);
+  }
+
+  static void onRestart() { TracedPolicy::onRestart(); }
+};
+
+} // namespace sched
+} // namespace vbl
+
+#endif // VBL_SCHED_ANALYZEDPOLICY_H

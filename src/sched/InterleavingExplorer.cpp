@@ -7,6 +7,8 @@
 
 #include "sched/InterleavingExplorer.h"
 
+#include "analysis/AccessLog.h"
+#include "analysis/RaceDetector.h"
 #include "sched/ScheduleExport.h"
 #include "support/Compiler.h"
 
@@ -19,6 +21,11 @@ EpisodeResult InterleavingExplorer::run(
     const std::vector<unsigned> &Forced,
     std::vector<std::vector<unsigned>> *RunnableSets) {
   EpisodeResult Result;
+  // Arm the race detector's access log for the episode. Prefill inside
+  // the factory runs without a TraceContext and is never logged; lists
+  // on non-analyzed policies log nothing, so this is free for them.
+  analysis::AccessLog &Log = analysis::AccessLog::instance();
+  Log.enable();
   Result.Meta = Factory();
   StepScheduler Sched(Result.Meta.Bodies);
 
@@ -48,6 +55,10 @@ EpisodeResult InterleavingExplorer::run(
                "episode exceeded the step budget");
   }
   Result.Raw = Sched.schedule();
+  Log.disable();
+  if (Log.size() != 0)
+    Result.Races = analysis::RaceDetector::detect(Log.records(),
+                                                  Result.Choices);
   return Result;
 }
 

@@ -27,6 +27,7 @@
 #ifndef VBL_SCHED_INTERLEAVINGEXPLORER_H
 #define VBL_SCHED_INTERLEAVINGEXPLORER_H
 
+#include "analysis/RaceReport.h"
 #include "sched/Event.h"
 #include "sched/StepScheduler.h"
 
@@ -59,6 +60,10 @@ struct EpisodeResult {
   Episode Meta;                  ///< Head/chain of the instance that ran.
   std::vector<unsigned> Choices; ///< Thread granted at each step.
   bool Deadlocked = false;
+  /// Happens-before races found in this interleaving. Populated only
+  /// when the episode ran under AnalyzedPolicy (the access log is
+  /// empty, hence race-free by construction, for other policies).
+  std::vector<analysis::RaceReport> Races;
 };
 
 class InterleavingExplorer {

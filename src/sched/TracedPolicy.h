@@ -18,6 +18,7 @@
 #define VBL_SCHED_TRACEDPOLICY_H
 
 #include "sched/Event.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 
@@ -149,7 +150,8 @@ struct TracedPolicy {
     return Plain;
   }
 
-  template <class L> static void lockAcquire(L &Lock, const void *Node) {
+  template <class L>
+  static void lockAcquire(L &Lock, const void *Node) VBL_ACQUIRE(Lock) {
     TraceContext *Ctx = TraceContext::current();
     if (!Ctx) {
       Lock.lock();
@@ -170,7 +172,8 @@ struct TracedPolicy {
   }
 
   template <class L>
-  static bool lockTryAcquire(L &Lock, const void *Node) {
+  static bool lockTryAcquire(L &Lock, const void *Node)
+      VBL_TRY_ACQUIRE(true, Lock) {
     TraceContext *Ctx = TraceContext::current();
     if (!Ctx)
       return Lock.tryLock();
@@ -181,7 +184,8 @@ struct TracedPolicy {
     return Ok;
   }
 
-  template <class L> static void lockRelease(L &Lock, const void *Node) {
+  template <class L>
+  static void lockRelease(L &Lock, const void *Node) VBL_RELEASE(Lock) {
     TraceContext *Ctx = TraceContext::current();
     if (!Ctx) {
       Lock.unlock();

@@ -1,0 +1,79 @@
+//===- support/ThreadSafety.h - Clang thread-safety annotations ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro wrappers for clang's -Wthread-safety attributes (the
+/// "capability" static analysis; see
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). The locks in
+/// src/sync and src/core carry these so a clang build statically checks
+/// lock/unlock balance and guarded-field discipline at every call site;
+/// under gcc (which has no equivalent analysis) the macros expand to
+/// nothing.
+///
+/// Conventions in this repo:
+///  - lock classes are VBL_CAPABILITY("mutex"),
+///  - tryLock is VBL_TRY_ACQUIRE(true) (capability held iff it returned
+///    true),
+///  - any suppression (VBL_NO_THREAD_SAFETY_ANALYSIS) must carry an
+///    inline comment justifying why the analysis cannot follow the
+///    code, not merely that it complains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SUPPORT_THREADSAFETY_H
+#define VBL_SUPPORT_THREADSAFETY_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VBL_THREAD_ANNOTATION(X) __attribute__((X))
+#endif
+#endif
+#ifndef VBL_THREAD_ANNOTATION
+#define VBL_THREAD_ANNOTATION(X)
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define VBL_CAPABILITY(Name) VBL_THREAD_ANNOTATION(capability(Name))
+
+/// Member attribute: field may only be touched while holding the given
+/// capabilities.
+#define VBL_GUARDED_BY(...) VBL_THREAD_ANNOTATION(guarded_by(__VA_ARGS__))
+
+/// Member attribute: pointee may only be touched while holding the
+/// given capabilities.
+#define VBL_PT_GUARDED_BY(...) \
+  VBL_THREAD_ANNOTATION(pt_guarded_by(__VA_ARGS__))
+
+/// Function acquires the capability (blocking).
+#define VBL_ACQUIRE(...) \
+  VBL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define VBL_TRY_ACQUIRE(...) \
+  VBL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define VBL_RELEASE(...) \
+  VBL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define VBL_REQUIRES(...) \
+  VBL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held.
+#define VBL_EXCLUDES(...) VBL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is (a reference to) the given capability.
+#define VBL_RETURN_CAPABILITY(X) VBL_THREAD_ANNOTATION(lock_returned(X))
+
+/// Suppress the analysis for one function. Every use must explain
+/// itself inline.
+#define VBL_NO_THREAD_SAFETY_ANALYSIS \
+  VBL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // VBL_SUPPORT_THREADSAFETY_H

@@ -28,6 +28,8 @@
 #ifndef VBL_SYNC_POLICY_H
 #define VBL_SYNC_POLICY_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
 #include <cstdint>
 
@@ -105,16 +107,21 @@ struct DirectPolicy {
 
   /// Blocking lock acquisition. Traced mode converts the spin into a
   /// scheduler-visible "blocked on lock" state; direct mode just spins.
-  template <class L> static void lockAcquire(L &Lock, const void * /*Node*/) {
+  template <class L>
+  static void lockAcquire(L &Lock, const void * /*Node*/)
+      VBL_ACQUIRE(Lock) {
     Lock.lock();
   }
 
   template <class L>
-  static bool lockTryAcquire(L &Lock, const void * /*Node*/) {
+  static bool lockTryAcquire(L &Lock, const void * /*Node*/)
+      VBL_TRY_ACQUIRE(true, Lock) {
     return Lock.tryLock();
   }
 
-  template <class L> static void lockRelease(L &Lock, const void * /*Node*/) {
+  template <class L>
+  static void lockRelease(L &Lock, const void * /*Node*/)
+      VBL_RELEASE(Lock) {
     Lock.unlock();
   }
 

@@ -21,6 +21,7 @@
 #define VBL_SYNC_SPINLOCKS_H
 
 #include "support/Compiler.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <cstdint>
@@ -61,23 +62,30 @@ private:
 
 /// Test-and-set lock: a single exchanged byte. This is the paper's
 /// CAS-based lock and the default node lock of the VBL and Lazy lists.
-class TasLock {
+class VBL_CAPABILITY("mutex") TasLock {
 public:
   TasLock() = default;
   TasLock(const TasLock &) = delete;
   TasLock &operator=(const TasLock &) = delete;
 
-  bool tryLock() {
+  // The body realizes the capability with a raw atomic, below the level
+  // the analysis models; the declaration is what callers are checked
+  // against.
+  bool tryLock() VBL_TRY_ACQUIRE(true) VBL_NO_THREAD_SAFETY_ANALYSIS {
     return !Locked.exchange(true, std::memory_order_acquire);
   }
 
-  void lock() {
+  void lock() VBL_ACQUIRE() {
     SpinBackoff Backoff;
-    while (!tryLock())
+    for (;;) {
+      if (tryLock())
+        return;
       Backoff.spin();
+    }
   }
 
-  void unlock() {
+  // Raw-atomic release of the capability (see tryLock).
+  void unlock() VBL_RELEASE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     VBL_ASSERT(Locked.load(std::memory_order_relaxed),
                "unlock of an unlocked TasLock");
     Locked.store(false, std::memory_order_release);
@@ -91,19 +99,22 @@ private:
 
 /// Test-and-test-and-set lock: spins on a plain load so waiters keep the
 /// line shared instead of bouncing it in exclusive state.
-class TtasLock {
+class VBL_CAPABILITY("mutex") TtasLock {
 public:
   TtasLock() = default;
   TtasLock(const TtasLock &) = delete;
   TtasLock &operator=(const TtasLock &) = delete;
 
-  bool tryLock() {
+  // Raw-atomic capability implementation (see TasLock::tryLock).
+  bool tryLock() VBL_TRY_ACQUIRE(true) VBL_NO_THREAD_SAFETY_ANALYSIS {
     if (Locked.load(std::memory_order_relaxed))
       return false;
     return !Locked.exchange(true, std::memory_order_acquire);
   }
 
-  void lock() {
+  // Raw-atomic capability implementation: the TTAS spin reads the lock
+  // word directly, which the analysis cannot model.
+  void lock() VBL_ACQUIRE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     SpinBackoff Backoff;
     for (;;) {
       while (Locked.load(std::memory_order_relaxed))
@@ -113,7 +124,8 @@ public:
     }
   }
 
-  void unlock() {
+  // Raw-atomic release of the capability (see TasLock::unlock).
+  void unlock() VBL_RELEASE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     VBL_ASSERT(Locked.load(std::memory_order_relaxed),
                "unlock of an unlocked TtasLock");
     Locked.store(false, std::memory_order_release);
@@ -128,13 +140,14 @@ private:
 /// FIFO ticket lock. Fair under contention, which the lock
 /// micro-benchmark uses to show why the lists prefer unfair TAS locks
 /// (fairness costs throughput when the critical section is two stores).
-class TicketLock {
+class VBL_CAPABILITY("mutex") TicketLock {
 public:
   TicketLock() = default;
   TicketLock(const TicketLock &) = delete;
   TicketLock &operator=(const TicketLock &) = delete;
 
-  bool tryLock() {
+  // Raw-atomic capability implementation (see TasLock::tryLock).
+  bool tryLock() VBL_TRY_ACQUIRE(true) VBL_NO_THREAD_SAFETY_ANALYSIS {
     // Acquire: the release in unlock() is on NowServing, so THIS load is
     // the edge that makes the previous critical section visible. (Found
     // the hard way: with a relaxed load here, two serialized tryLock
@@ -147,14 +160,17 @@ public:
                                               std::memory_order_relaxed);
   }
 
-  void lock() {
+  // Raw-atomic capability implementation: the ticket protocol (take a
+  // ticket, spin on NowServing) is below the level the analysis models.
+  void lock() VBL_ACQUIRE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     const uint32_t My = NextTicket.fetch_add(1, std::memory_order_relaxed);
     SpinBackoff Backoff;
     while (NowServing.load(std::memory_order_acquire) != My)
       Backoff.spin();
   }
 
-  void unlock() {
+  // Raw-atomic release of the capability (see TasLock::unlock).
+  void unlock() VBL_RELEASE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     NowServing.store(NowServing.load(std::memory_order_relaxed) + 1,
                      std::memory_order_release);
   }

@@ -29,6 +29,7 @@
 #define VBL_SYNC_VERSIONEDLOCK_H
 
 #include "support/Compiler.h"
+#include "support/ThreadSafety.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
@@ -36,13 +37,16 @@
 
 namespace vbl {
 
-class VersionedLock {
+class VBL_CAPABILITY("mutex") VersionedLock {
 public:
   VersionedLock() = default;
   VersionedLock(const VersionedLock &) = delete;
   VersionedLock &operator=(const VersionedLock &) = delete;
 
-  bool tryLock() {
+  // The capability is realized by the parity bit of a raw version word,
+  // below the level the analysis models; callers are checked against
+  // the declaration.
+  bool tryLock() VBL_TRY_ACQUIRE(true) VBL_NO_THREAD_SAFETY_ANALYSIS {
     uint64_t V = Word.load(std::memory_order_relaxed);
     if (V & 1)
       return false;
@@ -51,13 +55,18 @@ public:
                                         std::memory_order_relaxed);
   }
 
-  void lock() {
+  void lock() VBL_ACQUIRE() {
     SpinBackoff Backoff;
-    while (!tryLock())
+    for (;;) {
+      if (tryLock())
+        return;
       Backoff.spin();
+    }
   }
 
-  void unlock() {
+  // Raw release: the version bump both drops the capability and
+  // invalidates optimistic readers (see tryLock).
+  void unlock() VBL_RELEASE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     const uint64_t V = Word.load(std::memory_order_relaxed);
     VBL_ASSERT(V & 1, "unlock of an unlocked VersionedLock");
     // Release bump: ends the critical section and invalidates every

@@ -49,7 +49,13 @@ struct AbbaRig {
 } // namespace
 
 TEST(DeadlockDetection, DrainReportsAbbaWedge) {
+  // GTEST_FLAG_SET only exists from googletest 1.12; fall back to the
+  // flag variable on older installs (conda ships 1.11).
+#ifdef GTEST_FLAG_SET
   GTEST_FLAG_SET(death_test_style, "threadsafe");
+#else
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+#endif
   // The wedged scheduler cannot be destroyed (its workers are parked
   // forever), so the whole experiment runs in a death-test child that
   // is expected to abort in the destructor.

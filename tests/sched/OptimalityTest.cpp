@@ -25,6 +25,8 @@
 #include "sched/ScheduleChecker.h"
 #include "sched/ScheduleExport.h"
 
+#include "ScenarioCorpus.h"
+
 #include <gtest/gtest.h>
 
 using namespace vbl;
@@ -35,84 +37,6 @@ namespace {
 using TracedVbl = VblList<reclaim::LeakyDomain, TracedPolicy>;
 using TracedLazy = LazyList<reclaim::LeakyDomain, TracedPolicy>;
 using TracedLL = SequentialList<TracedPolicy>;
-
-struct Scenario {
-  std::string Name;
-  std::vector<SetKey> Prefill;
-  /// One op list per thread.
-  std::vector<std::vector<std::pair<SetOp, SetKey>>> Programs;
-  std::vector<SetKey> Universe;
-  /// Exploration cap: multi-op scenarios only cover a deterministic
-  /// lexicographic prefix of the interleaving tree.
-  size_t MaxEpisodes = 60000;
-};
-
-std::vector<Scenario> scenarios() {
-  return {
-      {"fig2_insert_present_vs_insert", {1},
-       {{{SetOp::Insert, 1}}, {{SetOp::Insert, 2}}}, {1, 2}, 60000},
-      {"disjoint_inserts", {5},
-       {{{SetOp::Insert, 1}}, {{SetOp::Insert, 9}}}, {1, 5, 9}, 60000},
-      {"adjacent_inserts_empty", {},
-       {{{SetOp::Insert, 1}}, {{SetOp::Insert, 2}}}, {1, 2}, 60000},
-      {"insert_vs_remove_same_key", {4},
-       {{{SetOp::Insert, 4}}, {{SetOp::Remove, 4}}}, {4}, 60000},
-      {"remove_vs_remove_same_key", {3},
-       {{{SetOp::Remove, 3}}, {{SetOp::Remove, 3}}}, {3}, 60000},
-      {"remove_vs_contains", {2, 6},
-       {{{SetOp::Remove, 2}}, {{SetOp::Contains, 2}}}, {2, 6}, 60000},
-      {"disjoint_removes", {1, 5},
-       {{{SetOp::Remove, 1}}, {{SetOp::Remove, 5}}}, {1, 5}, 60000},
-      {"insert_after_vs_remove_before", {3},
-       {{{SetOp::Insert, 7}}, {{SetOp::Remove, 3}}}, {3, 7}, 60000},
-      // Multi-op and three-thread scenarios (capped exploration).
-      {"two_ops_each", {2},
-       {{{SetOp::Insert, 1}, {SetOp::Remove, 2}},
-        {{SetOp::Insert, 2}, {SetOp::Contains, 1}}},
-       {1, 2}, 3000},
-      {"three_threads", {2},
-       {{{SetOp::Insert, 1}}, {{SetOp::Remove, 2}},
-        {{SetOp::Contains, 2}}},
-       {1, 2}, 3000},
-      {"toggle_chain", {},
-       {{{SetOp::Insert, 5}, {SetOp::Remove, 5}},
-        {{SetOp::Insert, 5}}},
-       {5}, 3000},
-  };
-}
-
-template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
-  return [S]() -> Episode {
-    auto List = std::make_shared<ListT>();
-    for (SetKey Key : S.Prefill)
-      List->insert(Key);
-    Episode Ep;
-    Ep.HeadNode = List->headNode();
-    Ep.InitialChain = List->nodeChain();
-    Ep.Holder = List;
-    for (const auto &Program : S.Programs) {
-      Ep.Bodies.push_back(std::function<void()>([List, Program] {
-        for (const auto &[Op, Key] : Program) {
-          switch (Op) {
-          case SetOp::Insert:
-            tracedOp(SetOp::Insert, Key,
-                     [&] { return List->insert(Key); });
-            break;
-          case SetOp::Remove:
-            tracedOp(SetOp::Remove, Key,
-                     [&] { return List->remove(Key); });
-            break;
-          case SetOp::Contains:
-            tracedOp(SetOp::Contains, Key,
-                     [&] { return List->contains(Key); });
-            break;
-          }
-        }
-      }));
-    }
-    return Ep;
-  };
-}
 
 struct ScenarioStats {
   size_t Interleavings = 0;

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Reject std::atomic operations that rely on the default memory order.
+
+Every list in this repo states its required ordering explicitly — the
+paper's schedules are about *which* accesses synchronize, so an implicit
+seq_cst hides a design decision (and quietly costs fences on weaker
+architectures). This lint scans C++ sources for calls to the atomic
+member functions
+
+    load  store  exchange  compare_exchange_weak  compare_exchange_strong
+    fetch_add  fetch_sub  fetch_and  fetch_or  fetch_xor  test_and_set
+
+and fails unless the argument list names a std::memory_order. (clear and
+wait are omitted: the names collide with the STL container methods and a
+textual lint cannot tell them apart.) Calls are matched across line
+breaks by balancing parentheses, so formatting does not matter.
+
+A line may opt out with a trailing `// atomics-lint: allow(<reason>)`
+comment; the reason is mandatory and is echoed in the report.
+
+Usage: check_atomics.py [--root DIR] [PATHS...]
+Default paths: src/ (relative to --root, default: repo root). Test code
+is exempt by default: seq_cst is the right call for assertion plumbing.
+Exit status 0 if clean, 1 if violations were found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Member functions that accept a memory_order argument. clear/wait are
+# excluded (container-method name collisions); notify_* take no order.
+ORDERED_METHODS = (
+    "load",
+    "store",
+    "exchange",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "test_and_set",
+)
+
+CALL_RE = re.compile(
+    r"[.\->]\s*(" + "|".join(ORDERED_METHODS) + r")\s*\("
+)
+ALLOW_RE = re.compile(r"//\s*atomics-lint:\s*allow\(([^)]*)\)")
+SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# Identifiers that satisfy the lint when they appear among a call's
+# arguments. Both the std:: spellings and this repo's own Order
+# variables (policy hooks thread the order through by parameter).
+ORDER_TOKEN_RE = re.compile(r"\bmemory_order\w*\b|\bOrder\w*\b|\bFailOrder\b")
+
+
+def balanced_args(text: str, open_paren: int) -> str | None:
+    """Returns the argument text of the call whose '(' is at open_paren,
+    or None if the parenthesis never closes (macro soup, etc.)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return None
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string literals, preserving offsets and
+    newlines so line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    text = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    violations = []
+    for match in CALL_RE.finditer(text):
+        method = match.group(1)
+        args = balanced_args(text, match.end() - 1)
+        if args is None:
+            continue
+        if ORDER_TOKEN_RE.search(args):
+            continue
+        line_no = text.count("\n", 0, match.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        allow = ALLOW_RE.search(line)
+        if allow:
+            reason = allow.group(1).strip()
+            if reason:
+                continue
+            violations.append(
+                f"{path}:{line_no}: atomics-lint: allow() needs a reason"
+            )
+            continue
+        violations.append(
+            f"{path}:{line_no}: .{method}() without an explicit "
+            f"std::memory_order"
+        )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root")
+    parser.add_argument("paths", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    root = (
+        pathlib.Path(args.root)
+        if args.root
+        else pathlib.Path(__file__).resolve().parent.parent
+    )
+    targets = args.paths or ["src"]
+
+    files: list[pathlib.Path] = []
+    for target in targets:
+        path = root / target
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*")) if p.suffix in SUFFIXES
+            )
+        else:
+            print(f"check_atomics: no such path: {path}", file=sys.stderr)
+            return 2
+
+    violations: list[str] = []
+    for file in files:
+        violations.extend(check_file(file))
+
+    for v in violations:
+        print(v)
+    print(
+        f"check_atomics: {len(files)} files scanned, "
+        f"{len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
