@@ -36,6 +36,7 @@ int main(int Argc, char **Argv) {
                   "comma-separated algorithms (first/second form the "
                   "ratio column)");
   Flags.addString("csv", "", "optional path for the raw CSV series");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -78,6 +79,13 @@ int main(int Argc, char **Argv) {
     if (!Csv.writeFile(Flags.getString("csv")))
       std::fprintf(stderr, "warning: could not write %s\n",
                    Flags.getString("csv").c_str());
+  }
+  if (!Flags.getString("json").empty()) {
+    BenchJsonReport Report;
+    Report.setContext("bench_binary", "fig1_small_contended");
+    P.appendJson(Report, Base);
+    if (!Report.writeFile(Flags.getString("json")))
+      return 1;
   }
   return 0;
 }

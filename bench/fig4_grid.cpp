@@ -35,12 +35,15 @@ int main(int Argc, char **Argv) {
   Flags.addInt("repeats", 2, "repetitions per point (paper: 5)");
   Flags.addInt("seed", 42, "base RNG seed");
   Flags.addString("csv", "", "optional path for the raw CSV series");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
   const std::vector<std::string> Algos = {"vbl", "lazy",
                                           "harris-michael"};
   CsvWriter Csv = Panel::makeCsv();
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "fig4_grid");
 
   for (unsigned Update : Flags.getUnsignedList("updates")) {
     for (unsigned Range : Flags.getUnsignedList("ranges")) {
@@ -60,6 +63,7 @@ int main(int Argc, char **Argv) {
       P.measureAll(Base);
       P.print();
       P.appendCsv(Csv);
+      P.appendJson(Report, Base);
     }
   }
 
@@ -67,5 +71,8 @@ int main(int Argc, char **Argv) {
       !Csv.writeFile(Flags.getString("csv")))
     std::fprintf(stderr, "warning: could not write %s\n",
                  Flags.getString("csv").c_str());
+  if (!Flags.getString("json").empty() &&
+      !Report.writeFile(Flags.getString("json")))
+    return 1;
   return 0;
 }

@@ -1,0 +1,99 @@
+//===- bench/hashset_scaling.cpp - Flat lists vs split-ordered hashing ---===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Where does hashing pay? Sweeps the key range on a contains-heavy
+/// workload (10% updates by default) and compares each flat list (vbl,
+/// harris-michael) against its split-ordered hash overlay (so-hash-vbl,
+/// so-hash-hm). Lists traverse O(n) nodes per operation, so their
+/// throughput falls off linearly with the range; the hash overlays stay
+/// near-flat (O(1) expected bucket length), and the crossover is the
+/// point where sharding the paper's structures starts to matter.
+/// Expected: the overlays win clearly from key range ~16k up at every
+/// thread count (EXPERIMENTS.md records the measured grid).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchJson.h"
+#include "harness/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace vbl;
+using namespace vbl::harness;
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("Key-range sweep: flat lists vs split-ordered hash sets");
+  Flags.addUnsignedList("threads", {1, 2, 4}, "thread counts to sweep");
+  Flags.addUnsignedList("ranges", {1024, 4096, 16384, 65536},
+                        "key ranges to sweep");
+  Flags.addInt("update-percent", 10,
+               "percentage of update operations (contains-heavy)");
+  Flags.addInt("duration-ms", 60, "measured window per repetition");
+  Flags.addInt("warmup-ms", 20, "warm-up before each window");
+  Flags.addInt("repeats", 2, "repetitions per point (paper: 5)");
+  Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addBool("latency", false,
+                "collect a per-op latency repetition per point");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  const std::vector<std::string> Structures = {
+      "vbl", "so-hash-vbl", "harris-michael", "so-hash-hm"};
+  const bool WithLatency = Flags.getBool("latency");
+
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "hashset_scaling");
+  Report.setContext("workload", "uniform keys, contains-heavy");
+
+  for (unsigned Threads : Flags.getUnsignedList("threads")) {
+    std::printf("\n== hashset_scaling: %u thread(s), %d%% updates ==\n",
+                Threads, static_cast<int>(Flags.getInt("update-percent")));
+    std::printf("%10s", "range");
+    for (const std::string &Structure : Structures)
+      std::printf(" %16s", Structure.c_str());
+    std::printf(" %14s\n", "so-vbl/vbl");
+    for (unsigned Range : Flags.getUnsignedList("ranges")) {
+      WorkloadConfig Config;
+      Config.UpdatePercent =
+          static_cast<unsigned>(Flags.getInt("update-percent"));
+      Config.KeyRange = Range;
+      Config.Threads = Threads;
+      Config.DurationMs =
+          static_cast<unsigned>(Flags.getInt("duration-ms"));
+      Config.WarmupMs = static_cast<unsigned>(Flags.getInt("warmup-ms"));
+      Config.Repeats = static_cast<unsigned>(Flags.getInt("repeats"));
+      Config.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+
+      std::printf("%10u", Range);
+      double FlatVbl = 0.0;
+      double HashVbl = 0.0;
+      for (const std::string &Structure : Structures) {
+        const BenchRecord Record = measurePoint(
+            "hashset_scaling", Structure, Config, WithLatency);
+        std::printf(" %12.3f Mops", Record.ThroughputOpsPerSec * 1e-6);
+        std::fflush(stdout);
+        if (Structure == "vbl")
+          FlatVbl = Record.ThroughputOpsPerSec;
+        else if (Structure == "so-hash-vbl")
+          HashVbl = Record.ThroughputOpsPerSec;
+        Report.add(Record);
+      }
+      if (FlatVbl > 0)
+        std::printf(" %13.2fx", HashVbl / FlatVbl);
+      std::printf("\n");
+    }
+  }
+
+  if (!Flags.getString("json").empty() &&
+      !Report.writeFile(Flags.getString("json")))
+    return 1;
+  return 0;
+}

@@ -34,6 +34,19 @@ inline constexpr bool isUserKey(SetKey Key) {
   return Key > MinSentinel && Key < MaxSentinel;
 }
 
+/// Key domain of the split-ordered hash sets (src/maps). Bit-reversed
+/// split-order keys must fit the SetKey space alongside the per-bucket
+/// dummy keys and the two sentinels, which caps user keys at 62 bits;
+/// see maps/SplitOrder.h for the arithmetic. Lists accept any isUserKey
+/// value; the hash overlays accept only isHashKey values.
+inline constexpr int HashKeyBits = 62;
+/// Exclusive upper bound of the hash-set key domain.
+inline constexpr SetKey MaxHashKey = SetKey(1) << HashKeyBits;
+
+inline constexpr bool isHashKey(SetKey Key) {
+  return Key >= 0 && Key < MaxHashKey;
+}
+
 } // namespace vbl
 
 #endif // VBL_CORE_SETCONFIG_H

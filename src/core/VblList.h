@@ -53,9 +53,24 @@ template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy, class LockT = TasLock,
           bool RestartFromPrev = true, bool ValueAware = true>
 class VblList {
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<Node *> Next{nullptr};
+    std::atomic<bool> Deleted{false};
+    ValueAwareTryLock<LockT> NodeLock;
+  };
+
 public:
   using Reclaim = ReclaimT;
   using Policy = PolicyT;
+
+  /// Opaque handle to a list node that the caller guarantees is never
+  /// removed (the head sentinel, or the dummy nodes a split-ordered
+  /// hash overlay pins into the list). Such a handle stays valid for
+  /// the lifetime of the list and may seed *From() operations.
+  using BucketHandle = Node *;
 
   VblList() {
     Tail = new Node(MaxSentinel);
@@ -79,11 +94,37 @@ public:
 
   /// Adds \p Key; returns true iff it was absent. Never blocks — and
   /// never even locks — when the key is already present (ValueAware).
-  bool insert(SetKey Key) {
+  bool insert(SetKey Key) { return insertFrom(Key, Head); }
+
+  /// Removes \p Key; returns true iff it was present. Marks the node
+  /// deleted, then unlinks it, both under the (prev, curr) locks.
+  bool remove(SetKey Key) { return removeFrom(Key, Head); }
+
+  /// Wait-free membership test. Reads only values and next pointers —
+  /// no locks, no deletion marks (the "value-based" in VBL).
+  bool contains(SetKey Key) const { return containsFrom(Key, Head); }
+
+  //===--------------------------------------------------------------===//
+  // Split-ordered hash substrate hooks. Identical protocols to the
+  // head-anchored operations, but traversal starts at \p Start — a
+  // handle to a never-removed node (bucket dummy) with key < Key.
+  // Failed validations restart from the last known-good predecessor
+  // exactly as before; only a deleted predecessor falls back to the
+  // global head, which stays correct because the substrate list is
+  // totally ordered.
+  //===--------------------------------------------------------------===//
+
+  /// Handle of the head sentinel: bucket 0 of a split-ordered overlay.
+  BucketHandle headHandle() { return Head; }
+
+  /// Key stored at a handle (sentinels return their sentinel key).
+  static SetKey handleKey(BucketHandle Handle) { return Handle->Val; }
+
+  bool insertFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     Node *NewNode = nullptr;
-    Node *Prev = Head;
+    Node *Prev = Start;
     for (;;) {
       auto [P, Curr, Val] = traverse(Key, Prev);
       Prev = P;
@@ -118,12 +159,10 @@ public:
     }
   }
 
-  /// Removes \p Key; returns true iff it was present. Marks the node
-  /// deleted, then unlinks it, both under the (prev, curr) locks.
-  bool remove(SetKey Key) {
+  bool removeFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    Node *Prev = Head;
+    Node *Prev = Start;
     for (;;) {
       auto [P, Curr, Val] = traverse(Key, Prev);
       Prev = P;
@@ -170,12 +209,10 @@ public:
     }
   }
 
-  /// Wait-free membership test. Reads only values and next pointers —
-  /// no locks, no deletion marks (the "value-based" in VBL).
-  bool contains(SetKey Key) const {
+  bool containsFrom(SetKey Key, const Node *Start) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    const Node *Curr = Head;
+    const Node *Curr = Start;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
     while (Val < Key) {
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
@@ -183,6 +220,41 @@ public:
       Val = Policy::readValue(Curr->Val, Curr);
     }
     return Val == Key;
+  }
+
+  /// Get-or-insert for split-order dummy nodes: returns a handle to the
+  /// unique node carrying \p Key, inserting it if absent. The caller
+  /// promises the key is never removed from the set (dummy keys are not
+  /// user-visible), which is what makes the returned handle stable.
+  BucketHandle getOrInsertSentinelFrom(SetKey Key, BucketHandle Start) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    Node *Prev = Start;
+    for (;;) {
+      auto [P, Curr, Val] = traverse(Key, Prev);
+      Prev = P;
+      if (Val == Key) {
+        // A node carrying Key exists and — caller's contract — is never
+        // removed, so its identity is stable and safe to hand out.
+        delete NewNode; // Never published.
+        return Curr;
+      }
+      if (!NewNode) {
+        NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+      }
+      Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
+                    MemField::Next);
+      if (!lockNextAt(Prev, Curr)) {
+        Policy::onRestart();
+        continue;
+      }
+      Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
+                    MemField::Next);
+      Prev->NodeLock.template release<Policy>(Prev);
+      return NewNode;
+    }
   }
 
   //===--------------------------------------------------------------===//
@@ -239,15 +311,6 @@ public:
   }
 
 private:
-  struct Node {
-    explicit Node(SetKey Val) : Val(Val) {}
-
-    const SetKey Val;
-    std::atomic<Node *> Next{nullptr};
-    std::atomic<bool> Deleted{false};
-    ValueAwareTryLock<LockT> NodeLock;
-  };
-
   /// §3.2 waitfreeTraversal: returns (prev, curr, curr.val) with
   /// prev.val < Key <= curr.val. Starts from \p Start unless it has been
   /// logically deleted, in which case it falls back to the head. The

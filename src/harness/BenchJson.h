@@ -1,0 +1,91 @@
+//===- harness/BenchJson.h - Machine-readable benchmark records ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON output for the bench harness, consumed by tools/run_benches.py
+/// (suite runner) and tools/bench_compare.py (the CI perf-smoke gate).
+/// One record per measured (bench, structure, threads, key_range,
+/// update_pct) point; the file layout is
+///
+///   { "schema": "vbl-bench-v1",
+///     "context": { "duration_ms": "...", ... },
+///     "records": [ { "bench": ..., "structure": ...,
+///                    "threads": ..., "key_range": ...,
+///                    "update_pct": ..., "repeats": ...,
+///                    "throughput_ops_s": ..., "throughput_stddev": ...,
+///                    "p50_latency_ns": ...|null,
+///                    "p99_latency_ns": ...|null }, ... ] }
+///
+/// Latency percentiles are null for throughput-only sweeps (per-op
+/// timing adds two clock reads per operation, so figure benches skip
+/// it; measurePoint collects one dedicated latency repetition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_HARNESS_BENCHJSON_H
+#define VBL_HARNESS_BENCHJSON_H
+
+#include "harness/Runner.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vbl {
+namespace harness {
+
+/// One measured benchmark point.
+struct BenchRecord {
+  std::string Bench;
+  std::string Structure;
+  unsigned Threads = 1;
+  SetKey KeyRange = 0;
+  unsigned UpdatePercent = 0;
+  unsigned Repeats = 0;
+  double ThroughputOpsPerSec = 0.0;
+  double ThroughputStddev = 0.0;
+  bool HasLatency = false;
+  double P50LatencyNs = 0.0;
+  double P99LatencyNs = 0.0;
+};
+
+/// Accumulates records (and free-form context strings) and writes the
+/// vbl-bench-v1 JSON document.
+class BenchJsonReport {
+public:
+  void add(BenchRecord Record) { Records.push_back(std::move(Record)); }
+
+  /// Adds a context key/value (duration, machine notes, ...). Keys are
+  /// emitted in insertion order.
+  void setContext(std::string Key, std::string Value);
+
+  std::string toJson() const;
+
+  /// Writes the document; returns false (with a message on stderr) on
+  /// I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+  size_t recordCount() const { return Records.size(); }
+
+private:
+  std::vector<BenchRecord> Records;
+  std::vector<std::pair<std::string, std::string>> Context;
+};
+
+/// Full protocol for one point: throughput via measureAlgorithm
+/// (Repeats fresh structures), plus — when \p WithLatency — one extra
+/// repetition with per-op timing for the latency percentiles across
+/// all operation types.
+BenchRecord measurePoint(const std::string &Bench,
+                         const std::string &Structure,
+                         const WorkloadConfig &Config,
+                         bool WithLatency = true);
+
+} // namespace harness
+} // namespace vbl
+
+#endif // VBL_HARNESS_BENCHJSON_H

@@ -121,6 +121,28 @@ void Panel::appendCsv(CsvWriter &Csv) const {
   }
 }
 
+void Panel::appendJson(BenchJsonReport &Report,
+                       const WorkloadConfig &Base) const {
+  for (size_t T = 0; T != ThreadCounts.size(); ++T) {
+    for (size_t A = 0; A != Algorithms.size(); ++A) {
+      const SampleStats &Stats = Results[T][A];
+      if (Stats.empty())
+        continue;
+      BenchRecord Record;
+      Record.Bench = Title;
+      Record.Structure = Algorithms[A];
+      Record.Threads = ThreadCounts[T];
+      Record.KeyRange = Base.KeyRange;
+      Record.UpdatePercent = Base.UpdatePercent;
+      Record.Repeats = static_cast<unsigned>(Stats.count());
+      // Median across repeats (see measurePoint): gate-friendly.
+      Record.ThroughputOpsPerSec = Stats.percentile(50);
+      Record.ThroughputStddev = Stats.stddev();
+      Report.add(Record);
+    }
+  }
+}
+
 double Panel::mean(unsigned Threads, const std::string &Algorithm) const {
   for (size_t T = 0; T != ThreadCounts.size(); ++T)
     if (ThreadCounts[T] == Threads)

@@ -16,6 +16,7 @@
 #ifndef VBL_HARNESS_TABLEPRINTER_H
 #define VBL_HARNESS_TABLEPRINTER_H
 
+#include "harness/BenchJson.h"
 #include "harness/Runner.h"
 #include "support/Csv.h"
 
@@ -50,6 +51,14 @@ public:
 
   /// Header for appendCsv output.
   static CsvWriter makeCsv();
+
+  /// Appends this panel's series as vbl-bench-v1 records (bench = the
+  /// panel title; latency fields null — the sweep measures throughput
+  /// only). \p Base must be the config handed to measureAll: the
+  /// per-point thread count comes from the panel, everything else from
+  /// the config.
+  void appendJson(BenchJsonReport &Report,
+                  const WorkloadConfig &Base) const;
 
   double mean(unsigned Threads, const std::string &Algorithm) const;
 

@@ -40,9 +40,24 @@ namespace vbl {
 template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy>
 class HarrisMichaelList {
+  struct Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    /// Tagged word: successor pointer in the upper bits, "this node is
+    /// logically deleted" in bit 0.
+    std::atomic<uintptr_t> Next{0};
+  };
+
 public:
   using Reclaim = ReclaimT;
   using Policy = PolicyT;
+
+  /// Opaque handle to a list node that the caller guarantees is never
+  /// removed (the head sentinel, or the dummy nodes a split-ordered
+  /// hash overlay pins into the list). Such a handle stays valid for
+  /// the lifetime of the list and may seed *From() operations.
+  using BucketHandle = Node *;
 
   HarrisMichaelList() {
     Tail = new Node(MaxSentinel);
@@ -62,12 +77,30 @@ public:
   HarrisMichaelList(const HarrisMichaelList &) = delete;
   HarrisMichaelList &operator=(const HarrisMichaelList &) = delete;
 
-  bool insert(SetKey Key) {
+  bool insert(SetKey Key) { return insertFrom(Key, Head); }
+  bool remove(SetKey Key) { return removeFrom(Key, Head); }
+  bool contains(SetKey Key) const { return containsFrom(Key, Head); }
+
+  //===--------------------------------------------------------------===//
+  // Split-ordered hash substrate hooks. Each operation behaves exactly
+  // like its head-anchored counterpart but starts traversing at \p
+  // Start, which must be a handle to a never-removed node whose key is
+  // smaller than \p Key (a bucket dummy). Restarts re-traverse from
+  // Start, never from the global head.
+  //===--------------------------------------------------------------===//
+
+  /// Handle of the head sentinel: bucket 0 of a split-ordered overlay.
+  BucketHandle headHandle() { return Head; }
+
+  /// Key stored at a handle (sentinels return their sentinel key).
+  static SetKey handleKey(BucketHandle Handle) { return Handle->Val; }
+
+  bool insertFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     Node *NewNode = nullptr;
     for (;;) {
-      auto [Prev, Curr] = find(Key);
+      auto [Prev, Curr] = find(Key, Start);
       if (Curr->Val == Key) {
         delete NewNode; // Never published.
         return false;
@@ -87,11 +120,11 @@ public:
     }
   }
 
-  bool remove(SetKey Key) {
+  bool removeFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Prev, Curr] = find(Key);
+      auto [Prev, Curr] = find(Key, Start);
       if (Curr->Val != Key)
         return false;
       const uintptr_t SuccWord =
@@ -124,10 +157,10 @@ public:
 
   /// Wait-free contains: traverses without helping, then reads the mark
   /// from the found node's next word.
-  bool contains(SetKey Key) const {
+  bool containsFrom(SetKey Key, const Node *Start) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    const Node *Curr = Head;
+    const Node *Curr = Start;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
     while (Val < Key) {
       Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
@@ -138,6 +171,34 @@ public:
       return false;
     return !markOf(Policy::read(Curr->Next, std::memory_order_acquire,
                                 Curr, MemField::Next));
+  }
+
+  /// Get-or-insert for split-order dummy nodes: returns a handle to the
+  /// unique node carrying \p Key, inserting it if absent. The caller
+  /// promises the key is never removed from the set (dummy keys are not
+  /// user-visible), which is what makes the returned handle stable.
+  BucketHandle getOrInsertSentinelFrom(SetKey Key, BucketHandle Start) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    for (;;) {
+      auto [Prev, Curr] = find(Key, Start);
+      if (Curr->Val == Key) {
+        delete NewNode; // Never published.
+        return Curr;
+      }
+      if (!NewNode) {
+        NewNode = new Node(Key);
+        Policy::onNewNode(NewNode, Key);
+      }
+      NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
+      uintptr_t Expected = pack(Curr, false);
+      if (Policy::casStrong(Prev->Next, Expected, pack(NewNode, false),
+                            std::memory_order_release, Prev,
+                            MemField::Next))
+        return NewNode;
+      Policy::onRestart();
+    }
   }
 
   std::vector<SetKey> snapshot() const {
@@ -186,15 +247,6 @@ public:
   }
 
 private:
-  struct Node {
-    explicit Node(SetKey Val) : Val(Val) {}
-
-    const SetKey Val;
-    /// Tagged word: successor pointer in the upper bits, "this node is
-    /// logically deleted" in bit 0.
-    std::atomic<uintptr_t> Next{0};
-  };
-
   static Node *ptrOf(uintptr_t Word) {
     return reinterpret_cast<Node *>(Word & ~uintptr_t(1));
   }
@@ -207,11 +259,11 @@ private:
 
   /// Michael's find: returns (prev, curr) with curr unmarked,
   /// prev.val < Key <= curr.val and prev->next == curr. Unlinks every
-  /// marked node it encounters; restarts from the head when an unlink
-  /// CAS loses a race.
-  std::pair<Node *, Node *> find(SetKey Key) {
+  /// marked node it encounters; restarts from \p Start (the head, or a
+  /// never-removed bucket dummy) when an unlink CAS loses a race.
+  std::pair<Node *, Node *> find(SetKey Key, Node *Start) {
   Retry:
-    Node *Prev = Head;
+    Node *Prev = Start;
     Node *Curr = ptrOf(Policy::read(Prev->Next, std::memory_order_acquire,
                                     Prev, MemField::Next));
     for (;;) {

@@ -17,6 +17,7 @@
 #include "lists/LazySkipList.h"
 #include "lists/OptimisticList.h"
 #include "lists/TombstoneBst.h"
+#include "maps/SplitOrderedHashSet.h"
 #include "reclaim/LeakyDomain.h"
 #include "sync/VersionedLock.h"
 
@@ -29,6 +30,12 @@ namespace {
 struct RegistryEntry {
   const char *Name;
   std::unique_ptr<ConcurrentSet> (*Factory)(const std::string &Name);
+  /// Whether the structure accepts every isUserKey value. The
+  /// split-ordered hash sets accept only isHashKey values ([0, 2^62)),
+  /// so they are resolvable by makeSet() but excluded from
+  /// registeredSetNames() — the generic list tests feed negative and
+  /// extreme keys. They are enumerated by registeredHashSetNames().
+  bool FullKeyDomain = true;
 };
 
 } // namespace
@@ -58,6 +65,9 @@ using HarrisMichaelLeaky = HarrisMichaelList<reclaim::LeakyDomain>;
 using HarrisDefault = HarrisList<>;
 using OptimisticDefault = OptimisticList<>;
 using HandOverHandDefault = HandOverHandList<>;
+// Split-ordered hash overlays (src/maps) over the paper's substrates.
+using SoHashHm = maps::SplitOrderedHashSet<HarrisMichaelDefault>;
+using SoHashVbl = maps::SplitOrderedHashSet<VblDefault>;
 
 static const RegistryEntry Registry[] = {
     {"vbl", &makeAdapter<VblDefault>},
@@ -77,6 +87,8 @@ static const RegistryEntry Registry[] = {
     {"harris-michael-hp", &makeAdapter<HarrisMichaelListHp>},
     {"skiplist-lazy", &makeAdapter<LazySkipList<>>},
     {"bst-tombstone", &makeAdapter<TombstoneBst<>>},
+    {"so-hash-hm", &makeAdapter<SoHashHm>, /*FullKeyDomain=*/false},
+    {"so-hash-vbl", &makeAdapter<SoHashVbl>, /*FullKeyDomain=*/false},
 };
 
 std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {
@@ -89,7 +101,16 @@ std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {
 std::vector<std::string> vbl::registeredSetNames() {
   std::vector<std::string> Names;
   for (const RegistryEntry &Entry : Registry)
-    Names.push_back(Entry.Name);
+    if (Entry.FullKeyDomain)
+      Names.push_back(Entry.Name);
+  return Names;
+}
+
+std::vector<std::string> vbl::registeredHashSetNames() {
+  std::vector<std::string> Names;
+  for (const RegistryEntry &Entry : Registry)
+    if (!Entry.FullKeyDomain)
+      Names.push_back(Entry.Name);
   return Names;
 }
 

@@ -70,8 +70,14 @@ private:
 /// ...); null for unknown names. See Registry.cpp for the full table.
 std::unique_ptr<ConcurrentSet> makeSet(const std::string &Name);
 
-/// All registered algorithm names, in registration order.
+/// All registered full-key-domain algorithm names, in registration
+/// order. Structures with a restricted key domain (the split-ordered
+/// hash sets, which accept only isHashKey values) are excluded; resolve
+/// them via makeSet() or enumerate them with registeredHashSetNames().
 std::vector<std::string> registeredSetNames();
+
+/// The registered split-ordered hash-set names ([0, 2^62) key domain).
+std::vector<std::string> registeredHashSetNames();
 
 /// The subset of names the paper's evaluation compares (VBL, Lazy,
 /// Harris-Michael), used as the default series of the figure benches.

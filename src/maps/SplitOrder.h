@@ -1,0 +1,174 @@
+//===- maps/SplitOrder.h - Recursive split-ordering key encoding ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Key arithmetic for the split-ordered hash set (Shalev & Shavit,
+/// "Split-Ordered Lists: Lock-Free Extensible Hash Tables", JACM 2006).
+/// A hash-set key is stored in the underlying ordered list under its
+/// *split-order key*: the bit-reversal of its scattered hash, with bit 0
+/// forced to 1. Bucket b's sentinel ("dummy") node is stored under the
+/// bit-reversal of b itself, which has bit 0 clear — so dummies and
+/// regular keys interleave in exactly the order recursive bucket
+/// splitting needs: when the table doubles from S to 2S, the dummy of
+/// new bucket b+S lands between the keys of old bucket b that hash to b
+/// under 2S and those that hash to b+S, without moving any node.
+///
+/// Domain: the list substrate stores signed SetKey with the two extreme
+/// values reserved as sentinels, which leaves 2^64 - 2 storable keys —
+/// too few to injectively host bit-reversed images of a full 64-bit user
+/// domain *plus* dummy keys. Restricting user keys to [0, 2^62) gives
+/// every regular split-order key the shape rev(v)|1 with bit 62-image
+/// clear, every dummy key an even value, and keeps both strictly inside
+/// the sentinel range (see the static_asserts at the bottom).
+///
+/// Encoding pipeline for a user key k:
+///   mix62(k)      — multiply by an odd constant mod 2^62; an invertible
+///                   scatter so dense key ranges spread across buckets.
+///   reverse64(.)  — bucket bits become the most-significant bits, the
+///                   heart of split-ordering.
+///   | 1           — tags the key "regular" (dummies are even).
+///   toOrdered(.)  — flips the sign bit so unsigned order survives the
+///                   signed comparisons the list substrate performs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_MAPS_SPLITORDER_H
+#define VBL_MAPS_SPLITORDER_H
+
+#include "core/SetConfig.h"
+
+#include <cstdint>
+
+namespace vbl {
+namespace so {
+
+/// User keys accepted by the split-ordered hash sets: [0, 2^62).
+/// The domain bound itself lives in core/SetConfig.h (vbl::isHashKey);
+/// this mask is its unsigned counterpart for the encoding arithmetic.
+inline constexpr uint64_t HashKeyMask =
+    (uint64_t(1) << vbl::HashKeyBits) - 1;
+
+using vbl::isHashKey;
+
+/// Classic bit reversal by halving swaps; constexpr so the encoding
+/// round-trips are checked at compile time.
+inline constexpr uint64_t reverse64(uint64_t X) {
+  X = ((X & 0x5555555555555555ULL) << 1) | ((X >> 1) & 0x5555555555555555ULL);
+  X = ((X & 0x3333333333333333ULL) << 2) | ((X >> 2) & 0x3333333333333333ULL);
+  X = ((X & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((X >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  X = ((X & 0x00FF00FF00FF00FFULL) << 8) | ((X >> 8) & 0x00FF00FF00FF00FFULL);
+  X = ((X & 0x0000FFFF0000FFFFULL) << 16) |
+      ((X >> 16) & 0x0000FFFF0000FFFFULL);
+  return (X << 32) | (X >> 32);
+}
+
+/// Odd multiplier (Fibonacci hashing constant): multiplication by an odd
+/// number is a bijection mod any power of two, so mix62 scatters without
+/// collisions and stays invertible for snapshot decoding.
+inline constexpr uint64_t MixMultiplier = 0x9E3779B97F4A7C15ULL;
+
+/// Newton iteration for the inverse of an odd number mod 2^64; each step
+/// doubles the number of correct low bits, so six steps suffice.
+inline constexpr uint64_t inverseOdd64(uint64_t A) {
+  uint64_t X = A;
+  for (int I = 0; I < 6; ++I)
+    X *= 2 - A * X;
+  return X;
+}
+
+inline constexpr uint64_t MixInverse = inverseOdd64(MixMultiplier);
+
+/// Scattered hash of a user key: the bucket of key k in a table of S =
+/// 2^i buckets is mix62(k) mod S.
+inline constexpr uint64_t mix62(uint64_t Key) {
+  return (Key * MixMultiplier) & HashKeyMask;
+}
+
+/// Inverse of mix62 (the inverse mod 2^64 masked to 62 bits is the
+/// inverse mod 2^62, since reduction commutes with masking).
+inline constexpr uint64_t unmix62(uint64_t Mixed) {
+  return (Mixed * MixInverse) & HashKeyMask;
+}
+
+/// Order-preserving map from the unsigned split-order domain onto the
+/// signed SetKey the list substrate compares: flip the sign bit.
+inline constexpr SetKey toOrdered(uint64_t U) {
+  return static_cast<SetKey>(U ^ (uint64_t(1) << 63));
+}
+
+inline constexpr uint64_t fromOrdered(SetKey Key) {
+  return static_cast<uint64_t>(Key) ^ (uint64_t(1) << 63);
+}
+
+/// Split-order key a user key is stored under. Since mix62 < 2^62, the
+/// reversal leaves bits 0-1 clear; |1 marks it regular (odd).
+inline constexpr SetKey regularSoKey(SetKey Key) {
+  return toOrdered(reverse64(mix62(static_cast<uint64_t>(Key))) | 1);
+}
+
+/// Split-order key of bucket b's dummy node (even). Bucket 0's dummy is
+/// the list head itself: dummySoKey(0) == MinSentinel, which is never
+/// inserted — the bucket index is seeded with the head handle instead.
+inline constexpr SetKey dummySoKey(uint64_t Bucket) {
+  return toOrdered(reverse64(Bucket));
+}
+
+inline constexpr bool isRegularSoKey(SetKey SoKey) {
+  return (fromOrdered(SoKey) & 1) != 0;
+}
+
+/// User key back out of a regular split-order key (snapshot decoding).
+inline constexpr SetKey decodeRegular(SetKey SoKey) {
+  return static_cast<SetKey>(unmix62(reverse64(fromOrdered(SoKey) & ~uint64_t(1))));
+}
+
+/// Bucket whose dummy carries this (even) split-order key.
+inline constexpr uint64_t bucketOfDummy(SetKey SoKey) {
+  return reverse64(fromOrdered(SoKey));
+}
+
+/// Parent in the recursive bucket-initialization order: clear the
+/// most-significant set bit. The parent's dummy precedes the child's in
+/// split order, so initialization can start its splice there.
+inline constexpr uint64_t parentBucket(uint64_t Bucket) {
+  uint64_t Parent = Bucket;
+  for (uint64_t Bit = uint64_t(1) << 62; Bit; Bit >>= 1)
+    if (Parent & Bit) {
+      Parent &= ~Bit;
+      break;
+    }
+  return Parent;
+}
+
+// The encoding is a bijection on the domain...
+static_assert(unmix62(mix62(0)) == 0);
+static_assert(unmix62(mix62(1)) == 1);
+static_assert(unmix62(mix62(0x123456789ABCDEFULL)) == 0x123456789ABCDEFULL);
+static_assert(unmix62(mix62(HashKeyMask)) == HashKeyMask);
+static_assert(decodeRegular(regularSoKey(0)) == 0);
+static_assert(decodeRegular(regularSoKey(42)) == 42);
+static_assert(decodeRegular(regularSoKey(SetKey(HashKeyMask))) ==
+              SetKey(HashKeyMask));
+// ...regular keys are odd and strictly inside the sentinel range...
+static_assert(isRegularSoKey(regularSoKey(7)));
+static_assert(!isRegularSoKey(dummySoKey(1)));
+static_assert(regularSoKey(0) > MinSentinel && regularSoKey(0) < MaxSentinel);
+// (rev(mix62) has bits 62-63 clear post-|1, so the max regular image is
+// below 2^63 - 1 unsigned, i.e. strictly below MaxSentinel signed)
+static_assert(regularSoKey(SetKey(HashKeyMask)) < MaxSentinel);
+// ...and dummy keys sort before every key of their bucket but after the
+// previous bucket's contents.
+static_assert(dummySoKey(0) == MinSentinel);
+static_assert(bucketOfDummy(dummySoKey(5)) == 5);
+static_assert(parentBucket(1) == 0 && parentBucket(6) == 2 &&
+              parentBucket(12) == 4);
+static_assert(dummySoKey(1) > MinSentinel && dummySoKey(1) < MaxSentinel);
+
+} // namespace so
+} // namespace vbl
+
+#endif // VBL_MAPS_SPLITORDER_H

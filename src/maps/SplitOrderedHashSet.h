@@ -1,0 +1,301 @@
+//===- maps/SplitOrderedHashSet.h - Resizable lock-free hash set ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A split-ordered hash set (Shalev & Shavit, JACM 2006) layered on the
+/// repo's list substrates: all elements live in ONE ordered list, sorted
+/// by split-order key (maps/SplitOrder.h), and the hash layer is nothing
+/// but an array of shortcut pointers ("bucket index") into that list.
+/// Resizing therefore never moves a node — doubling the table only adds
+/// dummy nodes lazily, one per newly addressable bucket, spliced in
+/// under the bucket's parent.
+///
+/// The substrate is pluggable: any list exposing the BucketHandle hooks
+/// (insertFrom / removeFrom / containsFrom / getOrInsertSentinelFrom)
+/// works. The repo registers two backends ("so-hash-hm" on
+/// HarrisMichaelList, "so-hash-vbl" on VblList), so the paper's
+/// concurrency-optimal VBL synchronization carries over to the sharded
+/// structure unchanged.
+///
+/// Bucket-index resizing: the index is an immutable-capacity array of
+/// atomic slots. Growth copies the memoized slots into a double-size
+/// array, publishes it with a release-CAS on the index pointer, and
+/// retires the old array through the substrate's reclamation domain —
+/// concurrent operations may still be traversing it (they loaded the
+/// pointer before the swap), so freeing in place would be a
+/// use-after-free; EBR/HP guards already bracket every operation, so the
+/// domain's grace period is exactly the right lifetime. A slot lost in
+/// the copy race (memoized concurrently with the copy) is harmless: the
+/// slot array is pure memoization of getOrInsertSentinelFrom, which
+/// always agrees on THE unique dummy node for a bucket, so the next
+/// lookup re-initializes to the same handle.
+///
+/// All shared accesses flow through the substrate's Policy, so the hash
+/// layer runs under the deterministic scheduler and the happens-before
+/// race detector exactly like the lists do (tests/maps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_MAPS_SPLITORDEREDHASHSET_H
+#define VBL_MAPS_SPLITORDEREDHASHSET_H
+
+#include "core/SetConfig.h"
+#include "maps/SplitOrder.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vbl {
+namespace maps {
+
+template <class SubstrateT> class SplitOrderedHashSet {
+public:
+  using Substrate = SubstrateT;
+  using Reclaim = typename SubstrateT::Reclaim;
+  using Policy = typename SubstrateT::Policy;
+  using BucketHandle = typename SubstrateT::BucketHandle;
+
+  explicit SplitOrderedHashSet(size_t InitialBuckets = 16,
+                               size_t MaxLoadFactor = 4,
+                               size_t MaxBuckets = size_t(1) << 22)
+      : MaxLoadFactor(MaxLoadFactor ? MaxLoadFactor : 1),
+        MaxBuckets(roundUpPow2(MaxBuckets ? MaxBuckets : 1)),
+        Domain(List.reclaimDomain()) {
+    const size_t Cap =
+        std::min(roundUpPow2(InitialBuckets ? InitialBuckets : 1),
+                 this->MaxBuckets);
+    BucketIndex *Initial = BucketIndex::allocate(Cap);
+    // Bucket 0's dummy is the list head sentinel itself.
+    Initial->Slots[0].store(List.headHandle(), std::memory_order_relaxed);
+    Index.store(Initial, std::memory_order_release);
+  }
+
+  ~SplitOrderedHashSet() {
+    BucketIndex::destroy(Index.load(std::memory_order_relaxed));
+  }
+
+  SplitOrderedHashSet(const SplitOrderedHashSet &) = delete;
+  SplitOrderedHashSet &operator=(const SplitOrderedHashSet &) = delete;
+
+  bool insert(SetKey Key) {
+    VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
+    typename Reclaim::Guard G(Domain);
+    if (!List.insertFrom(so::regularSoKey(Key), bucketForKey(Key)))
+      return false;
+    maybeGrow(adjustCount(+1));
+    return true;
+  }
+
+  bool remove(SetKey Key) {
+    VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
+    typename Reclaim::Guard G(Domain);
+    if (!List.removeFrom(so::regularSoKey(Key), bucketForKey(Key)))
+      return false;
+    adjustCount(-1);
+    return true;
+  }
+
+  /// Non-const: a lookup may lazily splice the bucket's dummy node.
+  bool contains(SetKey Key) {
+    VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
+    typename Reclaim::Guard G(Domain);
+    return List.containsFrom(so::regularSoKey(Key), bucketForKey(Key));
+  }
+
+  /// Quiescent-only: decoded user keys, ascending (dummies filtered).
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Keys;
+    for (SetKey SoKey : List.snapshot())
+      if (so::isRegularSoKey(SoKey))
+        Keys.push_back(so::decodeRegular(SoKey));
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  }
+
+  /// Quiescent-only: substrate invariants plus hash-layer ones — the
+  /// index capacity is a power of two, slot 0 is the head, every
+  /// initialized slot memoizes its own bucket's dummy, every dummy in
+  /// the list is addressable, and the element count matches.
+  bool checkInvariants() const {
+    if (!List.checkInvariants())
+      return false;
+    const BucketIndex *I = Index.load(std::memory_order_acquire);
+    if (!I || I->Capacity == 0 || (I->Capacity & (I->Capacity - 1)) != 0)
+      return false;
+    if (static_cast<const void *>(
+            I->Slots[0].load(std::memory_order_acquire)) != List.headNode())
+      return false;
+    for (size_t B = 1; B < I->Capacity; ++B) {
+      BucketHandle Handle = I->Slots[B].load(std::memory_order_acquire);
+      if (Handle && Substrate::handleKey(Handle) != so::dummySoKey(B))
+        return false;
+    }
+    int64_t Regular = 0;
+    for (SetKey SoKey : List.snapshot()) {
+      if (so::isRegularSoKey(SoKey)) {
+        ++Regular;
+        continue;
+      }
+      if (so::bucketOfDummy(SoKey) >= I->Capacity)
+        return false;
+    }
+    return Regular == Count.load(std::memory_order_acquire);
+  }
+
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  /// Element count maintained by insert/remove (exact when quiescent).
+  int64_t sizeFast() const {
+    return Count.load(std::memory_order_acquire);
+  }
+
+  size_t bucketCount() const {
+    return Index.load(std::memory_order_acquire)->Capacity;
+  }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+  /// Tooling passthroughs (schedule exporters, explorer chain dumps).
+  const void *headNode() const { return List.headNode(); }
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    return List.nodeChain();
+  }
+
+  Substrate &substrate() { return List; }
+
+private:
+  /// Immutable-capacity array of memoized bucket handles; null slots are
+  /// lazily initialized. Replaced wholesale on growth.
+  struct BucketIndex {
+    size_t Capacity = 0; // Power of two; immutable after publication.
+    std::atomic<BucketHandle> *Slots = nullptr;
+
+    static BucketIndex *allocate(size_t Capacity) {
+      auto *I = new BucketIndex;
+      I->Capacity = Capacity;
+      I->Slots = new std::atomic<BucketHandle>[Capacity];
+      for (size_t B = 0; B != Capacity; ++B)
+        I->Slots[B].store(nullptr, std::memory_order_relaxed);
+      return I;
+    }
+
+    static void destroy(BucketIndex *I) {
+      delete[] I->Slots;
+      delete I;
+    }
+
+    /// Type-erased deleter for Reclaim::retireRaw.
+    static void destroyErased(void *I) {
+      destroy(static_cast<BucketIndex *>(I));
+    }
+  };
+
+  static constexpr size_t roundUpPow2(size_t X) {
+    size_t P = 1;
+    while (P < X)
+      P <<= 1;
+    return P;
+  }
+
+  /// Handle of the bucket that must anchor operations on \p Key under
+  /// the current index.
+  BucketHandle bucketForKey(SetKey Key) {
+    BucketIndex *I = Policy::read(Index, std::memory_order_acquire, &Index,
+                                  MemField::Next);
+    const size_t Cap = Policy::readValue(I->Capacity, I);
+    const size_t B =
+        static_cast<size_t>(so::mix62(static_cast<uint64_t>(Key))) &
+        (Cap - 1);
+    return bucketHandle(I, B);
+  }
+
+  /// Memoized-get-or-initialize of bucket \p B's dummy handle. The
+  /// recursion splices missing dummies parent-first (parent = bucket
+  /// with its top set bit cleared), which terminates at slot 0 — always
+  /// initialized to the head (directly in the first index, via the copy
+  /// in grown ones).
+  BucketHandle bucketHandle(BucketIndex *I, size_t B) {
+    BucketHandle Memo = Policy::read(I->Slots[B], std::memory_order_acquire,
+                                     &I->Slots[B], MemField::Next);
+    if (Memo)
+      return Memo;
+    VBL_ASSERT(B != 0, "slot 0 is preset to the list head");
+    BucketHandle Parent = bucketHandle(I, so::parentBucket(B));
+    BucketHandle Dummy =
+        List.getOrInsertSentinelFrom(so::dummySoKey(B), Parent);
+    // Losing this CAS means another thread memoized first; get-or-insert
+    // agreement guarantees it memoized the same node, so either way
+    // Dummy is THE handle for bucket B.
+    BucketHandle Expected = nullptr;
+    Policy::casStrong(I->Slots[B], Expected, Dummy,
+                      std::memory_order_release, &I->Slots[B],
+                      MemField::Next);
+    return Dummy;
+  }
+
+  /// Count is an acquire/acq_rel CAS loop rather than a relaxed
+  /// fetch_add so concurrent updates stay ordered under the
+  /// happens-before race detector (relaxed accesses count as plain).
+  int64_t adjustCount(int64_t Delta) {
+    int64_t Observed =
+        Policy::read(Count, std::memory_order_acquire, &Count, MemField::Val);
+    while (!Policy::casStrong(Count, Observed, Observed + Delta,
+                              std::memory_order_acq_rel, &Count,
+                              MemField::Val)) {
+    }
+    return Observed + Delta;
+  }
+
+  /// Doubles the bucket index when the load factor is exceeded. Many
+  /// threads may race to grow; one CAS wins, losers free their
+  /// never-published copy. The displaced index is retired through the
+  /// reclamation domain because concurrent operations that loaded it
+  /// before the swap may still dereference its slots.
+  void maybeGrow(int64_t NewCount) {
+    BucketIndex *I = Policy::read(Index, std::memory_order_acquire, &Index,
+                                  MemField::Next);
+    const size_t Cap = Policy::readValue(I->Capacity, I);
+    if (NewCount <= 0 ||
+        static_cast<uint64_t>(NewCount) <= Cap * MaxLoadFactor ||
+        Cap >= MaxBuckets)
+      return;
+    BucketIndex *Grown = BucketIndex::allocate(Cap * 2);
+    Policy::onNewNode(Grown, static_cast<int64_t>(Cap * 2));
+    for (size_t B = 0; B != Cap; ++B) {
+      BucketHandle Memo = Policy::read(
+          I->Slots[B], std::memory_order_acquire, &I->Slots[B],
+          MemField::Next);
+      if (Memo)
+        Policy::write(Grown->Slots[B], Memo, std::memory_order_relaxed,
+                      &Grown->Slots[B], MemField::Next);
+    }
+    BucketIndex *Expected = I;
+    if (Policy::casStrong(Index, Expected, Grown,
+                          std::memory_order_release, &Index,
+                          MemField::Next))
+      Domain.retireRaw(I, &BucketIndex::destroyErased);
+    else
+      BucketIndex::destroy(Grown); // Never published.
+  }
+
+  const size_t MaxLoadFactor;
+  const size_t MaxBuckets;
+  SubstrateT List;
+  Reclaim &Domain; // == List.reclaimDomain(); guards must be shared.
+  std::atomic<BucketIndex *> Index{nullptr};
+  std::atomic<int64_t> Count{0};
+};
+
+} // namespace maps
+} // namespace vbl
+
+#endif // VBL_MAPS_SPLITORDEREDHASHSET_H

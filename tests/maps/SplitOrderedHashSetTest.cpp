@@ -1,0 +1,313 @@
+//===- tests/maps/SplitOrderedHashSetTest.cpp - Split-ordered hash set ---===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Functional coverage for the split-ordered hash set over both
+/// substrates: the key-encoding algebra, sequential and differential
+/// behaviour, lazy bucket splitting under growth, registry integration,
+/// multi-threaded stress with invariant checks, and a recorded-history
+/// linearizability check through src/lin.
+///
+//===----------------------------------------------------------------------===//
+
+#include "maps/SplitOrderedHashSet.h"
+
+#include "core/VblList.h"
+#include "lin/LinChecker.h"
+#include "lists/HarrisMichaelList.h"
+#include "lists/SetInterface.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+
+namespace {
+
+using HmHash = maps::SplitOrderedHashSet<HarrisMichaelList<>>;
+using VblHash = maps::SplitOrderedHashSet<VblList<>>;
+
+//===----------------------------------------------------------------===//
+// Encoding algebra
+//===----------------------------------------------------------------===//
+
+TEST(SplitOrderTest, EncodingRoundTrips) {
+  Xoshiro256 Rng(7);
+  for (int I = 0; I != 2000; ++I) {
+    const auto Key = static_cast<SetKey>(Rng.next() & so::HashKeyMask);
+    ASSERT_TRUE(isHashKey(Key));
+    const SetKey SoKey = so::regularSoKey(Key);
+    ASSERT_TRUE(so::isRegularSoKey(SoKey));
+    ASSERT_TRUE(isUserKey(SoKey));
+    ASSERT_EQ(so::decodeRegular(SoKey), Key);
+  }
+}
+
+TEST(SplitOrderTest, RegularKeysAreInjective) {
+  // mix62 is a bijection and reverse64 is an involution, so distinct
+  // keys get distinct split-order keys; spot-check a dense range (the
+  // worst case for a multiplicative hash).
+  std::set<SetKey> Images;
+  for (SetKey Key = 0; Key != 4096; ++Key)
+    Images.insert(so::regularSoKey(Key));
+  EXPECT_EQ(Images.size(), 4096u);
+}
+
+TEST(SplitOrderTest, DummyPrecedesItsBucketContents) {
+  // At every table size S, bucket b's dummy key sorts before every
+  // regular key hashing to b, and after the dummy of every bucket that
+  // is a prefix-ancestor of b — that is the split-ordering invariant
+  // that makes lazy recursive initialization correct.
+  Xoshiro256 Rng(11);
+  for (uint64_t Size : {1u, 2u, 4u, 8u, 64u, 1024u}) {
+    for (int I = 0; I != 500; ++I) {
+      const auto Key = static_cast<SetKey>(Rng.next() & so::HashKeyMask);
+      const uint64_t Bucket = so::mix62(static_cast<uint64_t>(Key)) &
+                              (Size - 1);
+      EXPECT_LT(so::dummySoKey(Bucket), so::regularSoKey(Key));
+      if (Bucket != 0) {
+        EXPECT_LT(so::dummySoKey(so::parentBucket(Bucket)),
+                  so::dummySoKey(Bucket));
+      }
+    }
+  }
+}
+
+TEST(SplitOrderTest, SplitRedistributesWithoutReordering) {
+  // Doubling S to 2S splits bucket b into b and b + S. Keys that move
+  // to b + S must all sort after the new dummy; keys that stay must
+  // sort before it.
+  Xoshiro256 Rng(13);
+  for (uint64_t Size : {1u, 2u, 8u, 256u}) {
+    for (int I = 0; I != 500; ++I) {
+      const auto Key = static_cast<SetKey>(Rng.next() & so::HashKeyMask);
+      const uint64_t Mixed = so::mix62(static_cast<uint64_t>(Key));
+      const uint64_t Old = Mixed & (Size - 1);
+      const uint64_t New = Mixed & (2 * Size - 1);
+      const SetKey ChildDummy = so::dummySoKey(Old + Size);
+      if (New == Old)
+        EXPECT_LT(so::regularSoKey(Key), ChildDummy);
+      else
+        EXPECT_GT(so::regularSoKey(Key), ChildDummy);
+    }
+  }
+}
+
+//===----------------------------------------------------------------===//
+// Sequential behaviour, both substrates
+//===----------------------------------------------------------------===//
+
+template <class HashT> void basicOps() {
+  HashT Set;
+  EXPECT_FALSE(Set.contains(42));
+  EXPECT_TRUE(Set.insert(42));
+  EXPECT_FALSE(Set.insert(42));
+  EXPECT_TRUE(Set.contains(42));
+  EXPECT_TRUE(Set.insert(0));
+  EXPECT_TRUE(Set.insert(MaxHashKey - 1));
+  EXPECT_EQ(Set.snapshot(), (std::vector<SetKey>{0, 42, MaxHashKey - 1}));
+  EXPECT_TRUE(Set.remove(42));
+  EXPECT_FALSE(Set.remove(42));
+  EXPECT_FALSE(Set.contains(42));
+  EXPECT_EQ(Set.sizeFast(), 2);
+  EXPECT_TRUE(Set.checkInvariants());
+}
+
+TEST(SplitOrderedHashSetTest, BasicOpsHarrisMichael) { basicOps<HmHash>(); }
+TEST(SplitOrderedHashSetTest, BasicOpsVbl) { basicOps<VblHash>(); }
+
+template <class HashT> void growthSplitsBuckets() {
+  // Tiny table + load factor 1: every few inserts double the index.
+  HashT Set(/*InitialBuckets=*/1, /*MaxLoadFactor=*/1);
+  EXPECT_EQ(Set.bucketCount(), 1u);
+  constexpr SetKey N = 300;
+  for (SetKey Key = 0; Key != N; ++Key)
+    ASSERT_TRUE(Set.insert(Key * 1315423911));
+  EXPECT_GE(Set.bucketCount(), 256u);
+  for (SetKey Key = 0; Key != N; ++Key)
+    ASSERT_TRUE(Set.contains(Key * 1315423911)) << Key;
+  EXPECT_EQ(Set.sizeFast(), N);
+  EXPECT_TRUE(Set.checkInvariants());
+  // Dummies survive removals; the structure stays consistent empty.
+  for (SetKey Key = 0; Key != N; ++Key)
+    ASSERT_TRUE(Set.remove(Key * 1315423911));
+  EXPECT_EQ(Set.sizeFast(), 0);
+  EXPECT_TRUE(Set.snapshot().empty());
+  EXPECT_TRUE(Set.checkInvariants());
+}
+
+TEST(SplitOrderedHashSetTest, GrowthSplitsBucketsHarrisMichael) {
+  growthSplitsBuckets<HmHash>();
+}
+TEST(SplitOrderedHashSetTest, GrowthSplitsBucketsVbl) {
+  growthSplitsBuckets<VblHash>();
+}
+
+template <class HashT> void differentialVsStdSet(uint64_t Seed) {
+  HashT Set(/*InitialBuckets=*/2, /*MaxLoadFactor=*/2);
+  std::set<SetKey> Model;
+  Xoshiro256 Rng(Seed);
+  for (int I = 0; I != 20000; ++I) {
+    const auto Key = static_cast<SetKey>(Rng.nextBounded(512));
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      ASSERT_EQ(Set.insert(Key), Model.insert(Key).second);
+      break;
+    case 1:
+      ASSERT_EQ(Set.remove(Key), Model.erase(Key) != 0);
+      break;
+    default:
+      ASSERT_EQ(Set.contains(Key), Model.count(Key) != 0);
+      break;
+    }
+  }
+  EXPECT_EQ(Set.snapshot(),
+            std::vector<SetKey>(Model.begin(), Model.end()));
+  EXPECT_EQ(Set.sizeFast(), static_cast<int64_t>(Model.size()));
+  EXPECT_TRUE(Set.checkInvariants());
+}
+
+TEST(SplitOrderedHashSetTest, DifferentialHarrisMichael) {
+  differentialVsStdSet<HmHash>(101);
+}
+TEST(SplitOrderedHashSetTest, DifferentialVbl) {
+  differentialVsStdSet<VblHash>(202);
+}
+
+//===----------------------------------------------------------------===//
+// Registry integration
+//===----------------------------------------------------------------===//
+
+TEST(SplitOrderedHashSetTest, RegistryExposesHashSetsSeparately) {
+  const auto HashNames = registeredHashSetNames();
+  ASSERT_EQ(HashNames.size(), 2u);
+  const auto ListNames = registeredSetNames();
+  for (const std::string &Name : HashNames) {
+    // Resolvable by name, but not enumerated with the full-domain lists
+    // (generic list tests feed keys outside [0, 2^62)).
+    EXPECT_EQ(std::count(ListNames.begin(), ListNames.end(), Name), 0)
+        << Name;
+    auto Set = makeSet(Name);
+    ASSERT_NE(Set, nullptr) << Name;
+    EXPECT_EQ(Set->name(), Name);
+    EXPECT_TRUE(Set->insert(7));
+    EXPECT_TRUE(Set->contains(7));
+    EXPECT_TRUE(Set->remove(7));
+    EXPECT_TRUE(Set->checkInvariants());
+  }
+}
+
+//===----------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------===//
+
+template <class HashT> void concurrentStress() {
+  // Force aggressive concurrent splitting: tiny initial table, load
+  // factor 1, keys spread across the whole domain.
+  HashT Set(/*InitialBuckets=*/1, /*MaxLoadFactor=*/1);
+  constexpr unsigned Threads = 4;
+  constexpr int OpsPerThread = 8000;
+  constexpr uint64_t Range = 1024;
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(T + 1);
+      Barrier.arriveAndWait();
+      for (int I = 0; I != OpsPerThread; ++I) {
+        const auto Key =
+            static_cast<SetKey>(Rng.nextBounded(Range) * 0x9E3779B9ULL);
+        switch (Rng.nextBounded(4)) {
+        case 0:
+          Set.insert(Key);
+          break;
+        case 1:
+          Set.remove(Key);
+          break;
+        default:
+          Set.contains(Key);
+          break;
+        }
+      }
+    });
+  for (auto &Worker : Workers)
+    Worker.join();
+  EXPECT_TRUE(Set.checkInvariants());
+  EXPECT_EQ(Set.sizeFast(), static_cast<int64_t>(Set.sizeSlow()));
+  EXPECT_GT(Set.bucketCount(), 1u);
+}
+
+TEST(SplitOrderedHashSetTest, ConcurrentStressHarrisMichael) {
+  concurrentStress<HmHash>();
+}
+TEST(SplitOrderedHashSetTest, ConcurrentStressVbl) {
+  concurrentStress<VblHash>();
+}
+
+//===----------------------------------------------------------------===//
+// Linearizability (src/lin) on a recorded real-time history
+//===----------------------------------------------------------------===//
+
+void checkLinearizable(const std::string &Algo) {
+  auto Set = makeSet(Algo);
+  ASSERT_NE(Set, nullptr);
+  std::vector<SetKey> Initial;
+  for (SetKey Key = 0; Key < 8; Key += 2) {
+    Set->insert(Key);
+    Initial.push_back(Key);
+  }
+  constexpr unsigned Threads = 4;
+  lin::HistoryRecorder Recorder(Threads);
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      auto &Log = Recorder.threadLog(T);
+      Xoshiro256 Rng(T + 17);
+      Barrier.arriveAndWait();
+      for (int I = 0; I != 4000; ++I) {
+        const auto Key = static_cast<SetKey>(Rng.nextBounded(8));
+        switch (Rng.nextBounded(3)) {
+        case 0:
+          lin::recordOp(
+              Log, SetOp::Insert, Key,
+              [&] { return Set->insert(Key); }, &nowNanos);
+          break;
+        case 1:
+          lin::recordOp(
+              Log, SetOp::Remove, Key,
+              [&] { return Set->remove(Key); }, &nowNanos);
+          break;
+        default:
+          lin::recordOp(
+              Log, SetOp::Contains, Key,
+              [&] { return Set->contains(Key); }, &nowNanos);
+          break;
+        }
+      }
+    });
+  for (auto &Worker : Workers)
+    Worker.join();
+  const lin::LinResult Result =
+      lin::checkSetHistory(Recorder.merged(), Initial);
+  EXPECT_TRUE(Result.Ok) << Algo << ": " << Result.Message;
+}
+
+TEST(SplitOrderedHashSetTest, LinearizableHarrisMichael) {
+  checkLinearizable("so-hash-hm");
+}
+TEST(SplitOrderedHashSetTest, LinearizableVbl) {
+  checkLinearizable("so-hash-vbl");
+}
+
+} // namespace

@@ -75,12 +75,45 @@ inline std::vector<Scenario> scenarios() {
   };
 }
 
+/// Scenarios for the split-ordered hash sets (tests/maps). Driven
+/// against tables built with InitialBuckets=1, MaxLoadFactor=1 so that
+/// episode inserts push the count over the load threshold and the
+/// bucket-index growth + lazy dummy splicing interleave with the other
+/// thread's operation — including the resize-vs-insert pairing the
+/// race detector must clear. Kept separate from scenarios(): the
+/// optimality theorem is about the flat lists, and the hash prefills
+/// are tuned to the tiny-table constructor.
+inline std::vector<Scenario> hashSetScenarios() {
+  return {
+      // Prefill grows the table untraced; both traced inserts then
+      // exceed load factor 1 and race to publish a doubled index while
+      // splicing dummies for freshly addressable buckets.
+      {"hash_grow_vs_insert", {1, 2},
+       {{{SetOp::Insert, 3}}, {{SetOp::Insert, 4}}}, {1, 2, 3, 4}, 3000},
+      {"hash_insert_vs_insert_empty", {},
+       {{{SetOp::Insert, 1}}, {{SetOp::Insert, 2}}}, {1, 2}, 3000},
+      {"hash_insert_vs_contains", {1, 2},
+       {{{SetOp::Insert, 3}}, {{SetOp::Contains, 2}}}, {1, 2, 3}, 3000},
+      {"hash_insert_vs_remove", {1, 2},
+       {{{SetOp::Insert, 3}}, {{SetOp::Remove, 1}}}, {1, 2, 3}, 3000},
+      {"hash_remove_vs_remove_same_key", {1, 2},
+       {{{SetOp::Remove, 2}}, {{SetOp::Remove, 2}}}, {1, 2}, 3000},
+      {"hash_remove_vs_contains", {1, 2, 3},
+       {{{SetOp::Remove, 3}}, {{SetOp::Contains, 3}}}, {1, 2, 3}, 3000},
+      {"hash_two_ops_each", {1},
+       {{{SetOp::Insert, 2}, {SetOp::Remove, 1}},
+        {{SetOp::Insert, 3}, {SetOp::Contains, 2}}},
+       {1, 2, 3}, 2000},
+  };
+}
+
 /// Builds an EpisodeFactory running the scenario's per-thread programs
-/// against a fresh \p ListT (any list with insert/remove/contains,
-/// headNode and nodeChain).
-template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
-  return [S]() -> Episode {
-    auto List = std::make_shared<ListT>();
+/// against a fresh set produced by \p Make (returning a shared_ptr to
+/// any structure with insert/remove/contains, headNode and nodeChain).
+template <class MakeFn>
+EpisodeFactory factoryForWith(const Scenario &S, MakeFn Make) {
+  return [S, Make]() -> Episode {
+    auto List = Make();
     for (SetKey Key : S.Prefill)
       List->insert(Key);
     Episode Ep;
@@ -109,6 +142,11 @@ template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
     }
     return Ep;
   };
+}
+
+/// Convenience overload for default-constructible lists.
+template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
+  return factoryForWith(S, [] { return std::make_shared<ListT>(); });
 }
 
 } // namespace sched

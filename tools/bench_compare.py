@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Gate a benchmark run against a committed baseline.
+
+Matches candidate records to baseline records on the identity tuple
+(bench, structure, threads, key_range, update_pct) and compares
+throughput. Because the baseline and the candidate almost never run on
+the same machine (committed baseline vs CI runner), raw ratios mix
+machine speed with real regressions; instead the gate normalizes every
+candidate/baseline ratio by the median ratio of its thread-count group
+— a uniformly faster machine scales every point equally and cancels
+out, and grouping by thread count also cancels core-topology
+differences (a 2-core runner speeds up 2-thread points without moving
+1-thread points).
+
+The verdict is per structure, not per point: the geometric mean of a
+structure's normalized ratios must stay above 1 - tolerance. Averaging
+a structure's points cancels the per-window scheduling noise that
+single short measurements carry, while the regressions this gate
+exists for — an accidental O(n) walk, a lost fast path — slow a
+structure across its whole sweep and move the geomean right through
+the floor. Per-point ratios are printed for diagnosis.
+
+Exit codes: 0 = pass, 1 = regression detected, 2 = usage/format error.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_baseline.json \
+      --candidate BENCH_abc123.json --tolerance 0.25
+"""
+
+import argparse
+import json
+import sys
+from statistics import geometric_mean, median
+
+
+def load_records(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return None
+    if doc.get("schema") != "vbl-bench-v1":
+        print(f"error: {path}: unknown schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        return None
+    records = {}
+    for record in doc.get("records", []):
+        key = (record["bench"], record["structure"], record["threads"],
+               record["key_range"], record["update_pct"])
+        records[key] = record
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed normalized shortfall (0.25 = a "
+                        "point may be 25%% below the run's median "
+                        "speed ratio)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    candidate = load_records(args.candidate)
+    if baseline is None or candidate is None:
+        return 2
+    if not baseline:
+        print(f"error: {args.baseline} has no records", file=sys.stderr)
+        return 2
+
+    matched = []
+    missing = []
+    for key, base in baseline.items():
+        cand = candidate.get(key)
+        if cand is None:
+            missing.append(key)
+            continue
+        base_tput = float(base["throughput_ops_s"])
+        cand_tput = float(cand["throughput_ops_s"])
+        if base_tput <= 0:
+            continue
+        matched.append((key, cand_tput / base_tput))
+
+    if missing:
+        for key in missing:
+            print(f"error: candidate is missing baseline point {key}",
+                  file=sys.stderr)
+        return 2
+    if not matched:
+        print("error: no comparable points", file=sys.stderr)
+        return 2
+
+    global_scale = median(ratio for _, ratio in matched)
+    if global_scale <= 0:
+        print(f"error: nonsensical median speed ratio {global_scale}",
+              file=sys.stderr)
+        return 2
+    groups = {}
+    for key, ratio in matched:
+        groups.setdefault(key[2], []).append(ratio)
+    # Small groups fall back to the global normalizer: a median over a
+    # couple of points would let a regressed point normalize itself.
+    scales = {threads: (median(ratios) if len(ratios) >= 3
+                        else global_scale)
+              for threads, ratios in groups.items()}
+    print(f"{len(matched)} matched points; median speed ratio "
+          f"candidate/baseline = {global_scale:.3f}, per-thread-group " +
+          ", ".join(f"{t}t={s:.3f}" for t, s in sorted(scales.items())))
+
+    floor = 1.0 - args.tolerance
+    structures = {}
+    for key, ratio in sorted(matched, key=lambda item: item[1]):
+        normalized = ratio / scales[key[2]]
+        print(f"  [point] {key}: raw x{ratio:.3f}, "
+              f"normalized x{normalized:.3f}")
+        structures.setdefault((key[0], key[1]), []).append(normalized)
+
+    failures = []
+    for (bench, structure), ratios in sorted(structures.items()):
+        score = geometric_mean(ratios)
+        marker = "FAIL" if score < floor else "ok"
+        print(f"[{marker}] {bench} / {structure}: normalized geomean "
+              f"x{score:.3f} over {len(ratios)} point(s)")
+        if score < floor:
+            failures.append((bench, structure, score))
+
+    if failures:
+        print(f"\nbench gate FAILED: {len(failures)} structure(s) more "
+              f"than {args.tolerance:.0%} below the run median",
+              file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Run the short-duration benchmark suite and merge the JSON outputs.
+
+Produces one vbl-bench-v1 document from a fixed set of short bench
+invocations (fig1_small_contended and hashset_scaling), stamped with
+run context (git sha, host, core count, date). This is the suite the
+CI bench-smoke job runs on every PR; tools/bench_compare.py gates the
+result against the committed BENCH_baseline.json.
+
+Usage:
+  tools/run_benches.py --build-dir build --out BENCH_local.json
+  tools/run_benches.py --build-dir build --out BENCH_baseline.json \
+      --repeats 3 --duration-ms 80
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+
+
+def bench_invocations(args):
+    """The suite: (binary, extra flags). Short windows — the gate
+    detects gross regressions, not single-digit drift."""
+    common = [
+        "--duration-ms", str(args.duration_ms),
+        "--warmup-ms", str(args.warmup_ms),
+        "--repeats", str(args.repeats),
+        "--seed", str(args.seed),
+    ]
+    return [
+        ("fig1_small_contended", common + ["--threads", args.threads]),
+        # The 64k+ ranges stay out of the smoke suite: their windows are
+        # dominated by prefill/cache state and too noisy to gate on.
+        ("hashset_scaling", common + ["--threads", args.threads,
+                                      "--ranges", "1024,16384",
+                                      "--latency"]),
+    ]
+
+
+def git_sha(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root, check=True,
+            capture_output=True, text=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory containing bench/")
+    parser.add_argument("--out", required=True,
+                        help="path for the merged JSON document")
+    parser.add_argument("--threads", default="1,2",
+                        help="thread counts passed to every bench")
+    parser.add_argument("--duration-ms", type=int, default=120)
+    parser.add_argument("--warmup-ms", type=int, default=40)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bench_dir = os.path.join(args.build_dir, "bench")
+
+    records = []
+    contexts = {}
+    for name, flags in bench_invocations(args):
+        binary = os.path.join(bench_dir, name)
+        if not os.path.exists(binary):
+            print(f"error: bench binary not found: {binary}",
+                  file=sys.stderr)
+            return 2
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            cmd = [binary, "--json", tmp_path] + flags
+            print("+ " + " ".join(cmd), flush=True)
+            subprocess.run(cmd, check=True)
+            with open(tmp_path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            if doc.get("schema") != "vbl-bench-v1":
+                print(f"error: {name} produced unknown schema "
+                      f"{doc.get('schema')!r}", file=sys.stderr)
+                return 2
+            records.extend(doc.get("records", []))
+            contexts.update(doc.get("context", {}))
+        finally:
+            os.unlink(tmp_path)
+
+    contexts.pop("bench_binary", None)
+    contexts.update({
+        "sha": git_sha(repo_root),
+        "host": platform.node() or "unknown",
+        "nproc": str(os.cpu_count() or 0),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "duration_ms": str(args.duration_ms),
+        "repeats": str(args.repeats),
+    })
+    merged = {"schema": "vbl-bench-v1", "context": contexts,
+              "records": records}
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
