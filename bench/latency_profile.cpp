@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/BenchJson.h"
 #include "harness/Runner.h"
 #include "support/CommandLine.h"
 
@@ -41,6 +42,7 @@ int main(int Argc, char **Argv) {
   Flags.addString("algos", "vbl,lazy,harris-michael",
                   "comma-separated algorithms");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -57,6 +59,9 @@ int main(int Argc, char **Argv) {
       Pos = Comma + 1;
     }
   }
+
+  harness::BenchJsonReport Report;
+  Report.setContext("bench_binary", "latency_profile");
 
   for (unsigned Threads : Flags.getUnsignedList("threads")) {
     std::printf("\n=== %u thread(s), %lld%% updates, range %lld ===\n",
@@ -92,7 +97,35 @@ int main(int Argc, char **Argv) {
       printRow("contains", Profile.Contains);
       printRow("insert", Profile.Insert);
       printRow("remove", Profile.Remove);
+
+      // One record per operation kind: the throughput is the window's
+      // (instrumented) rate, the latency percentiles are the payload.
+      const std::pair<const char *, const SampleStats *> Ops[] = {
+          {"contains", &Profile.Contains},
+          {"insert", &Profile.Insert},
+          {"remove", &Profile.Remove},
+      };
+      for (const auto &[Op, Stats] : Ops) {
+        if (Stats->empty())
+          continue;
+        harness::BenchRecord Record;
+        Record.Bench = "latency_profile";
+        Record.Structure = Algo + "/" + Op;
+        Record.Threads = Threads;
+        Record.KeyRange = Config.KeyRange;
+        Record.UpdatePercent = Config.UpdatePercent;
+        Record.Repeats = 1;
+        Record.ThroughputOpsPerSec = Result.OpsPerSecond;
+        Record.HasLatency = true;
+        Record.P50LatencyNs = Stats->percentile(50);
+        Record.P99LatencyNs = Stats->percentile(99);
+        Report.add(Record);
+      }
     }
   }
+
+  if (!Flags.getString("json").empty())
+    if (!Report.writeFile(Flags.getString("json")))
+      return 1;
   return 0;
 }

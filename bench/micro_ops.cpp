@@ -13,12 +13,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/BenchJson.h"
 #include "harness/Workload.h"
 #include "lists/SetInterface.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <set>
 
@@ -84,9 +87,36 @@ void benchStdSetMutex(benchmark::State &State) {
   }
 }
 
+// Google Benchmark owns the default output; for the machine-readable
+// pipeline (tools/run_benches.py, bench_compare.py) `--json <path>`
+// reruns the same single-threaded mixed workload through the harness
+// and emits vbl-bench-v1 records instead.
+int runJson(const char *Path) {
+  using namespace vbl::harness;
+  WorkloadConfig Config;
+  Config.UpdatePercent = 20;
+  Config.KeyRange = Range;
+  Config.Threads = 1;
+  Config.Seed = 1234;
+
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "micro_ops");
+  for (const std::string &Name : registeredSetNames()) {
+    const BenchRecord Record =
+        measurePoint("micro_ops", Name, Config, /*WithLatency=*/false);
+    std::printf("  %-24s %10.2f Kops/s\n", Name.c_str(),
+                Record.ThroughputOpsPerSec / 1e3);
+    Report.add(Record);
+  }
+  return Report.writeFile(Path) ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return runJson(Argv[I + 1]);
   for (const std::string &Name : registeredSetNames())
     benchmark::RegisterBenchmark(("mixed20/" + Name).c_str(),
                                  [Name](benchmark::State &State) {

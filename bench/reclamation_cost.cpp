@@ -17,6 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/BenchJson.h"
 #include "harness/TablePrinter.h"
 #include "support/CommandLine.h"
 
@@ -32,6 +33,7 @@ int main(int Argc, char **Argv) {
   Flags.addInt("warmup-ms", 25, "warm-up per window");
   Flags.addInt("repeats", 2, "repetitions per point");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -49,11 +51,17 @@ int main(int Argc, char **Argv) {
       {"lazy", "lazy-leaky"},
       {"harris-michael", "harris-michael-leaky"},
   };
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "reclamation_cost");
   for (const auto &[Reclaimed, Leaky] : Pairs) {
     Panel P(std::string(Reclaimed) + ": EBR vs leaky",
             {Leaky, Reclaimed}, Flags.getUnsignedList("threads"));
     P.measureAll(Base);
     P.print();
+    P.appendJson(Report, Base);
   }
+  if (!Flags.getString("json").empty())
+    if (!Report.writeFile(Flags.getString("json")))
+      return 1;
   return 0;
 }

@@ -45,6 +45,8 @@ static const char *fieldName(MemField Field) {
     return "Marked";
   case MemField::Lock:
     return "Lock";
+  case MemField::Epoch:
+    return "Epoch";
   }
   return "?";
 }

@@ -61,6 +61,9 @@ std::string RaceReport::toString() const {
   case MemField::Lock:
     Out << "Lock";
     break;
+  case MemField::Epoch:
+    Out << "Epoch";
+    break;
   }
   Out << ":\n  first:  " << First.toString()
       << "\n  second: " << Second.toString()

@@ -40,6 +40,7 @@
 #include "core/SetConfig.h"
 #include "core/ValueAwareTryLock.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
@@ -53,7 +54,10 @@ template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy, class LockT = TasLock,
           bool RestartFromPrev = true, bool ValueAware = true>
 class VblList {
-  struct Node {
+  /// NodeAlignBytes (core/SetConfig.h) picks between one-node-per-cache-
+  /// line (64, the measured default: no false sharing between a locked
+  /// node and its neighbours) and packed two-per-line (32).
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -73,8 +77,8 @@ public:
   using BucketHandle = Node *;
 
   VblList() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -84,7 +88,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      delete Curr;
+      reclaim::poolDestroy<Policy>(Curr);
       Curr = Next;
     }
   }
@@ -131,11 +135,11 @@ public:
       if (ValueAware && Val == Key) {
         // Present: decided from data alone, no lock was taken. This is
         // the schedule of Fig. 2 that the Lazy list rejects.
-        delete NewNode; // Never published; plain delete is safe.
+        reclaim::poolDestroy<Policy>(NewNode); // Never published.
         return false;
       }
       if (!NewNode) {
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
       }
       Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
@@ -147,7 +151,7 @@ public:
       if (!ValueAware && Val == Key) {
         // Ablation mode: Lazy-style decision under the lock.
         Prev->NodeLock.template release<Policy>(Prev);
-        delete NewNode;
+        reclaim::poolDestroy<Policy>(NewNode);
         return false;
       }
       // Publish: the release store makes NewNode's fields visible to any
@@ -204,7 +208,9 @@ public:
                     MemField::Next);
       Victim->NodeLock.template release<Policy>(Victim);
       Prev->NodeLock.template release<Policy>(Prev);
-      Domain.retire(Victim);
+      // Retire with the pool deleter: after the grace period the block
+      // goes back to the freeing thread's local free list.
+      reclaim::poolRetire<Policy>(Domain, Victim);
       return true;
     }
   }
@@ -217,6 +223,11 @@ public:
     while (Val < Key) {
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
+      // Pull the successor's line while this node's key is compared.
+      // Direct mode only: traced runs must not perform an extra
+      // scheduler-invisible shared read.
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     return Val == Key;
@@ -237,11 +248,11 @@ public:
       if (Val == Key) {
         // A node carrying Key exists and — caller's contract — is never
         // removed, so its identity is stable and safe to hand out.
-        delete NewNode; // Never published.
+        reclaim::poolDestroy<Policy>(NewNode); // Never published.
         return Curr;
       }
       if (!NewNode) {
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
       }
       Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
@@ -330,6 +341,9 @@ private:
       Prev = Curr;
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
+      // See containsFrom: overlap the successor fetch with the compare.
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     return {Prev, Curr, Val};

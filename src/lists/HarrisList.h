@@ -20,6 +20,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 
@@ -38,8 +39,8 @@ public:
   using Policy = PolicyT;
 
   HarrisList() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
     Head->Next.store(pack(Tail, false), std::memory_order_relaxed);
   }
 
@@ -47,7 +48,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = ptrOf(Curr->Next.load(std::memory_order_relaxed));
-      delete Curr;
+      reclaim::poolDestroy<Policy>(Curr);
       Curr = Next;
     }
   }
@@ -62,11 +63,11 @@ public:
     for (;;) {
       auto [Left, Right] = search(Key);
       if (Right->Val == Key) {
-        delete NewNode;
+        reclaim::poolDestroy<Policy>(NewNode); // Never published.
         return false;
       }
       if (!NewNode) {
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
       }
       NewNode->Next.store(pack(Right, false), std::memory_order_relaxed);
@@ -109,7 +110,7 @@ public:
                             pack(ptrOf(SuccWord), false),
                             std::memory_order_release, Left,
                             MemField::Next))
-        Domain.retire(Right);
+        reclaim::poolRetire<Policy>(Domain, Right);
       return true;
     }
   }
@@ -122,6 +123,10 @@ public:
     while (Val < Key) {
       Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
                                 Curr, MemField::Next));
+      // Pull the successor's line while this node's key is compared
+      // (direct mode only; traced runs take no invisible shared reads).
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(ptrOf(Curr->Next.load(std::memory_order_relaxed)));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     if (Val != Key)
@@ -161,7 +166,8 @@ public:
   Reclaim &reclaimDomain() { return Domain; }
 
 private:
-  struct Node {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -200,6 +206,9 @@ private:
             LeftNextWord = TNextWord;
           }
           T = ptrOf(TNextWord);
+          // Overlap the next hop's fetch with the sentinel/key checks.
+          if constexpr (!Policy::Traced)
+            VBL_PREFETCH(ptrOf(T->Next.load(std::memory_order_relaxed)));
           if (T->Val == MaxSentinel)
             break;
           TNextWord = Policy::read(T->Next, std::memory_order_acquire, T,
@@ -228,7 +237,7 @@ private:
         // these nodes.
         for (Node *Dead = ptrOf(LeftNextWord); Dead != Right;) {
           Node *DeadNext = ptrOf(Dead->Next.load(std::memory_order_acquire));
-          Domain.retire(Dead);
+          reclaim::poolRetire<Policy>(Domain, Dead);
           Dead = DeadNext;
         }
         if (rightBecameMarked(Right)) {

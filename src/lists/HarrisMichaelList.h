@@ -27,6 +27,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 
@@ -40,7 +41,9 @@ namespace vbl {
 template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy>
 class HarrisMichaelList {
-  struct Node {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h) so
+  /// a CAS on one node's tagged word never invalidates a neighbour.
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -60,8 +63,8 @@ public:
   using BucketHandle = Node *;
 
   HarrisMichaelList() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
     Head->Next.store(pack(Tail, false), std::memory_order_relaxed);
   }
 
@@ -69,7 +72,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = ptrOf(Curr->Next.load(std::memory_order_relaxed));
-      delete Curr;
+      reclaim::poolDestroy<Policy>(Curr);
       Curr = Next;
     }
   }
@@ -102,11 +105,11 @@ public:
     for (;;) {
       auto [Prev, Curr] = find(Key, Start);
       if (Curr->Val == Key) {
-        delete NewNode; // Never published.
+        reclaim::poolDestroy<Policy>(NewNode); // Never published.
         return false;
       }
       if (!NewNode) {
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
       }
       NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
@@ -150,7 +153,7 @@ public:
       if (Policy::casStrong(Prev->Next, Expected, pack(Succ, false),
                             std::memory_order_release, Prev,
                             MemField::Next))
-        Domain.retire(Curr);
+        reclaim::poolRetire<Policy>(Domain, Curr);
       return true;
     }
   }
@@ -165,6 +168,10 @@ public:
     while (Val < Key) {
       Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
                                 Curr, MemField::Next));
+      // Pull the successor's line while this node's key is compared
+      // (direct mode only; traced runs take no invisible shared reads).
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(ptrOf(Curr->Next.load(std::memory_order_relaxed)));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     if (Val != Key)
@@ -184,11 +191,11 @@ public:
     for (;;) {
       auto [Prev, Curr] = find(Key, Start);
       if (Curr->Val == Key) {
-        delete NewNode; // Never published.
+        reclaim::poolDestroy<Policy>(NewNode); // Never published.
         return Curr;
       }
       if (!NewNode) {
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
       }
       NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
@@ -271,6 +278,9 @@ private:
           Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                        MemField::Next);
       Node *Succ = ptrOf(SuccWord);
+      // Overlap the successor fetch with the mark test and key compare.
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Succ);
       if (markOf(SuccWord)) {
         // Curr is logically deleted: delegated physical unlink.
         uintptr_t Expected = pack(Curr, false);
@@ -280,7 +290,7 @@ private:
           Policy::onRestart();
           goto Retry; // The restart Fig. 3 exploits.
         }
-        Domain.retire(Curr);
+        reclaim::poolRetire<Policy>(Domain, Curr);
         Curr = Succ;
         continue;
       }

@@ -29,6 +29,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/HazardPointerDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -42,8 +43,8 @@ public:
   using Reclaim = reclaim::HazardPointerDomain;
 
   HarrisMichaelListHp() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node>(MaxSentinel);
+    Head = reclaim::poolCreate<Node>(MinSentinel);
     Head->Next.store(pack(Tail, false), std::memory_order_relaxed);
   }
 
@@ -53,7 +54,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = ptrOf(Curr->Next.load(std::memory_order_relaxed));
-      delete Curr;
+      reclaim::poolDestroy(Curr);
       Curr = Next;
     }
   }
@@ -68,11 +69,11 @@ public:
     for (;;) {
       auto [Prev, Curr] = find(Key, G);
       if (Curr->Val == Key) {
-        delete NewNode;
+        reclaim::poolDestroy(NewNode); // Never published.
         return false;
       }
       if (!NewNode)
-        NewNode = new Node(Key);
+        NewNode = reclaim::poolCreate<Node>(Key);
       NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
       uintptr_t Expected = pack(Curr, false);
       if (Prev->Next.compare_exchange_strong(Expected,
@@ -104,7 +105,7 @@ public:
       if (Prev->Next.compare_exchange_strong(
               Expected, pack(ptrOf(SuccWord), false),
               std::memory_order_release, std::memory_order_acquire))
-        Domain.retire(Curr);
+        reclaim::poolRetire(Domain, Curr);
       return true;
     }
   }
@@ -151,7 +152,8 @@ public:
   Reclaim &reclaimDomain() { return Domain; }
 
 private:
-  struct Node {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -191,6 +193,8 @@ private:
       const uintptr_t SuccWord =
           Curr->Next.load(std::memory_order_acquire);
       Node *Succ = ptrOf(SuccWord);
+      // Overlap the successor fetch with the mark test and key compare.
+      VBL_PREFETCH(Succ);
       if (markOf(SuccWord)) {
         // Curr is logically deleted: unlink it (Succ needs no hazard:
         // it is re-protected as the next Curr before any dereference).
@@ -199,7 +203,7 @@ private:
                 Expected, pack(Succ, false), std::memory_order_release,
                 std::memory_order_acquire))
           goto Retry;
-        Domain.retire(Curr);
+        reclaim::poolRetire(Domain, Curr);
         CurrWord = pack(Succ, false);
         continue;
       }

@@ -26,6 +26,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 #include "sync/SpinLocks.h"
@@ -44,8 +45,8 @@ public:
   using Policy = PolicyT;
 
   LazyList() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -53,7 +54,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      delete Curr;
+      reclaim::poolDestroy<Policy>(Curr);
       Curr = Next;
     }
   }
@@ -79,7 +80,7 @@ public:
       }
       const bool Absent = Val != Key;
       if (Absent) {
-        Node *NewNode = new Node(Key);
+        Node *NewNode = reclaim::poolCreate<Node, Policy>(Key);
         Policy::onNewNode(NewNode, Key);
         NewNode->Next.store(Curr, std::memory_order_relaxed);
         Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
@@ -118,7 +119,7 @@ public:
       Policy::lockRelease(Curr->NodeLock, Curr);
       Policy::lockRelease(Prev->NodeLock, Prev);
       if (Present)
-        Domain.retire(Curr);
+        reclaim::poolRetire<Policy>(Domain, Curr);
       return Present;
     }
   }
@@ -132,6 +133,10 @@ public:
     while (Val < Key) {
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
+      // Pull the successor's line while this node's key is compared
+      // (direct mode only; traced runs take no invisible shared reads).
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     return Val == Key && !Policy::read(Curr->Marked,
@@ -183,7 +188,9 @@ public:
   }
 
 private:
-  struct Node {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h):
+  /// a locked/marked node does not invalidate its neighbours' lines.
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -205,6 +212,9 @@ private:
       Prev = Curr;
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
+      // See contains(): overlap the successor fetch with the compare.
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
     }
     return {Prev, Curr, Val};

@@ -30,6 +30,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "support/Random.h"
 #include "support/ThreadSafety.h"
@@ -50,8 +51,8 @@ public:
   static constexpr int MaxLevel = 20;
 
   LazySkipList() {
-    Tail = new Node(MaxSentinel, MaxLevel - 1);
-    Head = new Node(MinSentinel, MaxLevel - 1);
+    Tail = reclaim::poolCreate<Node>(MaxSentinel, MaxLevel - 1);
+    Head = reclaim::poolCreate<Node>(MinSentinel, MaxLevel - 1);
     for (int Level = 0; Level != MaxLevel; ++Level)
       Head->Next[Level].store(Tail, std::memory_order_relaxed);
     // Sentinels are permanently linked.
@@ -63,7 +64,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next[0].load(std::memory_order_relaxed);
-      delete Curr;
+      reclaim::poolDestroy(Curr);
       Curr = Next;
     }
   }
@@ -120,7 +121,7 @@ public:
         continue;
       }
 
-      Node *NewNode = new Node(Key, TopLevel);
+      Node *NewNode = reclaim::poolCreate<Node>(Key, TopLevel);
       for (int Level = 0; Level <= TopLevel; ++Level)
         NewNode->Next[Level].store(Succs[Level],
                                    std::memory_order_relaxed);
@@ -196,7 +197,7 @@ public:
             std::memory_order_release);
       Victim->NodeLock.unlock();
       unlockPreds(Preds, HighestLocked);
-      Domain.retire(Victim);
+      reclaim::poolRetire(Domain, Victim);
       return true;
     }
   }
@@ -264,7 +265,10 @@ public:
   Reclaim &reclaimDomain() { return Domain; }
 
 private:
-  struct Node {
+  /// Towers span multiple cache lines regardless (MaxLevel next
+  /// pointers); aligning the base still keeps the hot header fields
+  /// (Val, Marked, FullyLinked, lock, levels 0-4) on one line.
+  struct alignas(NodeAlignBytes) Node {
     Node(SetKey Val, int TopLevel) : Val(Val), TopLevel(TopLevel) {}
 
     const SetKey Val;
@@ -285,6 +289,8 @@ private:
       while (Curr->Val < Key) {
         Pred = Curr;
         Curr = Pred->Next[Level].load(std::memory_order_acquire);
+        // Pull the successor's line while this node's key is compared.
+        VBL_PREFETCH(Curr->Next[Level].load(std::memory_order_relaxed));
       }
       if (FoundLevel == -1 && Curr->Val == Key)
         FoundLevel = Level;

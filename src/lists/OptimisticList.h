@@ -24,6 +24,7 @@
 
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "sync/SpinLocks.h"
 
@@ -38,8 +39,8 @@ public:
   using Reclaim = ReclaimT;
 
   OptimisticList() {
-    Tail = new Node(MaxSentinel);
-    Head = new Node(MinSentinel);
+    Tail = reclaim::poolCreate<Node>(MaxSentinel);
+    Head = reclaim::poolCreate<Node>(MinSentinel);
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -47,7 +48,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      delete Curr;
+      reclaim::poolDestroy(Curr);
       Curr = Next;
     }
   }
@@ -69,7 +70,7 @@ public:
       }
       const bool Absent = Curr->Val != Key;
       if (Absent) {
-        Node *NewNode = new Node(Key);
+        Node *NewNode = reclaim::poolCreate<Node>(Key);
         NewNode->Next.store(Curr, std::memory_order_relaxed);
         Prev->Next.store(NewNode, std::memory_order_release);
       }
@@ -98,7 +99,7 @@ public:
       Curr->NodeLock.unlock();
       Prev->NodeLock.unlock();
       if (Present)
-        Domain.retire(Curr);
+        reclaim::poolRetire(Domain, Curr);
       return Present;
     }
   }
@@ -156,7 +157,8 @@ public:
   Reclaim &reclaimDomain() { return Domain; }
 
 private:
-  struct Node {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
+  struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
@@ -170,6 +172,8 @@ private:
     while (Curr->Val < Key) {
       Prev = Curr;
       Curr = Curr->Next.load(std::memory_order_acquire);
+      // Pull the successor's line while this node's key is compared.
+      VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
     }
     return {Prev, Curr};
   }

@@ -45,6 +45,7 @@
 
 #include "core/SetConfig.h"
 #include "maps/SplitOrder.h"
+#include "reclaim/NodePool.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 
@@ -180,17 +181,32 @@ private:
     std::atomic<BucketHandle> *Slots = nullptr;
 
     static BucketIndex *allocate(size_t Capacity) {
-      auto *I = new BucketIndex;
+      auto *I = reclaim::poolCreate<BucketIndex, Policy>();
       I->Capacity = Capacity;
-      I->Slots = new std::atomic<BucketHandle>[Capacity];
-      for (size_t B = 0; B != Capacity; ++B)
+      // Raw pool bytes with per-element placement-new (an array
+      // new-expression could prepend a length cookie, overflowing an
+      // exactly-sized pool block). Small tables recycle through the
+      // pool; indices past 1 KiB take the pool's transparent heap path.
+      void *Mem = reclaim::NodePool::allocate<Policy>(
+          Capacity * sizeof(std::atomic<BucketHandle>),
+          alignof(std::atomic<BucketHandle>));
+      I->Slots = static_cast<std::atomic<BucketHandle> *>(Mem);
+      for (size_t B = 0; B != Capacity; ++B) {
+        ::new (static_cast<void *>(I->Slots + B))
+            std::atomic<BucketHandle>();
         I->Slots[B].store(nullptr, std::memory_order_relaxed);
+      }
       return I;
     }
 
     static void destroy(BucketIndex *I) {
-      delete[] I->Slots;
-      delete I;
+      // Capacity is needed to recompute the block's size class; read it
+      // before releasing the header. Atomics are trivially destructible.
+      const size_t Capacity = I->Capacity;
+      reclaim::NodePool::deallocate<Policy>(
+          I->Slots, Capacity * sizeof(std::atomic<BucketHandle>),
+          alignof(std::atomic<BucketHandle>));
+      reclaim::poolDestroy<Policy>(I);
     }
 
     /// Type-erased deleter for Reclaim::retireRaw.

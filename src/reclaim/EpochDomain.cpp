@@ -7,148 +7,12 @@
 
 #include "reclaim/EpochDomain.h"
 
-#include "reclaim/DomainRegistry.h"
+namespace vbl {
+namespace reclaim {
 
-using namespace vbl;
-using namespace vbl::reclaim;
+// The production instantiation lives here so every list translation unit
+// shares one copy of the slow paths (attach, advance, collect).
+template class BasicEpochDomain<DirectPolicy>;
 
-EpochDomain::EpochDomain() : DomainId(registerDomain()), Records(MaxThreads) {}
-
-EpochDomain::~EpochDomain() {
-  // After this call no exiting thread will touch this domain again.
-  unregisterDomain(DomainId);
-  // No guard may be active: readers into freed nodes would be fatal.
-  for (ThreadRecord &Record : Records)
-    VBL_ASSERT(Record.ActiveDepth.load(std::memory_order_acquire) == 0,
-               "EpochDomain destroyed while a guard is active");
-  // Everything still pending is safe to free now.
-  for (ThreadRecord &Record : Records) {
-    for (const RetiredPtr &R : Record.RetireList)
-      R.Deleter(R.Ptr);
-    Record.RetireList.clear();
-  }
-  std::lock_guard<std::mutex> Lock(OrphanMutex);
-  for (const RetiredPtr &R : Orphans)
-    R.Deleter(R.Ptr);
-  Orphans.clear();
-}
-
-EpochDomain::ThreadRecord *EpochDomain::attachCurrentThread() {
-  // Fast path: per-(thread, domain) record cached in the TLS registry,
-  // with a one-entry inline cache in front since nearly every workload
-  // touches one domain at a time.
-  thread_local uint64_t CachedDomainId = 0;
-  thread_local ThreadRecord *CachedRecord = nullptr;
-  if (CachedDomainId == DomainId)
-    return CachedRecord;
-
-  if (void *Known = findThreadRecord(DomainId)) {
-    CachedDomainId = DomainId;
-    CachedRecord = static_cast<ThreadRecord *>(Known);
-    return CachedRecord;
-  }
-
-  // Slow path: claim a free slot.
-  for (uint32_t I = 0; I != MaxThreads; ++I) {
-    ThreadRecord &Record = Records[I];
-    bool Expected = false;
-    if (!Record.InUse.compare_exchange_strong(Expected, true,
-                                              std::memory_order_acq_rel))
-      continue;
-    // Raise the scan high-water mark so epoch advancing sees this slot.
-    uint32_t HW = HighWater.load(std::memory_order_relaxed);
-    while (HW < I + 1 && !HighWater.compare_exchange_weak(
-                             HW, I + 1, std::memory_order_acq_rel)) {
-    }
-    rememberThreadRecord(DomainId, this, &Record, &detachTrampoline);
-    CachedDomainId = DomainId;
-    CachedRecord = &Record;
-    return &Record;
-  }
-  vbl_unreachable("EpochDomain: more than MaxThreads concurrent threads");
-}
-
-void EpochDomain::detachTrampoline(void *Domain, void *Record) {
-  static_cast<EpochDomain *>(Domain)->detach(
-      static_cast<ThreadRecord *>(Record));
-}
-
-void EpochDomain::detach(ThreadRecord *Record) {
-  VBL_ASSERT(Record->ActiveDepth.load(std::memory_order_acquire) == 0,
-             "thread exited inside an epoch guard");
-  {
-    std::lock_guard<std::mutex> Lock(OrphanMutex);
-    Orphans.insert(Orphans.end(), Record->RetireList.begin(),
-                   Record->RetireList.end());
-  }
-  Record->RetireList.clear();
-  Record->InUse.store(false, std::memory_order_release);
-}
-
-void EpochDomain::retireRaw(void *Ptr, void (*Deleter)(void *)) {
-  VBL_ASSERT(Ptr, "retiring null");
-  ThreadRecord *Record = attachCurrentThread();
-  Record->RetireList.push_back(
-      {Ptr, Deleter, GlobalEpoch.load(std::memory_order_acquire)});
-  Retired.fetch_add(1, std::memory_order_relaxed);
-  // Attempt collection every CollectThreshold retirements, not on every
-  // retirement past the threshold: when a preempted reader pins an old
-  // epoch, the latter degrades into a full record scan per retire.
-  if (Record->RetireList.size() % CollectThreshold == 0)
-    collect(Record);
-}
-
-bool EpochDomain::tryAdvanceEpoch() {
-  const uint64_t Current = GlobalEpoch.load(std::memory_order_seq_cst);
-  const uint32_t HW = HighWater.load(std::memory_order_acquire);
-  for (uint32_t I = 0; I != HW; ++I) {
-    const ThreadRecord &Record = Records[I];
-    if (!Record.InUse.load(std::memory_order_acquire))
-      continue;
-    if (Record.ActiveDepth.load(std::memory_order_acquire) == 0)
-      continue;
-    if (Record.LocalEpoch.load(std::memory_order_seq_cst) != Current)
-      return false; // A reader still sits in an older epoch.
-  }
-  uint64_t Expected = Current;
-  GlobalEpoch.compare_exchange_strong(Expected, Current + 1,
-                                      std::memory_order_acq_rel);
-  // Either we advanced or someone else did; both count as progress.
-  return true;
-}
-
-void EpochDomain::freeSafe(std::vector<RetiredPtr> &List, uint64_t SafeEpoch) {
-  size_t Kept = 0;
-  for (size_t I = 0, E = List.size(); I != E; ++I) {
-    if (List[I].Epoch <= SafeEpoch) {
-      List[I].Deleter(List[I].Ptr);
-      Freed.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    List[Kept++] = List[I];
-  }
-  List.resize(Kept);
-}
-
-bool EpochDomain::collect(ThreadRecord *Record) {
-  tryAdvanceEpoch();
-  const uint64_t Global = GlobalEpoch.load(std::memory_order_acquire);
-  // Retired in epoch e, safe once Global >= e + 2: every reader active
-  // now announced at least e + 1 > e after the unlink became visible.
-  const size_t Before = Record->RetireList.size();
-  freeSafe(Record->RetireList, Global - 2);
-  return Record->RetireList.size() != Before;
-}
-
-void EpochDomain::collectAll() {
-  ThreadRecord *Record = attachCurrentThread();
-  // Each advance can unlock one more epoch bucket; three rounds drain
-  // everything when no other thread holds a guard.
-  for (int Round = 0; Round != 3; ++Round) {
-    tryAdvanceEpoch();
-    const uint64_t Global = GlobalEpoch.load(std::memory_order_acquire);
-    freeSafe(Record->RetireList, Global - 2);
-    std::lock_guard<std::mutex> Lock(OrphanMutex);
-    freeSafe(Orphans, Global - 2);
-  }
-}
+} // namespace reclaim
+} // namespace vbl

@@ -21,12 +21,51 @@
 ///    pointer retired in epoch e is freed once the global epoch reaches
 ///    e + 2: any reader that could still hold it announced at most e + 1.
 ///
+/// Read-side cost: a thread's activity flag and announced epoch share one
+/// 64-bit word (bit 0 = active, bits 1+ = epoch), so guard entry is a
+/// single fence-bearing `exchange` instead of the two seq_cst stores the
+/// first implementation used. Because the epoch must be read *before*
+/// composing the word, an advance can slip between the read and the
+/// announcement; a validation loop re-reads the global epoch after the
+/// exchange and re-announces until the two agree. Both halves of the race
+/// stay safe:
+///  - The advancer refuses to move the epoch while any active announce
+///    word differs from the current epoch, so a stale announcement can
+///    only *delay* reclamation (pin the epoch), never unpin memory.
+///  - A reader whose announcement is one epoch behind still only holds
+///    nodes it found by traversing from an immortal head after its
+///    fence; any node retired in epoch r was unlinked before the global
+///    epoch reached r + 1, and freeing it requires two further advances,
+///    each of which scans (with seq_cst reads) the reader's announce
+///    word after the reader's seq_cst announcement — so at most one
+///    advance can miss an entering reader, which the e + 2 grace period
+///    absorbs (it tolerates readers announcing one epoch late).
+/// When the global epoch has not moved since this thread's previous
+/// guard — the common case in a hot loop — the validation loop is
+/// skipped entirely: re-announcing the identical word cannot pin
+/// anything the previous guard did not already pin.
+///
+/// The domain is templated on the repo's access-Policy concept. The
+/// production alias `EpochDomain` uses DirectPolicy (zero overhead);
+/// instantiating with sched::AnalyzedPolicy routes the announcement
+/// protocol — guard entry exchange, guard exit release store, the
+/// advancer's scan and the epoch CAS — through the deterministic
+/// scheduler and the happens-before race detector, which is what lets
+/// tests/analysis prove that recycling a node (reclaim/NodePool.h) into
+/// a concurrent traversal is ordered: the reader's guard exit
+/// release-writes its announce word, the advancing thread's scan
+/// acquire-reads it, and only then can the free (and pool reuse) happen.
+/// Only the announcement protocol is policy-visible; per-thread retire
+/// lists, slot claims and the orphan list are private bookkeeping.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBL_RECLAIM_EPOCHDOMAIN_H
 #define VBL_RECLAIM_EPOCHDOMAIN_H
 
+#include "reclaim/DomainRegistry.h"
 #include "support/Compiler.h"
+#include "sync/Policy.h"
 
 #include <atomic>
 #include <cstdint>
@@ -39,8 +78,10 @@ namespace reclaim {
 /// An independent EBR instance. Each concurrent set owns one (or shares
 /// one); threads attach lazily on first guard entry and detach
 /// automatically at thread exit.
-class EpochDomain {
+template <class PolicyT = DirectPolicy> class BasicEpochDomain {
 public:
+  using Policy = PolicyT;
+
   /// Upper bound on concurrently attached threads. Records are claimed
   /// and recycled, so this bounds *simultaneous* threads, not total.
   static constexpr unsigned MaxThreads = 512;
@@ -50,11 +91,29 @@ public:
   /// enough that the scan cost amortizes.
   static constexpr size_t CollectThreshold = 128;
 
-  EpochDomain();
-  ~EpochDomain();
+  BasicEpochDomain() : DomainId(registerDomain()), Records(MaxThreads) {}
 
-  EpochDomain(const EpochDomain &) = delete;
-  EpochDomain &operator=(const EpochDomain &) = delete;
+  ~BasicEpochDomain() {
+    // After this call no exiting thread will touch this domain again.
+    unregisterDomain(DomainId);
+    // No guard may be active: readers into freed nodes would be fatal.
+    for (ThreadRecord &Record : Records)
+      VBL_ASSERT((Record.Announce.load(std::memory_order_acquire) & 1) == 0,
+                 "EpochDomain destroyed while a guard is active");
+    // Everything still pending is safe to free now.
+    for (ThreadRecord &Record : Records) {
+      for (const RetiredPtr &R : Record.RetireList)
+        R.Deleter(R.Ptr);
+      Record.RetireList.clear();
+    }
+    std::lock_guard<std::mutex> Lock(OrphanMutex);
+    for (const RetiredPtr &R : Orphans)
+      R.Deleter(R.Ptr);
+    Orphans.clear();
+  }
+
+  BasicEpochDomain(const BasicEpochDomain &) = delete;
+  BasicEpochDomain &operator=(const BasicEpochDomain &) = delete;
 
   class Guard;
 
@@ -65,13 +124,42 @@ public:
     retireRaw(Ptr, [](void *P) { delete static_cast<T *>(P); });
   }
 
-  /// Type-erased retire for adapters.
-  void retireRaw(void *Ptr, void (*Deleter)(void *));
+  /// Type-erased retire for adapters (and the pool deleters).
+  void retireRaw(void *Ptr, void (*Deleter)(void *)) {
+    VBL_ASSERT(Ptr, "retiring null");
+    ThreadRecord *Record = attachCurrentThread();
+    Record->RetireList.push_back(
+        {Ptr, Deleter,
+         Policy::read(GlobalEpoch, std::memory_order_acquire, &GlobalEpoch,
+                      MemField::Epoch)});
+    Retired.fetch_add(1, std::memory_order_relaxed);
+    // Attempt collection every CollectThreshold retirements, not on every
+    // retirement past the threshold: when a preempted reader pins an old
+    // epoch, the latter degrades into a full record scan per retire.
+    if (Record->RetireList.size() % CollectThreshold == 0)
+      collect(Record);
+  }
 
   /// Forces collection attempts until nothing more can be freed without
-  /// another epoch advance. Test/teardown helper; not thread-safe with
-  /// concurrent guards on the *calling* thread.
-  void collectAll();
+  /// another epoch advance. Test/teardown helper. The calling thread
+  /// must not hold a guard: collectAll frees this thread's own retired
+  /// nodes as soon as the epoch allows, which would pull memory out from
+  /// under the caller's still-open critical section.
+  void collectAll() {
+    ThreadRecord *Record = attachCurrentThread();
+    VBL_ASSERT(Record->Depth == 0,
+               "collectAll called while the calling thread holds a guard");
+    // Each advance can unlock one more epoch bucket; three rounds drain
+    // everything when no other thread holds a guard.
+    for (int Round = 0; Round != 3; ++Round) {
+      tryAdvanceEpoch();
+      const uint64_t Global =
+          GlobalEpoch.load(std::memory_order_acquire);
+      freeSafe(Record->RetireList, Global - 2);
+      std::lock_guard<std::mutex> Lock(OrphanMutex);
+      freeSafe(Orphans, Global - 2);
+    }
+  }
 
   uint64_t globalEpoch() const {
     return GlobalEpoch.load(std::memory_order_acquire);
@@ -93,26 +181,152 @@ private:
   };
 
   struct alignas(CacheLineBytes) ThreadRecord {
-    /// 0 when the thread is outside any guard; counts nesting.
-    std::atomic<uint32_t> ActiveDepth{0};
-    /// Epoch announced at outermost guard entry; only meaningful while
-    /// ActiveDepth > 0.
-    std::atomic<uint64_t> LocalEpoch{0};
+    /// Bit 0: the thread is inside a guard. Bits 1+: the epoch it
+    /// announced at its outermost entry (meaningful only while bit 0 is
+    /// set). One word so entry is a single RMW.
+    std::atomic<uint64_t> Announce{0};
     /// Slot ownership flag, claimed with CAS on attach.
     std::atomic<bool> InUse{false};
+    /// Guard nesting depth. Owner-thread-only: nesting is invisible to
+    /// other threads (only bit 0 of Announce is), so this needs no
+    /// atomicity.
+    uint32_t Depth = 0;
+    /// The word the last outermost guard announced (active bit set).
+    /// Owner-thread-only. Lets the next entry skip epoch validation
+    /// when the global epoch has not moved.
+    uint64_t LastWord = 0;
     /// Owner-thread-only while attached; handed to the domain on detach.
     std::vector<RetiredPtr> RetireList;
   };
 
-  ThreadRecord *attachCurrentThread();
-  static void detachTrampoline(void *Domain, void *Record);
-  void detach(ThreadRecord *Record);
+  ThreadRecord *attachCurrentThread() {
+    // Fast path: per-(thread, domain) record cached in the TLS registry,
+    // with a one-entry inline cache in front since nearly every workload
+    // touches one domain at a time.
+    thread_local uint64_t CachedDomainId = 0;
+    thread_local ThreadRecord *CachedRecord = nullptr;
+    if (CachedDomainId == DomainId)
+      return CachedRecord;
+
+    if (void *Known = findThreadRecord(DomainId)) {
+      CachedDomainId = DomainId;
+      CachedRecord = static_cast<ThreadRecord *>(Known);
+      return CachedRecord;
+    }
+
+    // Slow path: claim a free slot.
+    for (uint32_t I = 0; I != MaxThreads; ++I) {
+      ThreadRecord &Record = Records[I];
+      bool Expected = false;
+      if (!Record.InUse.compare_exchange_strong(Expected, true,
+                                                std::memory_order_acq_rel))
+        continue;
+      // Raise the scan high-water mark so epoch advancing sees this slot.
+      uint32_t HW = HighWater.load(std::memory_order_relaxed);
+      while (HW < I + 1 && !HighWater.compare_exchange_weak(
+                               HW, I + 1, std::memory_order_acq_rel)) {
+      }
+      rememberThreadRecord(DomainId, this, &Record, &detachTrampoline);
+      CachedDomainId = DomainId;
+      CachedRecord = &Record;
+      return &Record;
+    }
+    vbl_unreachable("EpochDomain: more than MaxThreads concurrent threads");
+  }
+
+  static void detachTrampoline(void *Domain, void *Record) {
+    static_cast<BasicEpochDomain *>(Domain)->detach(
+        static_cast<ThreadRecord *>(Record));
+  }
+
+  void detach(ThreadRecord *Record) {
+    VBL_ASSERT(Record->Depth == 0, "thread exited inside an epoch guard");
+    {
+      std::lock_guard<std::mutex> Lock(OrphanMutex);
+      Orphans.insert(Orphans.end(), Record->RetireList.begin(),
+                     Record->RetireList.end());
+    }
+    Record->RetireList.clear();
+    // Reset the owner-only state before releasing the slot: the next
+    // thread claiming it must not inherit a stale LastWord (it would
+    // wrongly skip epoch validation) or a phantom nesting depth.
+    //
+    // Announce is deliberately NOT reset. Depth == 0 means the last
+    // guard exit already cleared the active bit, so scans skip this
+    // slot either way — but detach runs from TLS teardown, concurrent
+    // with everything, and overwriting the word here would (a) destroy
+    // the release store the epoch-advance scan synchronizes with and
+    // (b) make the value that scan observes depend on OS thread-exit
+    // timing, which the deterministic replayer cannot tolerate. The
+    // next owner's first guard entry overwrites it with an exchange
+    // without ever reading it.
+    VBL_ASSERT((Record->Announce.load(std::memory_order_relaxed) & 1) == 0,
+               "thread detached with active announce bit set");
+    Record->Depth = 0;
+    Record->LastWord = 0;
+    Record->InUse.store(false, std::memory_order_release);
+  }
 
   /// Tries to advance the global epoch, then frees everything in
   /// \p Record that became safe. Returns true if anything was freed.
-  bool collect(ThreadRecord *Record);
-  bool tryAdvanceEpoch();
-  void freeSafe(std::vector<RetiredPtr> &List, uint64_t SafeEpoch);
+  bool collect(ThreadRecord *Record) {
+    tryAdvanceEpoch();
+    const uint64_t Global = GlobalEpoch.load(std::memory_order_acquire);
+    // Retired in epoch e, safe once Global >= e + 2: every reader active
+    // now announced at least e + 1 > e after the unlink became visible.
+    const size_t Before = Record->RetireList.size();
+    freeSafe(Record->RetireList, Global - 2);
+    return Record->RetireList.size() != Before;
+  }
+
+  bool tryAdvanceEpoch() {
+    const uint64_t Current =
+        Policy::read(GlobalEpoch, std::memory_order_seq_cst, &GlobalEpoch,
+                     MemField::Epoch);
+    const uint32_t HW = HighWater.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I != HW; ++I) {
+      ThreadRecord &Record = Records[I];
+      // Policy-visible read of EVERY slot up to the high-water mark,
+      // even detached ones: reading the announce word a guard exit
+      // release-stored is the edge that orders that reader's critical
+      // section before any free (and pool recycle) this advance
+      // enables. Skipping detached slots before this read would make
+      // both the edge and the traced event stream depend on OS thread
+      // exit timing, which the deterministic replayer cannot tolerate.
+      const uint64_t Word =
+          Policy::read(Record.Announce, std::memory_order_seq_cst, &Record,
+                       MemField::Epoch);
+      // Once a slot is reclaimed by a new thread, the word read above
+      // may no longer be the departed reader's release store. The
+      // acquire load of the ownership flag restores the chain for that
+      // case (exit -> detach releases InUse -> claim acquires -> here);
+      // the value is irrelevant, only the synchronization is.
+      (void)Record.InUse.load(std::memory_order_acquire);
+      if ((Word & 1) == 0)
+        continue; // Not inside a guard (or slot unused/detached).
+      if ((Word >> 1) != Current)
+        return false; // A reader still sits in an older epoch.
+    }
+    uint64_t Expected = Current;
+    Policy::casStrong(GlobalEpoch, Expected, Current + 1,
+                      std::memory_order_acq_rel, &GlobalEpoch,
+                      MemField::Epoch);
+    // Either we advanced or someone else did; both count as progress.
+    return true;
+  }
+
+  void freeSafe(std::vector<RetiredPtr> &List, uint64_t SafeEpoch) {
+    size_t Kept = 0;
+    for (size_t I = 0, E = List.size(); I != E; ++I) {
+      if (List[I].Epoch <= SafeEpoch) {
+        List[I].Deleter(List[I].Ptr);
+        Freed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      List[Kept++] = List[I];
+    }
+    List.resize(Kept);
+  }
 
   const uint64_t DomainId;
   alignas(CacheLineBytes) std::atomic<uint64_t> GlobalEpoch{2};
@@ -131,46 +345,74 @@ public:
   /// nodes unlinked after entry will not be freed until exit.
   class Guard {
   public:
-    explicit Guard(EpochDomain &Domain)
+    explicit Guard(BasicEpochDomain &Domain)
         : Domain(Domain), Record(Domain.attachCurrentThread()) {
-      const uint32_t Depth =
-          Record->ActiveDepth.load(std::memory_order_relaxed);
-      if (Depth != 0) {
+      if (Record->Depth != 0) {
         // Nested guard: the outermost entry already announced.
-        Record->ActiveDepth.store(Depth + 1, std::memory_order_relaxed);
+        ++Record->Depth;
         return;
       }
-      // Publish activity BEFORE reading the global epoch. If the scanner
-      // misses this store it means our epoch load comes later in the
-      // seq_cst order than any advance the scanner performed, so we can
-      // only announce the advanced (current) epoch — never a stale one.
-      // Announce-then-read would open the classic EBR race where a
-      // stalled thread pins an epoch nobody can see.
-      Record->ActiveDepth.store(1, std::memory_order_seq_cst);
-      Record->LocalEpoch.store(
-          Domain.GlobalEpoch.load(std::memory_order_seq_cst),
-          std::memory_order_seq_cst);
+      Record->Depth = 1;
+      uint64_t Epoch =
+          Policy::read(Domain.GlobalEpoch, std::memory_order_acquire,
+                       &Domain.GlobalEpoch, MemField::Epoch);
+      uint64_t Word = (Epoch << 1) | 1;
+      // One fence-bearing RMW publishes both the active bit and the
+      // epoch (the first implementation paid two seq_cst stores here).
+      Policy::exchange(Record->Announce, Word, std::memory_order_seq_cst,
+                       Record, MemField::Epoch);
+      if (Word == Record->LastWord)
+        // The global epoch has not moved since this thread's previous
+        // guard, so the validation below cannot observe anything new:
+        // re-announcing the identical word pins exactly what the
+        // previous guard pinned. This is the hot-loop fast path.
+        return;
+      // An advance may have slipped between the epoch read and the
+      // exchange. Re-announce until the announced epoch matches a
+      // global-epoch read made *after* the announcement fence; on exit
+      // at most one concurrent advance can have missed us, which the
+      // retire grace period (e + 2) absorbs.
+      for (;;) {
+        const uint64_t Now =
+            Policy::read(Domain.GlobalEpoch, std::memory_order_seq_cst,
+                         &Domain.GlobalEpoch, MemField::Epoch);
+        if (Now == Epoch)
+          break;
+        Epoch = Now;
+        Word = (Epoch << 1) | 1;
+        Policy::exchange(Record->Announce, Word, std::memory_order_seq_cst,
+                         Record, MemField::Epoch);
+      }
+      Record->LastWord = Word;
     }
 
     ~Guard() {
-      const uint32_t Depth =
-          Record->ActiveDepth.load(std::memory_order_relaxed);
-      VBL_ASSERT(Depth > 0, "guard exit without matching entry");
-      // Release so the epoch-advancer observing Depth==0 also observes
-      // every read this critical section performed as complete.
-      Record->ActiveDepth.store(Depth - 1, std::memory_order_release);
+      VBL_ASSERT(Record->Depth > 0, "guard exit without matching entry");
+      if (--Record->Depth != 0)
+        return;
+      // Clear only the active bit, keeping the epoch for the next
+      // entry's skip check. Release so the epoch-advancer observing the
+      // cleared bit also observes every read this critical section
+      // performed as complete — the edge that makes a subsequent node
+      // recycle race-free.
+      Policy::write(Record->Announce, Record->LastWord & ~uint64_t(1),
+                    std::memory_order_release, Record, MemField::Epoch);
     }
 
     Guard(const Guard &) = delete;
     Guard &operator=(const Guard &) = delete;
 
   private:
-    [[maybe_unused]] EpochDomain &Domain;
+    [[maybe_unused]] BasicEpochDomain &Domain;
     ThreadRecord *Record;
   };
 
   friend class Guard;
 };
+
+/// The production EBR domain (direct, untraced accesses). Explicitly
+/// instantiated in EpochDomain.cpp.
+using EpochDomain = BasicEpochDomain<DirectPolicy>;
 
 } // namespace reclaim
 } // namespace vbl

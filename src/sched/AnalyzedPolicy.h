@@ -108,6 +108,18 @@ struct AnalyzedPolicy {
     return Ok;
   }
 
+  /// A seq_cst (or acq_rel) exchange is both a release write and an
+  /// acquire read to the detector — exactly RmwSuccess's semantics.
+  template <class T>
+  static T exchange(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field,
+                    const std::source_location &Loc =
+                        std::source_location::current()) {
+    T Prev = TracedPolicy::exchange(Atom, Value, Order, Node, Field);
+    log(analysis::RecordKind::RmwSuccess, Field, Node, Order, Loc);
+    return Prev;
+  }
+
   template <class T>
   static T readValue(const T &Plain, const void *Node,
                      const std::source_location &Loc =

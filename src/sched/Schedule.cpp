@@ -51,6 +51,8 @@ static const char *fieldName(MemField Field) {
     return "marked";
   case MemField::Lock:
     return "lock";
+  case MemField::Epoch:
+    return "epoch";
   }
   return "?";
 }

@@ -130,6 +130,20 @@ struct TracedPolicy {
     return Ok;
   }
 
+  /// Unconditional RMW (the epoch guard's announcement); recorded as an
+  /// always-succeeding CAS so schedule tooling needs no new event kind.
+  template <class T>
+  static T exchange(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field) {
+    TraceContext *Ctx = TraceContext::current();
+    if (!Ctx)
+      return Atom.exchange(Value, Order);
+    Ctx->yield();
+    T Prev = Atom.exchange(Value, Order);
+    Ctx->emit(EventKind::Cas, Field, Node, encodeValue(Value), 1);
+    return Prev;
+  }
+
   template <class T> static T readValue(const T &Plain, const void *Node) {
     TraceContext *Ctx = TraceContext::current();
     if (!Ctx)

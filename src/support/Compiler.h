@@ -23,11 +23,16 @@
 #define VBL_UNLIKELY(X) __builtin_expect(!!(X), 0)
 #define VBL_NOINLINE __attribute__((noinline))
 #define VBL_ALWAYS_INLINE __attribute__((always_inline)) inline
+/// Read-prefetch with high temporal locality: issued on the next node of
+/// a list traversal so its line is in flight while the current node's
+/// key is compared. A hint only — safe on any address, including null.
+#define VBL_PREFETCH(ADDR) __builtin_prefetch((ADDR), 0, 3)
 #else
 #define VBL_LIKELY(X) (X)
 #define VBL_UNLIKELY(X) (X)
 #define VBL_NOINLINE
 #define VBL_ALWAYS_INLINE inline
+#define VBL_PREFETCH(ADDR) ((void)0)
 #endif
 
 namespace vbl {

@@ -84,6 +84,13 @@ struct ChaosPolicy {
                                    Field);
   }
 
+  template <class T>
+  static T exchange(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void *Node, MemField Field) {
+    perturb();
+    return DirectPolicy::exchange(Atom, Value, Order, Node, Field);
+  }
+
   template <class T> static T readValue(const T &Plain, const void *Node) {
     perturb();
     return DirectPolicy::readValue(Plain, Node);

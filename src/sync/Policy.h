@@ -37,8 +37,12 @@ namespace vbl {
 
 /// Which logical field of a list node an access touches. `Val` and
 /// `Next` are the fields of the sequential spec LL; `Marked` and `Lock`
-/// are synchronization metadata that concrete algorithms add.
-enum class MemField : uint8_t { Val, Next, Marked, Lock };
+/// are synchronization metadata that concrete algorithms add. `Epoch`
+/// tags the reclamation substrate's own shared state (epoch counters,
+/// guard announcements, pool transfer beacons) — never part of LL, but
+/// policy-mediated so the race detector can prove a node recycle
+/// happens-after every traversal that could still hold the node.
+enum class MemField : uint8_t { Val, Next, Marked, Lock, Epoch };
 
 /// High-level set operation kinds, shared by tracing, histories and the
 /// linearizability checker.
@@ -80,6 +84,15 @@ struct DirectPolicy {
                         MemField /*Field*/) {
     return Atom.compare_exchange_strong(Expected, Desired, Order,
                                         std::memory_order_acquire);
+  }
+
+  /// Unconditional read-modify-write. The epoch guard's announcement is
+  /// a single seq_cst exchange (one fence-bearing RMW instead of two
+  /// seq_cst stores); traced mode records it as an always-succeeding CAS.
+  template <class T>
+  static T exchange(std::atomic<T> &Atom, T Value, std::memory_order Order,
+                    const void * /*Node*/, MemField /*Field*/) {
+    return Atom.exchange(Value, Order);
   }
 
   /// Reads an immutable (non-atomic) key field. Traced mode still wants a

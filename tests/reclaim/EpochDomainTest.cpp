@@ -91,11 +91,28 @@ TEST(EpochDomain, NestedGuardsAreBalanced) {
       EpochDomain::Guard Inner(Domain);
       Domain.retire(new Tracked(Destroyed));
     }
-    Domain.collectAll();
+    // The inner exit must not have ended the critical section: a
+    // collector on another thread still sees this thread active.
+    std::thread([&] { Domain.collectAll(); }).join();
     EXPECT_EQ(Destroyed.load(), 0) << "outer guard still pins the epoch";
   }
   Domain.collectAll();
   EXPECT_EQ(Destroyed.load(), 1);
+}
+
+TEST(EpochDomainDeathTest, CollectAllUnderGuardAsserts) {
+  // collectAll frees the calling thread's own retired nodes as soon as
+  // the epoch allows; doing that inside a guard could free memory the
+  // caller's open critical section still dereferences. Regression for
+  // the footgun where this was silently permitted.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EpochDomain Domain;
+  EXPECT_DEATH(
+      {
+        EpochDomain::Guard G(Domain);
+        Domain.collectAll();
+      },
+      "collectAll");
 }
 
 TEST(EpochDomain, EpochAdvancesWhenQuiescent) {

@@ -1,0 +1,175 @@
+//===- tests/reclaim/NodePoolTest.cpp - Node pool lifecycle --------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Lifecycle coverage for the per-thread slab pool: local recycling,
+// thread-exit donation, cross-thread block migration, slab exhaustion
+// (heap fallback), the oversize escape hatch, and the bypass switch.
+// Every behavioural assertion about the pooled fast path is skipped
+// when the whole binary runs bypassed (VBL_POOL_BYPASS=1 under ASan):
+// in that mode there is no pool to observe, by design.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
+#include "reclaim/TrackingDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace vbl::reclaim;
+
+namespace {
+
+struct PoolBox {
+  uint64_t Payload[4] = {1, 2, 3, 4};
+};
+
+TEST(NodePoolTest, LocalFreeListRecyclesLifo) {
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; nothing to recycle";
+  void *First = NodePool::allocate(64, 8);
+  NodePool::deallocate(First, 64, 8);
+  // The local free list is LIFO: the very next same-class allocation on
+  // this thread must return the block just freed.
+  void *Second = NodePool::allocate(64, 8);
+  EXPECT_EQ(First, Second);
+  NodePool::deallocate(Second, 64, 8);
+}
+
+TEST(NodePoolTest, SameClassServesSizeAndAlignmentFamily) {
+  // 33..64 bytes and alignments up to 64 all land in one class; the
+  // block must satisfy the strictest alignment in the family.
+  void *Ptr = NodePool::allocate(40, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Ptr) % 64, 0u);
+  NodePool::deallocate(Ptr, 40, 64);
+}
+
+TEST(NodePoolTest, ThreadExitDonatesCachedBlocks) {
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; nothing to donate";
+  constexpr size_t Blocks = 40;
+  const NodePool::Stats Before = NodePool::stats();
+  std::thread([] {
+    std::vector<void *> Held;
+    for (size_t I = 0; I != Blocks; ++I)
+      Held.push_back(NodePool::allocate(32, 8));
+    for (void *Ptr : Held)
+      NodePool::deallocate(Ptr, 32, 8);
+    // All Blocks now sit in this thread's cache (below the cap); the
+    // thread-cache destructor must hand every one back to the global
+    // pool rather than strand them.
+  }).join();
+  const NodePool::Stats After = NodePool::stats();
+  EXPECT_GE(After.BlocksDonated - Before.BlocksDonated, Blocks);
+}
+
+TEST(NodePoolTest, CrossThreadFreeThenReuse) {
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; no cross-thread migration";
+  // A block allocated here and freed on another thread lands in *that*
+  // thread's cache and serves its next allocation — the pattern EBR
+  // produces when the collecting thread differs from the inserting one.
+  void *Block = NodePool::allocate(128, 8);
+  std::thread([Block] {
+    NodePool::deallocate(Block, 128, 8);
+    void *Reused = NodePool::allocate(128, 8);
+    EXPECT_EQ(Block, Reused);
+    NodePool::deallocate(Reused, 128, 8);
+  }).join();
+}
+
+TEST(NodePoolTest, SlabExhaustionFallsBackToHeapBlocks) {
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; no slab accounting";
+  // Freeze slab growth below what is already carved: refills can only
+  // drain existing free blocks, then the pool must mint single
+  // class-sized heap blocks (FallbackBlocks) instead of failing.
+  NodePool::setSlabByteLimitForTest(1);
+  const NodePool::Stats Before = NodePool::stats();
+  std::vector<void *> Held;
+  while (NodePool::stats().FallbackBlocks == Before.FallbackBlocks &&
+         Held.size() < 100000)
+    Held.push_back(NodePool::allocate(1024, 8));
+  const NodePool::Stats After = NodePool::stats();
+  EXPECT_GT(After.FallbackBlocks, Before.FallbackBlocks);
+  EXPECT_EQ(After.SlabsCarved, Before.SlabsCarved);
+  for (void *Ptr : Held)
+    NodePool::deallocate(Ptr, 1024, 8);
+  NodePool::setSlabByteLimitForTest(0);
+}
+
+TEST(NodePoolTest, OversizeRequestsRoundTripThroughHeap) {
+  const NodePool::Stats Before = NodePool::stats();
+  void *Big = NodePool::allocate(4096, 8);
+  ASSERT_NE(Big, nullptr);
+  NodePool::deallocate(Big, 4096, 8);
+  // Over-aligned requests take the same escape hatch.
+  void *Aligned = NodePool::allocate(64, 128);
+  ASSERT_NE(Aligned, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Aligned) % 128, 0u);
+  NodePool::deallocate(Aligned, 64, 128);
+  const NodePool::Stats After = NodePool::stats();
+  EXPECT_GE(After.HeapAllocs - Before.HeapAllocs, 2u);
+  EXPECT_GE(After.HeapFrees - Before.HeapFrees, 2u);
+}
+
+TEST(NodePoolTest, ScopedBypassRoundTripsThroughHeap) {
+  const NodePool::Stats Before = NodePool::stats();
+  {
+    NodePool::ScopedBypass Bypass;
+    EXPECT_TRUE(NodePool::bypassed());
+    // The whole lifetime sits inside the scope — the containment rule.
+    PoolBox *Box = poolCreate<PoolBox>();
+    EXPECT_EQ(Box->Payload[3], 4u);
+    poolDestroy(Box);
+  }
+  const NodePool::Stats After = NodePool::stats();
+  EXPECT_GE(After.HeapAllocs - Before.HeapAllocs, 1u);
+  EXPECT_GE(After.HeapFrees - Before.HeapFrees, 1u);
+}
+
+TEST(NodePoolTest, ScopedBypassNests) {
+  {
+    NodePool::ScopedBypass Outer;
+    {
+      NodePool::ScopedBypass Inner;
+      EXPECT_TRUE(NodePool::bypassed());
+    }
+    EXPECT_TRUE(NodePool::bypassed());
+  }
+}
+
+TEST(NodePoolTest, PoolRetireFreesThroughEpochDomain) {
+  // poolRetire defers the pool free behind the grace period exactly
+  // like retire defers delete; collectAll from a quiescent thread must
+  // recycle everything (freedCount is the domain's own accounting).
+  EpochDomain Domain;
+  constexpr int Count = 64;
+  for (int I = 0; I != Count; ++I) {
+    EpochDomain::Guard G(Domain);
+    poolRetire(Domain, poolCreate<PoolBox>());
+  }
+  Domain.collectAll();
+  EXPECT_EQ(Domain.freedCount(), static_cast<uint64_t>(Count));
+}
+
+TEST(NodePoolTest, PoolRetireFreesThroughTrackingDomain) {
+  // TrackingDomain frees retirements in its destructor; running it with
+  // pool-backed nodes under ASan/LSan proves the deleter pairing is
+  // right in both pool and bypass mode.
+  {
+    TrackingDomain Domain;
+    for (int I = 0; I != 16; ++I)
+      poolRetire(Domain, poolCreate<PoolBox>());
+    EXPECT_EQ(Domain.retiredCount(), 16u);
+  }
+}
+
+} // namespace

@@ -2,7 +2,8 @@
 """Run the short-duration benchmark suite and merge the JSON outputs.
 
 Produces one vbl-bench-v1 document from a fixed set of short bench
-invocations (fig1_small_contended and hashset_scaling), stamped with
+invocations (fig1_small_contended, hashset_scaling and
+micro_reclaim), stamped with
 run context (git sha, host, core count, date). This is the suite the
 CI bench-smoke job runs on every PR; tools/bench_compare.py gates the
 result against the committed BENCH_baseline.json.
@@ -39,6 +40,10 @@ def bench_invocations(args):
         ("hashset_scaling", common + ["--threads", args.threads,
                                       "--ranges", "1024,16384",
                                       "--latency"]),
+        # Reclamation primitives plus the pool-vs-bypass churn ratio;
+        # gates the node-pool fast path against regressions.
+        ("micro_reclaim", common + ["--churn-threads", args.threads,
+                                    "--churn-ranges", "128,1024"]),
     ]
 
 
