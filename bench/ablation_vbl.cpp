@@ -37,8 +37,11 @@ int main(int Argc, char **Argv) {
   Flags.addInt("warmup-ms", 25, "warm-up per window");
   Flags.addInt("repeats", 2, "repetitions per point");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   WorkloadConfig Base;
   Base.UpdatePercent =

@@ -37,8 +37,11 @@ int main(int Argc, char **Argv) {
                   "ratio column)");
   Flags.addString("csv", "", "optional path for the raw CSV series");
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   std::vector<std::string> Algos;
   {

@@ -36,8 +36,11 @@ int main(int Argc, char **Argv) {
   Flags.addInt("seed", 42, "base RNG seed");
   Flags.addString("csv", "", "optional path for the raw CSV series");
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   const std::vector<std::string> Algos = {"vbl", "lazy",
                                           "harris-michael"};

@@ -42,8 +42,11 @@ int main(int Argc, char **Argv) {
   Flags.addBool("latency", false,
                 "collect a per-op latency repetition per point");
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   const std::vector<std::string> Structures = {
       "vbl", "so-hash-vbl", "harris-michael", "so-hash-hm"};
@@ -75,6 +78,7 @@ int main(int Argc, char **Argv) {
       std::printf("%10u", Range);
       double FlatVbl = 0.0;
       double HashVbl = 0.0;
+      std::vector<BenchRecord> RowRecords;
       for (const std::string &Structure : Structures) {
         const BenchRecord Record = measurePoint(
             "hashset_scaling", Structure, Config, WithLatency);
@@ -84,11 +88,20 @@ int main(int Argc, char **Argv) {
           FlatVbl = Record.ThroughputOpsPerSec;
         else if (Structure == "so-hash-vbl")
           HashVbl = Record.ThroughputOpsPerSec;
+        RowRecords.push_back(Record);
         Report.add(Record);
       }
       if (FlatVbl > 0)
         std::printf(" %13.2fx", HashVbl / FlatVbl);
       std::printf("\n");
+      // Counter tables after the row so the sweep stays readable.
+      for (const BenchRecord &Record : RowRecords) {
+        if (!Record.HasStats || Record.Stats.empty())
+          continue;
+        std::printf("  -- stats: %s --\n", Record.Structure.c_str());
+        std::fputs(stats::renderTable(Record.Stats, "    ").c_str(),
+                   stdout);
+      }
     }
   }
 

@@ -43,8 +43,11 @@ int main(int Argc, char **Argv) {
                   "comma-separated algorithms");
   Flags.addInt("seed", 42, "base RNG seed");
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   std::vector<std::string> Algos;
   {
@@ -87,7 +90,16 @@ int main(int Argc, char **Argv) {
       }
       prefill(*Set, Config.KeyRange, Config.Seed);
       LatencyProfile Profile;
+      // This bench bypasses measureAlgorithm, so it brackets the
+      // window with its own snapshots.
+      const stats::Snapshot StatsBefore =
+          statsCollectionEnabled() ? stats::snapshotAll()
+                                   : stats::Snapshot();
       const RunResult Result = runOnceLatency(*Set, Config, Profile);
+      const stats::Snapshot StatsDelta =
+          statsCollectionEnabled()
+              ? stats::snapshotAll().delta(StatsBefore)
+              : stats::Snapshot();
       if (!Result.InvariantsHeld) {
         std::fprintf(stderr, "error: %s corrupted its structure\n",
                      Algo.c_str());
@@ -97,6 +109,9 @@ int main(int Argc, char **Argv) {
       printRow("contains", Profile.Contains);
       printRow("insert", Profile.Insert);
       printRow("remove", Profile.Remove);
+      if (!StatsDelta.empty())
+        std::fputs(stats::renderTable(StatsDelta, "    ").c_str(),
+                   stdout);
 
       // One record per operation kind: the throughput is the window's
       // (instrumented) rate, the latency percentiles are the payload.
@@ -119,6 +134,12 @@ int main(int Argc, char **Argv) {
         Record.HasLatency = true;
         Record.P50LatencyNs = Stats->percentile(50);
         Record.P99LatencyNs = Stats->percentile(99);
+        // The three per-op records describe one shared window (see
+        // ThroughputOpsPerSec above), so they share its delta too.
+        if (!StatsDelta.empty()) {
+          Record.HasStats = true;
+          Record.Stats = StatsDelta;
+        }
         Report.add(Record);
       }
     }

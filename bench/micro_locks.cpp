@@ -14,9 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ValueAwareTryLock.h"
+#include "stats/Stats.h"
 #include "sync/SpinLocks.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 using namespace vbl;
 
@@ -79,4 +83,27 @@ BENCHMARK(benchContended<TicketLock>)
     ->Threads(4);
 BENCHMARK(benchValueAwareTryLock)->Name("uncontended/value_aware_tas");
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so --stats can be consumed before Google
+// Benchmark sees (and would reject) it.
+int main(int Argc, char **Argv) {
+  bool WithStats = false;
+  int Out = 1;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stats") == 0) {
+      WithStats = true;
+      continue;
+    }
+    Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (WithStats) {
+    std::printf("\n-- stats: process total --\n");
+    std::fputs(stats::renderTable(stats::snapshotAll()).c_str(), stdout);
+  }
+  return 0;
+}

@@ -106,6 +106,9 @@ int runJson(const char *Path) {
         measurePoint("micro_ops", Name, Config, /*WithLatency=*/false);
     std::printf("  %-24s %10.2f Kops/s\n", Name.c_str(),
                 Record.ThroughputOpsPerSec / 1e3);
+    if (Record.HasStats && !Record.Stats.empty())
+      std::fputs(stats::renderTable(Record.Stats, "    ").c_str(),
+                 stdout);
     Report.add(Record);
   }
   return Report.writeFile(Path) ? 0 : 1;
@@ -114,6 +117,17 @@ int runJson(const char *Path) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Hand-rolled flag scan (Google Benchmark owns the rest of argv):
+  // consume --stats so Initialize below does not reject it.
+  int Out = 1;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stats") == 0) {
+      harness::setStatsCollection(true);
+      continue;
+    }
+    Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
   for (int I = 1; I + 1 < Argc; ++I)
     if (std::strcmp(Argv[I], "--json") == 0)
       return runJson(Argv[I + 1]);
@@ -127,5 +141,11 @@ int main(int Argc, char **Argv) {
   benchmark::Initialize(&Argc, Argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (harness::statsCollectionEnabled()) {
+    // Google Benchmark interleaves its own repetitions, so the best
+    // available granularity here is the whole-process total.
+    std::printf("\n-- stats: process total --\n");
+    std::fputs(stats::renderTable(stats::snapshotAll()).c_str(), stdout);
+  }
   return 0;
 }

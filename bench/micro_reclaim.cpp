@@ -159,8 +159,11 @@ int main(int Argc, char **Argv) {
   Flags.addString("churn-ranges", "128,1024",
                   "key ranges for the churn workloads");
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   const unsigned DurationMs =
       static_cast<unsigned>(Flags.getInt("duration-ms"));
@@ -292,6 +295,14 @@ int main(int Argc, char **Argv) {
                     Algo.c_str(), static_cast<long long>(Config.KeyRange),
                     Threads, Pooled.ThroughputOpsPerSec / 1e3,
                     Bypassed.ThroughputOpsPerSec / 1e3, Ratio);
+        for (const BenchRecord *Record : {&Pooled, &Bypassed}) {
+          if (!Record->HasStats || Record->Stats.empty())
+            continue;
+          std::printf("    -- stats: %s --\n",
+                      Record->Structure.c_str());
+          std::fputs(stats::renderTable(Record->Stats, "      ").c_str(),
+                     stdout);
+        }
       }
     }
   }

@@ -31,8 +31,11 @@ int main(int Argc, char **Argv) {
   Flags.addInt("warmup-ms", 30, "warm-up before each window");
   Flags.addInt("repeats", 3, "repetitions per point");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addBool("stats", false,
+                "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
+  setStatsCollection(Flags.getBool("stats"));
 
   for (unsigned Range : Flags.getUnsignedList("ranges")) {
     WorkloadConfig Base;

@@ -22,6 +22,7 @@
 #include "sched/InterleavingExplorer.h"
 #include "sched/ScheduleChecker.h"
 #include "sched/ScheduleExport.h"
+#include "stats/Stats.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
@@ -79,6 +80,8 @@ template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
 int main(int Argc, char **Argv) {
   FlagSet Flags("Schedule acceptance matrix (Figs. 2-3, Theorem 3)");
   Flags.addInt("max-episodes", 60000, "exploration cap per scenario");
+  Flags.addBool("stats", false,
+                "report internal counters for the whole exploration");
   if (!Flags.parse(Argc, Argv))
     return 1;
   const auto MaxEpisodes =
@@ -134,5 +137,11 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\nTheorem 3 (vbl accepts every correct schedule): %s\n",
               VblOptimalEverywhere ? "HOLDS" : "VIOLATED");
+  if (Flags.getBool("stats")) {
+    // Whole-run totals: the explorer reuses worker threads, so per
+    // scenario attribution would be noise anyway.
+    std::printf("\n-- stats: process total --\n");
+    std::fputs(stats::renderTable(stats::snapshotAll()).c_str(), stdout);
+  }
   return VblOptimalEverywhere ? 0 : 1;
 }

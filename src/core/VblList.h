@@ -220,6 +220,7 @@ public:
     typename Reclaim::Guard G(Domain);
     const Node *Curr = Start;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
@@ -229,7 +230,9 @@ public:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     return Val == Key;
   }
 
@@ -337,6 +340,7 @@ private:
     Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
                               MemField::Next);
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Prev = Curr;
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
@@ -345,7 +349,9 @@ private:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     return {Prev, Curr, Val};
   }
 
@@ -353,7 +359,7 @@ private:
   /// still points at \p Expected.
   bool lockNextAt(Node *NodePtr, Node *Expected)
       VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
-    return NodePtr->NodeLock.template acquireIfValid<Policy>(
+    const bool Ok = NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
           if (Policy::readCheck(NodePtr->Deleted,
                                 std::memory_order_acquire, NodePtr,
@@ -363,6 +369,9 @@ private:
                                    std::memory_order_acquire, NodePtr,
                                    MemField::Next) == Expected;
         });
+    if (!Ok)
+      stats::bump(stats::Counter::ListTrylockFailures);
+    return Ok;
   }
 
   /// §3.1 lockNextAtValue: lock \p Node, keep it only if Node is alive
@@ -371,7 +380,7 @@ private:
   /// check of the Lazy list would reject.
   bool lockNextAtValue(Node *NodePtr, SetKey Val)
       VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
-    return NodePtr->NodeLock.template acquireIfValid<Policy>(
+    const bool Ok = NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
           if (Policy::readCheck(NodePtr->Deleted,
                                 std::memory_order_acquire, NodePtr,
@@ -382,6 +391,11 @@ private:
                                          NodePtr, MemField::Next);
           return Policy::readValueCheck(Succ->Val, Succ) == Val;
         });
+    // The §3.1 value-based validation rejecting a schedule is the event
+    // the whole observability layer exists to count.
+    if (!Ok)
+      stats::bump(stats::Counter::ListValueValidationAborts);
+    return Ok;
   }
 
   Node *Head;

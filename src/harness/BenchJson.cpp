@@ -101,6 +101,11 @@ std::string BenchJsonReport::toJson() const {
       appendNumber(Out, R.P99LatencyNs);
     else
       Out += "null";
+    if (R.HasStats) {
+      Out += ", \"stats\": {";
+      stats::appendJsonFields(R.Stats, Out);
+      Out += '}';
+    }
     Out += '}';
   }
   Out += Records.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -140,6 +145,12 @@ BenchRecord vbl::harness::measurePoint(const std::string &Bench,
   // drag the record down — the CI gate compares these numbers.
   Record.ThroughputOpsPerSec = Throughput.percentile(50);
   Record.ThroughputStddev = Throughput.stddev();
+  // Capture before the latency repetition below so the delta covers
+  // exactly the throughput protocol the record reports.
+  if (statsCollectionEnabled()) {
+    Record.HasStats = true;
+    Record.Stats = lastMeasuredStats();
+  }
 
   if (!WithLatency)
     return Record;

@@ -51,6 +51,11 @@ struct BenchRecord {
   bool HasLatency = false;
   double P50LatencyNs = 0.0;
   double P99LatencyNs = 0.0;
+  /// Counter delta for this point (--stats runs only). Serialized as a
+  /// "stats" object appended to the record; readers that only know the
+  /// base schema (bench_compare.py) ignore unknown keys.
+  bool HasStats = false;
+  stats::Snapshot Stats;
 };
 
 /// Accumulates records (and free-form context strings) and writes the

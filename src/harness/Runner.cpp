@@ -26,7 +26,20 @@ struct alignas(CacheLineBytes) PaddedCounter {
   uint64_t Value = 0;
 };
 
+bool CollectStats = false;
+stats::Snapshot LastStats;
+
 } // namespace
+
+void vbl::harness::setStatsCollection(bool Enabled) {
+  CollectStats = Enabled && stats::Enabled;
+}
+
+bool vbl::harness::statsCollectionEnabled() { return CollectStats; }
+
+const stats::Snapshot &vbl::harness::lastMeasuredStats() {
+  return LastStats;
+}
 
 RunResult vbl::harness::runOnce(ConcurrentSet &Set,
                                 const WorkloadConfig &Config) {
@@ -179,6 +192,10 @@ RunResult vbl::harness::runOnceLatency(ConcurrentSet &Set,
 SampleStats
 vbl::harness::measureAlgorithm(const std::string &Algorithm,
                                const WorkloadConfig &Config) {
+  // Deltas rather than raw totals: the process-wide counters span every
+  // algorithm measured so far, and a bench sweeps many.
+  const stats::Snapshot Before =
+      CollectStats ? stats::snapshotAll() : stats::Snapshot();
   SampleStats Stats;
   for (unsigned Rep = 0; Rep != Config.Repeats; ++Rep) {
     auto Set = makeSet(Algorithm);
@@ -200,5 +217,7 @@ vbl::harness::measureAlgorithm(const std::string &Algorithm,
     }
     Stats.add(Result.OpsPerSecond);
   }
+  LastStats =
+      CollectStats ? stats::snapshotAll().delta(Before) : stats::Snapshot();
   return Stats;
 }

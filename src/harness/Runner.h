@@ -17,6 +17,7 @@
 #define VBL_HARNESS_RUNNER_H
 
 #include "harness/Workload.h"
+#include "stats/Stats.h"
 #include "support/Stats.h"
 
 #include <string>
@@ -41,6 +42,17 @@ RunResult runOnce(ConcurrentSet &Set, const WorkloadConfig &Config);
 /// publish numbers from a corrupt structure).
 SampleStats measureAlgorithm(const std::string &Algorithm,
                              const WorkloadConfig &Config);
+
+/// Turns per-measurement counter collection on (the benches' --stats
+/// flag). Off by default so snapshotting stays out of default runs;
+/// forced off when the layer is compiled out (VBL_STATS=0).
+void setStatsCollection(bool Enabled);
+bool statsCollectionEnabled();
+
+/// Counter/histogram delta covering the most recent measureAlgorithm
+/// call: prefill, warm-up and measured window of every repetition, all
+/// threads. Empty when collection is off.
+const stats::Snapshot &lastMeasuredStats();
 
 /// Per-operation latency samples (nanoseconds), split by operation
 /// type. Collected by runOnceLatency.

@@ -21,6 +21,8 @@ Panel::Panel(std::string Title, std::vector<std::string> Algorithms,
       ThreadCounts(std::move(ThreadCounts)) {
   Results.assign(this->ThreadCounts.size(),
                  std::vector<SampleStats>(this->Algorithms.size()));
+  StatsResults.assign(this->ThreadCounts.size(),
+                      std::vector<stats::Snapshot>(this->Algorithms.size()));
 }
 
 size_t Panel::indexOf(const std::string &Algorithm) const {
@@ -42,11 +44,13 @@ void Panel::setResult(unsigned Threads, const std::string &Algorithm,
 }
 
 void Panel::measureAll(const WorkloadConfig &Base) {
-  for (unsigned Threads : ThreadCounts) {
-    for (const std::string &Algorithm : Algorithms) {
+  for (size_t T = 0; T != ThreadCounts.size(); ++T) {
+    for (size_t A = 0; A != Algorithms.size(); ++A) {
       WorkloadConfig Config = Base;
-      Config.Threads = Threads;
-      setResult(Threads, Algorithm, measureAlgorithm(Algorithm, Config));
+      Config.Threads = ThreadCounts[T];
+      Results[T][A] = measureAlgorithm(Algorithms[A], Config);
+      if (statsCollectionEnabled())
+        StatsResults[T][A] = lastMeasuredStats();
     }
   }
 }
@@ -100,6 +104,19 @@ void Panel::print() const {
   if (Complete && ThreadCounts.size() > 1)
     std::fputs(renderAsciiChart(XLabels, Series, 12, "Mops/s").c_str(),
                stdout);
+
+  // --stats runs: one counter table per measured cell, after the
+  // figure so the default reading order is unchanged.
+  for (size_t T = 0; T != ThreadCounts.size(); ++T) {
+    for (size_t A = 0; A != Algorithms.size(); ++A) {
+      if (StatsResults[T][A].empty())
+        continue;
+      std::printf("\n  -- stats: %s @ %u threads --\n",
+                  Algorithms[A].c_str(), ThreadCounts[T]);
+      std::fputs(stats::renderTable(StatsResults[T][A], "    ").c_str(),
+                 stdout);
+    }
+  }
 }
 
 CsvWriter Panel::makeCsv() {
@@ -138,6 +155,10 @@ void Panel::appendJson(BenchJsonReport &Report,
       // Median across repeats (see measurePoint): gate-friendly.
       Record.ThroughputOpsPerSec = Stats.percentile(50);
       Record.ThroughputStddev = Stats.stddev();
+      if (!StatsResults[T][A].empty()) {
+        Record.HasStats = true;
+        Record.Stats = StatsResults[T][A];
+      }
       Report.add(Record);
     }
   }

@@ -69,6 +69,10 @@ private:
   std::vector<std::string> Algorithms;
   std::vector<unsigned> ThreadCounts;
   std::vector<std::vector<SampleStats>> Results; // [thread][algo]
+  /// Per-cell counter deltas, filled by measureAll when --stats is on
+  /// (empty snapshots otherwise). print() renders them per structure;
+  /// appendJson folds them into the records.
+  std::vector<std::vector<stats::Snapshot>> StatsResults;
 };
 
 } // namespace harness

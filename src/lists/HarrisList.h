@@ -76,6 +76,7 @@ public:
                             std::memory_order_release, Left,
                             MemField::Next))
         return true;
+      stats::bump(stats::Counter::ListCasFailures);
       Policy::onRestart();
     }
   }
@@ -100,6 +101,7 @@ public:
                              SuccWord | uintptr_t(1),
                              std::memory_order_release, Right,
                              MemField::Next)) {
+        stats::bump(stats::Counter::ListCasFailures);
         Policy::onRestart();
         continue;
       }
@@ -120,6 +122,7 @@ public:
     typename Reclaim::Guard G(Domain);
     const Node *Curr = Head;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
                                 Curr, MemField::Next));
@@ -128,7 +131,9 @@ public:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(ptrOf(Curr->Next.load(std::memory_order_relaxed)));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     if (Val != Key)
       return false;
     return !markOf(Policy::read(Curr->Next, std::memory_order_acquire,
@@ -188,6 +193,7 @@ private:
   /// left.val < Key <= right.val, snipping any marked run in between
   /// with one CAS. The snip winner retires the whole run.
   std::pair<Node *, Node *> search(SetKey Key) {
+    uint64_t Hops = 0; // Accumulated across retries; one stats call.
     for (;;) {
       Node *Left = Head;
       uintptr_t LeftNextWord =
@@ -206,6 +212,7 @@ private:
             LeftNextWord = TNextWord;
           }
           T = ptrOf(TNextWord);
+          ++Hops;
           // Overlap the next hop's fetch with the sentinel/key checks.
           if constexpr (!Policy::Traced)
             VBL_PREFETCH(ptrOf(T->Next.load(std::memory_order_relaxed)));
@@ -224,6 +231,7 @@ private:
           Policy::onRestart();
           continue;
         }
+        stats::noteTraversal(Hops);
         return {Left, Right};
       }
 
@@ -244,8 +252,10 @@ private:
           Policy::onRestart();
           continue;
         }
+        stats::noteTraversal(Hops);
         return {Left, Right};
       }
+      stats::bump(stats::Counter::ListCasFailures);
       Policy::onRestart();
     }
   }

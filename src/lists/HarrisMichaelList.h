@@ -119,6 +119,7 @@ public:
                             std::memory_order_release, Prev,
                             MemField::Next))
         return true;
+      stats::bump(stats::Counter::ListCasFailures);
       Policy::onRestart();
     }
   }
@@ -144,6 +145,7 @@ public:
       if (!Policy::casStrong(Curr->Next, Expected, pack(Succ, true),
                              std::memory_order_release, Curr,
                              MemField::Next)) {
+        stats::bump(stats::Counter::ListCasFailures);
         Policy::onRestart();
         continue;
       }
@@ -165,6 +167,7 @@ public:
     typename Reclaim::Guard G(Domain);
     const Node *Curr = Start;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Curr = ptrOf(Policy::read(Curr->Next, std::memory_order_acquire,
                                 Curr, MemField::Next));
@@ -173,7 +176,9 @@ public:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(ptrOf(Curr->Next.load(std::memory_order_relaxed)));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     if (Val != Key)
       return false;
     return !markOf(Policy::read(Curr->Next, std::memory_order_acquire,
@@ -204,6 +209,7 @@ public:
                             std::memory_order_release, Prev,
                             MemField::Next))
         return NewNode;
+      stats::bump(stats::Counter::ListCasFailures);
       Policy::onRestart();
     }
   }
@@ -269,6 +275,7 @@ private:
   /// marked node it encounters; restarts from \p Start (the head, or a
   /// never-removed bucket dummy) when an unlink CAS loses a race.
   std::pair<Node *, Node *> find(SetKey Key, Node *Start) {
+    uint64_t Hops = 0; // Accumulated across retries; one stats call.
   Retry:
     Node *Prev = Start;
     Node *Curr = ptrOf(Policy::read(Prev->Next, std::memory_order_acquire,
@@ -281,12 +288,14 @@ private:
       // Overlap the successor fetch with the mark test and key compare.
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(Succ);
+      ++Hops;
       if (markOf(SuccWord)) {
         // Curr is logically deleted: delegated physical unlink.
         uintptr_t Expected = pack(Curr, false);
         if (!Policy::casStrong(Prev->Next, Expected, pack(Succ, false),
                                std::memory_order_release, Prev,
                                MemField::Next)) {
+          stats::bump(stats::Counter::ListCasFailures);
           Policy::onRestart();
           goto Retry; // The restart Fig. 3 exploits.
         }
@@ -294,8 +303,10 @@ private:
         Curr = Succ;
         continue;
       }
-      if (Policy::readValue(Curr->Val, Curr) >= Key)
+      if (Policy::readValue(Curr->Val, Curr) >= Key) {
+        stats::noteTraversal(Hops);
         return {Prev, Curr};
+      }
       Prev = Curr;
       Curr = Succ;
     }

@@ -30,6 +30,7 @@
 #include "core/SetConfig.h"
 #include "reclaim/HazardPointerDomain.h"
 #include "reclaim/NodePool.h"
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -81,6 +82,8 @@ public:
                                              std::memory_order_release,
                                              std::memory_order_acquire))
         return true;
+      stats::bump(stats::Counter::ListCasFailures);
+      stats::bump(stats::Counter::ListRestarts);
     }
   }
 
@@ -93,13 +96,18 @@ public:
         return false;
       const uintptr_t SuccWord =
           Curr->Next.load(std::memory_order_acquire);
-      if (markOf(SuccWord))
+      if (markOf(SuccWord)) {
+        stats::bump(stats::Counter::ListRestarts);
         continue; // Another remover beat us; re-find.
+      }
       uintptr_t Expected = SuccWord;
       if (!Curr->Next.compare_exchange_strong(
               Expected, SuccWord | uintptr_t(1),
-              std::memory_order_release, std::memory_order_acquire))
+              std::memory_order_release, std::memory_order_acquire)) {
+        stats::bump(stats::Counter::ListCasFailures);
+        stats::bump(stats::Counter::ListRestarts);
         continue;
+      }
       // Physical unlink, best effort; find() handles failures later.
       Expected = pack(Curr, false);
       if (Prev->Next.compare_exchange_strong(
@@ -177,6 +185,7 @@ private:
   /// and Prev by SlotPrev (Head needs no protection), Curr is unmarked,
   /// Prev->Next == Curr and prev.val < Key <= curr.val.
   std::pair<Node *, Node *> find(SetKey Key, Reclaim::Guard &G) {
+    uint64_t Hops = 0; // Accumulated across retries; one stats call.
   Retry:
     Node *Prev = Head;
     G.clear(SlotPrev); // Head is immortal.
@@ -188,27 +197,35 @@ private:
       // unlinked, so an unchanged edge means "not retired yet".
       G.set(SlotCurr, Curr);
       if (Prev->Next.load(std::memory_order_seq_cst) !=
-          pack(Curr, false))
+          pack(Curr, false)) {
+        stats::bump(stats::Counter::ListRestarts);
         goto Retry;
+      }
       const uintptr_t SuccWord =
           Curr->Next.load(std::memory_order_acquire);
       Node *Succ = ptrOf(SuccWord);
       // Overlap the successor fetch with the mark test and key compare.
       VBL_PREFETCH(Succ);
+      ++Hops;
       if (markOf(SuccWord)) {
         // Curr is logically deleted: unlink it (Succ needs no hazard:
         // it is re-protected as the next Curr before any dereference).
         uintptr_t Expected = pack(Curr, false);
         if (!Prev->Next.compare_exchange_strong(
                 Expected, pack(Succ, false), std::memory_order_release,
-                std::memory_order_acquire))
+                std::memory_order_acquire)) {
+          stats::bump(stats::Counter::ListCasFailures);
+          stats::bump(stats::Counter::ListRestarts);
           goto Retry;
+        }
         reclaim::poolRetire(Domain, Curr);
         CurrWord = pack(Succ, false);
         continue;
       }
-      if (Curr->Val >= Key)
+      if (Curr->Val >= Key) {
+        stats::noteTraversal(Hops);
         return {Prev, Curr};
+      }
       // Advance: Curr becomes Prev; move its protection to SlotPrev.
       Prev = Curr;
       G.set(SlotPrev, Curr);

@@ -130,6 +130,7 @@ public:
     typename Reclaim::Guard G(Domain);
     const Node *Curr = Head;
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
                           MemField::Next);
@@ -138,7 +139,9 @@ public:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     return Val == Key && !Policy::read(Curr->Marked,
                                        std::memory_order_acquire, Curr,
                                        MemField::Marked);
@@ -208,6 +211,7 @@ private:
     Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
                               MemField::Next);
     SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Val < Key) {
       Prev = Curr;
       Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
@@ -216,21 +220,26 @@ private:
       if constexpr (!Policy::Traced)
         VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     return {Prev, Curr, Val};
   }
 
   /// Heller et al. validation, under both locks: the window is live and
-  /// adjacent.
+  /// adjacent. A failure here is the §2.3 rejected schedule the
+  /// validation-abort counter measures.
   bool validate(Node *Prev, Node *Curr) const {
-    if (Policy::readCheck(Prev->Marked, std::memory_order_acquire, Prev,
-                          MemField::Marked))
-      return false;
-    if (Policy::readCheck(Curr->Marked, std::memory_order_acquire, Curr,
-                          MemField::Marked))
-      return false;
-    return Policy::readCheck(Prev->Next, std::memory_order_acquire, Prev,
-                             MemField::Next) == Curr;
+    const bool Ok =
+        !Policy::readCheck(Prev->Marked, std::memory_order_acquire, Prev,
+                           MemField::Marked) &&
+        !Policy::readCheck(Curr->Marked, std::memory_order_acquire, Curr,
+                           MemField::Marked) &&
+        Policy::readCheck(Prev->Next, std::memory_order_acquire, Prev,
+                          MemField::Next) == Curr;
+    if (!Ok)
+      stats::bump(stats::Counter::ListValidationAborts);
+    return Ok;
   }
 
   Node *Head;

@@ -25,6 +25,7 @@
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 #include "sync/SpinLocks.h"
 
@@ -169,25 +170,34 @@ private:
   std::pair<Node *, Node *> traverse(SetKey Key) {
     Node *Prev = Head;
     Node *Curr = Prev->Next.load(std::memory_order_acquire);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
     while (Curr->Val < Key) {
       Prev = Curr;
       Curr = Curr->Next.load(std::memory_order_acquire);
       // Pull the successor's line while this node's key is compared.
       VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+      ++Hops;
     }
+    stats::noteTraversal(Hops);
     return {Prev, Curr};
   }
 
   /// Re-traverses from the head to prove (prev, curr) is still a live
   /// adjacent window. Runs under both locks, so a positive answer stays
-  /// true until they are released.
+  /// true until they are released. Every caller restarts on failure, so
+  /// the restart is counted here alongside the abort.
   bool validate(const Node *Prev, const Node *Curr) const {
     const Node *Probe = Head;
     while (Probe->Val <= Prev->Val) {
-      if (Probe == Prev)
-        return Prev->Next.load(std::memory_order_acquire) == Curr;
+      if (Probe == Prev) {
+        if (Prev->Next.load(std::memory_order_acquire) == Curr)
+          return true;
+        break;
+      }
       Probe = Probe->Next.load(std::memory_order_acquire);
     }
+    stats::bump(stats::Counter::ListValidationAborts);
+    stats::bump(stats::Counter::ListRestarts);
     return false;
   }
 

@@ -46,6 +46,7 @@
 #include "core/SetConfig.h"
 #include "maps/SplitOrder.h"
 #include "reclaim/NodePool.h"
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 
@@ -245,6 +246,12 @@ private:
     if (Memo)
       return Memo;
     VBL_ASSERT(B != 0, "slot 0 is preset to the list head");
+    // One dummy splice, one parent link walked. In this
+    // one-link-per-splice recursion the two totals coincide; the chain
+    // counter is kept separate so a bulk-init strategy that probes
+    // several ancestors per splice stays comparable.
+    stats::bump(stats::Counter::MapBucketInits);
+    stats::bump(stats::Counter::MapBucketInitChain);
     BucketHandle Parent = bucketHandle(I, so::parentBucket(B));
     BucketHandle Dummy =
         List.getOrInsertSentinelFrom(so::dummySoKey(B), Parent);
@@ -297,10 +304,13 @@ private:
     BucketIndex *Expected = I;
     if (Policy::casStrong(Index, Expected, Grown,
                           std::memory_order_release, &Index,
-                          MemField::Next))
+                          MemField::Next)) {
+      stats::bump(stats::Counter::MapResizes);
       Domain.retireRaw(I, &BucketIndex::destroyErased);
-    else
+    } else {
+      stats::bump(stats::Counter::MapResizesLost);
       BucketIndex::destroy(Grown); // Never published.
+    }
   }
 
   const size_t MaxLoadFactor;

@@ -133,6 +133,7 @@ public:
          Policy::read(GlobalEpoch, std::memory_order_acquire, &GlobalEpoch,
                       MemField::Epoch)});
     Retired.fetch_add(1, std::memory_order_relaxed);
+    stats::bump(stats::Counter::EpochRetired);
     // Attempt collection every CollectThreshold retirements, not on every
     // retirement past the threshold: when a preempted reader pins an old
     // epoch, the latter degrades into a full record scan per retire.
@@ -304,28 +305,40 @@ private:
       (void)Record.InUse.load(std::memory_order_acquire);
       if ((Word & 1) == 0)
         continue; // Not inside a guard (or slot unused/detached).
-      if ((Word >> 1) != Current)
-        return false; // A reader still sits in an older epoch.
+      if ((Word >> 1) != Current) {
+        // A reader still sits in an older epoch: reclamation is pinned.
+        // The lag histogram records how far behind it is.
+        stats::bump(stats::Counter::EpochStalls);
+        stats::histogramAdd(stats::Histogram::EpochLag,
+                            Current - (Word >> 1));
+        return false;
+      }
     }
     uint64_t Expected = Current;
-    Policy::casStrong(GlobalEpoch, Expected, Current + 1,
-                      std::memory_order_acq_rel, &GlobalEpoch,
-                      MemField::Epoch);
+    if (Policy::casStrong(GlobalEpoch, Expected, Current + 1,
+                          std::memory_order_acq_rel, &GlobalEpoch,
+                          MemField::Epoch))
+      stats::bump(stats::Counter::EpochAdvances);
     // Either we advanced or someone else did; both count as progress.
     return true;
   }
 
   void freeSafe(std::vector<RetiredPtr> &List, uint64_t SafeEpoch) {
     size_t Kept = 0;
+    uint64_t FreedHere = 0;
     for (size_t I = 0, E = List.size(); I != E; ++I) {
       if (List[I].Epoch <= SafeEpoch) {
         List[I].Deleter(List[I].Ptr);
-        Freed.fetch_add(1, std::memory_order_relaxed);
+        ++FreedHere;
         continue;
       }
       List[Kept++] = List[I];
     }
     List.resize(Kept);
+    if (FreedHere) {
+      Freed.fetch_add(FreedHere, std::memory_order_relaxed);
+      stats::bump(stats::Counter::EpochFreed, FreedHere);
+    }
   }
 
   const uint64_t DomainId;

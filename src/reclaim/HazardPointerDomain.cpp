@@ -8,14 +8,18 @@
 #include "reclaim/HazardPointerDomain.h"
 
 #include "reclaim/DomainRegistry.h"
+#include "stats/Stats.h"
 
 #include <algorithm>
 
 using namespace vbl;
 using namespace vbl::reclaim;
 
-HazardPointerDomain::HazardPointerDomain()
-    : DomainId(registerDomain()), Records(MaxThreads) {}
+HazardPointerDomain::HazardPointerDomain(size_t ScanThreshold)
+    : DomainId(registerDomain()), Threshold(ScanThreshold),
+      Records(MaxThreads) {
+  VBL_ASSERT(Threshold != 0, "scan threshold must be positive");
+}
 
 HazardPointerDomain::~HazardPointerDomain() {
   unregisterDomain(DomainId);
@@ -31,7 +35,10 @@ HazardPointerDomain::~HazardPointerDomain() {
   std::lock_guard<std::mutex> Lock(OrphanMutex);
   for (const RetiredPtr &R : Orphans)
     R.Deleter(R.Ptr);
+  stats::bump(stats::Counter::HpOrphanBacklog,
+              uint64_t(0) - Orphans.size());
   Orphans.clear();
+  OrphanCount.store(0, std::memory_order_release);
 }
 
 HazardPointerDomain::ThreadRecord *
@@ -73,13 +80,42 @@ void HazardPointerDomain::detachTrampoline(void *Domain, void *Record) {
 void HazardPointerDomain::detach(ThreadRecord *Record) {
   for (unsigned I = 0; I != SlotsPerThread; ++I)
     Record->Hazards[I].store(nullptr, std::memory_order_release);
-  {
+  if (!Record->RetireList.empty()) {
     std::lock_guard<std::mutex> Lock(OrphanMutex);
     Orphans.insert(Orphans.end(), Record->RetireList.begin(),
                    Record->RetireList.end());
+    OrphanCount.store(Orphans.size(), std::memory_order_release);
+    stats::bump(stats::Counter::HpOrphanBacklog,
+                Record->RetireList.size());
   }
   Record->RetireList.clear();
+  Record->NextScanAt = 0; // Next owner starts from the plain threshold.
   Record->InUse.store(false, std::memory_order_release);
+}
+
+/// Moves a bounded batch of orphaned retirees into \p Record's own
+/// retire list so the scan that follows can free them. Without this,
+/// retirees of exited threads sit on the orphan list forever unless
+/// someone calls collectAll() — the backlog regression test exercises
+/// exactly that leak.
+void HazardPointerDomain::adoptOrphans(ThreadRecord *Record) {
+  if (OrphanCount.load(std::memory_order_acquire) == 0)
+    return; // Common case: no backlog, no lock traffic.
+  std::unique_lock<std::mutex> Lock(OrphanMutex, std::try_to_lock);
+  if (!Lock.owns_lock())
+    return; // Someone else is adopting; don't serialize retire().
+  // Batch bound keeps one retire() from inheriting an unbounded list.
+  const size_t N = std::min(Orphans.size(), Threshold);
+  if (N == 0)
+    return;
+  Record->RetireList.insert(Record->RetireList.end(), Orphans.end() - N,
+                            Orphans.end());
+  Orphans.resize(Orphans.size() - N);
+  OrphanCount.store(Orphans.size(), std::memory_order_release);
+  stats::bump(stats::Counter::HpOrphansAdopted, N);
+  // Down-count by wrapping addition; Snapshot::delta subtracts the same
+  // way, so the backlog gauge stays exact.
+  stats::bump(stats::Counter::HpOrphanBacklog, uint64_t(0) - N);
 }
 
 void HazardPointerDomain::retireRaw(void *Ptr, void (*Deleter)(void *)) {
@@ -87,11 +123,20 @@ void HazardPointerDomain::retireRaw(void *Ptr, void (*Deleter)(void *)) {
   ThreadRecord *Record = attachCurrentThread();
   Record->RetireList.push_back({Ptr, Deleter});
   Retired.fetch_add(1, std::memory_order_relaxed);
-  if (Record->RetireList.size() >= ScanThreshold)
-    scan(Record->RetireList);
+  stats::bump(stats::Counter::HpRetired);
+  // Watermark, not plain threshold: after a scan keeps K protected
+  // pointers, the next scan waits for K + threshold retirees. A plain
+  // ">= threshold" check degenerates into one full scan per retire the
+  // moment K reaches the threshold (the scan-thrash regression test).
+  const size_t Trigger = std::max(Record->NextScanAt, Threshold);
+  if (Record->RetireList.size() >= Trigger) {
+    adoptOrphans(Record);
+    const size_t Kept = scan(Record->RetireList);
+    Record->NextScanAt = Kept + Threshold;
+  }
 }
 
-void HazardPointerDomain::scan(std::vector<RetiredPtr> &List) {
+size_t HazardPointerDomain::scan(std::vector<RetiredPtr> &List) {
   // Stage 1: snapshot every published hazard.
   std::vector<void *> Protected;
   Protected.reserve(64);
@@ -108,6 +153,7 @@ void HazardPointerDomain::scan(std::vector<RetiredPtr> &List) {
 
   // Stage 2: free everything not protected.
   size_t Kept = 0;
+  uint64_t FreedHere = 0;
   for (size_t I = 0, E = List.size(); I != E; ++I) {
     if (std::binary_search(Protected.begin(), Protected.end(),
                            List[I].Ptr)) {
@@ -115,14 +161,26 @@ void HazardPointerDomain::scan(std::vector<RetiredPtr> &List) {
       continue;
     }
     List[I].Deleter(List[I].Ptr);
-    Freed.fetch_add(1, std::memory_order_relaxed);
+    ++FreedHere;
   }
   List.resize(Kept);
+  if (FreedHere)
+    Freed.fetch_add(FreedHere, std::memory_order_relaxed);
+  Scans.fetch_add(1, std::memory_order_relaxed);
+  stats::bump(stats::Counter::HpScans);
+  stats::bump(stats::Counter::HpFreed, FreedHere);
+  stats::bump(stats::Counter::HpScanKept, Kept);
+  return Kept;
 }
 
 void HazardPointerDomain::collectAll() {
   ThreadRecord *Record = attachCurrentThread();
-  scan(Record->RetireList);
+  const size_t Kept = scan(Record->RetireList);
+  Record->NextScanAt = Kept + Threshold;
   std::lock_guard<std::mutex> Lock(OrphanMutex);
-  scan(Orphans);
+  const size_t HadOrphans = Orphans.size();
+  const size_t OrphansKept = scan(Orphans);
+  OrphanCount.store(OrphansKept, std::memory_order_release);
+  stats::bump(stats::Counter::HpOrphanBacklog,
+              uint64_t(0) - (HadOrphans - OrphansKept));
 }

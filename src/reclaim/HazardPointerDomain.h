@@ -16,6 +16,17 @@
 /// store + re-validation per traversal hop, which is exactly the
 /// metadata-traffic trade-off the reclamation benchmark quantifies.
 ///
+/// Two amortization guarantees (each protects against a pathology the
+/// regression tests in tests/HazardPointerTest pin down):
+///
+///  - Scan watermark: a scan that keeps K protected pointers raises the
+///    next scan trigger to K + threshold, so pinned pointers cannot
+///    force a full O(threads x slots) scan on every retire.
+///  - Orphan adoption: retirees of exited threads (moved to the orphan
+///    list on detach) are adopted in bounded batches by later retire()
+///    pressure, so the orphan backlog drains without anyone having to
+///    call collectAll().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBL_RECLAIM_HAZARDPOINTERDOMAIN_H
@@ -39,10 +50,11 @@ public:
   /// Slots per thread. List traversals need three live protections
   /// (prev, curr, succ); one spare for algorithm extensions.
   static constexpr unsigned SlotsPerThread = 4;
-  /// Retired pointers per thread that trigger a scan.
-  static constexpr size_t ScanThreshold = 128;
+  /// Default retire-list headroom between scans; constructor-overridable
+  /// so the amortization tests can run with tiny lists.
+  static constexpr size_t DefaultScanThreshold = 128;
 
-  HazardPointerDomain();
+  explicit HazardPointerDomain(size_t ScanThreshold = DefaultScanThreshold);
   ~HazardPointerDomain();
 
   HazardPointerDomain(const HazardPointerDomain &) = delete;
@@ -65,6 +77,14 @@ public:
   uint64_t retiredCount() const {
     return Retired.load(std::memory_order_relaxed);
   }
+  /// Full hazard-array scans performed so far (watermark test hook).
+  uint64_t scanCount() const {
+    return Scans.load(std::memory_order_relaxed);
+  }
+  /// Retirees currently parked on the orphan list (backlog test hook).
+  size_t orphanBacklog() const {
+    return OrphanCount.load(std::memory_order_acquire);
+  }
 
 private:
   struct RetiredPtr {
@@ -76,21 +96,34 @@ private:
     std::atomic<void *> Hazards[SlotsPerThread] = {};
     std::atomic<bool> InUse{false};
     std::vector<RetiredPtr> RetireList; ///< Owner-thread-only.
+    /// Retire-list size at which the next scan fires. 0 means "not yet
+    /// scanned": retireRaw treats it as the domain threshold. Raised to
+    /// kept + threshold after every scan so pinned survivors cannot
+    /// trigger a scan per retire (owner-thread-only, like RetireList).
+    size_t NextScanAt = 0;
   };
 
   ThreadRecord *attachCurrentThread();
   static void detachTrampoline(void *Domain, void *Record);
   void detach(ThreadRecord *Record);
-  void scan(std::vector<RetiredPtr> &List);
+  /// Scans hazards and frees unprotected entries of \p List; returns how
+  /// many entries survived (still protected).
+  size_t scan(std::vector<RetiredPtr> &List);
+  void adoptOrphans(ThreadRecord *Record);
 
   const uint64_t DomainId;
+  const size_t Threshold;
   std::atomic<uint32_t> HighWater{0};
   std::atomic<uint64_t> Freed{0};
   std::atomic<uint64_t> Retired{0};
+  std::atomic<uint64_t> Scans{0};
   std::vector<ThreadRecord> Records;
 
   std::mutex OrphanMutex;
   std::vector<RetiredPtr> Orphans;
+  /// Orphans.size(), readable without OrphanMutex so the retire fast
+  /// path can skip adoption when there is no backlog.
+  std::atomic<size_t> OrphanCount{0};
 
 public:
   /// RAII wrapper around this thread's hazard slots. All slots are

@@ -7,6 +7,7 @@
 
 #include "reclaim/NodePool.h"
 
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 
 #include <cstdlib>
@@ -212,6 +213,7 @@ void *NodePool::allocateImpl(unsigned Class, bool &FromGlobal) {
     C.Lists[Class] = Block->Next;
     --C.Counts[Class];
     ++C.PoolAllocs;
+    stats::bump(stats::Counter::PoolHits);
     return Block;
   }
 
@@ -233,6 +235,7 @@ void *NodePool::allocateImpl(unsigned Class, bool &FromGlobal) {
     FromGlobal = true;
   }
   ++G.GlobalRefills;
+  stats::bump(stats::Counter::PoolMisses);
   // Refill from ONE slab: the whole batch lands within a single 16 KiB
   // region, so the nodes built from it stay page-local no matter how
   // shuffled the rest of the pool is.
@@ -300,6 +303,7 @@ void NodePool::deallocateImpl(void *Ptr, unsigned Class, bool &ToGlobal) {
 
 void *NodePool::bypassAllocate(size_t Bytes, size_t Align) {
   HeapAllocCount.fetch_add(1, std::memory_order_relaxed);
+  stats::bump(stats::Counter::PoolBypass);
   return alignedNew(Bytes, Align);
 }
 
@@ -310,6 +314,7 @@ void NodePool::bypassDeallocate(void *Ptr, size_t /*Bytes*/, size_t Align) {
 
 void *NodePool::oversizeAllocate(size_t Bytes, size_t Align) {
   HeapAllocCount.fetch_add(1, std::memory_order_relaxed);
+  stats::bump(stats::Counter::PoolBypass);
   return alignedNew(Bytes, Align);
 }
 

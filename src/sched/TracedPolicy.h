@@ -18,6 +18,7 @@
 #define VBL_SCHED_TRACEDPOLICY_H
 
 #include "sched/Event.h"
+#include "stats/Stats.h"
 #include "support/ThreadSafety.h"
 
 #include <atomic>
@@ -218,6 +219,9 @@ struct TracedPolicy {
   }
 
   static void onRestart() {
+    // Counted even outside a trace context so deterministic-counter
+    // tests and the direct harness agree on what a restart is.
+    stats::bump(stats::Counter::ListRestarts);
     TraceContext *Ctx = TraceContext::current();
     if (!Ctx)
       return;

@@ -28,6 +28,7 @@
 #ifndef VBL_SYNC_POLICY_H
 #define VBL_SYNC_POLICY_H
 
+#include "stats/Stats.h"
 #include "support/ThreadSafety.h"
 
 #include <atomic>
@@ -143,7 +144,9 @@ struct DirectPolicy {
 
   /// The operation abandoned its current attempt and will re-traverse.
   /// The paper's exported schedule keeps only the last attempt's steps.
-  static void onRestart() {}
+  /// Every list funnels its restart sites through this hook, so the
+  /// restart counter is bumped here once instead of at each site.
+  static void onRestart() { stats::bump(stats::Counter::ListRestarts); }
 };
 
 } // namespace vbl

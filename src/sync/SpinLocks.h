@@ -20,6 +20,7 @@
 #ifndef VBL_SYNC_SPINLOCKS_H
 #define VBL_SYNC_SPINLOCKS_H
 
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 #include "support/ThreadSafety.h"
 
@@ -77,11 +78,15 @@ public:
 
   void lock() VBL_ACQUIRE() {
     SpinBackoff Backoff;
+    uint64_t Retries = 0; // Failed attempts; one stats call at the end.
     for (;;) {
       if (tryLock())
-        return;
+        break;
+      ++Retries;
       Backoff.spin();
     }
+    if (VBL_UNLIKELY(Retries != 0))
+      stats::bump(stats::Counter::LockAcquireRetries, Retries);
   }
 
   // Raw-atomic release of the capability (see tryLock).
@@ -116,12 +121,20 @@ public:
   // word directly, which the analysis cannot model.
   void lock() VBL_ACQUIRE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     SpinBackoff Backoff;
+    uint64_t Retries = 0; // Contended waits + lost exchanges.
     for (;;) {
-      while (Locked.load(std::memory_order_relaxed))
-        Backoff.spin();
+      if (Locked.load(std::memory_order_relaxed)) {
+        ++Retries;
+        do
+          Backoff.spin();
+        while (Locked.load(std::memory_order_relaxed));
+      }
       if (!Locked.exchange(true, std::memory_order_acquire))
-        return;
+        break;
+      ++Retries;
     }
+    if (VBL_UNLIKELY(Retries != 0))
+      stats::bump(stats::Counter::LockAcquireRetries, Retries);
   }
 
   // Raw-atomic release of the capability (see TasLock::unlock).
@@ -165,8 +178,15 @@ public:
   void lock() VBL_ACQUIRE() VBL_NO_THREAD_SAFETY_ANALYSIS {
     const uint32_t My = NextTicket.fetch_add(1, std::memory_order_relaxed);
     SpinBackoff Backoff;
-    while (NowServing.load(std::memory_order_acquire) != My)
+    bool Waited = false;
+    while (NowServing.load(std::memory_order_acquire) != My) {
       Backoff.spin();
+      Waited = true;
+    }
+    // One retry per contended acquisition (ticket waits have no
+    // per-attempt structure to count).
+    if (VBL_UNLIKELY(Waited))
+      stats::bump(stats::Counter::LockAcquireRetries);
   }
 
   // Raw-atomic release of the capability (see TasLock::unlock).

@@ -28,8 +28,10 @@
 #ifndef VBL_SYNC_VERSIONEDLOCK_H
 #define VBL_SYNC_VERSIONEDLOCK_H
 
+#include "stats/Stats.h"
 #include "support/Compiler.h"
 #include "support/ThreadSafety.h"
+#include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
@@ -57,11 +59,15 @@ public:
 
   void lock() VBL_ACQUIRE() {
     SpinBackoff Backoff;
+    uint64_t Retries = 0; // Failed attempts; one stats call at the end.
     for (;;) {
       if (tryLock())
-        return;
+        break;
+      ++Retries;
       Backoff.spin();
     }
+    if (VBL_UNLIKELY(Retries != 0))
+      stats::bump(stats::Counter::LockAcquireRetries, Retries);
   }
 
   // Raw release: the version bump both drops the capability and
@@ -79,31 +85,74 @@ public:
   }
 
   /// Optimistic read entry: returns a version observed while unlocked
-  /// (spinning past in-flight writers).
+  /// (spinning past in-flight writers). Every spin iteration that saw a
+  /// writer counts one lock.optimistic_retries.
   uint64_t readBegin() const {
     SpinBackoff Backoff;
+    uint64_t Retries = 0;
     for (;;) {
       const uint64_t V = Word.load(std::memory_order_acquire);
-      if (!(V & 1))
+      if (!(V & 1)) {
+        if (VBL_UNLIKELY(Retries != 0))
+          stats::bump(stats::Counter::LockOptimisticRetries, Retries);
         return V;
+      }
+      ++Retries;
       Backoff.spin();
     }
   }
 
+  /// Single-probe, policy-mediated readBegin: succeeds (storing the
+  /// observed version in \p VersionOut) iff the lock was unlocked at
+  /// the probe; a locked observation counts one optimistic retry and
+  /// returns false instead of spinning. This is the variant the
+  /// deterministic-scheduler tests drive — an unbounded spin inside one
+  /// scheduler step could never be interleaved (or terminated) by the
+  /// explorer, so the retry loop belongs to the caller, as one policy
+  /// event per probe.
+  template <class PolicyT>
+  bool tryReadBegin(uint64_t &VersionOut, const void *Id) const {
+    const uint64_t V =
+        PolicyT::read(Word, std::memory_order_acquire, Id, MemField::Lock);
+    if (V & 1) {
+      stats::bump(stats::Counter::LockOptimisticRetries);
+      return false;
+    }
+    VersionOut = V;
+    return true;
+  }
+
   /// True iff no writer held the lock since readBegin returned
-  /// \p Version: the reads in between were effectively atomic.
+  /// \p Version: the reads in between were effectively atomic. A failed
+  /// validation counts one lock.optimistic_retries (the reader's work
+  /// is discarded — the optimistic analogue of a rejected schedule).
   bool readValidate(uint64_t Version) const {
 #if defined(__SANITIZE_THREAD__)
     // TSan neither supports nor models fences; the acquire load keeps
     // the build clean and TSan's happens-before tracking exact.
-    return Word.load(std::memory_order_acquire) == Version;
+    const bool Ok = Word.load(std::memory_order_acquire) == Version;
 #else
     // The fence orders the caller's protected reads before the
     // re-read of the version word (an acquire *load* alone would not
     // order the earlier reads).
     std::atomic_thread_fence(std::memory_order_acquire);
-    return Word.load(std::memory_order_relaxed) == Version;
+    const bool Ok = Word.load(std::memory_order_relaxed) == Version;
 #endif
+    if (!Ok)
+      stats::bump(stats::Counter::LockOptimisticRetries);
+    return Ok;
+  }
+
+  /// Policy-mediated readValidate for deterministic tests: the re-read
+  /// is a scheduler-visible validation event. Counts a retry on failure
+  /// exactly like the direct variant.
+  template <class PolicyT>
+  bool readValidate(uint64_t Version, const void *Id) const {
+    const bool Ok = PolicyT::readCheck(Word, std::memory_order_acquire, Id,
+                                       MemField::Lock) == Version;
+    if (!Ok)
+      stats::bump(stats::Counter::LockOptimisticRetries);
+    return Ok;
   }
 
   /// Current raw version (tests/diagnostics).

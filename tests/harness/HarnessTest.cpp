@@ -47,6 +47,38 @@ TEST(OpPicker, TwentyPercentSplit) {
   EXPECT_NEAR(Counts[static_cast<int>(SetOp::Contains)], 80000, 1500);
 }
 
+TEST(OpPicker, OddUpdatePercentSplitsEvenly) {
+  // Regression: pick() used to reuse the percent roll for the
+  // insert/remove split ("Roll * 2 < UpdatePercent"), which at x=5
+  // sent update rolls {0,1,2} to insert and {3,4} to remove — a 3:2
+  // bias that unbalanced the workload's steady-state set size. With an
+  // independent fair coin |inserts - removes| stays within noise.
+  OpPicker Picker(5);
+  Xoshiro256 Rng(4);
+  int Inserts = 0, Removes = 0, Contains = 0;
+  constexpr int Trials = 200000;
+  for (int I = 0; I != Trials; ++I) {
+    switch (Picker.pick(Rng)) {
+    case SetOp::Insert:
+      ++Inserts;
+      break;
+    case SetOp::Remove:
+      ++Removes;
+      break;
+    case SetOp::Contains:
+      ++Contains;
+      break;
+    }
+  }
+  EXPECT_EQ(Inserts + Removes + Contains, Trials);
+  const int Updates = Inserts + Removes;
+  // Binomial(200000, 0.05): 10000 with sigma ~98; 600 is ~6 sigma.
+  EXPECT_NEAR(Updates, Trials / 20, 600);
+  // Fair split: I - R has sigma = sqrt(Updates) ~= 100, so 400 is
+  // 4 sigma. The old skew put the difference near Updates/5 = 2000.
+  EXPECT_NEAR(Inserts - Removes, 0, 400);
+}
+
 TEST(Prefill, HalfDensity) {
   auto Set = makeSet("vbl");
   const size_t Inserted = prefill(*Set, 2000, 9);

@@ -7,6 +7,8 @@
 
 #include "reclaim/HazardPointerDomain.h"
 
+#include "stats/Stats.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -200,4 +202,105 @@ TEST(HazardPointerDomain, ThreadExitOrphansAdopted) {
     Worker.join();
   }
   EXPECT_EQ(Destroyed.load(), 3);
+}
+
+TEST(HazardPointerDomain, ScanWatermarkAmortizesPinnedSurvivors) {
+  // Regression for the scan-thrash bug: once a scan kept
+  // Threshold-or-more protected pointers, the old ">= threshold"
+  // trigger re-ran a full O(threads x slots) scan on EVERY subsequent
+  // retire. The watermark (kept + threshold) must keep scans amortized
+  // at ~one per threshold retires no matter how much is pinned.
+  constexpr size_t Threshold = 4;
+  static_assert(Threshold <= HazardPointerDomain::SlotsPerThread,
+                "one guard must be able to pin a full threshold");
+  std::atomic<int> Destroyed{0};
+  HazardPointerDomain Domain(Threshold);
+
+  Tracked *Pinned[Threshold];
+  for (auto *&P : Pinned)
+    P = new Tracked(Destroyed);
+
+  std::atomic<bool> Ready{false};
+  std::atomic<bool> Done{false};
+  std::thread Pinner([&] {
+    HazardPointerDomain::Guard G(Domain);
+    for (unsigned I = 0; I != Threshold; ++I)
+      G.set(I, Pinned[I]);
+    Ready.store(true, std::memory_order_release);
+    while (!Done.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!Ready.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  const uint64_t ScansBefore = Domain.scanCount();
+  const stats::Snapshot StatsBefore = stats::snapshotAll();
+  for (auto *P : Pinned)
+    Domain.retire(P);
+  constexpr int Junk = 60;
+  for (int I = 0; I != Junk; ++I)
+    Domain.retire(new Tracked(Destroyed));
+  const uint64_t Scans = Domain.scanCount() - ScansBefore;
+
+  // Junk is freed as we go; the pinned objects survive every scan.
+  EXPECT_EQ(Destroyed.load(), Junk);
+  // Amortized: about one scan per Threshold retires. The broken
+  // trigger scanned once per retire (>= Junk scans).
+  EXPECT_GE(Scans, 2u);
+  EXPECT_LE(Scans, (Threshold + Junk) / Threshold + 2);
+  if (stats::Enabled) {
+    const stats::Snapshot Delta = stats::snapshotAll().delta(StatsBefore);
+    EXPECT_EQ(Delta.get(stats::Counter::HpScans), Scans);
+    EXPECT_EQ(Delta.get(stats::Counter::HpRetired),
+              static_cast<uint64_t>(Threshold + Junk));
+    // Every scan re-kept the four pinned pointers.
+    EXPECT_EQ(Delta.get(stats::Counter::HpScanKept), Scans * Threshold);
+  }
+
+  Done.store(true, std::memory_order_release);
+  Pinner.join();
+  Domain.collectAll();
+  EXPECT_EQ(Destroyed.load(), Junk + static_cast<int>(Threshold));
+}
+
+TEST(HazardPointerDomain, OrphanBacklogDrainedByRetirePressure) {
+  // Regression for the orphan-backlog bug: detach() parks an exiting
+  // thread's retirees on the orphan list, and nothing ever freed them
+  // unless someone called collectAll(). Retire pressure must now adopt
+  // (and scan away) the backlog in bounded batches.
+  constexpr size_t Threshold = 4;
+  constexpr int ChurnThreads = 10;
+  constexpr int PerThread = 3; // Below Threshold: no self-scan before exit.
+  std::atomic<int> Destroyed{0};
+  HazardPointerDomain Domain(Threshold);
+
+  const stats::Snapshot StatsBefore = stats::snapshotAll();
+  for (int T = 0; T != ChurnThreads; ++T) {
+    std::thread Worker([&] {
+      for (int I = 0; I != PerThread; ++I)
+        Domain.retire(new Tracked(Destroyed));
+    });
+    Worker.join();
+  }
+  constexpr size_t Backlog = ChurnThreads * PerThread;
+  EXPECT_EQ(Domain.orphanBacklog(), Backlog);
+  EXPECT_EQ(Destroyed.load(), 0);
+
+  // Main-thread retire pressure: every scan trigger adopts up to
+  // Threshold orphans, so the backlog drains without collectAll.
+  constexpr int Junk = 60;
+  for (int I = 0; I != Junk; ++I)
+    Domain.retire(new Tracked(Destroyed));
+  EXPECT_EQ(Domain.orphanBacklog(), 0u);
+
+  if (stats::Enabled) {
+    const stats::Snapshot Delta = stats::snapshotAll().delta(StatsBefore);
+    EXPECT_EQ(Delta.get(stats::Counter::HpOrphansAdopted), Backlog);
+    // The up/down gauge nets out once everything is adopted.
+    EXPECT_EQ(Delta.get(stats::Counter::HpOrphanBacklog), 0u);
+  }
+
+  Domain.collectAll();
+  EXPECT_EQ(Destroyed.load(), static_cast<int>(Backlog) + Junk);
+  EXPECT_EQ(Domain.freedCount(), Domain.retiredCount());
 }

@@ -1,0 +1,251 @@
+//===- tests/sched/StatsCountersTest.cpp - Exact counters per schedule ---===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic-scheduler integration for the observability layer: a
+/// fixed schedule must produce exactly the same counters every time,
+/// and schedules constructed to contain (or exclude) contention must
+/// show exactly the rejection events the paper's metrics are built on.
+///
+/// Two fixtures per structure (VBL, Lazy, Harris-Michael):
+///  - a fully serial schedule (lowest-runnable-first) where every
+///    contention counter is exactly zero and list.traversals equals the
+///    number of operations executed;
+///  - a greedy-alternation schedule over two conflicting inserts, which
+///    forces each structure's signature rejection (value-validation
+///    abort, validation abort, CAS failure), recorded as a grant
+///    sequence and replayed twice through InterleavingExplorer::run to
+///    check the counters are an exact function of the schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/VblList.h"
+#include "lists/HarrisMichaelList.h"
+#include "lists/LazyList.h"
+#include "reclaim/LeakyDomain.h"
+#include "sched/InterleavingExplorer.h"
+#include "sched/ScenarioCorpus.h"
+#include "stats/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+using TracedVbl = VblList<reclaim::LeakyDomain, TracedPolicy>;
+using TracedLazy = LazyList<reclaim::LeakyDomain, TracedPolicy>;
+using TracedHm = HarrisMichaelList<reclaim::LeakyDomain, TracedPolicy>;
+
+/// The counters that are a pure function of the schedule. Pool and
+/// reclamation counters are excluded on purpose: the node pool's
+/// thread-local free lists stay warm across episodes, so hit/miss
+/// ratios legitimately differ between a first run and a replay.
+constexpr stats::Counter ScheduleCounters[] = {
+    stats::Counter::ListTraversals,
+    stats::Counter::ListTraversalHops,
+    stats::Counter::ListRestarts,
+    stats::Counter::ListCasFailures,
+    stats::Counter::ListTrylockFailures,
+    stats::Counter::ListValidationAborts,
+    stats::Counter::ListValueValidationAborts,
+    stats::Counter::LockAcquireRetries,
+    stats::Counter::LockOptimisticRetries,
+};
+
+constexpr stats::Counter ContentionCounters[] = {
+    stats::Counter::ListRestarts,
+    stats::Counter::ListCasFailures,
+    stats::Counter::ListTrylockFailures,
+    stats::Counter::ListValidationAborts,
+    stats::Counter::ListValueValidationAborts,
+    stats::Counter::LockAcquireRetries,
+    stats::Counter::LockOptimisticRetries,
+};
+
+void expectSameScheduleCounters(const stats::Snapshot &A,
+                                const stats::Snapshot &B,
+                                const char *What) {
+  for (stats::Counter C : ScheduleCounters)
+    EXPECT_EQ(A.get(C), B.get(C))
+        << What << ": " << stats::counterName(C)
+        << " is not a function of the schedule";
+}
+
+/// Serial fixed schedule: thread 0 runs to completion, then thread 1.
+/// Exact expectations: one traversal per operation (prefill included),
+/// zero for every contention counter.
+template <class ListT> void serialScheduleExactCounters() {
+  const Scenario S{"serial_disjoint_inserts",
+                   {5},
+                   {{{SetOp::Insert, 1}}, {{SetOp::Insert, 9}}},
+                   {1, 5, 9},
+                   1};
+  InterleavingExplorer Explorer(factoryFor<ListT>(S));
+  const stats::Snapshot Before = stats::snapshotAll();
+  const EpisodeResult R = Explorer.run({});
+  const stats::Snapshot D = stats::snapshotAll().delta(Before);
+  EXPECT_FALSE(R.Deadlocked);
+  if (!stats::Enabled)
+    return;
+  // Prefill insert(5) plus the two episode inserts: three operations,
+  // each exactly one traversal in a serial execution.
+  EXPECT_EQ(D.get(stats::Counter::ListTraversals), 3u);
+  for (stats::Counter C : ContentionCounters)
+    EXPECT_EQ(D.get(C), 0u) << stats::counterName(C)
+                            << " nonzero in a serial schedule";
+  // Every traversal lands in exactly one hop-histogram bucket.
+  uint64_t HistTotal = 0;
+  for (uint64_t V : D.hist(stats::Histogram::TraversalHops))
+    HistTotal += V;
+  EXPECT_EQ(HistTotal, D.get(stats::Counter::ListTraversals));
+}
+
+/// Drives a fresh episode with greedy alternation (prefer the thread
+/// that did not run last), returning the actual grant sequence. Two
+/// lockstep inserts into an empty list conflict on the head window in
+/// every structure.
+std::vector<unsigned> runAlternating(const EpisodeFactory &Factory) {
+  Episode Ep = Factory();
+  StepScheduler Sched(Ep.Bodies);
+  std::vector<unsigned> Choices;
+  unsigned Last = 1;
+  for (;;) {
+    const std::vector<unsigned> Runnable = Sched.runnableThreads();
+    if (Runnable.empty())
+      break;
+    unsigned Pick = Runnable.front();
+    for (unsigned T : Runnable)
+      if (T == 1 - Last)
+        Pick = T;
+    Sched.step(Pick);
+    Choices.push_back(Pick);
+    Last = Pick;
+    EXPECT_LT(Choices.size(), 100000u) << "alternation diverged";
+    if (Choices.size() >= 100000u)
+      break;
+  }
+  EXPECT_TRUE(Sched.allFinished());
+  return Choices;
+}
+
+/// Contended fixed schedule: record the alternation schedule, then
+/// replay it twice and require counter-for-counter equality, at least
+/// one signature rejection, and exact zero on the rejection kinds the
+/// structure cannot produce.
+template <class ListT>
+void contendedScheduleExactCounters(
+    const Scenario &S, const std::vector<stats::Counter> &Signature,
+    const std::vector<stats::Counter> &NeverFires) {
+  const EpisodeFactory Factory = factoryFor<ListT>(S);
+
+  const stats::Snapshot B0 = stats::snapshotAll();
+  const std::vector<unsigned> Choices = runAlternating(Factory);
+  const stats::Snapshot D0 = stats::snapshotAll().delta(B0);
+  ASSERT_FALSE(Choices.empty());
+
+  InterleavingExplorer Explorer(Factory);
+  const stats::Snapshot B1 = stats::snapshotAll();
+  const EpisodeResult R1 = Explorer.run(Choices);
+  const stats::Snapshot D1 = stats::snapshotAll().delta(B1);
+  const stats::Snapshot B2 = stats::snapshotAll();
+  const EpisodeResult R2 = Explorer.run(Choices);
+  const stats::Snapshot D2 = stats::snapshotAll().delta(B2);
+  EXPECT_FALSE(R1.Deadlocked);
+  EXPECT_FALSE(R2.Deadlocked);
+  EXPECT_EQ(R1.Choices, Choices);
+  EXPECT_EQ(R2.Choices, Choices);
+
+  if (!stats::Enabled)
+    return;
+  expectSameScheduleCounters(D0, D1, "record vs first replay");
+  expectSameScheduleCounters(D1, D2, "first vs second replay");
+
+  uint64_t SignatureEvents = 0;
+  for (stats::Counter C : Signature)
+    SignatureEvents += D1.get(C);
+  EXPECT_GE(SignatureEvents, 1u)
+      << "alternation schedule produced no contention";
+  for (stats::Counter C : NeverFires)
+    EXPECT_EQ(D1.get(C), 0u)
+        << stats::counterName(C) << " cannot fire for this structure";
+}
+
+/// Two inserts racing for the head window of an empty list: every
+/// structure conflicts on (head, tail).
+Scenario adjacentInserts() {
+  return {"contended_adjacent_inserts",
+          {},
+          {{{SetOp::Insert, 1}}, {{SetOp::Insert, 2}}},
+          {1, 2},
+          1};
+}
+
+/// Two removals of the same present key: the loser revalidates against
+/// a successor whose value changed — VBL's lockNextAtValue path.
+Scenario duplicateRemoves() {
+  return {"contended_duplicate_removes",
+          {4},
+          {{{SetOp::Remove, 4}}, {{SetOp::Remove, 4}}},
+          {4},
+          1};
+}
+
+} // namespace
+
+TEST(StatsCounters, VblSerialScheduleIsContentionFree) {
+  serialScheduleExactCounters<TracedVbl>();
+}
+
+TEST(StatsCounters, LazySerialScheduleIsContentionFree) {
+  serialScheduleExactCounters<TracedLazy>();
+}
+
+TEST(StatsCounters, HarrisMichaelSerialScheduleIsContentionFree) {
+  serialScheduleExactCounters<TracedHm>();
+}
+
+TEST(StatsCounters, VblContendedInsertsCountTrylockFailures) {
+  // VBL inserts validate the successor's *identity* (§3.1 lockNextAt):
+  // the loser's try-lock-and-validate fails and restarts.
+  contendedScheduleExactCounters<TracedVbl>(
+      adjacentInserts(), {stats::Counter::ListTrylockFailures},
+      {stats::Counter::ListCasFailures,
+       stats::Counter::ListValidationAborts});
+}
+
+TEST(StatsCounters, VblContendedRemovesCountValueValidationAborts) {
+  // Removals take the §3.1 value-based path (lockNextAtValue): the
+  // losing remover's validation against the successor value fails.
+  contendedScheduleExactCounters<TracedVbl>(
+      duplicateRemoves(), {stats::Counter::ListValueValidationAborts},
+      {stats::Counter::ListCasFailures,
+       stats::Counter::ListValidationAborts});
+}
+
+TEST(StatsCounters, LazyContendedScheduleCountsValidationAborts) {
+  // Lazy locks then validates (§2.3): the loser of the head window
+  // aborts validation exactly once and restarts.
+  contendedScheduleExactCounters<TracedLazy>(
+      adjacentInserts(), {stats::Counter::ListValidationAborts},
+      {stats::Counter::ListCasFailures,
+       stats::Counter::ListTrylockFailures,
+       stats::Counter::ListValueValidationAborts});
+}
+
+TEST(StatsCounters, HarrisMichaelContendedScheduleCountsCasFailures) {
+  // Lock-free: the loser's publish CAS fails against the stale window.
+  contendedScheduleExactCounters<TracedHm>(
+      adjacentInserts(), {stats::Counter::ListCasFailures},
+      {stats::Counter::ListTrylockFailures,
+       stats::Counter::ListValidationAborts,
+       stats::Counter::ListValueValidationAborts,
+       stats::Counter::LockAcquireRetries});
+}
