@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ValueAwareTryLock.h"
+#include "harness/BenchJson.h"
 #include "stats/Stats.h"
 #include "sync/SpinLocks.h"
 
@@ -21,10 +22,37 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 using namespace vbl;
 
 namespace {
+
+/// Console output as usual, plus one vbl-bench-v1 record per benchmark
+/// (structure = the benchmark name, throughput = iterations/s) so
+/// tools/run_benches.py folds the lock microcosts into the suite
+/// artifact. Aggregate rows (mean/median/stddev repetitions) are
+/// skipped — each record is a single run.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<harness::BenchRecord> Records;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred || R.run_type != Run::RT_Iteration)
+        continue;
+      harness::BenchRecord Rec;
+      Rec.Bench = "micro_locks";
+      Rec.Structure = R.benchmark_name();
+      Rec.Threads = static_cast<unsigned>(R.threads);
+      Rec.Repeats = 1;
+      const double PerIterNs = R.GetAdjustedRealTime();
+      Rec.ThroughputOpsPerSec = PerIterNs > 0.0 ? 1e9 / PerIterNs : 0.0;
+      Records.push_back(std::move(Rec));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
 
 template <class LockT> void benchUncontended(benchmark::State &State) {
   LockT Lock;
@@ -83,14 +111,23 @@ BENCHMARK(benchContended<TicketLock>)
     ->Threads(4);
 BENCHMARK(benchValueAwareTryLock)->Name("uncontended/value_aware_tas");
 
-// Expanded BENCHMARK_MAIN so --stats can be consumed before Google
-// Benchmark sees (and would reject) it.
+// Expanded BENCHMARK_MAIN so --stats and --json=<path> can be consumed
+// before Google Benchmark sees (and would reject) them.
 int main(int Argc, char **Argv) {
   bool WithStats = false;
+  std::string JsonPath;
   int Out = 1;
   for (int I = 1; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats") == 0) {
       WithStats = true;
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 != Argc) {
+      JsonPath = Argv[++I];
       continue;
     }
     Argv[Out++] = Argv[I];
@@ -99,8 +136,17 @@ int main(int Argc, char **Argv) {
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  JsonCaptureReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
+  if (!JsonPath.empty()) {
+    harness::BenchJsonReport Report;
+    Report.setContext("bench_binary", "micro_locks");
+    for (harness::BenchRecord &Rec : Reporter.Records)
+      Report.add(std::move(Rec));
+    if (!Report.writeFile(JsonPath))
+      return 1;
+  }
   if (WithStats) {
     std::printf("\n-- stats: process total --\n");
     std::fputs(stats::renderTable(stats::snapshotAll()).c_str(), stdout);

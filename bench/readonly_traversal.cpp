@@ -31,11 +31,15 @@ int main(int Argc, char **Argv) {
   Flags.addInt("warmup-ms", 30, "warm-up before each window");
   Flags.addInt("repeats", 3, "repetitions per point");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   Flags.addBool("stats", false,
                 "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
   setStatsCollection(Flags.getBool("stats"));
+
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "readonly_traversal");
 
   for (unsigned Range : Flags.getUnsignedList("ranges")) {
     WorkloadConfig Base;
@@ -53,6 +57,10 @@ int main(int Argc, char **Argv) {
             Flags.getUnsignedList("threads"));
     P.measureAll(Base);
     P.print();
+    P.appendJson(Report, Base);
   }
+  if (!Flags.getString("json").empty() &&
+      !Report.writeFile(Flags.getString("json")))
+    return 1;
   return 0;
 }

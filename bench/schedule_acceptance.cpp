@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/VblList.h"
+#include "harness/BenchJson.h"
 #include "lists/LazyList.h"
 #include "lists/SequentialList.h"
 #include "reclaim/LeakyDomain.h"
@@ -80,12 +81,21 @@ template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
 int main(int Argc, char **Argv) {
   FlagSet Flags("Schedule acceptance matrix (Figs. 2-3, Theorem 3)");
   Flags.addInt("max-episodes", 60000, "exploration cap per scenario");
+  Flags.addString("json", "",
+                  "optional path for vbl-bench-v1 records (one record "
+                  "per scenario x column; the \"throughput\" field "
+                  "carries the deterministic schedule count)");
   Flags.addBool("stats", false,
                 "report internal counters for the whole exploration");
   if (!Flags.parse(Argc, Argv))
     return 1;
   const auto MaxEpisodes =
       static_cast<size_t>(Flags.getInt("max-episodes"));
+  harness::BenchJsonReport Report;
+  Report.setContext("bench_binary", "schedule_acceptance");
+  // The counts are exact for a fixed exploration cap, so the CI gate
+  // compares them at effectively zero tolerance.
+  Report.setContext("max_episodes", std::to_string(MaxEpisodes));
 
   const std::vector<Scenario> Scenarios = {
       {"fig2: ins(1) vs ins(2) on {1}", {1},
@@ -134,6 +144,20 @@ int main(int Argc, char **Argv) {
     VblOptimalEverywhere &= VblAccepted == Correct.size();
     std::printf("%-32s %14zu %9zu %6zu %6zu\n", S.Name, Interleavings,
                 Correct.size(), VblAccepted, LazyAccepted);
+
+    const auto addRecord = [&](const char *Column, size_t Count) {
+      harness::BenchRecord Rec;
+      Rec.Bench = S.Name;
+      Rec.Structure = Column;
+      Rec.Threads = 2;
+      Rec.KeyRange = static_cast<SetKey>(S.Universe.size());
+      Rec.Repeats = 1;
+      Rec.ThroughputOpsPerSec = static_cast<double>(Count);
+      Report.add(std::move(Rec));
+    };
+    addRecord("correct", Correct.size());
+    addRecord("vbl", VblAccepted);
+    addRecord("lazy", LazyAccepted);
   }
   std::printf("\nTheorem 3 (vbl accepts every correct schedule): %s\n",
               VblOptimalEverywhere ? "HOLDS" : "VIOLATED");
@@ -143,5 +167,8 @@ int main(int Argc, char **Argv) {
     std::printf("\n-- stats: process total --\n");
     std::fputs(stats::renderTable(stats::snapshotAll()).c_str(), stdout);
   }
+  if (!Flags.getString("json").empty() &&
+      !Report.writeFile(Flags.getString("json")))
+    return 1;
   return VblOptimalEverywhere ? 0 : 1;
 }

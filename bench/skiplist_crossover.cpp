@@ -33,11 +33,15 @@ int main(int Argc, char **Argv) {
   Flags.addInt("warmup-ms", 20, "warm-up per window");
   Flags.addInt("repeats", 2, "repetitions per point");
   Flags.addInt("seed", 42, "base RNG seed");
+  Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   Flags.addBool("stats", false,
                 "collect internal counters and report them per structure");
   if (!Flags.parse(Argc, Argv))
     return 1;
   setStatsCollection(Flags.getBool("stats"));
+
+  BenchJsonReport Report;
+  Report.setContext("bench_binary", "skiplist_crossover");
 
   for (unsigned Range : Flags.getUnsignedList("ranges")) {
     WorkloadConfig Base;
@@ -56,8 +60,12 @@ int main(int Argc, char **Argv) {
             Flags.getUnsignedList("threads"));
     P.measureAll(Base);
     P.print();
+    P.appendJson(Report, Base);
   }
   std::printf("\n(the skiplist-lazy/vbl column locates the crossover: "
               "<1 on small hot sets, >1 once O(log n) wins)\n");
+  if (!Flags.getString("json").empty() &&
+      !Report.writeFile(Flags.getString("json")))
+    return 1;
   return 0;
 }

@@ -1,0 +1,663 @@
+//===- core/VblChunkList.h - Unrolled VBL: cache-line chunked nodes ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unrolled VBL list: an ordered set whose nodes ("chunks") each
+/// hold up to ChunkKeys keys in a cache-line-aligned array behind one
+/// versioned chunk lock, an occupancy bitmap and an immutable min-key
+/// anchor. The flat VBL list pays one cache miss per key on the
+/// dominant traversal path; here a traversal reads one header line per
+/// *chunk* (anchor + next pointer) and touches key lines only in the
+/// single chunk the search key routes to.
+///
+/// The paper's value-aware discipline survives the layout change by
+/// moving from node granularity to chunk granularity:
+///
+///  - `contains` is wait-free and lock-free end to end: route by
+///    anchors (immutable), snapshot the routed chunk's occupancy word
+///    (acquire), read the published slots (each slot is *write-once*:
+///    written before its occupancy bit is released, never rewritten, so
+///    a published value is immutable and an unlocked read of it is
+///    never torn or stale).
+///  - `insert`/`remove` decide "already present" / "already absent"
+///    from that same unlocked scan and return without ever locking —
+///    the chunk reading of the schedules Fig. 2 shows the Lazy list
+///    rejecting needlessly.
+///  - Updates that do mutate lock only the routed chunk and validate by
+///    value at commit time: ChunkLock's version fast path proves the
+///    optimistic scan is still current, and otherwise the key's
+///    presence/absence is re-derived from the chunk's *data* under the
+///    lock (never from node identity).
+///  - Overflow (no clean slot) freezes the chunk — Harris-style mark
+///    under the (pred, chunk) locks — and replaces it with one
+///    compacted chunk or a two-way split; an emptied chunk is marked
+///    and unlinked the same way. Chunks are never mutated in place
+///    structurally: readers that already entered a frozen chunk finish
+///    against its immutable final content (the lazy-list marked-node
+///    argument, lifted to a fat node).
+///
+/// Deadlock freedom: every multi-lock acquisition takes (pred, chunk)
+/// in list order, and anchors — the order — are immutable.
+///
+/// Known husk case: a chunk whose slots are all dirty (FirstClean ==
+/// ChunkKeys) and whose occupancy is zero survives until a later insert
+/// routed to it compacts it away; unlink is attempted eagerly by the
+/// emptying remove but is best-effort.
+///
+/// Template knobs: ChunkKeys (1 recovers a flat VBL-like list and is
+/// the bench ablation baseline; 7 fills one 64-byte key line; 15 two),
+/// ReclaimT and PolicyT exactly as in VblList.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_CORE_VBLCHUNKLIST_H
+#define VBL_CORE_VBLCHUNKLIST_H
+
+#include "core/ChunkLock.h"
+#include "core/SetConfig.h"
+#include "reclaim/EpochDomain.h"
+#include "reclaim/NodePool.h"
+#include "stats/Stats.h"
+#include "sync/Policy.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vbl {
+
+template <unsigned ChunkKeys = 7, class ReclaimT = reclaim::EpochDomain,
+          class PolicyT = DirectPolicy>
+class VblChunkList {
+  static_assert(ChunkKeys >= 1 && ChunkKeys <= 63,
+                "the occupancy bitmap is one 64-bit word");
+
+  struct alignas(CacheLineBytes) Chunk {
+    explicit Chunk(SetKey Anchor) : Anchor(Anchor) {}
+
+    /// Immutable min-key bound: every key stored here is >= Anchor and
+    /// < the successor's Anchor. Routing compares only anchors, so a
+    /// traversal touches one header line per chunk.
+    const SetKey Anchor;
+    std::atomic<Chunk *> Next{nullptr};
+    /// Harris-style logical delete of the whole chunk: set under the
+    /// chunk lock when the chunk is frozen (replaced or unlinked). A
+    /// marked chunk's Keys/Occ never change again.
+    std::atomic<bool> Marked{false};
+    /// First never-used slot. Slots are consumed in index order and are
+    /// write-once: written before their Occ bit is published, never
+    /// rewritten. Mutated only under Lock.
+    std::atomic<uint32_t> FirstClean{0};
+    /// Occupancy bitmap: bit i published (release) after Keys[i] is
+    /// written, cleared (release) by remove. The one word unlocked
+    /// scans snapshot.
+    std::atomic<uint64_t> Occ{0};
+    ChunkLock Lock;
+    /// Keys on their own cache line(s): the routing loop never pulls
+    /// them, the final scan reads one line per 8 keys.
+    alignas(CacheLineBytes) std::array<std::atomic<SetKey>, ChunkKeys> Keys{};
+  };
+
+  static_assert(sizeof(Chunk) <= reclaim::NodePool::MaxBlockBytes,
+                "chunks must stay poolable; shrink ChunkKeys");
+  static_assert(alignof(Chunk) == CacheLineBytes,
+                "chunk headers must be line-aligned for the pool's slabs");
+
+public:
+  using Reclaim = ReclaimT;
+  using Policy = PolicyT;
+
+  static constexpr unsigned KeysPerChunk = ChunkKeys;
+  /// Exposed so the NodePool tests can assert the size-class mapping of
+  /// real chunk shapes without re-deriving the layout.
+  static constexpr size_t ChunkBytes = sizeof(Chunk);
+  static constexpr size_t ChunkAlignment = alignof(Chunk);
+
+  VblChunkList() {
+    Tail = reclaim::poolCreate<Chunk, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Chunk, Policy>(MinSentinel);
+    Head->Next.store(Tail, std::memory_order_relaxed);
+  }
+
+  ~VblChunkList() {
+    // Reachable chunks are freed here; frozen chunks were retired and
+    // are freed (or deliberately leaked) by the domain's destructor.
+    Chunk *Curr = Head;
+    while (Curr) {
+      Chunk *Next = Curr->Next.load(std::memory_order_relaxed);
+      reclaim::poolDestroy<Policy>(Curr);
+      Curr = Next;
+    }
+  }
+
+  VblChunkList(const VblChunkList &) = delete;
+  VblChunkList &operator=(const VblChunkList &) = delete;
+
+  /// Adds \p Key; true iff it was absent. Never locks when the key is
+  /// already present (the value-aware rule, at chunk granularity).
+  bool insert(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Pred, Curr] = route(Key);
+      (void)Pred;
+      if (Curr == Head) {
+        // Below every anchor: splice a fresh singleton chunk after the
+        // head sentinel (the head never stores keys, so no existing
+        // chunk can legally receive a key under its anchor).
+        if (spliceAfterHead(Key))
+          return true;
+        Policy::onRestart();
+        continue;
+      }
+      // Optimistic phase: version probe first so the scan can double as
+      // the lock's validation (ChunkLock fast path), then liveness,
+      // then the data decision.
+      const uint64_t Seen =
+          Curr->Lock.template optimisticVersion<Policy>(Curr);
+      if (Policy::read(Curr->Marked, std::memory_order_acquire, Curr,
+                       MemField::Marked)) {
+        Policy::onRestart();
+        continue;
+      }
+      const uint64_t Occ = Policy::read(
+          Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
+      if (scanFor(Curr, Occ, Key) >= 0)
+        return false; // Present: decided from data alone, no lock taken.
+      bool FoundUnderLock = false;
+      const bool Locked = Curr->Lock.template acquireIfValidSince<Policy>(
+          Curr, Seen, [&] {
+            if (Policy::readCheck(Curr->Marked, std::memory_order_acquire,
+                                  Curr, MemField::Marked))
+              return false;
+            const uint64_t O =
+                Policy::readCheck(Curr->Occ, std::memory_order_acquire,
+                                  &Curr->Occ, MemField::Marked);
+            if (scanForCheck(Curr, O, Key) >= 0) {
+              FoundUnderLock = true;
+              return false;
+            }
+            return true;
+          });
+      if (!Locked) {
+        if (FoundUnderLock)
+          return false; // Value validation decided "present" — no retry.
+        stats::bump(stats::Counter::ChunkValidationAborts);
+        Policy::onRestart();
+        continue;
+      }
+      // Locked, key absent, chunk live and still covering Key (anchors
+      // of a live chunk's successor never decrease).
+      const uint32_t FC =
+          Policy::readCheck(Curr->FirstClean, std::memory_order_relaxed,
+                            &Curr->FirstClean, MemField::Marked);
+      if (FC < ChunkKeys) {
+        storeSlot(Curr, FC, Key);
+        Curr->Lock.template release<Policy>(Curr);
+        return true;
+      }
+      // No clean slot: structural path (freeze and replace), which must
+      // take the predecessor's lock first — release and redo as a pair.
+      Curr->Lock.template release<Policy>(Curr);
+      const int Out = structuralInsert(Key);
+      if (Out >= 0)
+        return Out != 0;
+      Policy::onRestart();
+    }
+  }
+
+  /// Removes \p Key; true iff it was present. Never locks when the key
+  /// is absent. An emptied chunk is unlinked best-effort.
+  bool remove(SetKey Key) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    for (;;) {
+      auto [Pred, Curr] = route(Key);
+      if (Curr == Head)
+        return false; // Below every anchor: absent at the route's read.
+      const uint64_t Seen =
+          Curr->Lock.template optimisticVersion<Policy>(Curr);
+      // Liveness must be read between probe and acquire, exactly like
+      // insert: the lock's fast path only certifies facts observed
+      // after the probe. Without this read, a fresh probe on a chunk
+      // frozen just before it takes the fast path and clears a slot in
+      // the retired copy while the replacement keeps the key — a lost
+      // remove.
+      if (Policy::read(Curr->Marked, std::memory_order_acquire, Curr,
+                       MemField::Marked)) {
+        Policy::onRestart();
+        continue;
+      }
+      const uint64_t Occ = Policy::read(
+          Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
+      int Slot = scanFor(Curr, Occ, Key);
+      if (Slot < 0)
+        return false; // Absent: decided from data alone, no lock taken.
+      bool AbsentUnderLock = false;
+      uint64_t OccHeld = Occ;
+      const bool Locked = Curr->Lock.template acquireIfValidSince<Policy>(
+          Curr, Seen, [&] {
+            if (Policy::readCheck(Curr->Marked, std::memory_order_acquire,
+                                  Curr, MemField::Marked))
+              return false;
+            OccHeld =
+                Policy::readCheck(Curr->Occ, std::memory_order_acquire,
+                                  &Curr->Occ, MemField::Marked);
+            Slot = scanForCheck(Curr, OccHeld, Key);
+            if (Slot < 0) {
+              AbsentUnderLock = true;
+              return false;
+            }
+            return true;
+          });
+      if (!Locked) {
+        if (AbsentUnderLock)
+          return false; // Live chunk covering Key lacks it: authoritative.
+        stats::bump(stats::Counter::ChunkValidationAborts);
+        Policy::onRestart();
+        continue;
+      }
+      const uint64_t NewOcc = OccHeld & ~(uint64_t{1} << Slot);
+      Policy::write(Curr->Occ, NewOcc, std::memory_order_release,
+                    &Curr->Occ, MemField::Marked);
+      Curr->Lock.template release<Policy>(Curr);
+      if (NewOcc == 0)
+        tryUnlinkEmpty(Pred, Curr);
+      return true;
+    }
+  }
+
+  /// Wait-free membership test: anchors route, one occupancy snapshot
+  /// and the published slots decide. No locks, no version retries.
+  bool contains(SetKey Key) const {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    typename Reclaim::Guard G(Domain);
+    auto [Pred, Curr] = route(Key);
+    (void)Pred;
+    const uint64_t Occ = Policy::read(
+        Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
+    return scanFor(Curr, Occ, Key) >= 0;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Test and tooling support (not part of the concurrent hot path).
+  //===--------------------------------------------------------------===//
+
+  /// Collects the user keys currently in the list, sorted. Quiescent
+  /// use only.
+  std::vector<SetKey> snapshot() const {
+    std::vector<SetKey> Out;
+    for (const Chunk *Curr = Head->Next.load(std::memory_order_acquire);
+         Curr->Anchor != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_acquire)) {
+      const size_t Base = Out.size();
+      uint64_t Bits = Curr->Occ.load(std::memory_order_acquire);
+      while (Bits) {
+        const int I = std::countr_zero(Bits);
+        Bits &= Bits - 1;
+        Out.push_back(Curr->Keys[static_cast<size_t>(I)].load(
+            std::memory_order_relaxed));
+      }
+      // Slots are append-ordered, not sorted; chunk ranges are disjoint
+      // and increasing, so a chunk-local sort yields a global order.
+      std::sort(Out.begin() + static_cast<ptrdiff_t>(Base), Out.end());
+    }
+    return Out;
+  }
+
+  /// Structural invariants that must hold when no operation is running:
+  /// anchors strictly increasing head to tail, nothing marked or
+  /// locked, occupancy confined below FirstClean, every key within its
+  /// chunk's [Anchor, NextAnchor) range and distinct, sentinels empty.
+  bool checkInvariants() const {
+    const Chunk *Curr = Head;
+    if (Curr->Anchor != MinSentinel)
+      return false;
+    while (true) {
+      if (Curr->Marked.load(std::memory_order_acquire))
+        return false;
+      if (Curr->Lock.isLocked())
+        return false;
+      const uint32_t FC = Curr->FirstClean.load(std::memory_order_acquire);
+      const uint64_t Occ = Curr->Occ.load(std::memory_order_acquire);
+      if (FC > ChunkKeys)
+        return false;
+      if ((FC < 64 ? Occ >> FC : 0) != 0)
+        return false; // A bit above FirstClean: a never-written slot.
+      const Chunk *Next = Curr->Next.load(std::memory_order_acquire);
+      if (Curr->Anchor == MaxSentinel)
+        return Next == nullptr && Occ == 0;
+      if (!Next || Next->Anchor <= Curr->Anchor)
+        return false;
+      if (Curr == Head && Occ != 0)
+        return false; // The head sentinel never stores keys.
+      std::vector<SetKey> InChunk;
+      uint64_t Bits = Occ;
+      while (Bits) {
+        const int I = std::countr_zero(Bits);
+        Bits &= Bits - 1;
+        const SetKey K = Curr->Keys[static_cast<size_t>(I)].load(
+            std::memory_order_relaxed);
+        if (K < Curr->Anchor || K >= Next->Anchor)
+          return false;
+        InChunk.push_back(K);
+      }
+      std::sort(InChunk.begin(), InChunk.end());
+      if (std::adjacent_find(InChunk.begin(), InChunk.end()) !=
+          InChunk.end())
+        return false;
+      Curr = Next;
+    }
+  }
+
+  /// Number of user keys; O(n), quiescent use only.
+  size_t sizeSlow() const { return snapshot().size(); }
+
+  /// Chunks between the sentinels; quiescent use only (tests assert on
+  /// split/unlink structure).
+  size_t chunkCountSlow() const {
+    size_t N = 0;
+    for (const Chunk *Curr = Head->Next.load(std::memory_order_acquire);
+         Curr->Anchor != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_acquire))
+      ++N;
+    return N;
+  }
+
+  Reclaim &reclaimDomain() { return Domain; }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (chunk, anchor) chain from head to tail
+  /// inclusive, used by the schedule tooling to reconstruct states.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Chunk *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Anchor);
+    return Chain;
+  }
+
+private:
+  /// Anchor routing: returns (Pred, Curr) with Pred->Next observed ==
+  /// Curr and Anchor(Curr) <= Key < Anchor of Curr's successor at the
+  /// reads. Pred is null exactly when Curr is the head sentinel (Key is
+  /// below every anchor). Wait-free: anchors are immutable and the walk
+  /// only follows Next pointers forward.
+  std::pair<Chunk *, Chunk *> route(SetKey Key) const {
+    Chunk *Pred = nullptr;
+    Chunk *Curr = Head;
+    Chunk *Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                               MemField::Next);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+    while (Policy::readValue(Next->Anchor, Next) <= Key) {
+      Pred = Curr;
+      Curr = Next;
+      Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      // Pull the chunk-after-next's header line while this anchor is
+      // compared. Direct mode only: traced runs must not perform an
+      // extra scheduler-invisible shared read.
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Next->Next.load(std::memory_order_relaxed));
+      ++Hops;
+    }
+    // The routed chunk's key lines are about to be scanned; start the
+    // fetch under the final anchor compare.
+    if constexpr (!Policy::Traced)
+      VBL_PREFETCH(&Curr->Keys[0]);
+    stats::noteTraversal(Hops);
+    return {Pred, Curr};
+  }
+
+  /// Slot index in \p C holding \p Key among the set bits of \p Occ, or
+  /// -1. Published slots are write-once, so the relaxed reads return
+  /// the one value the slot will ever hold.
+  int scanFor(const Chunk *C, uint64_t Occ, SetKey Key) const {
+    uint64_t Bits = Occ;
+    while (Bits) {
+      const int I = std::countr_zero(Bits);
+      Bits &= Bits - 1;
+      if (Policy::read(C->Keys[static_cast<size_t>(I)],
+                       std::memory_order_relaxed,
+                       &C->Keys[static_cast<size_t>(I)],
+                       MemField::Val) == Key)
+        return I;
+    }
+    return -1;
+  }
+
+  /// scanFor in validation flavour (under the chunk lock; the schedule
+  /// exporter drops readCheck accesses when projecting onto LL).
+  int scanForCheck(const Chunk *C, uint64_t Occ, SetKey Key) const {
+    uint64_t Bits = Occ;
+    while (Bits) {
+      const int I = std::countr_zero(Bits);
+      Bits &= Bits - 1;
+      if (Policy::readCheck(C->Keys[static_cast<size_t>(I)],
+                            std::memory_order_relaxed,
+                            &C->Keys[static_cast<size_t>(I)],
+                            MemField::Val) == Key)
+        return I;
+    }
+    return -1;
+  }
+
+  /// Writes \p Key into clean slot \p FC of locked chunk \p C and
+  /// publishes it: slot first (plain), then its Occ bit (release) — the
+  /// edge every unlocked scan acquires.
+  void storeSlot(Chunk *C, uint32_t FC, SetKey Key) {
+    Policy::write(C->Keys[FC], Key, std::memory_order_relaxed, &C->Keys[FC],
+                  MemField::Val);
+    const uint64_t O = Policy::readCheck(C->Occ, std::memory_order_relaxed,
+                                         &C->Occ, MemField::Marked);
+    Policy::write(C->Occ, O | (uint64_t{1} << FC), std::memory_order_release,
+                  &C->Occ, MemField::Marked);
+    Policy::write(C->FirstClean, FC + 1, std::memory_order_relaxed,
+                  &C->FirstClean, MemField::Marked);
+  }
+
+  /// Builds an unpublished chunk: \p N sorted keys, all published
+  /// locally (plain stores — the publishing swing's release orders them
+  /// for every later reader), linked to \p NextC.
+  Chunk *buildChunk(SetKey Anchor, const SetKey *Ks, size_t N,
+                    Chunk *NextC) {
+    Chunk *C = reclaim::poolCreate<Chunk, Policy>(Anchor);
+    Policy::onNewNode(C, Anchor);
+    for (size_t I = 0; I < N; ++I)
+      Policy::write(C->Keys[I], Ks[I], std::memory_order_relaxed,
+                    &C->Keys[I], MemField::Val);
+    Policy::write(C->FirstClean, static_cast<uint32_t>(N),
+                  std::memory_order_relaxed, &C->FirstClean,
+                  MemField::Marked);
+    Policy::write(C->Occ, N == 0 ? 0 : (uint64_t{1} << N) - 1,
+                  std::memory_order_relaxed, &C->Occ, MemField::Marked);
+    Policy::write(C->Next, NextC, std::memory_order_relaxed, C,
+                  MemField::Next);
+    return C;
+  }
+
+  /// Key below every anchor: splice a singleton chunk between the head
+  /// sentinel and its successor. Value-validated under the head's lock
+  /// (the successor may be a different chunk than routed — only its
+  /// anchor must still exceed Key). False => re-route.
+  bool spliceAfterHead(SetKey Key) {
+    const bool Ok = Head->Lock.template acquireIfValidSince<Policy>(
+        Head, ChunkLock::InvalidVersion, [&] {
+          Chunk *First = Policy::readCheck(
+              Head->Next, std::memory_order_acquire, Head, MemField::Next);
+          return Policy::readValueCheck(First->Anchor, First) > Key;
+        });
+    if (!Ok) {
+      stats::bump(stats::Counter::ChunkValidationAborts);
+      return false;
+    }
+    Chunk *First = Policy::readCheck(Head->Next, std::memory_order_acquire,
+                                     Head, MemField::Next);
+    Chunk *Fresh = buildChunk(Key, &Key, 1, First);
+    Policy::write(Head->Next, Fresh, std::memory_order_release, Head,
+                  MemField::Next);
+    Head->Lock.template release<Policy>(Head);
+    return true;
+  }
+
+  /// Insert when the routed chunk has no clean slot: lock (pred, chunk)
+  /// in list order, re-decide from data, then either use a slot that a
+  /// concurrent remove freed up, or freeze the chunk and replace it
+  /// with a compacted copy (live keys + Key still fit) or a two-way
+  /// split (chunk genuinely full). Returns 1 inserted, 0 present,
+  /// -1 retry.
+  int structuralInsert(SetKey Key) {
+    auto [Pred, Curr] = route(Key);
+    if (Curr == Head)
+      return spliceAfterHead(Key) ? 1 : -1;
+    if (!Pred->Lock.template acquireIfValidSince<Policy>(
+            Pred, ChunkLock::InvalidVersion, [&] {
+              if (Policy::readCheck(Pred->Marked,
+                                    std::memory_order_acquire, Pred,
+                                    MemField::Marked))
+                return false;
+              return Policy::readCheck(Pred->Next,
+                                       std::memory_order_acquire, Pred,
+                                       MemField::Next) == Curr;
+            })) {
+      stats::bump(stats::Counter::ChunkValidationAborts);
+      return -1;
+    }
+    // Under Pred's lock with Pred->Next == Curr, Curr cannot be frozen
+    // (its freezer must hold this same Pred lock), so acquiring it only
+    // waits out single-chunk inserts/removes.
+    bool FoundUnderLock = false;
+    if (!Curr->Lock.template acquireIfValidSince<Policy>(
+            Curr, ChunkLock::InvalidVersion, [&] {
+              if (Policy::readCheck(Curr->Marked,
+                                    std::memory_order_acquire, Curr,
+                                    MemField::Marked))
+                return false;
+              const uint64_t O =
+                  Policy::readCheck(Curr->Occ, std::memory_order_acquire,
+                                    &Curr->Occ, MemField::Marked);
+              if (scanForCheck(Curr, O, Key) >= 0) {
+                FoundUnderLock = true;
+                return false;
+              }
+              return true;
+            })) {
+      Pred->Lock.template release<Policy>(Pred);
+      if (FoundUnderLock)
+        return 0;
+      stats::bump(stats::Counter::ChunkValidationAborts);
+      return -1;
+    }
+    const uint32_t FC =
+        Policy::readCheck(Curr->FirstClean, std::memory_order_relaxed,
+                          &Curr->FirstClean, MemField::Marked);
+    if (FC < ChunkKeys) {
+      // A slot opened between our single-lock attempt and here.
+      storeSlot(Curr, FC, Key);
+      Curr->Lock.template release<Policy>(Curr);
+      Pred->Lock.template release<Policy>(Pred);
+      return 1;
+    }
+    // Freeze and replace. Gather the live keys plus Key, sorted.
+    const uint64_t O = Policy::readCheck(
+        Curr->Occ, std::memory_order_relaxed, &Curr->Occ, MemField::Marked);
+    std::array<SetKey, ChunkKeys + 1> All;
+    size_t Total = 0;
+    uint64_t Bits = O;
+    while (Bits) {
+      const int I = std::countr_zero(Bits);
+      Bits &= Bits - 1;
+      std::atomic<SetKey> &Slot = Curr->Keys[static_cast<size_t>(I)];
+      All[Total++] = Policy::readCheck(Slot, std::memory_order_relaxed,
+                                       &Slot, MemField::Val);
+    }
+    const size_t Live = Total;
+    All[Total++] = Key;
+    std::sort(All.begin(), All.begin() + static_cast<ptrdiff_t>(Total));
+    Chunk *NextC = Policy::readCheck(Curr->Next, std::memory_order_acquire,
+                                     Curr, MemField::Next);
+    Chunk *Replacement;
+    if (Total <= ChunkKeys) {
+      // Dead slots made room: one compacted copy.
+      Replacement = buildChunk(Curr->Anchor, All.data(), Total, NextC);
+      stats::bump(stats::Counter::ChunkCompactions);
+    } else {
+      // Genuinely full: split at the median; the upper half's anchor is
+      // its own least key (strictly above the lower half's keys).
+      const size_t Mid = Total / 2;
+      Chunk *Upper = buildChunk(All[Mid], All.data() + Mid, Total - Mid,
+                                NextC);
+      Replacement = buildChunk(Curr->Anchor, All.data(), Mid, Upper);
+      stats::bump(stats::Counter::ChunkSplits);
+    }
+    stats::histogramAdd(stats::Histogram::ChunkOccupancy, Live);
+    // Freeze: mark, then swing. Readers already inside Curr finish
+    // against its immutable final content.
+    Policy::write(Curr->Marked, true, std::memory_order_release, Curr,
+                  MemField::Marked);
+    Policy::write(Pred->Next, Replacement, std::memory_order_release, Pred,
+                  MemField::Next);
+    Curr->Lock.template release<Policy>(Curr);
+    Pred->Lock.template release<Policy>(Pred);
+    reclaim::poolRetire<Policy>(Domain, Curr);
+    return 1;
+  }
+
+  /// Best-effort unlink of a chunk the caller just emptied: lock
+  /// (pred, chunk) in list order, revalidate (still linked, still
+  /// empty), mark and unlink. Any failed validation simply gives up —
+  /// an empty unmarked chunk is legal and a later insert compacts it.
+  void tryUnlinkEmpty(Chunk *Pred, Chunk *Curr) {
+    if (!Pred->Lock.template acquireIfValidSince<Policy>(
+            Pred, ChunkLock::InvalidVersion, [&] {
+              if (Policy::readCheck(Pred->Marked,
+                                    std::memory_order_acquire, Pred,
+                                    MemField::Marked))
+                return false;
+              return Policy::readCheck(Pred->Next,
+                                       std::memory_order_acquire, Pred,
+                                       MemField::Next) == Curr;
+            }))
+      return;
+    if (!Curr->Lock.template acquireIfValidSince<Policy>(
+            Curr, ChunkLock::InvalidVersion, [&] {
+              return Policy::readCheck(Curr->Occ,
+                                       std::memory_order_acquire,
+                                       &Curr->Occ, MemField::Marked) == 0;
+            })) {
+      Pred->Lock.template release<Policy>(Pred);
+      return;
+    }
+    Chunk *NextC = Policy::readCheck(Curr->Next, std::memory_order_acquire,
+                                     Curr, MemField::Next);
+    stats::histogramAdd(stats::Histogram::ChunkOccupancy, 0);
+    Policy::write(Curr->Marked, true, std::memory_order_release, Curr,
+                  MemField::Marked);
+    Policy::write(Pred->Next, NextC, std::memory_order_release, Pred,
+                  MemField::Next);
+    Curr->Lock.template release<Policy>(Curr);
+    Pred->Lock.template release<Policy>(Pred);
+    stats::bump(stats::Counter::ChunkUnlinks);
+    reclaim::poolRetire<Policy>(Domain, Curr);
+  }
+
+  Chunk *Head;
+  Chunk *Tail;
+  /// Mutable so the const, read-only contains() can enter a read-side
+  /// critical section.
+  mutable Reclaim Domain;
+};
+
+} // namespace vbl
+
+#endif // VBL_CORE_VBLCHUNKLIST_H

@@ -7,6 +7,7 @@
 
 #include "lists/SetInterface.h"
 
+#include "core/VblChunkList.h"
 #include "core/VblList.h"
 #include "lists/CoarseList.h"
 #include "lists/HandOverHandList.h"
@@ -68,6 +69,13 @@ using HandOverHandDefault = HandOverHandList<>;
 // Split-ordered hash overlays (src/maps) over the paper's substrates.
 using SoHashHm = maps::SplitOrderedHashSet<HarrisMichaelDefault>;
 using SoHashVbl = maps::SplitOrderedHashSet<VblDefault>;
+// Unrolled chunked VBL (core/VblChunkList.h). K=7 fills one 64-byte key
+// line; K=1 is the unrolling ablation (flat-like layout, chunk
+// protocol); K=15 fills two key lines per chunk.
+using VblChunkDefault = VblChunkList<7>;
+using VblChunkK1 = VblChunkList<1>;
+using VblChunkK15 = VblChunkList<15>;
+using VblChunkLeaky = VblChunkList<7, reclaim::LeakyDomain>;
 
 static const RegistryEntry Registry[] = {
     {"vbl", &makeAdapter<VblDefault>},
@@ -85,6 +93,10 @@ static const RegistryEntry Registry[] = {
     {"vbl-ttas", &makeAdapter<VblTtas>},
     {"vbl-versioned", &makeAdapter<VblVersioned>},
     {"harris-michael-hp", &makeAdapter<HarrisMichaelListHp>},
+    {"vbl-chunk", &makeAdapter<VblChunkDefault>},
+    {"vbl-chunk-k1", &makeAdapter<VblChunkK1>},
+    {"vbl-chunk-k15", &makeAdapter<VblChunkK15>},
+    {"vbl-chunk-leaky", &makeAdapter<VblChunkLeaky>},
     {"skiplist-lazy", &makeAdapter<LazySkipList<>>},
     {"bst-tombstone", &makeAdapter<TombstoneBst<>>},
     {"so-hash-hm", &makeAdapter<SoHashHm>, /*FullKeyDomain=*/false},

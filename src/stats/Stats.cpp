@@ -61,6 +61,14 @@ const char *counterName(Counter C) {
     return "pool.misses";
   case Counter::PoolBypass:
     return "pool.bypass";
+  case Counter::ChunkSplits:
+    return "chunk.splits";
+  case Counter::ChunkCompactions:
+    return "chunk.compactions";
+  case Counter::ChunkUnlinks:
+    return "chunk.unlinks";
+  case Counter::ChunkValidationAborts:
+    return "chunk.validation_aborts";
   case Counter::MapBucketInits:
     return "map.bucket_inits";
   case Counter::MapBucketInitChain:
@@ -81,6 +89,8 @@ const char *histogramName(Histogram H) {
     return "hist.traversal_hops";
   case Histogram::EpochLag:
     return "hist.epoch_lag";
+  case Histogram::ChunkOccupancy:
+    return "hist.chunk_occupancy";
   case Histogram::NumHistograms_:
     break;
   }

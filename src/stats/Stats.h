@@ -122,6 +122,17 @@ enum class Counter : uint16_t {
                             ///  from the global pool (mutex + batch).
   PoolBypass,               ///< pool.bypass: allocations routed to plain
                             ///  operator new (bypass mode or oversize).
+  // chunked (unrolled) lists.
+  ChunkSplits,              ///< chunk.splits: full chunk frozen and
+                            ///  replaced by two halves.
+  ChunkCompactions,         ///< chunk.compactions: chunk with dead slots
+                            ///  but no clean slot frozen and replaced by
+                            ///  one compacted copy.
+  ChunkUnlinks,             ///< chunk.unlinks: logically-empty chunk
+                            ///  marked and unlinked (Harris-style).
+  ChunkValidationAborts,    ///< chunk.validation_aborts: lock-held
+                            ///  revalidation of a chunk failed; the
+                            ///  operation re-traversed.
   // maps.
   MapBucketInits,           ///< map.bucket_inits: lazy dummy-node splices.
   MapBucketInitChain,       ///< map.bucket_init_chain: parent links walked
@@ -141,9 +152,13 @@ const char *counterName(Counter C);
 /// bit_width(V) == B (bucket 0 is exactly zero), the last bucket
 /// absorbs everything >= 2^14.
 enum class Histogram : uint16_t {
-  TraversalHops, ///< hist.traversal_hops: nodes visited per traversal.
-  EpochLag,      ///< hist.epoch_lag: global minus oldest announced epoch
-                 ///  sampled at every failed advance (reader lag depth).
+  TraversalHops,  ///< hist.traversal_hops: nodes visited per traversal.
+  EpochLag,       ///< hist.epoch_lag: global minus oldest announced epoch
+                  ///  sampled at every failed advance (reader lag depth).
+  ChunkOccupancy, ///< hist.chunk_occupancy: live keys per chunk, sampled
+                  ///  whenever a chunk is frozen or unlinked (its final
+                  ///  occupancy — the population a split/compaction or
+                  ///  unlink decision acted on).
   NumHistograms_
 };
 

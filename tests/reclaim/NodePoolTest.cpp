@@ -18,6 +18,8 @@
 #include "reclaim/NodePool.h"
 #include "reclaim/TrackingDomain.h"
 
+#include "core/VblChunkList.h"
+
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -158,6 +160,74 @@ TEST(NodePoolTest, PoolRetireFreesThroughEpochDomain) {
   }
   Domain.collectAll();
   EXPECT_EQ(Domain.freedCount(), static_cast<uint64_t>(Count));
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk-shaped requests (core/VblChunkList.h). The unrolled list's
+// nodes are cache-line-aligned multi-line blocks — the largest, most
+// alignment-sensitive shapes the lists ever ask the pool for.
+//===----------------------------------------------------------------------===//
+
+TEST(NodePoolTest, ChunkShapesStayWithinPooledClasses) {
+  // Every registered chunk shape must be servable by a size class
+  // (bytes <= MaxBlockBytes, align <= CacheLineBytes): chunk
+  // allocation must never fall through to the oversize heap path.
+  static_assert(vbl::VblChunkList<1>::ChunkBytes <= NodePool::MaxBlockBytes);
+  static_assert(vbl::VblChunkList<7>::ChunkBytes <= NodePool::MaxBlockBytes);
+  static_assert(vbl::VblChunkList<15>::ChunkBytes <= NodePool::MaxBlockBytes);
+  static_assert(vbl::VblChunkList<63>::ChunkBytes <= NodePool::MaxBlockBytes);
+  static_assert(vbl::VblChunkList<7>::ChunkAlignment ==
+                vbl::CacheLineBytes);
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; class accounting not observable";
+  const NodePool::Stats Before = NodePool::stats();
+  void *Ptr = NodePool::allocate(vbl::VblChunkList<15>::ChunkBytes,
+                                 vbl::VblChunkList<15>::ChunkAlignment);
+  NodePool::deallocate(Ptr, vbl::VblChunkList<15>::ChunkBytes,
+                       vbl::VblChunkList<15>::ChunkAlignment);
+  const NodePool::Stats After = NodePool::stats();
+  EXPECT_EQ(After.HeapAllocs, Before.HeapAllocs)
+      << "chunk-sized request escaped to the oversize heap path";
+}
+
+TEST(NodePoolTest, ChunkAllocationsAreLineAligned) {
+  // Alignment must hold in both pooled and bypass mode — the chunk
+  // layout argument (anchor+header on line 0, keys on line 1+) depends
+  // on it.
+  for (size_t Bytes :
+       {vbl::VblChunkList<1>::ChunkBytes, vbl::VblChunkList<7>::ChunkBytes,
+        vbl::VblChunkList<15>::ChunkBytes}) {
+    void *Ptr = NodePool::allocate(Bytes, vbl::CacheLineBytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Ptr) % vbl::CacheLineBytes, 0u)
+        << "bytes=" << Bytes;
+    NodePool::deallocate(Ptr, Bytes, vbl::CacheLineBytes);
+  }
+}
+
+TEST(NodePoolTest, ChunkClassRecyclesLifo) {
+  if (NodePool::bypassed())
+    GTEST_SKIP() << "pool bypassed; nothing to recycle";
+  constexpr size_t Bytes = vbl::VblChunkList<7>::ChunkBytes;
+  void *First = NodePool::allocate(Bytes, vbl::CacheLineBytes);
+  NodePool::deallocate(First, Bytes, vbl::CacheLineBytes);
+  void *Second = NodePool::allocate(Bytes, vbl::CacheLineBytes);
+  EXPECT_EQ(First, Second);
+  NodePool::deallocate(Second, Bytes, vbl::CacheLineBytes);
+}
+
+TEST(NodePoolTest, ChunkListLifecycleCleanUnderBypass) {
+  // A whole list built and torn down inside a bypass scope: every
+  // chunk allocation round-trips through the heap (ASan-visible), and
+  // the destructor must pair each one exactly.
+  NodePool::ScopedBypass Bypass;
+  {
+    vbl::VblChunkList<7> List;
+    for (vbl::SetKey Key = 1; Key <= 40; ++Key)
+      ASSERT_TRUE(List.insert(Key));
+    for (vbl::SetKey Key = 1; Key <= 40; Key += 2)
+      ASSERT_TRUE(List.remove(Key));
+    List.reclaimDomain().collectAll();
+  }
 }
 
 TEST(NodePoolTest, PoolRetireFreesThroughTrackingDomain) {

@@ -2,8 +2,9 @@
 """Run the short-duration benchmark suite and merge the JSON outputs.
 
 Produces one vbl-bench-v1 document from a fixed set of short bench
-invocations (fig1_small_contended, hashset_scaling and
-micro_reclaim), stamped with
+invocations (fig1_small_contended, hashset_scaling, micro_reclaim,
+readonly_traversal, skiplist_crossover, unrolled_crossover,
+micro_locks and schedule_acceptance), stamped with
 run context (git sha, host, core count, date). This is the suite the
 CI bench-smoke job runs on every PR; tools/bench_compare.py gates the
 result against the committed BENCH_baseline.json.
@@ -44,6 +45,25 @@ def bench_invocations(args):
         # gates the node-pool fast path against regressions.
         ("micro_reclaim", common + ["--churn-threads", args.threads,
                                     "--churn-ranges", "128,1024"]),
+        # The §1 read-only claim (VBL vs Harris-Michael traversals).
+        ("readonly_traversal", common + ["--threads", args.threads,
+                                         "--ranges", "200,2000"]),
+        # List vs skip-list crossover, small ranges only (see above).
+        ("skiplist_crossover", common + ["--threads", args.threads,
+                                         "--ranges", "200,2000"]),
+        # Unrolled chunk crossover: the flat-vs-chunked gate. 8192 is
+        # the smallest range where the cache-line win must already
+        # show; 64k stays out of the smoke suite like everywhere else.
+        ("unrolled_crossover", common + ["--threads", args.threads,
+                                         "--ranges", "128,8192"]),
+        # Google-Benchmark binary: its own flag set; the uncontended
+        # lock costs are stable enough to gate on.
+        ("micro_locks", ["--benchmark_filter=uncontended/.*",
+                         "--benchmark_min_time=0.05"]),
+        # Deterministic schedule counts (Figs. 2-3 matrix): compared at
+        # effectively zero tolerance, so any acceptance regression in
+        # vbl/lazy trips the gate outright.
+        ("schedule_acceptance", ["--max-episodes", "4000"]),
     ]
 
 
