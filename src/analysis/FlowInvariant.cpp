@@ -1,0 +1,264 @@
+//===- analysis/FlowInvariant.cpp - Flow/keyset oracle implementation ----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowInvariant.h"
+
+#include "stats/Stats.h"
+
+#include <sstream>
+
+namespace vbl {
+namespace analysis {
+
+const char *flowClauseName(FlowClause Clause) {
+  switch (Clause) {
+  case FlowClause::Shape:
+    return "F1.Shape";
+  case FlowClause::Sentinels:
+    return "F2.Sentinels";
+  case FlowClause::Sorted:
+    return "F3.Sorted";
+  case FlowClause::ChunkInterval:
+    return "F4.ChunkInterval";
+  case FlowClause::UniqueFlow:
+    return "F5.UniqueFlow";
+  case FlowClause::UnlinkedUnmarked:
+    return "F6.UnlinkedUnmarked";
+  case FlowClause::MarkedLingers:
+    return "F7.MarkedLingers";
+  }
+  return "F?.Unknown";
+}
+
+std::string FlowReport::toString() const {
+  std::ostringstream Out;
+  Out << "flow invariant " << flowClauseName(Clause) << " violated at step "
+      << Step << " on node " << Node << " (key " << Key << "):\n  "
+      << Detail << "\n  reproducing schedule prefix (thread per step): [";
+  for (size_t I = 0; I != SchedulePrefix.size(); ++I)
+    Out << (I ? " " : "") << SchedulePrefix[I];
+  Out << "]";
+  return Out.str();
+}
+
+void FlowChecker::report(FlowClause Clause, const void *Node, SetKey Key,
+                         std::string Detail,
+                         const std::vector<unsigned> &Choices) {
+  if (!Reported.insert({Clause, Node}).second)
+    return;
+  FlowReport R;
+  R.Clause = Clause;
+  R.Node = Node;
+  R.Key = Key;
+  R.Detail = std::move(Detail);
+  R.Step = Step;
+  R.SchedulePrefix = Choices;
+  Reports.push_back(std::move(R));
+}
+
+std::vector<FlowNodeDesc> FlowChecker::snapshot() {
+  stats::bump(stats::Counter::AnalysisFlowChecks);
+  return View.Describe();
+}
+
+void FlowChecker::onStep(const std::vector<unsigned> &Choices) {
+  if (!View)
+    return;
+  // The first call is the pre-step baseline (step 0); later calls land
+  // after each Sched.step, so the step index is the prefix length.
+  if (SawBaseline)
+    Step = Choices.size();
+  SawBaseline = true;
+  checkStep(snapshot(), Choices);
+}
+
+void FlowChecker::onEpisodeEnd(const std::vector<unsigned> &Choices) {
+  if (!View)
+    return;
+  Step = Choices.size();
+  checkEnd(snapshot(), Choices);
+}
+
+void FlowChecker::checkStep(const std::vector<FlowNodeDesc> &Chain,
+                            const std::vector<unsigned> &Choices) {
+  // F1 Shape: non-empty, bounded, tail present. An empty snapshot or a
+  // cap-length walk that never reached MaxSentinel is a broken chain.
+  if (Chain.empty()) {
+    report(FlowClause::Shape, nullptr, 0, "head walk found no nodes",
+           Choices);
+    return;
+  }
+  if (Chain.back().Key != MaxSentinel) {
+    std::ostringstream D;
+    if (Chain.size() >= FlowWalkCap)
+      D << "walk hit the " << FlowWalkCap
+        << "-hop cap without reaching the tail sentinel (cycle or "
+           "unbounded chain)";
+    else
+      D << "walk ended at key " << Chain.back().Key
+        << " instead of the tail sentinel";
+    report(FlowClause::Shape, Chain.back().Node, Chain.back().Key, D.str(),
+           Choices);
+    return; // Later clauses assume a well-formed head..tail chain.
+  }
+
+  // F2 Sentinels.
+  const FlowNodeDesc &Head = Chain.front();
+  const FlowNodeDesc &Tail = Chain.back();
+  if (Head.Key != MinSentinel)
+    report(FlowClause::Sentinels, Head.Node, Head.Key,
+           "head key is not MinSentinel", Choices);
+  if (Head.Marked)
+    report(FlowClause::Sentinels, Head.Node, Head.Key, "head is marked",
+           Choices);
+  if (Tail.Marked)
+    report(FlowClause::Sentinels, Tail.Node, Tail.Key, "tail is marked",
+           Choices);
+  if (View.IsChunked) {
+    if (!Head.Slots.empty())
+      report(FlowClause::Sentinels, Head.Node, Head.Key,
+             "head sentinel chunk publishes occupied slots", Choices);
+    if (!Tail.Slots.empty())
+      report(FlowClause::Sentinels, Tail.Node, Tail.Key,
+             "tail sentinel chunk publishes occupied slots", Choices);
+  }
+
+  // F3 Sorted: strictly increasing keys/anchors over the whole chain,
+  // marked nodes included (inserts only link between verified-adjacent
+  // nodes, so even a logically deleted node keeps its place).
+  for (size_t I = 1; I < Chain.size(); ++I) {
+    if (Chain[I - 1].Key >= Chain[I].Key) {
+      std::ostringstream D;
+      D << (View.IsChunked ? "anchor " : "key ") << Chain[I].Key
+        << " does not exceed predecessor's " << Chain[I - 1].Key;
+      report(FlowClause::Sorted, Chain[I].Node, Chain[I].Key, D.str(),
+             Choices);
+    }
+  }
+
+  // F4 ChunkInterval (per-step part) + F5 UniqueFlow. Flow of a user
+  // key = the set of unmarked reachable nodes/slots holding it; the
+  // per-step clause is |flow(k)| <= 1.
+  std::map<SetKey, const void *> FlowTarget;
+  auto capture = [&](const FlowNodeDesc &N, SetKey Key) {
+    if (!isUserKey(Key))
+      return;
+    auto [It, Fresh] = FlowTarget.insert({Key, N.Node});
+    if (!Fresh && It->second != N.Node) {
+      std::ostringstream D;
+      D << "key " << Key << " flows to two unmarked nodes (" << It->second
+        << " and " << N.Node << ")";
+      report(FlowClause::UniqueFlow, N.Node, Key, D.str(), Choices);
+    }
+  };
+  for (size_t I = 0; I < Chain.size(); ++I) {
+    const FlowNodeDesc &N = Chain[I];
+    if (N.IsChunk) {
+      const SetKey NextAnchor =
+          I + 1 < Chain.size() ? Chain[I + 1].Key : MaxSentinel;
+      std::set<SetKey> SlotKeys;
+      for (const FlowSlot &Slot : N.Slots) {
+        if (Slot.Index >= N.Capacity) {
+          std::ostringstream D;
+          D << "occupied slot index " << Slot.Index
+            << " outside chunk capacity " << N.Capacity;
+          report(FlowClause::ChunkInterval, N.Node, Slot.Key, D.str(),
+                 Choices);
+        }
+        if (Slot.Key < N.Key || Slot.Key >= NextAnchor) {
+          std::ostringstream D;
+          D << "slot " << Slot.Index << " key " << Slot.Key
+            << " outside chunk keyset [" << N.Key << ", " << NextAnchor
+            << ")";
+          report(FlowClause::ChunkInterval, N.Node, Slot.Key, D.str(),
+                 Choices);
+        }
+        if (!SlotKeys.insert(Slot.Key).second) {
+          std::ostringstream D;
+          D << "key " << Slot.Key << " occupies two slots of one chunk";
+          report(FlowClause::ChunkInterval, N.Node, Slot.Key, D.str(),
+                 Choices);
+        }
+        if (!N.Marked)
+          capture(N, Slot.Key);
+      }
+    } else if (!N.Marked) {
+      capture(N, N.Key);
+    }
+  }
+
+  // F6 UnlinkedUnmarked: audit tracked nodes that left the reachable
+  // set, then refresh the tracking map from this snapshot. Markless
+  // backends (Optimistic, hand-over-hand) unlink live nodes by design
+  // — and may free them immediately — so they are never tracked.
+  if (!View.HasMark)
+    return;
+  std::set<const void *> Reachable;
+  for (const FlowNodeDesc &N : Chain)
+    Reachable.insert(N.Node);
+  for (auto It = LastMarked.begin(); It != LastMarked.end();) {
+    if (Reachable.count(It->first)) {
+      ++It;
+      continue;
+    }
+    if (!It->second.second)
+      report(FlowClause::UnlinkedUnmarked, It->first, It->second.first,
+             "node became unreachable while still unmarked "
+             "(unlink-before-mark)",
+             Choices);
+    It = LastMarked.erase(It);
+  }
+  for (const FlowNodeDesc &N : Chain)
+    LastMarked[N.Node] = {N.Key, N.Marked};
+}
+
+void FlowChecker::checkEnd(const std::vector<FlowNodeDesc> &Chain,
+                           const std::vector<unsigned> &Choices) {
+  // Re-run the per-step clauses on the final state too: an episode's
+  // last step is a step like any other.
+  checkStep(Chain, Choices);
+
+  // F7 MarkedLingers: all operations have returned, so every logical
+  // delete must have completed its unlink (mark <=> no-flow holds
+  // exactly at quiescence). Harris-style backends legally leave marked
+  // nodes for later traversals to snip.
+  if (View.HasMark && !View.MarkedMayLinger) {
+    for (const FlowNodeDesc &N : Chain)
+      if (N.Marked)
+        report(FlowClause::MarkedLingers, N.Node, N.Key,
+               "node still marked and reachable at episode end", Choices);
+  }
+
+  // F4 quiescent part: Occ confined below FirstClean. Between
+  // storeSlot's Occ publish and its FirstClean advance this is
+  // transiently false, so it is only a quiescent-state clause.
+  if (View.IsChunked) {
+    for (const FlowNodeDesc &N : Chain) {
+      if (!N.IsChunk)
+        continue;
+      if (N.FirstClean > N.Capacity) {
+        std::ostringstream D;
+        D << "FirstClean " << N.FirstClean << " exceeds capacity "
+          << N.Capacity;
+        report(FlowClause::ChunkInterval, N.Node, N.Key, D.str(), Choices);
+      }
+      for (const FlowSlot &Slot : N.Slots) {
+        if (Slot.Index >= N.FirstClean) {
+          std::ostringstream D;
+          D << "occupied slot " << Slot.Index
+            << " at or above FirstClean " << N.FirstClean
+            << " at episode end";
+          report(FlowClause::ChunkInterval, N.Node, Slot.Key, D.str(),
+                 Choices);
+        }
+      }
+    }
+  }
+}
+
+} // namespace analysis
+} // namespace vbl

@@ -1,0 +1,102 @@
+//===- analysis/FlowView.h - Heap-snapshot hook for the flow oracle ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge between a list backend and the flow-invariant checker
+/// (analysis/FlowInvariant.h). A backend that opts in exposes
+/// `flowView()` returning a FlowView: a closure that walks the
+/// reachable chain from the head sentinel and describes every node (or
+/// chunk) it finds, plus the traits the checker needs to pick the right
+/// clause set for that algorithm.
+///
+/// The Describe closure runs *between* scheduler steps, while every
+/// worker thread is parked at a policy yield point, so plain relaxed
+/// loads are race-free and — critically — scheduler-invisible: the
+/// snapshot must not perturb the interleaving being explored. Backends
+/// therefore describe themselves with raw `.load(std::memory_order_
+/// relaxed)` on their atomics, never through their Policy.
+///
+/// Memory-safety contract: the checker may follow pointers it read one
+/// step earlier only through descriptions it cached while the node was
+/// reachable; it never dereferences an unreachable node. Flow-checked
+/// episodes still run under reclaim::LeakyDomain so that even the
+/// Describe walk racing an unlink (impossible under the step scheduler,
+/// but cheap to be safe about) cannot touch freed memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_ANALYSIS_FLOWVIEW_H
+#define VBL_ANALYSIS_FLOWVIEW_H
+
+#include "core/SetConfig.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vbl {
+namespace analysis {
+
+/// Bound on the Describe walk: a corrupted chain (cycle, lost tail)
+/// must terminate the snapshot, not the test binary. Far above any
+/// scenario's node count; hitting it reads as a Shape violation.
+inline constexpr size_t FlowWalkCap = size_t(1) << 12;
+
+/// One occupied slot of a chunk node: its index in the key array and
+/// the key it publishes.
+struct FlowSlot {
+  uint32_t Index = 0;
+  SetKey Key = 0;
+};
+
+/// Snapshot of one reachable node. For flat lists only Node/Key/Marked
+/// are meaningful; chunked backends set IsChunk and fill the slot and
+/// layout fields (Key then holds the chunk's immutable min-key anchor).
+struct FlowNodeDesc {
+  const void *Node = nullptr;
+  SetKey Key = 0;
+  bool Marked = false;
+  bool IsChunk = false;
+  /// First never-written slot index (chunked backends only).
+  uint32_t FirstClean = 0;
+  /// Slots per chunk (chunked backends only).
+  uint32_t Capacity = 0;
+  /// Occupied slots, in index order (chunked backends only).
+  std::vector<FlowSlot> Slots;
+};
+
+/// A backend's self-description for the flow checker. Default-
+/// constructed (no Describe closure) means "not flow-checkable" and
+/// disables the checker for the episode.
+struct FlowView {
+  /// Walks head..tail and describes each reachable node. Must use
+  /// scheduler-invisible relaxed loads and stop at FlowWalkCap hops.
+  std::function<std::vector<FlowNodeDesc>()> Describe;
+
+  /// The algorithm carries a logical-deletion mark (clause F6/F7
+  /// apply). False for Optimistic and hand-over-hand lists, whose
+  /// removals unlink without marking by design — and whose unlinked
+  /// nodes must consequently never be tracked (hand-over-hand frees
+  /// them immediately).
+  bool HasMark = true;
+
+  /// Marked nodes may legally stay reachable after the removing
+  /// operation returns (Harris / Harris-Michael delegated unlinks), so
+  /// the episode-end "no reachable marked node" clause is skipped.
+  bool MarkedMayLinger = false;
+
+  /// Nodes are sorted chunks: keyset-interval clauses (F4) apply and
+  /// Key is the chunk anchor.
+  bool IsChunked = false;
+
+  explicit operator bool() const { return static_cast<bool>(Describe); }
+};
+
+} // namespace analysis
+} // namespace vbl
+
+#endif // VBL_ANALYSIS_FLOWVIEW_H

@@ -57,11 +57,13 @@
 #ifndef VBL_CORE_VBLCHUNKLIST_H
 #define VBL_CORE_VBLCHUNKLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/ChunkLock.h"
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
 #include "stats/Stats.h"
+#include "support/ThreadSafety.h"
 #include "sync/Policy.h"
 
 #include <algorithm>
@@ -387,6 +389,46 @@ public:
     return Chain;
   }
 
+  /// Self-description for the flow-invariant oracle: one FlowNodeDesc
+  /// per reachable chunk, anchor as the node key, occupied slots (set
+  /// Occ bits) listed with their published keys. A frozen (marked)
+  /// chunk's content is immutable, so describing it mid-freeze is safe;
+  /// its keys transiently flow nowhere until the replacement is swung
+  /// in — which is why the per-step uniqueness clause is "at most one".
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = true;          // Chunk-granularity freeze mark.
+    View.MarkedMayLinger = false; // The marker swings the link itself.
+    View.IsChunked = true;
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Chunk *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;
+           Curr = Curr->Next.load(std::memory_order_relaxed)) {
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Anchor;
+        D.Marked = Curr->Marked.load(std::memory_order_relaxed);
+        D.IsChunk = true;
+        D.FirstClean = Curr->FirstClean.load(std::memory_order_relaxed);
+        D.Capacity = ChunkKeys;
+        uint64_t Bits = Curr->Occ.load(std::memory_order_relaxed);
+        while (Bits) {
+          const int I = std::countr_zero(Bits);
+          Bits &= Bits - 1;
+          analysis::FlowSlot Slot;
+          Slot.Index = static_cast<uint32_t>(I);
+          Slot.Key = Curr->Keys[static_cast<size_t>(I)].load(
+              std::memory_order_relaxed);
+          D.Slots.push_back(Slot);
+        }
+        Chain.push_back(std::move(D));
+      }
+      return Chain;
+    };
+    return View;
+  }
+
 private:
   /// Anchor routing: returns (Pred, Curr) with Pred->Next observed ==
   /// Curr and Anchor(Curr) <= Key < Anchor of Curr's successor at the
@@ -454,8 +496,9 @@ private:
 
   /// Writes \p Key into clean slot \p FC of locked chunk \p C and
   /// publishes it: slot first (plain), then its Occ bit (release) — the
-  /// edge every unlocked scan acquires.
-  void storeSlot(Chunk *C, uint32_t FC, SetKey Key) {
+  /// edge every unlocked scan acquires. The caller must hold C's chunk
+  /// lock (slot consumption mutates FirstClean).
+  void storeSlot(Chunk *C, uint32_t FC, SetKey Key) VBL_REQUIRES(C->Lock) {
     Policy::write(C->Keys[FC], Key, std::memory_order_relaxed, &C->Keys[FC],
                   MemField::Val);
     const uint64_t O = Policy::readCheck(C->Occ, std::memory_order_relaxed,

@@ -37,6 +37,7 @@
 #ifndef VBL_CORE_VBLLIST_H
 #define VBL_CORE_VBLLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "core/ValueAwareTryLock.h"
 #include "reclaim/EpochDomain.h"
@@ -322,6 +323,30 @@ public:
          Curr = Curr->Next.load(std::memory_order_relaxed))
       Chain.emplace_back(Curr, Curr->Val);
     return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle. The describe walk
+  /// runs between scheduler steps (all workers parked at yields), uses
+  /// scheduler-invisible relaxed loads, and must tolerate mid-operation
+  /// states — hence the walk cap instead of structural assertions.
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = true;          // Deleted flag.
+    View.MarkedMayLinger = false; // remove() unlinks before returning.
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;
+           Curr = Curr->Next.load(std::memory_order_relaxed)) {
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        D.Marked = Curr->Deleted.load(std::memory_order_relaxed);
+        Chain.push_back(std::move(D));
+      }
+      return Chain;
+    };
+    return View;
   }
 
 private:

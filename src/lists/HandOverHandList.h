@@ -17,31 +17,45 @@
 /// remover holding (prev, curr) has exclusive access to curr: unlinked
 /// nodes can be freed immediately, no reclamation domain needed.
 ///
+/// `Next` is an atomic only so the access policy can mediate it (the
+/// deterministic scheduler needs a yield point per shared access); all
+/// accesses are lock-protected, so relaxed ordering suffices and
+/// DirectPolicy compiles to the plain pointer the textbook version uses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBL_LISTS_HANDOVERHANDLIST_H
 #define VBL_LISTS_HANDOVERHANDLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "support/ThreadSafety.h"
+#include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
+#include <atomic>
+#include <utility>
 #include <vector>
 
 namespace vbl {
 
-template <class LockT = TasLock> class HandOverHandList {
+/// PolicyT comes last so the historical HandOverHandList<Lock> spelling
+/// keeps compiling.
+template <class LockT = TasLock, class PolicyT = DirectPolicy>
+class HandOverHandList {
 public:
+  using Policy = PolicyT;
+
   HandOverHandList() {
     Tail = new Node(MaxSentinel);
     Head = new Node(MinSentinel);
-    Head->Next = Tail;
+    Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
   ~HandOverHandList() {
     Node *Curr = Head;
     while (Curr) {
-      Node *Next = Curr->Next;
+      Node *Next = Curr->Next.load(std::memory_order_relaxed);
       delete Curr;
       Curr = Next;
     }
@@ -59,11 +73,13 @@ public:
     const bool Absent = Curr->Val != Key;
     if (Absent) {
       Node *NewNode = new Node(Key);
-      NewNode->Next = Curr;
-      Prev->Next = NewNode;
+      Policy::onNewNode(NewNode, Key);
+      NewNode->Next.store(Curr, std::memory_order_relaxed);
+      Policy::write(Prev->Next, NewNode, std::memory_order_relaxed, Prev,
+                    MemField::Next);
     }
-    Curr->NodeLock.unlock();
-    Prev->NodeLock.unlock();
+    Policy::lockRelease(Curr->NodeLock, Curr);
+    Policy::lockRelease(Prev->NodeLock, Prev);
     return Absent;
   }
 
@@ -73,14 +89,19 @@ public:
     auto [Prev, Curr] = lockedTraverse(Key);
     const bool Present = Curr->Val == Key;
     if (Present) {
-      Prev->Next = Curr->Next;
-      Curr->NodeLock.unlock();
-      // Exclusive: nobody else can stand on Curr without its lock.
+      Policy::write(Prev->Next,
+                    Policy::read(Curr->Next, std::memory_order_relaxed,
+                                 Curr, MemField::Next),
+                    std::memory_order_relaxed, Prev, MemField::Next);
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      // Exclusive: nobody else can stand on Curr without its lock, and
+      // Curr became unreachable a step ago — the free runs within the
+      // lock-release step, before any between-step heap snapshot.
       delete Curr;
     } else {
-      Curr->NodeLock.unlock();
+      Policy::lockRelease(Curr->NodeLock, Curr);
     }
-    Prev->NodeLock.unlock();
+    Policy::lockRelease(Prev->NodeLock, Prev);
     return Present;
   }
 
@@ -90,15 +111,16 @@ public:
     auto [Prev, Curr] =
         const_cast<HandOverHandList *>(this)->lockedTraverse(Key);
     const bool Present = Curr->Val == Key;
-    Curr->NodeLock.unlock();
-    Prev->NodeLock.unlock();
+    Policy::lockRelease(Curr->NodeLock, Curr);
+    Policy::lockRelease(Prev->NodeLock, Prev);
     return Present;
   }
 
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
-    for (const Node *Curr = Head->Next; Curr->Val != MaxSentinel;
-         Curr = Curr->Next)
+    for (const Node *Curr = Head->Next.load(std::memory_order_relaxed);
+         Curr->Val != MaxSentinel;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
       Keys.push_back(Curr->Val);
     return Keys;
   }
@@ -110,7 +132,7 @@ public:
     while (true) {
       if (Curr->NodeLock.isLocked())
         return false;
-      const Node *Next = Curr->Next;
+      const Node *Next = Curr->Next.load(std::memory_order_relaxed);
       if (Curr->Val == MaxSentinel)
         return Next == nullptr;
       if (!Next || Next->Val <= Curr->Val)
@@ -121,13 +143,48 @@ public:
 
   size_t sizeSlow() const { return snapshot().size(); }
 
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle. HasMark is false:
+  /// removal unlinks a live node under both locks and frees it
+  /// immediately, so the mark-related clauses do not apply and unlinked
+  /// nodes must never be tracked (they are gone).
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = false;
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;
+           Curr = Curr->Next.load(std::memory_order_relaxed)) {
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        Chain.push_back(std::move(D));
+      }
+      return Chain;
+    };
+    return View;
+  }
+
 private:
   struct Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
     const SetKey Val;
-    /// Plain pointer: reads and writes happen only under NodeLock.
-    Node *Next = nullptr;
+    /// Reads and writes happen only under NodeLock; atomic purely for
+    /// policy mediation (see file comment).
+    std::atomic<Node *> Next{nullptr};
     LockT NodeLock;
   };
 
@@ -140,14 +197,16 @@ private:
   std::pair<Node *, Node *> lockedTraverse(SetKey Key)
       VBL_NO_THREAD_SAFETY_ANALYSIS {
     Node *Prev = Head;
-    Prev->NodeLock.lock();
-    Node *Curr = Prev->Next;
-    Curr->NodeLock.lock();
-    while (Curr->Val < Key) {
-      Prev->NodeLock.unlock();
+    Policy::lockAcquire(Prev->NodeLock, Prev);
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_relaxed, Prev,
+                              MemField::Next);
+    Policy::lockAcquire(Curr->NodeLock, Curr);
+    while (Policy::readValue(Curr->Val, Curr) < Key) {
+      Policy::lockRelease(Prev->NodeLock, Prev);
       Prev = Curr;
-      Curr = Curr->Next;
-      Curr->NodeLock.lock();
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
     }
     return {Prev, Curr};
   }

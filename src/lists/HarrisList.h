@@ -18,6 +18,7 @@
 #ifndef VBL_LISTS_HARRISLIST_H
 #define VBL_LISTS_HARRISLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
@@ -169,6 +170,43 @@ public:
   size_t sizeSlow() const { return snapshot().size(); }
 
   Reclaim &reclaimDomain() { return Domain; }
+
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive
+  /// (marked nodes included — they are physically present).
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = ptrOf(Curr->Next.load(std::memory_order_relaxed)))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle. As in the Michael
+  /// variant the mark is bit 0 of the node's own next word, and marked
+  /// runs may legally stay reachable until a later search snips them.
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = true;
+    View.MarkedMayLinger = true;
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;) {
+        const uintptr_t Word = Curr->Next.load(std::memory_order_relaxed);
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        D.Marked = markOf(Word);
+        Chain.push_back(std::move(D));
+        Curr = ptrOf(Word);
+      }
+      return Chain;
+    };
+    return View;
+  }
 
 private:
   /// One node per cache line by default (NodeAlignBytes, SetConfig.h).

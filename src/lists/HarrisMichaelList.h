@@ -25,6 +25,7 @@
 #ifndef VBL_LISTS_HARRISMICHAELLIST_H
 #define VBL_LISTS_HARRISMICHAELLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
@@ -257,6 +258,30 @@ public:
          Curr = ptrOf(Curr->Next.load(std::memory_order_relaxed)))
       Chain.emplace_back(Curr, Curr->Val);
     return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle. The mark is bit 0
+  /// of the node's own next word; marked nodes may legally stay
+  /// reachable after remove() returns (delegated physical unlink).
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = true;
+    View.MarkedMayLinger = true;
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;) {
+        const uintptr_t Word = Curr->Next.load(std::memory_order_relaxed);
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        D.Marked = markOf(Word);
+        Chain.push_back(std::move(D));
+        Curr = ptrOf(Word);
+      }
+      return Chain;
+    };
+    return View;
   }
 
 private:

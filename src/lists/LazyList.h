@@ -24,6 +24,7 @@
 #ifndef VBL_LISTS_LAZYLIST_H
 #define VBL_LISTS_LAZYLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
@@ -188,6 +189,28 @@ public:
          Curr = Curr->Next.load(std::memory_order_relaxed))
       Chain.emplace_back(Curr, Curr->Val);
     return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle; scheduler-
+  /// invisible relaxed loads, tolerant of mid-operation states.
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = true;          // Marked flag.
+    View.MarkedMayLinger = false; // remove() unlinks under its locks.
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;
+           Curr = Curr->Next.load(std::memory_order_relaxed)) {
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        D.Marked = Curr->Marked.load(std::memory_order_relaxed);
+        Chain.push_back(std::move(D));
+      }
+      return Chain;
+    };
+    return View;
   }
 
 private:

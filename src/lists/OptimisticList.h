@@ -22,26 +22,33 @@
 #ifndef VBL_LISTS_OPTIMISTICLIST_H
 #define VBL_LISTS_OPTIMISTICLIST_H
 
+#include "analysis/FlowView.h"
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
 #include "stats/Stats.h"
 #include "support/Compiler.h"
+#include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 namespace vbl {
 
-template <class ReclaimT = reclaim::EpochDomain, class LockT = TasLock>
+/// PolicyT comes last (unlike the other lists) so that the historical
+/// OptimisticList<Reclaim, Lock> spelling keeps compiling.
+template <class ReclaimT = reclaim::EpochDomain, class LockT = TasLock,
+          class PolicyT = DirectPolicy>
 class OptimisticList {
 public:
   using Reclaim = ReclaimT;
+  using Policy = PolicyT;
 
   OptimisticList() {
-    Tail = reclaim::poolCreate<Node>(MaxSentinel);
-    Head = reclaim::poolCreate<Node>(MinSentinel);
+    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -49,7 +56,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      reclaim::poolDestroy(Curr);
+      reclaim::poolDestroy<Policy>(Curr);
       Curr = Next;
     }
   }
@@ -62,21 +69,24 @@ public:
     typename Reclaim::Guard G(Domain);
     for (;;) {
       auto [Prev, Curr] = traverse(Key);
-      Prev->NodeLock.lock();
-      Curr->NodeLock.lock();
+      Policy::lockAcquire(Prev->NodeLock, Prev);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
       if (!validate(Prev, Curr)) {
-        Curr->NodeLock.unlock();
-        Prev->NodeLock.unlock();
+        Policy::lockRelease(Curr->NodeLock, Curr);
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
         continue;
       }
       const bool Absent = Curr->Val != Key;
       if (Absent) {
-        Node *NewNode = reclaim::poolCreate<Node>(Key);
+        Node *NewNode = reclaim::poolCreate<Node, Policy>(Key);
+        Policy::onNewNode(NewNode, Key);
         NewNode->Next.store(Curr, std::memory_order_relaxed);
-        Prev->Next.store(NewNode, std::memory_order_release);
+        Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
+                      MemField::Next);
       }
-      Curr->NodeLock.unlock();
-      Prev->NodeLock.unlock();
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      Policy::lockRelease(Prev->NodeLock, Prev);
       return Absent;
     }
   }
@@ -86,21 +96,24 @@ public:
     typename Reclaim::Guard G(Domain);
     for (;;) {
       auto [Prev, Curr] = traverse(Key);
-      Prev->NodeLock.lock();
-      Curr->NodeLock.lock();
+      Policy::lockAcquire(Prev->NodeLock, Prev);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
       if (!validate(Prev, Curr)) {
-        Curr->NodeLock.unlock();
-        Prev->NodeLock.unlock();
+        Policy::lockRelease(Curr->NodeLock, Curr);
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
         continue;
       }
       const bool Present = Curr->Val == Key;
       if (Present)
-        Prev->Next.store(Curr->Next.load(std::memory_order_relaxed),
-                         std::memory_order_release);
-      Curr->NodeLock.unlock();
-      Prev->NodeLock.unlock();
+        Policy::write(Prev->Next,
+                      Policy::read(Curr->Next, std::memory_order_relaxed,
+                                   Curr, MemField::Next),
+                      std::memory_order_release, Prev, MemField::Next);
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      Policy::lockRelease(Prev->NodeLock, Prev);
       if (Present)
-        reclaim::poolRetire(Domain, Curr);
+        reclaim::poolRetire<Policy>(Domain, Curr);
       return Present;
     }
   }
@@ -114,16 +127,17 @@ public:
     auto *Self = const_cast<OptimisticList *>(this);
     for (;;) {
       auto [Prev, Curr] = Self->traverse(Key);
-      Prev->NodeLock.lock();
-      Curr->NodeLock.lock();
+      Policy::lockAcquire(Prev->NodeLock, Prev);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
       if (!Self->validate(Prev, Curr)) {
-        Curr->NodeLock.unlock();
-        Prev->NodeLock.unlock();
+        Policy::lockRelease(Curr->NodeLock, Curr);
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
         continue;
       }
       const bool Present = Curr->Val == Key;
-      Curr->NodeLock.unlock();
-      Prev->NodeLock.unlock();
+      Policy::lockRelease(Curr->NodeLock, Curr);
+      Policy::lockRelease(Prev->NodeLock, Prev);
       return Present;
     }
   }
@@ -157,6 +171,40 @@ public:
 
   Reclaim &reclaimDomain() { return Domain; }
 
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive.
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = Curr->Next.load(std::memory_order_relaxed))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
+  /// Self-description for the flow-invariant oracle. HasMark is false:
+  /// removal unlinks a live node under locks (no logical-deletion
+  /// flag), so the mark-related clauses do not apply — and unlinked
+  /// nodes must not be tracked across steps.
+  analysis::FlowView flowView() {
+    analysis::FlowView View;
+    View.HasMark = false;
+    View.Describe = [this] {
+      std::vector<analysis::FlowNodeDesc> Chain;
+      for (const Node *Curr = Head;
+           Curr && Chain.size() < analysis::FlowWalkCap;
+           Curr = Curr->Next.load(std::memory_order_relaxed)) {
+        analysis::FlowNodeDesc D;
+        D.Node = Curr;
+        D.Key = Curr->Val;
+        Chain.push_back(std::move(D));
+      }
+      return Chain;
+    };
+    return View;
+  }
+
 private:
   /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
   struct alignas(NodeAlignBytes) Node {
@@ -169,13 +217,17 @@ private:
 
   std::pair<Node *, Node *> traverse(SetKey Key) {
     Node *Prev = Head;
-    Node *Curr = Prev->Next.load(std::memory_order_acquire);
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
+                              MemField::Next);
     uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Curr->Val < Key) {
+    while (Policy::readValue(Curr->Val, Curr) < Key) {
       Prev = Curr;
-      Curr = Curr->Next.load(std::memory_order_acquire);
-      // Pull the successor's line while this node's key is compared.
-      VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      // Pull the successor's line while this node's key is compared
+      // (direct mode only; traced runs take no invisible shared reads).
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
       ++Hops;
     }
     stats::noteTraversal(Hops);
@@ -184,20 +236,22 @@ private:
 
   /// Re-traverses from the head to prove (prev, curr) is still a live
   /// adjacent window. Runs under both locks, so a positive answer stays
-  /// true until they are released. Every caller restarts on failure, so
-  /// the restart is counted here alongside the abort.
+  /// true until they are released. Every caller restarts on failure
+  /// (and counts the restart via Policy::onRestart at the restart
+  /// site); only the abort itself is counted here.
   bool validate(const Node *Prev, const Node *Curr) const {
     const Node *Probe = Head;
-    while (Probe->Val <= Prev->Val) {
+    while (Policy::readValueCheck(Probe->Val, Probe) <= Prev->Val) {
       if (Probe == Prev) {
-        if (Prev->Next.load(std::memory_order_acquire) == Curr)
+        if (Policy::readCheck(Prev->Next, std::memory_order_acquire, Prev,
+                              MemField::Next) == Curr)
           return true;
         break;
       }
-      Probe = Probe->Next.load(std::memory_order_acquire);
+      Probe = Policy::readCheck(Probe->Next, std::memory_order_acquire,
+                                Probe, MemField::Next);
     }
     stats::bump(stats::Counter::ListValidationAborts);
-    stats::bump(stats::Counter::ListRestarts);
     return false;
   }
 

@@ -54,6 +54,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace vbl {
@@ -170,6 +171,17 @@ public:
   const void *headNode() const { return List.headNode(); }
   std::vector<std::pair<const void *, SetKey>> nodeChain() const {
     return List.nodeChain();
+  }
+
+  /// Flow-invariant self-description: every element and dummy lives in
+  /// the one underlying list under split-order keys that stay strictly
+  /// inside the sentinel range (maps/SplitOrder.h static_asserts), so
+  /// the substrate's own flow view is exactly the oracle's input.
+  /// SFINAE-gated so substrates without flowView() merely opt the hash
+  /// set out instead of breaking the build.
+  template <class S = Substrate>
+  auto flowView() -> decltype(std::declval<S &>().flowView()) {
+    return List.flowView();
   }
 
   Substrate &substrate() { return List; }

@@ -29,6 +29,12 @@ EpisodeResult InterleavingExplorer::run(
   Result.Meta = Factory();
   StepScheduler Sched(Result.Meta.Bodies);
 
+  // The flow oracle snapshots the reachable heap between steps, while
+  // every worker is parked at a policy yield. A falsy Meta.Flow makes
+  // every checker call a no-op.
+  analysis::FlowChecker Flow(Result.Meta.Flow);
+  Flow.onStep(Result.Choices); // Post-prefill baseline (step 0).
+
   size_t StepIndex = 0;
   for (;;) {
     const std::vector<unsigned> Runnable = Sched.runnableThreads();
@@ -50,10 +56,13 @@ EpisodeResult InterleavingExplorer::run(
       RunnableSets->push_back(Runnable);
     Result.Choices.push_back(Choice);
     Sched.step(Choice);
+    Flow.onStep(Result.Choices);
     ++StepIndex;
     VBL_ASSERT(StepIndex < (size_t(1) << 22),
                "episode exceeded the step budget");
   }
+  Flow.onEpisodeEnd(Result.Choices);
+  Result.FlowViolations = Flow.takeReports();
   Result.Raw = Sched.schedule();
   Log.disable();
   if (Log.size() != 0)

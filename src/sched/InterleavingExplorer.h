@@ -27,6 +27,7 @@
 #ifndef VBL_SCHED_INTERLEAVINGEXPLORER_H
 #define VBL_SCHED_INTERLEAVINGEXPLORER_H
 
+#include "analysis/FlowInvariant.h"
 #include "analysis/RaceReport.h"
 #include "sched/Event.h"
 #include "sched/StepScheduler.h"
@@ -50,6 +51,10 @@ struct Episode {
   std::vector<std::pair<const void *, SetKey>> InitialChain;
   /// Keeps the list (and anything the bodies capture) alive.
   std::shared_ptr<void> Holder;
+  /// Flow-invariant self-description of the list (analysis/FlowView.h).
+  /// Left falsy (default) to skip flow checking for the episode;
+  /// factoryForWith populates it for backends exposing flowView().
+  analysis::FlowView Flow;
 };
 
 using EpisodeFactory = std::function<Episode()>;
@@ -64,6 +69,9 @@ struct EpisodeResult {
   /// when the episode ran under AnalyzedPolicy (the access log is
   /// empty, hence race-free by construction, for other policies).
   std::vector<analysis::RaceReport> Races;
+  /// Flow-invariant violations found by re-deriving node-local flow
+  /// after every step. Populated only when Meta.Flow is set.
+  std::vector<analysis::FlowReport> FlowViolations;
 };
 
 class InterleavingExplorer {

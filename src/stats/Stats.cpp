@@ -77,6 +77,8 @@ const char *counterName(Counter C) {
     return "map.resizes";
   case Counter::MapResizesLost:
     return "map.resizes_lost";
+  case Counter::AnalysisFlowChecks:
+    return "analysis.flow_checks";
   case Counter::NumCounters_:
     break;
   }

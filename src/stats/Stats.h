@@ -140,6 +140,10 @@ enum class Counter : uint16_t {
   MapResizes,               ///< map.resizes: bucket-index doublings won.
   MapResizesLost,           ///< map.resizes_lost: doublings lost to a
                             ///  concurrent winner (allocated, discarded).
+  // analysis.
+  AnalysisFlowChecks,       ///< analysis.flow_checks: flow-invariant heap
+                            ///  snapshots taken (one per scheduler step
+                            ///  per flow-checked episode).
   NumCounters_
 };
 

@@ -1,0 +1,119 @@
+//===- tests/analysis/FlowMutantsTest.cpp - Seeded bugs are flagged ------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The positive controls for the flow-invariant oracle: each mutant in
+/// FlowMutantLists.h seeds exactly one flow bug, and the checker must
+/// flag the EXACT clause — and only that clause — with a reproducing
+/// schedule prefix that, replayed through InterleavingExplorer::run,
+/// trips the same clause again:
+///
+///   RudeList        unlink without marking -> F6 UnlinkedUnmarked
+///   ForgetfulList   mark without unlinking -> F7 MarkedLingers
+///   SloppyChunkList out-of-interval publish -> F4 ChunkInterval
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowInvariant.h"
+#include "sched/InterleavingExplorer.h"
+
+#include "FlowMutantLists.h"
+#include "sched/ScenarioCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+constexpr size_t EpisodeCap = 500;
+
+/// Explores \p S against \p ListT, asserting (a) at least one episode
+/// reports \p Expected, (b) no episode reports any OTHER clause, and
+/// (c) the first report's schedule prefix is non-empty and replaying it
+/// reproduces the same clause.
+template <class ListT>
+void expectMutantFlagged(const Scenario &S, analysis::FlowClause Expected,
+                         const char *ListName) {
+  InterleavingExplorer Explorer(factoryFor<ListT>(S));
+  std::optional<analysis::FlowReport> Found;
+  size_t Episodes = 0;
+  size_t Flagged = 0;
+  Explorer.exploreAll(
+      [&](const EpisodeResult &Result) {
+        ++Episodes;
+        if (!Result.FlowViolations.empty())
+          ++Flagged;
+        for (const analysis::FlowReport &Report : Result.FlowViolations) {
+          EXPECT_EQ(Report.Clause, Expected)
+              << ListName << " / " << S.Name
+              << ": flagged a clause other than "
+              << analysis::flowClauseName(Expected) << ":\n"
+              << Report.toString();
+          if (!Found && Report.Clause == Expected)
+            Found = Report;
+        }
+      },
+      EpisodeCap);
+  EXPECT_GT(Episodes, 0u) << ListName << " / " << S.Name;
+  ASSERT_TRUE(Found.has_value())
+      << ListName << " / " << S.Name << ": seeded bug never flagged ("
+      << Episodes << " episodes explored)";
+  EXPECT_GT(Flagged, 0u);
+
+  // The report must carry a reproducer: the choice sequence up to and
+  // including the step whose snapshot exposed the violation.
+  EXPECT_FALSE(Found->SchedulePrefix.empty())
+      << ListName << ": report has no schedule prefix:\n"
+      << Found->toString();
+  const EpisodeResult Replay = Explorer.run(Found->SchedulePrefix);
+  bool Reproduced = false;
+  for (const analysis::FlowReport &Report : Replay.FlowViolations)
+    Reproduced |= Report.Clause == Expected;
+  EXPECT_TRUE(Reproduced)
+      << ListName << ": replaying the reported schedule prefix did not "
+      << "reproduce " << analysis::flowClauseName(Expected) << ":\n"
+      << Found->toString();
+}
+
+TEST(FlowMutantsTest, UnlinkWithoutMarkTripsUnlinkedUnmarked) {
+  const Scenario S{"rude_unlink",
+                   {5},
+                   {{{SetOp::Remove, 5}}, {{SetOp::Contains, 5}}},
+                   {5},
+                   60000};
+  expectMutantFlagged<tests::RudeList<TracedPolicy>>(
+      S, analysis::FlowClause::UnlinkedUnmarked, "RudeList");
+}
+
+TEST(FlowMutantsTest, MarkWithoutUnlinkTripsMarkedLingers) {
+  const Scenario S{"forgetful_mark",
+                   {5},
+                   {{{SetOp::Remove, 5}}, {{SetOp::Contains, 5}}},
+                   {5},
+                   60000};
+  expectMutantFlagged<tests::ForgetfulList<TracedPolicy>>(
+      S, analysis::FlowClause::MarkedLingers, "ForgetfulList");
+}
+
+TEST(FlowMutantsTest, OutOfIntervalPublishTripsChunkInterval) {
+  // 25 belongs to chunk B's keyset [20, +inf) but the seeded bug
+  // publishes it into chunk A whose interval is [10, 20). The
+  // companion insert of 12 is routed (mis)identically but lands
+  // in-interval, pinning the finding to the misrouted key.
+  const Scenario S{"sloppy_publish",
+                   {},
+                   {{{SetOp::Insert, 25}}, {{SetOp::Insert, 12}}},
+                   {12, 25},
+                   60000};
+  expectMutantFlagged<tests::SloppyChunkList<TracedPolicy>>(
+      S, analysis::FlowClause::ChunkInterval, "SloppyChunkList");
+}
+
+} // namespace

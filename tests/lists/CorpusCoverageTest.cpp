@@ -1,0 +1,114 @@
+//===- tests/lists/CorpusCoverageTest.cpp - Corpus coverage boundary -----===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Pins down which backends the shared scenario corpus (exploration +
+/// race/flow oracles) covers, and why the remaining two are excluded:
+///
+/// TombstoneBst and LazySkipList are NOT policy-parameterized — they
+/// have no `Policy` typedef and take no PolicyT template argument, so
+/// the deterministic step scheduler cannot mediate their shared
+/// accesses (no yield per access means no interleaving enumeration and
+/// no per-step flow snapshots). They also expose no headNode()/
+/// nodeChain()/flowView(): the BST has no head-to-tail chain at all,
+/// and the skip list's multi-level successor arrays do not fit the
+/// single-successor flow model (each key would "flow" through every
+/// level it is linked at). Bringing them under the corpus means first
+/// retrofitting a policy layer — tracked in ROADMAP.md, out of scope
+/// here. This test asserts that exclusion premise AT COMPILE TIME, so
+/// the moment either structure grows the required surface this test
+/// fails and the corpus sweeps must be extended.
+///
+/// Until then the corpus still covers them at the functional level:
+/// every corpus scenario is replayed sequentially (program order,
+/// thread 0 first — a valid linearization of the scenario) against a
+/// std::set model, checking each op's return value and the final
+/// membership over the scenario's key universe.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lists/LazySkipList.h"
+#include "lists/TombstoneBst.h"
+#include "reclaim/LeakyDomain.h"
+
+#include "sched/ScenarioCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vbl;
+using namespace vbl::sched;
+
+namespace {
+
+using Bst = TombstoneBst<>;
+using SkipList = LazySkipList<reclaim::LeakyDomain>;
+
+// The corpus-eligibility surface: a policy typedef for scheduler
+// mediation plus the flow oracle's self-description hooks.
+template <class T>
+constexpr bool HasPolicy = requires { typename T::Policy; };
+template <class T>
+constexpr bool HasFlowView = requires(T &S) { S.flowView(); };
+template <class T>
+constexpr bool HasNodeChain = requires(const T &S) { S.nodeChain(); };
+
+// The documented exclusions. If either assert fires, the structure
+// gained the surface — wire it into FlowCheckerTest/CleanListsTest and
+// delete the corresponding half of this test.
+static_assert(!HasPolicy<Bst> && !HasFlowView<Bst> && !HasNodeChain<Bst>,
+              "TombstoneBst became corpus-eligible; add it to the "
+              "interleaving sweeps");
+static_assert(!HasPolicy<SkipList> && !HasFlowView<SkipList> &&
+                  !HasNodeChain<SkipList>,
+              "LazySkipList became corpus-eligible; add it to the "
+              "interleaving sweeps");
+
+/// Replays \p S sequentially (thread 0's program first) against a
+/// std::set reference, checking every return value and the final
+/// membership over the universe.
+template <class SetT> void runSequentialCorpus(const char *SetName) {
+  for (const Scenario &S : scenarios()) {
+    SetT Impl;
+    std::set<SetKey> Model;
+    for (SetKey Key : S.Prefill) {
+      EXPECT_TRUE(Impl.insert(Key)) << SetName << " / " << S.Name;
+      Model.insert(Key);
+    }
+    for (const auto &Program : S.Programs) {
+      for (const auto &[Op, Key] : Program) {
+        switch (Op) {
+        case SetOp::Insert:
+          EXPECT_EQ(Impl.insert(Key), Model.insert(Key).second)
+              << SetName << " / " << S.Name << ": insert " << Key;
+          break;
+        case SetOp::Remove:
+          EXPECT_EQ(Impl.remove(Key), Model.erase(Key) > 0)
+              << SetName << " / " << S.Name << ": remove " << Key;
+          break;
+        case SetOp::Contains:
+          EXPECT_EQ(Impl.contains(Key), Model.count(Key) > 0)
+              << SetName << " / " << S.Name << ": contains " << Key;
+          break;
+        }
+      }
+    }
+    for (SetKey Key : S.Universe)
+      EXPECT_EQ(Impl.contains(Key), Model.count(Key) > 0)
+          << SetName << " / " << S.Name << ": final membership of " << Key;
+  }
+}
+
+TEST(CorpusCoverageTest, TombstoneBstSequentialCorpus) {
+  runSequentialCorpus<Bst>("TombstoneBst");
+}
+
+TEST(CorpusCoverageTest, LazySkipListSequentialCorpus) {
+  runSequentialCorpus<SkipList>("LazySkipList");
+}
+
+} // namespace

@@ -120,6 +120,10 @@ EpisodeFactory factoryForWith(const Scenario &S, MakeFn Make) {
     Ep.HeadNode = List->headNode();
     Ep.InitialChain = List->nodeChain();
     Ep.Holder = List;
+    // Backends exposing flowView() opt into the per-step flow-invariant
+    // oracle (analysis/FlowInvariant.h); others run exactly as before.
+    if constexpr (requires { List->flowView(); })
+      Ep.Flow = List->flowView();
     for (const auto &Program : S.Programs) {
       Ep.Bodies.push_back(std::function<void()>([List, Program] {
         for (const auto &[Op, Key] : Program) {

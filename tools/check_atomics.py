@@ -15,6 +15,16 @@ wait are omitted: the names collide with the STL container methods and a
 textual lint cannot tell them apart.) Calls are matched across line
 breaks by balancing parentheses, so formatting does not matter.
 
+The same rule covers the free-function forms: atomic_thread_fence and
+atomic_signal_fence must name their order (they take one positional
+argument, so a bare call cannot even default it — this catches the
+half-written fence), and the C-style free functions atomic_load,
+atomic_store, atomic_exchange, atomic_compare_exchange_* and
+atomic_fetch_* are rejected outright unless an order token appears
+among the arguments — use the *_explicit variants (which the lint's
+word-boundary match naturally accepts once the order is spelled) or,
+better, the member functions.
+
 A line may opt out with a trailing `// atomics-lint: allow(<reason>)`
 comment; the reason is mandatory and is echoed in the report.
 
@@ -49,6 +59,29 @@ ORDERED_METHODS = (
 
 CALL_RE = re.compile(
     r"[.\->]\s*(" + "|".join(ORDERED_METHODS) + r")\s*\("
+)
+
+# Free functions that take (or should take) an explicit order. The
+# match requires '(' directly after the name, so the *_explicit
+# variants never match (their suffix breaks the name), and a preceding
+# [.\->] is rejected so member calls stay CALL_RE's business.
+FREE_FUNCTIONS = (
+    "atomic_thread_fence",
+    "atomic_signal_fence",
+    "atomic_load",
+    "atomic_store",
+    "atomic_exchange",
+    "atomic_compare_exchange_weak",
+    "atomic_compare_exchange_strong",
+    "atomic_fetch_add",
+    "atomic_fetch_sub",
+    "atomic_fetch_and",
+    "atomic_fetch_or",
+    "atomic_fetch_xor",
+)
+
+FREE_RE = re.compile(
+    r"(?<![.\w>])(?:std\s*::\s*)?(" + "|".join(FREE_FUNCTIONS) + r")\s*\("
 )
 ALLOW_RE = re.compile(r"//\s*atomics-lint:\s*allow\(([^)]*)\)")
 SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
@@ -110,28 +143,43 @@ def check_file(path: pathlib.Path) -> list[str]:
     text = strip_comments(raw)
     raw_lines = raw.splitlines()
     violations = []
-    for match in CALL_RE.finditer(text):
-        method = match.group(1)
-        args = balanced_args(text, match.end() - 1)
-        if args is None:
-            continue
-        if ORDER_TOKEN_RE.search(args):
-            continue
-        line_no = text.count("\n", 0, match.start()) + 1
-        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
-        allow = ALLOW_RE.search(line)
-        if allow:
-            reason = allow.group(1).strip()
-            if reason:
+
+    def check_calls(regex: re.Pattern[str], describe) -> None:
+        for match in regex.finditer(text):
+            name = match.group(1)
+            args = balanced_args(text, match.end() - 1)
+            if args is None:
                 continue
-            violations.append(
-                f"{path}:{line_no}: atomics-lint: allow() needs a reason"
+            if ORDER_TOKEN_RE.search(args):
+                continue
+            line_no = text.count("\n", 0, match.start()) + 1
+            line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            allow = ALLOW_RE.search(line)
+            if allow:
+                reason = allow.group(1).strip()
+                if reason:
+                    continue
+                violations.append(
+                    f"{path}:{line_no}: atomics-lint: allow() needs a reason"
+                )
+                continue
+            violations.append(f"{path}:{line_no}: {describe(name)}")
+
+    check_calls(
+        CALL_RE,
+        lambda m: f".{m}() without an explicit std::memory_order",
+    )
+    check_calls(
+        FREE_RE,
+        lambda f: (
+            f"{f}() without an explicit std::memory_order"
+            + (
+                ""
+                if f.endswith("_fence")
+                else f" (use {f}_explicit or the member function)"
             )
-            continue
-        violations.append(
-            f"{path}:{line_no}: .{method}() without an explicit "
-            f"std::memory_order"
-        )
+        ),
+    )
     return violations
 
 
