@@ -7,9 +7,10 @@
 ///
 /// Per-primitive costs of the reclamation substrate that replaces the
 /// paper's JVM GC: epoch guard enter/exit (paid once per list
-/// operation), hazard-pointer protection (paid once per traversal hop
-/// in the HP variant), retire throughput, and the node pool's
-/// recycle-vs-heap delta. Two families of numbers:
+/// operation), the VBR version-clock snapshot (its cheaper equivalent),
+/// hazard-pointer protection (paid once per traversal hop in the HP
+/// variant), retire throughput for all three managed domains, and the
+/// node pool's recycle-vs-heap delta. Two families of numbers:
 ///
 ///  - "guard/...", "protect/...", "retire/...": tight loops over a
 ///    single primitive, reported as ops/second.
@@ -27,11 +28,13 @@
 #include "reclaim/HazardPointerDomain.h"
 #include "reclaim/LeakyDomain.h"
 #include "reclaim/NodePool.h"
+#include "reclaim/VbrDomain.h"
 #include "support/CommandLine.h"
 #include "support/Stats.h"
 
 #include <chrono>
 #include <cstdio>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -154,7 +157,11 @@ int main(int Argc, char **Argv) {
                "update ratio for the churn workloads");
   Flags.addUnsignedList("churn-threads", {1, 4},
                         "thread counts for the churn workloads");
-  Flags.addString("churn-algos", "vbl,harris-michael",
+  // vbl-vbr rides along in the churn family: its recycling happens in
+  // the domain's own free lists, so the pool-vs-bypass ratio should sit
+  // near 1.0 — a drift there means fresh allocations crept back into
+  // the steady state.
+  Flags.addString("churn-algos", "vbl,vbl-vbr,harris-michael",
                   "list algorithms measured pool-vs-bypass");
   Flags.addString("churn-ranges", "128,1024",
                   "key ranges for the churn workloads");
@@ -211,6 +218,27 @@ int main(int Argc, char **Argv) {
            }));
   }
   {
+    // The VBR guard is one acquire load of the version clock — no
+    // announce store, no fence — which is the domain's headline claim
+    // versus the epoch guard above.
+    VbrDomain Domain;
+    report(Report, "guard/vbr", 1,
+           measureLoop(Repeats, DurationMs, [&] {
+             VbrDomain::Guard G(Domain);
+             doNotOptimize(G.version());
+           }));
+  }
+  {
+    // Multi-threaded: readers share the clock line read-only, so this
+    // should scale where guard/epoch_mt pays announce-slot traffic.
+    VbrDomain Domain;
+    report(Report, "guard/vbr_mt", 4,
+           measureLoopMt(Repeats, DurationMs, 4, [&] {
+             VbrDomain::Guard G(Domain);
+             doNotOptimize(G.version());
+           }));
+  }
+  {
     HazardPointerDomain Domain;
     std::atomic<int *> Source{new int(7)};
     {
@@ -249,6 +277,21 @@ int main(int Argc, char **Argv) {
     report(Report, "retire/hazard", 1,
            measureLoop(Repeats, DurationMs, [&] {
              Domain.retire(new int(1));
+           }));
+  }
+  {
+    // The VBR turnaround: retirement makes the block immediately
+    // reusable, so after the first iteration every allocation is an
+    // in-place revival of the block retired one step earlier — a
+    // retire stamp plus a free-list pop/push, no grace period.
+    VbrDomain Domain;
+    report(Report, "retire/vbr", 1,
+           measureLoop(Repeats, DurationMs, [&] {
+             bool Fresh = false;
+             void *Mem = Domain.allocBlockFor<int>(Fresh);
+             int *P = Fresh ? ::new (Mem) int(1)
+                            : std::launder(static_cast<int *>(Mem));
+             Domain.retireNode(P);
            }));
   }
 

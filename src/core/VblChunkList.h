@@ -62,6 +62,7 @@
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
+#include "reclaim/VbrDomain.h"
 #include "stats/Stats.h"
 #include "support/ThreadSafety.h"
 #include "sync/Policy.h"
@@ -71,6 +72,8 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -82,13 +85,24 @@ class VblChunkList {
   static_assert(ChunkKeys >= 1 && ChunkKeys <= 63,
                 "the occupancy bitmap is one 64-bit word");
 
+  /// Version-based reclamation: chunks are revived in place, so anchors
+  /// become atomic, the routing walk and every optimistic data decision
+  /// re-validate the chunk's birth epoch, and the lock validators pin
+  /// the incarnation the route certified. ChunkLock versions are type-
+  /// stable across incarnations (freeze and unlink both bump them under
+  /// the lock), so the version fast path alone can only skip validation
+  /// within one incarnation — the pre-lock birth check below closes the
+  /// probe-of-recycled-chunk window.
+  static constexpr bool Versioned = reclaim::IsVersionedDomain<ReclaimT>;
+
   struct alignas(CacheLineBytes) Chunk {
     explicit Chunk(SetKey Anchor) : Anchor(Anchor) {}
 
     /// Immutable min-key bound: every key stored here is >= Anchor and
     /// < the successor's Anchor. Routing compares only anchors, so a
-    /// traversal touches one header line per chunk.
-    const SetKey Anchor;
+    /// traversal touches one header line per chunk. Immutable per
+    /// incarnation; atomic under VBR where a revival overwrites it.
+    std::conditional_t<Versioned, std::atomic<SetKey>, const SetKey> Anchor;
     std::atomic<Chunk *> Next{nullptr};
     /// Harris-style logical delete of the whole chunk: set under the
     /// chunk lock when the chunk is frozen (replaced or unlinked). A
@@ -124,8 +138,16 @@ public:
   static constexpr size_t ChunkAlignment = alignof(Chunk);
 
   VblChunkList() {
-    Tail = reclaim::poolCreate<Chunk, Policy>(MaxSentinel);
-    Head = reclaim::poolCreate<Chunk, Policy>(MinSentinel);
+    if constexpr (Versioned) {
+      // Sentinels need slab headers too: route() runs validAt on every
+      // chunk it certifies, Tail included. A fresh domain stamps birth
+      // zero, so sentinel certification never fails.
+      Tail = makeChunk(MaxSentinel);
+      Head = makeChunk(MinSentinel);
+    } else {
+      Tail = reclaim::poolCreate<Chunk, Policy>(MaxSentinel);
+      Head = reclaim::poolCreate<Chunk, Policy>(MinSentinel);
+    }
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -135,7 +157,7 @@ public:
     Chunk *Curr = Head;
     while (Curr) {
       Chunk *Next = Curr->Next.load(std::memory_order_relaxed);
-      reclaim::poolDestroy<Policy>(Curr);
+      reclaim::domainDispose<Policy>(Domain, Curr);
       Curr = Next;
     }
   }
@@ -149,7 +171,7 @@ public:
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Pred, Curr] = route(Key);
+      auto [Pred, Curr] = route(Key, G);
       (void)Pred;
       if (Curr == Head) {
         // Below every anchor: splice a fresh singleton chunk after the
@@ -172,7 +194,20 @@ public:
       }
       const uint64_t Occ = Policy::read(
           Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
-      if (scanFor(Curr, Occ, Key) >= 0)
+      const int Found = scanFor(Curr, Occ, Key);
+      if constexpr (Versioned) {
+        // The Marked/Occ/slot reads above may be of a revived block: the
+        // lock's version fast path cannot catch cross-incarnation reuse
+        // on its own (the freelist round trip performs no lock traffic),
+        // so certify the incarnation before trusting the scan or handing
+        // Seen to the fast path.
+        if (!Domain.validAt(Curr, G.version())) {
+          G.refresh();
+          Policy::onRestart();
+          continue;
+        }
+      }
+      if (Found >= 0)
         return false; // Present: decided from data alone, no lock taken.
       bool FoundUnderLock = false;
       const bool Locked = Curr->Lock.template acquireIfValidSince<Policy>(
@@ -183,7 +218,14 @@ public:
             const uint64_t O =
                 Policy::readCheck(Curr->Occ, std::memory_order_acquire,
                                   &Curr->Occ, MemField::Marked);
-            if (scanForCheck(Curr, O, Key) >= 0) {
+            const int FoundHere = scanForCheck(Curr, O, Key);
+            if constexpr (Versioned) {
+              // Birth last: only a certified incarnation's scan may
+              // produce the authoritative "present" answer below.
+              if (!Domain.validAt(Curr, G.version()))
+                return false;
+            }
+            if (FoundHere >= 0) {
               FoundUnderLock = true;
               return false;
             }
@@ -209,7 +251,7 @@ public:
       // No clean slot: structural path (freeze and replace), which must
       // take the predecessor's lock first — release and redo as a pair.
       Curr->Lock.template release<Policy>(Curr);
-      const int Out = structuralInsert(Key);
+      const int Out = structuralInsert(Key, G);
       if (Out >= 0)
         return Out != 0;
       Policy::onRestart();
@@ -222,7 +264,7 @@ public:
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Pred, Curr] = route(Key);
+      auto [Pred, Curr] = route(Key, G);
       if (Curr == Head)
         return false; // Below every anchor: absent at the route's read.
       const uint64_t Seen =
@@ -241,6 +283,16 @@ public:
       const uint64_t Occ = Policy::read(
           Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
       int Slot = scanFor(Curr, Occ, Key);
+      if constexpr (Versioned) {
+        // Same incarnation certification as insert: the absent answer
+        // and the probe version are only meaningful for the chunk the
+        // route certified, not a revived reuse of its block.
+        if (!Domain.validAt(Curr, G.version())) {
+          G.refresh();
+          Policy::onRestart();
+          continue;
+        }
+      }
       if (Slot < 0)
         return false; // Absent: decided from data alone, no lock taken.
       bool AbsentUnderLock = false;
@@ -254,6 +306,11 @@ public:
                 Policy::readCheck(Curr->Occ, std::memory_order_acquire,
                                   &Curr->Occ, MemField::Marked);
             Slot = scanForCheck(Curr, OccHeld, Key);
+            if constexpr (Versioned) {
+              // Birth last, before the scan's result is trusted.
+              if (!Domain.validAt(Curr, G.version()))
+                return false;
+            }
             if (Slot < 0) {
               AbsentUnderLock = true;
               return false;
@@ -272,21 +329,39 @@ public:
                     &Curr->Occ, MemField::Marked);
       Curr->Lock.template release<Policy>(Curr);
       if (NewOcc == 0)
-        tryUnlinkEmpty(Pred, Curr);
+        tryUnlinkEmpty(Pred, Curr, G);
       return true;
     }
   }
 
   /// Wait-free membership test: anchors route, one occupancy snapshot
   /// and the published slots decide. No locks, no version retries.
+  /// Under VBR the walk and the final scan re-validate birth epochs and
+  /// retry on a stale incarnation, trading wait-freedom for immediate
+  /// block reuse (the lock-free-but-not-wait-free VBR read protocol).
   bool contains(SetKey Key) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    auto [Pred, Curr] = route(Key);
-    (void)Pred;
-    const uint64_t Occ = Policy::read(
-        Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
-    return scanFor(Curr, Occ, Key) >= 0;
+    if constexpr (Versioned) {
+      for (;;) {
+        auto [Pred, Curr] = route(Key, G);
+        (void)Pred;
+        const uint64_t Occ =
+            Policy::read(Curr->Occ, std::memory_order_acquire, &Curr->Occ,
+                         MemField::Marked);
+        const int Found = scanFor(Curr, Occ, Key);
+        if (Domain.validAt(Curr, G.version()))
+          return Found >= 0;
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      auto [Pred, Curr] = route(Key, G);
+      (void)Pred;
+      const uint64_t Occ = Policy::read(
+          Curr->Occ, std::memory_order_acquire, &Curr->Occ, MemField::Marked);
+      return scanFor(Curr, Occ, Key) >= 0;
+    }
   }
 
   //===--------------------------------------------------------------===//
@@ -298,7 +373,7 @@ public:
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Out;
     for (const Chunk *Curr = Head->Next.load(std::memory_order_acquire);
-         Curr->Anchor != MaxSentinel;
+         rawAnchor(Curr) != MaxSentinel;
          Curr = Curr->Next.load(std::memory_order_acquire)) {
       const size_t Base = Out.size();
       uint64_t Bits = Curr->Occ.load(std::memory_order_acquire);
@@ -321,7 +396,7 @@ public:
   /// chunk's [Anchor, NextAnchor) range and distinct, sentinels empty.
   bool checkInvariants() const {
     const Chunk *Curr = Head;
-    if (Curr->Anchor != MinSentinel)
+    if (rawAnchor(Curr) != MinSentinel)
       return false;
     while (true) {
       if (Curr->Marked.load(std::memory_order_acquire))
@@ -335,9 +410,9 @@ public:
       if ((FC < 64 ? Occ >> FC : 0) != 0)
         return false; // A bit above FirstClean: a never-written slot.
       const Chunk *Next = Curr->Next.load(std::memory_order_acquire);
-      if (Curr->Anchor == MaxSentinel)
+      if (rawAnchor(Curr) == MaxSentinel)
         return Next == nullptr && Occ == 0;
-      if (!Next || Next->Anchor <= Curr->Anchor)
+      if (!Next || rawAnchor(Next) <= rawAnchor(Curr))
         return false;
       if (Curr == Head && Occ != 0)
         return false; // The head sentinel never stores keys.
@@ -348,7 +423,7 @@ public:
         Bits &= Bits - 1;
         const SetKey K = Curr->Keys[static_cast<size_t>(I)].load(
             std::memory_order_relaxed);
-        if (K < Curr->Anchor || K >= Next->Anchor)
+        if (K < rawAnchor(Curr) || K >= rawAnchor(Next))
           return false;
         InChunk.push_back(K);
       }
@@ -368,7 +443,7 @@ public:
   size_t chunkCountSlow() const {
     size_t N = 0;
     for (const Chunk *Curr = Head->Next.load(std::memory_order_acquire);
-         Curr->Anchor != MaxSentinel;
+         rawAnchor(Curr) != MaxSentinel;
          Curr = Curr->Next.load(std::memory_order_acquire))
       ++N;
     return N;
@@ -385,7 +460,7 @@ public:
     std::vector<std::pair<const void *, SetKey>> Chain;
     for (const Chunk *Curr = Head; Curr;
          Curr = Curr->Next.load(std::memory_order_relaxed))
-      Chain.emplace_back(Curr, Curr->Anchor);
+      Chain.emplace_back(Curr, rawAnchor(Curr));
     return Chain;
   }
 
@@ -407,7 +482,7 @@ public:
            Curr = Curr->Next.load(std::memory_order_relaxed)) {
         analysis::FlowNodeDesc D;
         D.Node = Curr;
-        D.Key = Curr->Anchor;
+        D.Key = rawAnchor(Curr);
         D.Marked = Curr->Marked.load(std::memory_order_relaxed);
         D.IsChunk = true;
         D.FirstClean = Curr->FirstClean.load(std::memory_order_relaxed);
@@ -430,47 +505,124 @@ public:
   }
 
 private:
+  /// The routed chunk's anchor, read on the unlocked walk. Versioned
+  /// mode mediates the atomic with acquire so a passing birth check
+  /// afterwards certifies the value via the revival release chain.
+  static SetKey readAnchor(const Chunk *C) {
+    if constexpr (Versioned)
+      return Policy::read(C->Anchor, std::memory_order_acquire, C,
+                          MemField::Val);
+    else
+      return Policy::readValue(C->Anchor, C);
+  }
+
+  /// readAnchor in validation flavour (under a chunk lock).
+  static SetKey readAnchorCheck(const Chunk *C) {
+    if constexpr (Versioned)
+      return Policy::readCheck(C->Anchor, std::memory_order_acquire, C,
+                               MemField::Val);
+    else
+      return Policy::readValueCheck(C->Anchor, C);
+  }
+
+  /// Quiescent / under-lock anchor read with no policy event.
+  static SetKey rawAnchor(const Chunk *C) {
+    if constexpr (Versioned)
+      return C->Anchor.load(std::memory_order_relaxed);
+    else
+      return C->Anchor;
+  }
+
   /// Anchor routing: returns (Pred, Curr) with Pred->Next observed ==
   /// Curr and Anchor(Curr) <= Key < Anchor of Curr's successor at the
   /// reads. Pred is null exactly when Curr is the head sentinel (Key is
-  /// below every anchor). Wait-free: anchors are immutable and the walk
-  /// only follows Next pointers forward.
-  std::pair<Chunk *, Chunk *> route(SetKey Key) const {
-    Chunk *Pred = nullptr;
-    Chunk *Curr = Head;
-    Chunk *Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                               MemField::Next);
-    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Policy::readValue(Next->Anchor, Next) <= Key) {
-      Pred = Curr;
-      Curr = Next;
-      Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                          MemField::Next);
-      // Pull the chunk-after-next's header line while this anchor is
-      // compared. Direct mode only: traced runs must not perform an
-      // extra scheduler-invisible shared read.
+  /// below every anchor). Wait-free in the non-versioned domains:
+  /// anchors are immutable and the walk only follows Next pointers
+  /// forward. Under VBR every hop reads the candidate's anchor and next
+  /// pointer FIRST and certifies its birth epoch AFTER — a revival
+  /// publishes the new birth before any new field value, so a passing
+  /// check retroactively validates both reads — and a stale incarnation
+  /// restarts the walk from the never-retired head with a refreshed
+  /// version.
+  std::pair<Chunk *, Chunk *> route(SetKey Key,
+                                    typename Reclaim::Guard &G) const {
+    if constexpr (Versioned) {
+      for (;;) {
+        Chunk *Pred = nullptr;
+        Chunk *Curr = Head;
+        Chunk *Next = Policy::read(Curr->Next, std::memory_order_acquire,
+                                   Curr, MemField::Next);
+        uint64_t Hops = 0;
+        bool Stale = false;
+        for (;;) {
+          const SetKey A = readAnchor(Next);
+          Chunk *After = Policy::read(Next->Next, std::memory_order_acquire,
+                                      Next, MemField::Next);
+          if (!Domain.validAt(Next, G.version())) {
+            Stale = true;
+            break;
+          }
+          if (A > Key)
+            break;
+          Pred = Curr;
+          Curr = Next;
+          Next = After;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        if (!Stale) {
+          if constexpr (!Policy::Traced)
+            VBL_PREFETCH(&Curr->Keys[0]);
+          return {Pred, Curr};
+        }
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      (void)G;
+      Chunk *Pred = nullptr;
+      Chunk *Curr = Head;
+      Chunk *Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                                 MemField::Next);
+      uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+      while (Policy::readValue(Next->Anchor, Next) <= Key) {
+        Pred = Curr;
+        Curr = Next;
+        Next = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        // Pull the chunk-after-next's header line while this anchor is
+        // compared. Direct mode only: traced runs must not perform an
+        // extra scheduler-invisible shared read.
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Next->Next.load(std::memory_order_relaxed));
+        ++Hops;
+      }
+      // The routed chunk's key lines are about to be scanned; start the
+      // fetch under the final anchor compare.
       if constexpr (!Policy::Traced)
-        VBL_PREFETCH(Next->Next.load(std::memory_order_relaxed));
-      ++Hops;
+        VBL_PREFETCH(&Curr->Keys[0]);
+      stats::noteTraversal(Hops);
+      return {Pred, Curr};
     }
-    // The routed chunk's key lines are about to be scanned; start the
-    // fetch under the final anchor compare.
-    if constexpr (!Policy::Traced)
-      VBL_PREFETCH(&Curr->Keys[0]);
-    stats::noteTraversal(Hops);
-    return {Pred, Curr};
   }
 
+  /// Slot-read order. Non-versioned: relaxed — published slots are
+  /// write-once and the Occ acquire that exposed the bit orders the
+  /// slot store, so a relaxed read returns the one value the slot will
+  /// ever hold. Versioned: acquire — a revival rewrites slots in place,
+  /// so the read must pair with the reviver's release store for the
+  /// trailing birth check to certify it.
+  static constexpr std::memory_order SlotReadOrder =
+      Versioned ? std::memory_order_acquire : std::memory_order_relaxed;
+
   /// Slot index in \p C holding \p Key among the set bits of \p Occ, or
-  /// -1. Published slots are write-once, so the relaxed reads return
-  /// the one value the slot will ever hold.
+  /// -1.
   int scanFor(const Chunk *C, uint64_t Occ, SetKey Key) const {
     uint64_t Bits = Occ;
     while (Bits) {
       const int I = std::countr_zero(Bits);
       Bits &= Bits - 1;
-      if (Policy::read(C->Keys[static_cast<size_t>(I)],
-                       std::memory_order_relaxed,
+      if (Policy::read(C->Keys[static_cast<size_t>(I)], SlotReadOrder,
                        &C->Keys[static_cast<size_t>(I)],
                        MemField::Val) == Key)
         return I;
@@ -485,8 +637,7 @@ private:
     while (Bits) {
       const int I = std::countr_zero(Bits);
       Bits &= Bits - 1;
-      if (Policy::readCheck(C->Keys[static_cast<size_t>(I)],
-                            std::memory_order_relaxed,
+      if (Policy::readCheck(C->Keys[static_cast<size_t>(I)], SlotReadOrder,
                             &C->Keys[static_cast<size_t>(I)],
                             MemField::Val) == Key)
         return I;
@@ -499,7 +650,7 @@ private:
   /// edge every unlocked scan acquires. The caller must hold C's chunk
   /// lock (slot consumption mutates FirstClean).
   void storeSlot(Chunk *C, uint32_t FC, SetKey Key) VBL_REQUIRES(C->Lock) {
-    Policy::write(C->Keys[FC], Key, std::memory_order_relaxed, &C->Keys[FC],
+    Policy::write(C->Keys[FC], Key, PrePublishOrder, &C->Keys[FC],
                   MemField::Val);
     const uint64_t O = Policy::readCheck(C->Occ, std::memory_order_relaxed,
                                          &C->Occ, MemField::Marked);
@@ -509,23 +660,58 @@ private:
                   &C->FirstClean, MemField::Marked);
   }
 
+  /// Pre-publication initialisation order. Non-versioned domains rely
+  /// on the publishing swing's release to order plain stores; under VBR
+  /// a stale traversal can reach a revived block through a frozen next
+  /// pointer before the swing, so every revival store must itself be a
+  /// release behind the freshly stamped birth epoch.
+  static constexpr std::memory_order PrePublishOrder =
+      Versioned ? std::memory_order_release : std::memory_order_relaxed;
+
+  /// Allocates a raw chunk for \p Anchor. Non-versioned: pool block plus
+  /// constructor. Versioned: a fresh slab block is constructed and
+  /// announced via onNewNode exactly once; a revived block must NOT
+  /// re-run the constructor (its lock word and slab header are live
+  /// type-stable state) — the anchor and mark are release-stored over
+  /// the previous incarnation instead, ordered behind the birth stamp
+  /// allocBlockFor just published.
+  Chunk *makeChunk(SetKey Anchor) {
+    if constexpr (Versioned) {
+      bool Fresh = false;
+      void *Mem = Domain.template allocBlockFor<Chunk>(Fresh);
+      if (Fresh) {
+        Chunk *C = ::new (Mem) Chunk(Anchor);
+        Policy::onNewNode(C, Anchor);
+        return C;
+      }
+      Chunk *C = std::launder(static_cast<Chunk *>(Mem));
+      Policy::write(C->Anchor, Anchor, std::memory_order_release, C,
+                    MemField::Val);
+      Policy::write(C->Marked, false, std::memory_order_release, C,
+                    MemField::Marked);
+      return C;
+    } else {
+      Chunk *C = reclaim::poolCreate<Chunk, Policy>(Anchor);
+      Policy::onNewNode(C, Anchor);
+      return C;
+    }
+  }
+
   /// Builds an unpublished chunk: \p N sorted keys, all published
   /// locally (plain stores — the publishing swing's release orders them
-  /// for every later reader), linked to \p NextC.
+  /// for every later reader; release stores under VBR, see
+  /// PrePublishOrder), linked to \p NextC.
   Chunk *buildChunk(SetKey Anchor, const SetKey *Ks, size_t N,
                     Chunk *NextC) {
-    Chunk *C = reclaim::poolCreate<Chunk, Policy>(Anchor);
-    Policy::onNewNode(C, Anchor);
+    Chunk *C = makeChunk(Anchor);
     for (size_t I = 0; I < N; ++I)
-      Policy::write(C->Keys[I], Ks[I], std::memory_order_relaxed,
-                    &C->Keys[I], MemField::Val);
+      Policy::write(C->Keys[I], Ks[I], PrePublishOrder, &C->Keys[I],
+                    MemField::Val);
     Policy::write(C->FirstClean, static_cast<uint32_t>(N),
-                  std::memory_order_relaxed, &C->FirstClean,
-                  MemField::Marked);
+                  PrePublishOrder, &C->FirstClean, MemField::Marked);
     Policy::write(C->Occ, N == 0 ? 0 : (uint64_t{1} << N) - 1,
-                  std::memory_order_relaxed, &C->Occ, MemField::Marked);
-    Policy::write(C->Next, NextC, std::memory_order_relaxed, C,
-                  MemField::Next);
+                  PrePublishOrder, &C->Occ, MemField::Marked);
+    Policy::write(C->Next, NextC, PrePublishOrder, C, MemField::Next);
     return C;
   }
 
@@ -538,7 +724,10 @@ private:
         Head, ChunkLock::InvalidVersion, [&] {
           Chunk *First = Policy::readCheck(
               Head->Next, std::memory_order_acquire, Head, MemField::Next);
-          return Policy::readValueCheck(First->Anchor, First) > Key;
+          // No birth check needed even under VBR: the head sentinel is
+          // never retired, so First is its genuine current successor —
+          // a live chunk whose anchor read is current by construction.
+          return readAnchorCheck(First) > Key;
         });
     if (!Ok) {
       stats::bump(stats::Counter::ChunkValidationAborts);
@@ -559,8 +748,8 @@ private:
   /// with a compacted copy (live keys + Key still fit) or a two-way
   /// split (chunk genuinely full). Returns 1 inserted, 0 present,
   /// -1 retry.
-  int structuralInsert(SetKey Key) {
-    auto [Pred, Curr] = route(Key);
+  int structuralInsert(SetKey Key, typename Reclaim::Guard &G) {
+    auto [Pred, Curr] = route(Key, G);
     if (Curr == Head)
       return spliceAfterHead(Key) ? 1 : -1;
     if (!Pred->Lock.template acquireIfValidSince<Policy>(
@@ -569,9 +758,18 @@ private:
                                     std::memory_order_acquire, Pred,
                                     MemField::Marked))
                 return false;
-              return Policy::readCheck(Pred->Next,
-                                       std::memory_order_acquire, Pred,
-                                       MemField::Next) == Curr;
+              const bool Linked =
+                  Policy::readCheck(Pred->Next, std::memory_order_acquire,
+                                    Pred, MemField::Next) == Curr;
+              if constexpr (Versioned) {
+                // Pred could be a recycled block mid-revival as an
+                // unpublished chunk whose next happens to equal Curr;
+                // writing through it would corrupt the reviver. Pin the
+                // incarnation the route certified (birth read last).
+                if (!Domain.validAt(Pred, G.version()))
+                  return false;
+              }
+              return Linked;
             })) {
       stats::bump(stats::Counter::ChunkValidationAborts);
       return -1;
@@ -589,7 +787,14 @@ private:
               const uint64_t O =
                   Policy::readCheck(Curr->Occ, std::memory_order_acquire,
                                     &Curr->Occ, MemField::Marked);
-              if (scanForCheck(Curr, O, Key) >= 0) {
+              const int FoundHere = scanForCheck(Curr, O, Key);
+              if constexpr (Versioned) {
+                // Curr's anchor justified the placement at route time;
+                // only that incarnation may answer for Key's range.
+                if (!Domain.validAt(Curr, G.version()))
+                  return false;
+              }
+              if (FoundHere >= 0) {
                 FoundUnderLock = true;
                 return false;
               }
@@ -632,7 +837,7 @@ private:
     Chunk *Replacement;
     if (Total <= ChunkKeys) {
       // Dead slots made room: one compacted copy.
-      Replacement = buildChunk(Curr->Anchor, All.data(), Total, NextC);
+      Replacement = buildChunk(rawAnchor(Curr), All.data(), Total, NextC);
       stats::bump(stats::Counter::ChunkCompactions);
     } else {
       // Genuinely full: split at the median; the upper half's anchor is
@@ -640,7 +845,7 @@ private:
       const size_t Mid = Total / 2;
       Chunk *Upper = buildChunk(All[Mid], All.data() + Mid, Total - Mid,
                                 NextC);
-      Replacement = buildChunk(Curr->Anchor, All.data(), Mid, Upper);
+      Replacement = buildChunk(rawAnchor(Curr), All.data(), Mid, Upper);
       stats::bump(stats::Counter::ChunkSplits);
     }
     stats::histogramAdd(stats::Histogram::ChunkOccupancy, Live);
@@ -652,7 +857,7 @@ private:
                   MemField::Next);
     Curr->Lock.template release<Policy>(Curr);
     Pred->Lock.template release<Policy>(Pred);
-    reclaim::poolRetire<Policy>(Domain, Curr);
+    reclaim::domainRetire<Policy>(Domain, Curr);
     return 1;
   }
 
@@ -660,18 +865,32 @@ private:
   /// (pred, chunk) in list order, revalidate (still linked, still
   /// empty), mark and unlink. Any failed validation simply gives up —
   /// an empty unmarked chunk is legal and a later insert compacts it.
-  void tryUnlinkEmpty(Chunk *Pred, Chunk *Curr) {
+  void tryUnlinkEmpty(Chunk *Pred, Chunk *Curr, typename Reclaim::Guard &G) {
+    (void)G;
     if (!Pred->Lock.template acquireIfValidSince<Policy>(
             Pred, ChunkLock::InvalidVersion, [&] {
               if (Policy::readCheck(Pred->Marked,
                                     std::memory_order_acquire, Pred,
                                     MemField::Marked))
                 return false;
-              return Policy::readCheck(Pred->Next,
-                                       std::memory_order_acquire, Pred,
-                                       MemField::Next) == Curr;
+              const bool Linked =
+                  Policy::readCheck(Pred->Next, std::memory_order_acquire,
+                                    Pred, MemField::Next) == Curr;
+              if constexpr (Versioned) {
+                // Same hazard as structuralInsert: exclude a block that
+                // was recycled into an unpublished chunk whose next
+                // pointer coincidentally equals Curr.
+                if (!Domain.validAt(Pred, G.version()))
+                  return false;
+              }
+              return Linked;
             }))
       return;
+    // No birth check on Curr even under VBR: with Pred certified live,
+    // locked and linked to Curr, Curr is its genuine current successor
+    // (unlinking it requires this same Pred lock). Whichever incarnation
+    // that is, "successor of Pred with zero occupancy" is exactly the
+    // state the unlink below is correct for.
     if (!Curr->Lock.template acquireIfValidSince<Policy>(
             Curr, ChunkLock::InvalidVersion, [&] {
               return Policy::readCheck(Curr->Occ,
@@ -691,7 +910,7 @@ private:
     Curr->Lock.template release<Policy>(Curr);
     Pred->Lock.template release<Policy>(Pred);
     stats::bump(stats::Counter::ChunkUnlinks);
-    reclaim::poolRetire<Policy>(Domain, Curr);
+    reclaim::domainRetire<Policy>(Domain, Curr);
   }
 
   Chunk *Head;

@@ -42,11 +42,14 @@
 #include "core/ValueAwareTryLock.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
+#include "reclaim/VbrDomain.h"
 #include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
+#include <new>
 #include <tuple>
+#include <type_traits>
 #include <vector>
 
 namespace vbl {
@@ -55,13 +58,23 @@ template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy, class LockT = TasLock,
           bool RestartFromPrev = true, bool ValueAware = true>
 class VblList {
+  /// Version-based reclamation changes the read protocol: nodes are
+  /// revived in place, so keys become atomic (a revival overwrites them
+  /// under readers), every traversal hop re-validates the node's birth
+  /// epoch against the operation's start version, and restarts always
+  /// re-enter from a never-retired anchor.
+  static constexpr bool Versioned = reclaim::IsVersionedDomain<ReclaimT>;
+
   /// NodeAlignBytes (core/SetConfig.h) picks between one-node-per-cache-
   /// line (64, the measured default: no false sharing between a locked
   /// node and its neighbours) and packed two-per-line (32).
   struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
-    const SetKey Val;
+    /// Immutable for the node's lifetime under grace-period domains;
+    /// atomic under VBR, where "lifetime" is one incarnation and a
+    /// revival release-stores the next key over a stale reader's head.
+    std::conditional_t<Versioned, std::atomic<SetKey>, const SetKey> Val;
     std::atomic<Node *> Next{nullptr};
     std::atomic<bool> Deleted{false};
     ValueAwareTryLock<LockT> NodeLock;
@@ -78,8 +91,16 @@ public:
   using BucketHandle = Node *;
 
   VblList() {
-    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
-    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
+    if constexpr (Versioned) {
+      // Sentinels need epoch headers too: traversals birth-check every
+      // node uniformly. A fresh domain's free lists are empty, so both
+      // are first incarnations (birth 0, accepted by every version).
+      Tail = makeNode(MaxSentinel);
+      Head = makeNode(MinSentinel);
+    } else {
+      Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+      Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
+    }
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -89,7 +110,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      reclaim::poolDestroy<Policy>(Curr);
+      reclaim::domainDispose<Policy>(Domain, Curr);
       Curr = Next;
     }
   }
@@ -123,36 +144,37 @@ public:
   BucketHandle headHandle() { return Head; }
 
   /// Key stored at a handle (sentinels return their sentinel key).
-  static SetKey handleKey(BucketHandle Handle) { return Handle->Val; }
+  static SetKey handleKey(BucketHandle Handle) { return rawVal(Handle); }
 
   bool insertFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     Node *NewNode = nullptr;
-    Node *Prev = Start;
+    Node *From = Start;
     for (;;) {
-      auto [P, Curr, Val] = traverse(Key, Prev);
-      Prev = P;
+      auto [Prev, Curr, Val] = traverse(Key, From, G);
+      if constexpr (!Versioned)
+        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
       if (ValueAware && Val == Key) {
         // Present: decided from data alone, no lock was taken. This is
         // the schedule of Fig. 2 that the Lazy list rejects.
-        reclaim::poolDestroy<Policy>(NewNode); // Never published.
+        reclaim::domainAbandon<Policy>(Domain, NewNode); // Never published.
         return false;
       }
-      if (!NewNode) {
-        NewNode = reclaim::poolCreate<Node, Policy>(Key);
-        Policy::onNewNode(NewNode, Key);
-      }
-      Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
+      if (!NewNode)
+        NewNode = makeNode(Key);
+      // Pre-publication, but under VBR a stale reader may already hold
+      // the revived block — release so its acquire of Next is ordered.
+      Policy::write(NewNode->Next, Curr, PrePublishOrder, NewNode,
                     MemField::Next);
-      if (!lockNextAt(Prev, Curr)) {
+      if (!lockNextAt(Prev, Curr, G)) {
         Policy::onRestart();
         continue;
       }
       if (!ValueAware && Val == Key) {
         // Ablation mode: Lazy-style decision under the lock.
         Prev->NodeLock.template release<Policy>(Prev);
-        reclaim::poolDestroy<Policy>(NewNode);
+        reclaim::domainAbandon<Policy>(Domain, NewNode);
         return false;
       }
       // Publish: the release store makes NewNode's fields visible to any
@@ -167,10 +189,11 @@ public:
   bool removeFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    Node *Prev = Start;
+    Node *From = Start;
     for (;;) {
-      auto [P, Curr, Val] = traverse(Key, Prev);
-      Prev = P;
+      auto [Prev, Curr, Val] = traverse(Key, From, G);
+      if constexpr (!Versioned)
+        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
       if (Val != Key)
         return false; // Absent: no lock taken.
       Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
@@ -180,9 +203,9 @@ public:
       // instantiation.
       bool PrevLocked;
       if constexpr (ValueAware)
-        PrevLocked = lockNextAtValue(Prev, Key);
+        PrevLocked = lockNextAtValue(Prev, Key, G);
       else
-        PrevLocked = lockNextAt(Prev, Curr);
+        PrevLocked = lockNextAt(Prev, Curr, G);
       if (!PrevLocked) {
         Policy::onRestart();
         continue;
@@ -192,11 +215,11 @@ public:
       // LL-visible read of curr was done by the traversal.)
       Node *Victim = Policy::readCheck(Prev->Next, std::memory_order_acquire,
                                        Prev, MemField::Next);
-      VBL_ASSERT(!ValueAware || Victim->Val == Key,
+      VBL_ASSERT(!ValueAware || rawVal(Victim) == Key,
                  "lockNextAtValue validated the successor value");
       if (!ValueAware && Victim != Curr)
         vbl_unreachable("lockNextAt validated the successor identity");
-      if (!lockNextAt(Victim, Succ)) {
+      if (!lockNextAt(Victim, Succ, G)) {
         Prev->NodeLock.template release<Policy>(Prev);
         Policy::onRestart();
         continue;
@@ -209,9 +232,10 @@ public:
                     MemField::Next);
       Victim->NodeLock.template release<Policy>(Victim);
       Prev->NodeLock.template release<Policy>(Prev);
-      // Retire with the pool deleter: after the grace period the block
-      // goes back to the freeing thread's local free list.
-      reclaim::poolRetire<Policy>(Domain, Victim);
+      // Grace-period domains: pool deleter after the grace period. VBR:
+      // stamp the retire epoch and recycle immediately (the lock is
+      // released first — revival never touches lock state).
+      reclaim::domainRetire<Policy>(Domain, Victim);
       return true;
     }
   }
@@ -219,22 +243,53 @@ public:
   bool containsFrom(SetKey Key, const Node *Start) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    const Node *Curr = Start;
-    SetKey Val = Policy::readValue(Curr->Val, Curr);
-    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Val < Key) {
-      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                          MemField::Next);
-      // Pull the successor's line while this node's key is compared.
-      // Direct mode only: traced runs must not perform an extra
-      // scheduler-invisible shared read.
-      if constexpr (!Policy::Traced)
-        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
-      Val = Policy::readValue(Curr->Val, Curr);
-      ++Hops;
+    if constexpr (Versioned) {
+      // Per hop: read the node's fields, then certify its birth epoch
+      // against the start version. A reject means the memory under us
+      // was recycled mid-walk — refresh the version and re-enter from
+      // the never-retired anchor. Degrades wait-free to lock-free
+      // (every reject is caused by another thread's completed reuse).
+      for (;;) {
+        const Node *Curr = Policy::read(Start->Next,
+                                        std::memory_order_acquire, Start,
+                                        MemField::Next);
+        uint64_t Hops = 0;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          const Node *Succ = Policy::read(Curr->Next,
+                                          std::memory_order_acquire, Curr,
+                                          MemField::Next);
+          if (!Domain.validAt(Curr, G.version()))
+            break; // Recycled under us: restart.
+          if (Val >= Key) {
+            stats::noteTraversal(Hops);
+            return Val == Key;
+          }
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      const Node *Curr = Start;
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+      while (Val < Key) {
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        // Pull the successor's line while this node's key is compared.
+        // Direct mode only: traced runs must not perform an extra
+        // scheduler-invisible shared read.
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return Val == Key;
     }
-    stats::noteTraversal(Hops);
-    return Val == Key;
   }
 
   /// Get-or-insert for split-order dummy nodes: returns a handle to the
@@ -245,23 +300,22 @@ public:
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     Node *NewNode = nullptr;
-    Node *Prev = Start;
+    Node *From = Start;
     for (;;) {
-      auto [P, Curr, Val] = traverse(Key, Prev);
-      Prev = P;
+      auto [Prev, Curr, Val] = traverse(Key, From, G);
+      if constexpr (!Versioned)
+        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
       if (Val == Key) {
         // A node carrying Key exists and — caller's contract — is never
         // removed, so its identity is stable and safe to hand out.
-        reclaim::poolDestroy<Policy>(NewNode); // Never published.
+        reclaim::domainAbandon<Policy>(Domain, NewNode); // Never published.
         return Curr;
       }
-      if (!NewNode) {
-        NewNode = reclaim::poolCreate<Node, Policy>(Key);
-        Policy::onNewNode(NewNode, Key);
-      }
-      Policy::write(NewNode->Next, Curr, std::memory_order_relaxed, NewNode,
+      if (!NewNode)
+        NewNode = makeNode(Key);
+      Policy::write(NewNode->Next, Curr, PrePublishOrder, NewNode,
                     MemField::Next);
-      if (!lockNextAt(Prev, Curr)) {
+      if (!lockNextAt(Prev, Curr, G)) {
         Policy::onRestart();
         continue;
       }
@@ -280,9 +334,9 @@ public:
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_acquire);
-         Curr->Val != MaxSentinel;
+         rawVal(Curr) != MaxSentinel;
          Curr = Curr->Next.load(std::memory_order_acquire))
-      Keys.push_back(Curr->Val);
+      Keys.push_back(rawVal(Curr));
     return Keys;
   }
 
@@ -291,7 +345,7 @@ public:
   /// locked. Returns false (and asserts in debug) on violation.
   bool checkInvariants() const {
     const Node *Curr = Head;
-    if (Curr->Val != MinSentinel)
+    if (rawVal(Curr) != MinSentinel)
       return false;
     while (true) {
       if (Curr->Deleted.load(std::memory_order_acquire))
@@ -299,9 +353,9 @@ public:
       if (Curr->NodeLock.isLocked())
         return false;
       const Node *Next = Curr->Next.load(std::memory_order_acquire);
-      if (Curr->Val == MaxSentinel)
+      if (rawVal(Curr) == MaxSentinel)
         return Next == nullptr;
-      if (!Next || Next->Val <= Curr->Val)
+      if (!Next || rawVal(Next) <= rawVal(Curr))
         return false;
       Curr = Next;
     }
@@ -321,7 +375,7 @@ public:
     std::vector<std::pair<const void *, SetKey>> Chain;
     for (const Node *Curr = Head; Curr;
          Curr = Curr->Next.load(std::memory_order_relaxed))
-      Chain.emplace_back(Curr, Curr->Val);
+      Chain.emplace_back(Curr, rawVal(Curr));
     return Chain;
   }
 
@@ -340,7 +394,7 @@ public:
            Curr = Curr->Next.load(std::memory_order_relaxed)) {
         analysis::FlowNodeDesc D;
         D.Node = Curr;
-        D.Key = Curr->Val;
+        D.Key = rawVal(Curr);
         D.Marked = Curr->Deleted.load(std::memory_order_relaxed);
         Chain.push_back(std::move(D));
       }
@@ -350,39 +404,142 @@ public:
   }
 
 private:
+  /// Stores into a not-yet-published node. Plain relaxed for the
+  /// grace-period domains; under VBR a revived block may still be read
+  /// by a straggler from its previous incarnation, so the store must be
+  /// a release to pair with the straggler's acquire.
+  static constexpr std::memory_order PrePublishOrder =
+      Versioned ? std::memory_order_release : std::memory_order_relaxed;
+
+  /// Traversal/validation read of a node's key. VBR keys are atomic
+  /// (revival overwrites them); acquire so the birth check that follows
+  /// certifies this read (revival stamps birth before the key).
+  static SetKey readVal(const Node *N) {
+    if constexpr (Versioned)
+      return Policy::read(N->Val, std::memory_order_acquire, N,
+                          MemField::Val);
+    else
+      return Policy::readValue(N->Val, N);
+  }
+
+  /// Scheduler-invisible key read for quiescent walks (snapshot,
+  /// invariants, flow descriptions).
+  static SetKey rawVal(const Node *N) {
+    if constexpr (Versioned)
+      return N->Val.load(std::memory_order_relaxed);
+    else
+      return N->Val;
+  }
+
+  /// Node allocation. Grace-period domains: pooled placement-new. VBR:
+  /// the domain may hand back a retired block whose previous
+  /// incarnation is still alive under a stale reader — no constructor
+  /// runs; the key and mark are release-stored over the old object,
+  /// ordered after the domain's birth stamp so any reader that sees the
+  /// new values also sees (and rejects on) the new birth epoch. The
+  /// lock is untouched: every retire path releases it first, so a
+  /// revived block's lock is free.
+  Node *makeNode(SetKey Key) {
+    if constexpr (Versioned) {
+      bool Fresh = false;
+      void *Mem = Domain.template allocBlockFor<Node>(Fresh);
+      if (Fresh) {
+        Node *N = ::new (Mem) Node(Key);
+        Policy::onNewNode(N, Key);
+        return N;
+      }
+      Node *N = std::launder(static_cast<Node *>(Mem));
+      Policy::write(N->Val, Key, std::memory_order_release, N,
+                    MemField::Val);
+      Policy::write(N->Deleted, false, std::memory_order_release, N,
+                    MemField::Marked);
+      return N;
+    } else {
+      Node *N = reclaim::poolCreate<Node, Policy>(Key);
+      Policy::onNewNode(N, Key);
+      return N;
+    }
+  }
+
   /// §3.2 waitfreeTraversal: returns (prev, curr, curr.val) with
   /// prev.val < Key <= curr.val. Starts from \p Start unless it has been
   /// logically deleted, in which case it falls back to the head. The
   /// value is returned so callers decide from the traversal's own read
   /// (LL's tval) instead of re-reading.
-  std::tuple<Node *, Node *, SetKey> traverse(SetKey Key,
-                                              Node *Start) const {
-    Node *Prev = Start;
-    if (!RestartFromPrev ||
-        Policy::read(Prev->Deleted, std::memory_order_acquire, Prev,
-                     MemField::Marked))
-      Prev = Head;
-    Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
-                              MemField::Next);
-    SetKey Val = Policy::readValue(Curr->Val, Curr);
-    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Val < Key) {
-      Prev = Curr;
-      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                          MemField::Next);
-      // See containsFrom: overlap the successor fetch with the compare.
-      if constexpr (!Policy::Traced)
-        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
-      Val = Policy::readValue(Curr->Val, Curr);
-      ++Hops;
+  ///
+  /// VBR mode: \p Start must be a never-retired anchor (head or bucket
+  /// dummy — restart-from-prev is disabled because a once-certified
+  /// prev may be recycled into an in-flight, not-yet-published node
+  /// that no birth check against a refreshed version can reject). Each
+  /// hop reads curr's key and next, then certifies curr's birth against
+  /// the guard's version; a reject refreshes the version and re-walks.
+  /// Every node the walk advances over was therefore retired (if at
+  /// all) no earlier than the start version, which is what makes the
+  /// frozen next pointers of deleted-but-recycled-later nodes safe to
+  /// traverse.
+  std::tuple<Node *, Node *, SetKey>
+  traverse(SetKey Key, Node *Start, typename Reclaim::Guard &G) const {
+    if constexpr (Versioned) {
+      for (;;) {
+        Node *Prev = Start;
+        Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire,
+                                  Prev, MemField::Next);
+        uint64_t Hops = 0;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire,
+                                    Curr, MemField::Next);
+          if (!Domain.validAt(Curr, G.version()))
+            break; // Recycled under us: restart from the anchor.
+          if (Val >= Key) {
+            stats::noteTraversal(Hops);
+            return {Prev, Curr, Val};
+          }
+          Prev = Curr;
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      Node *Prev = Start;
+      if (!RestartFromPrev ||
+          Policy::read(Prev->Deleted, std::memory_order_acquire, Prev,
+                       MemField::Marked))
+        Prev = Head;
+      Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
+                                MemField::Next);
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+      while (Val < Key) {
+        Prev = Curr;
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        // See containsFrom: overlap the successor fetch with the compare.
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return {Prev, Curr, Val};
     }
-    stats::noteTraversal(Hops);
-    return {Prev, Curr, Val};
   }
 
   /// §3.1 lockNextAt: lock \p Node, keep it only if Node is alive and
   /// still points at \p Expected.
-  bool lockNextAt(Node *NodePtr, Node *Expected)
+  ///
+  /// VBR adds two birth checks, validated *after* the field reads: one
+  /// on NodePtr (so the alive + successor facts belong to the traversal-
+  /// certified incarnation — a block revived mid-validation shows its
+  /// new birth through the same release chain that revealed the revived
+  /// field), and one on Expected (the traversal's prev.val < Key <=
+  /// curr.val placement was read from Expected's old incarnation; a
+  /// recycled Expected republished at the same address could carry any
+  /// key).
+  bool lockNextAt(Node *NodePtr, Node *Expected, typename Reclaim::Guard &G)
       VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
     const bool Ok = NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
@@ -390,9 +547,15 @@ private:
                                 std::memory_order_acquire, NodePtr,
                                 MemField::Marked))
             return false;
-          return Policy::readCheck(NodePtr->Next,
-                                   std::memory_order_acquire, NodePtr,
-                                   MemField::Next) == Expected;
+          if (Policy::readCheck(NodePtr->Next, std::memory_order_acquire,
+                                NodePtr, MemField::Next) != Expected)
+            return false;
+          if constexpr (Versioned) {
+            if (!Domain.validAt(NodePtr, G.version()) ||
+                !Domain.validAt(Expected, G.version()))
+              return false;
+          }
+          return true;
         });
     if (!Ok)
       stats::bump(stats::Counter::ListTrylockFailures);
@@ -403,7 +566,17 @@ private:
   /// and its successor still stores \p Val — the successor node itself
   /// may have been replaced, which is exactly the schedule the identity
   /// check of the Lazy list would reject.
-  bool lockNextAtValue(Node *NodePtr, SetKey Val)
+  ///
+  /// VBR adds a birth check on NodePtr only: once NodePtr is certified
+  /// alive in a <= version incarnation while we hold its lock, its
+  /// successor read is current, so the successor is a live node and the
+  /// value re-read under the lock is self-justifying (any live node
+  /// storing Val *is* the set's Val node). Without the NodePtr check, a
+  /// block recycled into an in-flight insert could pass the alive +
+  /// value tests on its not-yet-published state and the unlink below
+  /// would corrupt both lists' incarnations.
+  bool lockNextAtValue(Node *NodePtr, SetKey Val,
+                       typename Reclaim::Guard &G)
       VBL_TRY_ACQUIRE(true, NodePtr->NodeLock) {
     const bool Ok = NodePtr->NodeLock.template acquireIfValid<Policy>(
         NodePtr, [&] {
@@ -414,7 +587,14 @@ private:
           Node *Succ = Policy::readCheck(NodePtr->Next,
                                          std::memory_order_acquire,
                                          NodePtr, MemField::Next);
-          return Policy::readValueCheck(Succ->Val, Succ) == Val;
+          if constexpr (Versioned) {
+            if (!Domain.validAt(NodePtr, G.version()))
+              return false;
+            return Policy::readCheck(Succ->Val, std::memory_order_acquire,
+                                     Succ, MemField::Val) == Val;
+          } else {
+            return Policy::readValueCheck(Succ->Val, Succ) == Val;
+          }
         });
     // The §3.1 value-based validation rejecting a schedule is the event
     // the whole observability layer exists to count.

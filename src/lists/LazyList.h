@@ -28,12 +28,15 @@
 #include "core/SetConfig.h"
 #include "reclaim/EpochDomain.h"
 #include "reclaim/NodePool.h"
+#include "reclaim/VbrDomain.h"
 #include "support/Compiler.h"
 #include "sync/Policy.h"
 #include "sync/SpinLocks.h"
 
 #include <atomic>
+#include <new>
 #include <tuple>
+#include <type_traits>
 #include <vector>
 
 namespace vbl {
@@ -41,13 +44,28 @@ namespace vbl {
 template <class ReclaimT = reclaim::EpochDomain,
           class PolicyT = DirectPolicy, class LockT = TasLock>
 class LazyList {
+  /// Version-based reclamation: nodes are revived in place, keys become
+  /// atomic, every traversal hop re-validates the node's birth epoch,
+  /// and the second window lock degrades to a try-lock (a recycled curr
+  /// can reappear *before* prev in the list, so blocking on it in
+  /// traversal order could deadlock).
+  static constexpr bool Versioned = reclaim::IsVersionedDomain<ReclaimT>;
+
 public:
   using Reclaim = ReclaimT;
   using Policy = PolicyT;
 
   LazyList() {
-    Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
-    Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
+    if constexpr (Versioned) {
+      // Sentinels carry epoch headers too (traversals birth-check every
+      // node); a fresh domain's free lists are empty so both are first
+      // incarnations with birth 0.
+      Tail = makeNode(MaxSentinel);
+      Head = makeNode(MinSentinel);
+    } else {
+      Tail = reclaim::poolCreate<Node, Policy>(MaxSentinel);
+      Head = reclaim::poolCreate<Node, Policy>(MinSentinel);
+    }
     Head->Next.store(Tail, std::memory_order_relaxed);
   }
 
@@ -55,7 +73,7 @@ public:
     Node *Curr = Head;
     while (Curr) {
       Node *Next = Curr->Next.load(std::memory_order_relaxed);
-      reclaim::poolDestroy<Policy>(Curr);
+      reclaim::domainDispose<Policy>(Domain, Curr);
       Curr = Next;
     }
   }
@@ -67,13 +85,17 @@ public:
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Prev, Curr, Val] = traverse(Key);
+      auto [Prev, Curr, Val] = traverse(Key, G);
       // Locks are taken BEFORE the presence check: this is the
       // suboptimality of §2.3 — a failing insert still serializes on
       // the window locks.
       Policy::lockAcquire(Prev->NodeLock, Prev);
-      Policy::lockAcquire(Curr->NodeLock, Curr);
-      if (!validate(Prev, Curr)) {
+      if (!lockCurr(Curr)) {
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
+        continue;
+      }
+      if (!validate(Prev, Curr, G)) {
         Policy::lockRelease(Curr->NodeLock, Curr);
         Policy::lockRelease(Prev->NodeLock, Prev);
         Policy::onRestart();
@@ -81,9 +103,14 @@ public:
       }
       const bool Absent = Val != Key;
       if (Absent) {
-        Node *NewNode = reclaim::poolCreate<Node, Policy>(Key);
-        Policy::onNewNode(NewNode, Key);
-        NewNode->Next.store(Curr, std::memory_order_relaxed);
+        Node *NewNode = makeNode(Key);
+        if constexpr (Versioned)
+          // A straggling reader of the revived block pairs its acquire
+          // with this release (see makeNode).
+          Policy::write(NewNode->Next, Curr, std::memory_order_release,
+                        NewNode, MemField::Next);
+        else
+          NewNode->Next.store(Curr, std::memory_order_relaxed);
         Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
                       MemField::Next);
       }
@@ -97,10 +124,14 @@ public:
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Prev, Curr, Val] = traverse(Key);
+      auto [Prev, Curr, Val] = traverse(Key, G);
       Policy::lockAcquire(Prev->NodeLock, Prev);
-      Policy::lockAcquire(Curr->NodeLock, Curr);
-      if (!validate(Prev, Curr)) {
+      if (!lockCurr(Curr)) {
+        Policy::lockRelease(Prev->NodeLock, Prev);
+        Policy::onRestart();
+        continue;
+      }
+      if (!validate(Prev, Curr, G)) {
         Policy::lockRelease(Curr->NodeLock, Curr);
         Policy::lockRelease(Prev->NodeLock, Prev);
         Policy::onRestart();
@@ -120,46 +151,82 @@ public:
       Policy::lockRelease(Curr->NodeLock, Curr);
       Policy::lockRelease(Prev->NodeLock, Prev);
       if (Present)
-        reclaim::poolRetire<Policy>(Domain, Curr);
+        reclaim::domainRetire<Policy>(Domain, Curr);
       return Present;
     }
   }
 
   /// Wait-free contains: traverse by value, then consult the mark.
+  /// Under VBR the walk is birth-checked per hop and restarts from the
+  /// head on a reject (lock-free, not wait-free; rejects only happen
+  /// when another thread completed a reuse).
   bool contains(SetKey Key) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    const Node *Curr = Head;
-    SetKey Val = Policy::readValue(Curr->Val, Curr);
-    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Val < Key) {
-      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                          MemField::Next);
-      // Pull the successor's line while this node's key is compared
-      // (direct mode only; traced runs take no invisible shared reads).
-      if constexpr (!Policy::Traced)
-        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
-      Val = Policy::readValue(Curr->Val, Curr);
-      ++Hops;
+    if constexpr (Versioned) {
+      for (;;) {
+        const Node *Curr = Policy::read(Head->Next,
+                                        std::memory_order_acquire, Head,
+                                        MemField::Next);
+        uint64_t Hops = 0;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          const Node *Succ = Policy::read(Curr->Next,
+                                          std::memory_order_acquire, Curr,
+                                          MemField::Next);
+          if (!Domain.validAt(Curr, G.version()))
+            break; // Recycled under us: restart.
+          if (Val >= Key) {
+            const bool Marked = Policy::read(Curr->Marked,
+                                             std::memory_order_acquire,
+                                             Curr, MemField::Marked);
+            // Certify the mark read too: it happened after the check
+            // above and the block may have been recycled in between.
+            if (!Domain.validAt(Curr, G.version()))
+              break;
+            stats::noteTraversal(Hops);
+            return Val == Key && !Marked;
+          }
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      const Node *Curr = Head;
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+      while (Val < Key) {
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        // Pull the successor's line while this node's key is compared
+        // (direct mode only; traced runs take no invisible shared reads).
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return Val == Key && !Policy::read(Curr->Marked,
+                                         std::memory_order_acquire, Curr,
+                                         MemField::Marked);
     }
-    stats::noteTraversal(Hops);
-    return Val == Key && !Policy::read(Curr->Marked,
-                                       std::memory_order_acquire, Curr,
-                                       MemField::Marked);
   }
 
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_acquire);
-         Curr->Val != MaxSentinel;
+         rawVal(Curr) != MaxSentinel;
          Curr = Curr->Next.load(std::memory_order_acquire))
-      Keys.push_back(Curr->Val);
+      Keys.push_back(rawVal(Curr));
     return Keys;
   }
 
   bool checkInvariants() const {
     const Node *Curr = Head;
-    if (Curr->Val != MinSentinel)
+    if (rawVal(Curr) != MinSentinel)
       return false;
     while (true) {
       if (Curr->Marked.load(std::memory_order_acquire))
@@ -167,9 +234,9 @@ public:
       if (Curr->NodeLock.isLocked())
         return false;
       const Node *Next = Curr->Next.load(std::memory_order_acquire);
-      if (Curr->Val == MaxSentinel)
+      if (rawVal(Curr) == MaxSentinel)
         return Next == nullptr;
-      if (!Next || Next->Val <= Curr->Val)
+      if (!Next || rawVal(Next) <= rawVal(Curr))
         return false;
       Curr = Next;
     }
@@ -187,7 +254,7 @@ public:
     std::vector<std::pair<const void *, SetKey>> Chain;
     for (const Node *Curr = Head; Curr;
          Curr = Curr->Next.load(std::memory_order_relaxed))
-      Chain.emplace_back(Curr, Curr->Val);
+      Chain.emplace_back(Curr, rawVal(Curr));
     return Chain;
   }
 
@@ -204,7 +271,7 @@ public:
            Curr = Curr->Next.load(std::memory_order_relaxed)) {
         analysis::FlowNodeDesc D;
         D.Node = Curr;
-        D.Key = Curr->Val;
+        D.Key = rawVal(Curr);
         D.Marked = Curr->Marked.load(std::memory_order_relaxed);
         Chain.push_back(std::move(D));
       }
@@ -219,47 +286,150 @@ private:
   struct alignas(NodeAlignBytes) Node {
     explicit Node(SetKey Val) : Val(Val) {}
 
-    const SetKey Val;
+    /// Immutable per incarnation; atomic under VBR where a revival
+    /// overwrites it beneath stale readers.
+    std::conditional_t<Versioned, std::atomic<SetKey>, const SetKey> Val;
     std::atomic<Node *> Next{nullptr};
     std::atomic<bool> Marked{false};
     LockT NodeLock;
   };
 
+  /// Traversal/validation read of a node's key (see VblList::readVal).
+  static SetKey readVal(const Node *N) {
+    if constexpr (Versioned)
+      return Policy::read(N->Val, std::memory_order_acquire, N,
+                          MemField::Val);
+    else
+      return Policy::readValue(N->Val, N);
+  }
+
+  /// Scheduler-invisible key read for quiescent walks.
+  static SetKey rawVal(const Node *N) {
+    if constexpr (Versioned)
+      return N->Val.load(std::memory_order_relaxed);
+    else
+      return N->Val;
+  }
+
+  /// Node allocation; under VBR a recycled block is revived in place by
+  /// release stores over the still-alive previous incarnation (no
+  /// constructor — its plain writes would race stale readers), ordered
+  /// after the domain's birth stamp. Locks are never revived: retire
+  /// paths release them first.
+  Node *makeNode(SetKey Key) {
+    if constexpr (Versioned) {
+      bool Fresh = false;
+      void *Mem = Domain.template allocBlockFor<Node>(Fresh);
+      if (Fresh) {
+        Node *N = ::new (Mem) Node(Key);
+        Policy::onNewNode(N, Key);
+        return N;
+      }
+      Node *N = std::launder(static_cast<Node *>(Mem));
+      Policy::write(N->Val, Key, std::memory_order_release, N,
+                    MemField::Val);
+      Policy::write(N->Marked, false, std::memory_order_release, N,
+                    MemField::Marked);
+      return N;
+    } else {
+      Node *N = reclaim::poolCreate<Node, Policy>(Key);
+      Policy::onNewNode(N, Key);
+      return N;
+    }
+  }
+
+  /// Second window lock. Blocking in traversal order is deadlock-free
+  /// only while nodes cannot move; under VBR a recycled curr may sit
+  /// before prev, so curr is try-locked and a miss restarts.
+  bool lockCurr(Node *Curr) VBL_TRY_ACQUIRE(true, Curr->NodeLock) {
+    if constexpr (Versioned) {
+      const bool Ok = Policy::lockTryAcquire(Curr->NodeLock, Curr);
+      if (!Ok)
+        stats::bump(stats::Counter::ListTrylockFailures);
+      return Ok;
+    } else {
+      Policy::lockAcquire(Curr->NodeLock, Curr);
+      return true;
+    }
+  }
+
   /// Wait-free traversal from the head (the Lazy list has no
   /// restart-from-prev optimisation). Returns curr's value as well:
   /// values are immutable, so the presence decision made under the
   /// locks can reuse the traversal's read.
-  std::tuple<Node *, Node *, SetKey> traverse(SetKey Key) const {
-    Node *Prev = Head;
-    Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
-                              MemField::Next);
-    SetKey Val = Policy::readValue(Curr->Val, Curr);
-    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
-    while (Val < Key) {
-      Prev = Curr;
-      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                          MemField::Next);
-      // See contains(): overlap the successor fetch with the compare.
-      if constexpr (!Policy::Traced)
-        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
-      Val = Policy::readValue(Curr->Val, Curr);
-      ++Hops;
+  ///
+  /// VBR mode: each hop reads curr's key and next, then certifies
+  /// curr's birth epoch against the guard's version; a reject refreshes
+  /// the version and re-walks from the head (see VblList::traverse for
+  /// the safety argument).
+  std::tuple<Node *, Node *, SetKey>
+  traverse(SetKey Key, typename Reclaim::Guard &G) const {
+    if constexpr (Versioned) {
+      for (;;) {
+        Node *Prev = Head;
+        Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire,
+                                  Prev, MemField::Next);
+        uint64_t Hops = 0;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire,
+                                    Curr, MemField::Next);
+          if (!Domain.validAt(Curr, G.version()))
+            break; // Recycled under us: restart from the head.
+          if (Val >= Key) {
+            stats::noteTraversal(Hops);
+            return {Prev, Curr, Val};
+          }
+          Prev = Curr;
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      Node *Prev = Head;
+      Node *Curr = Policy::read(Prev->Next, std::memory_order_acquire, Prev,
+                                MemField::Next);
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+      while (Val < Key) {
+        Prev = Curr;
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        // See contains(): overlap the successor fetch with the compare.
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return {Prev, Curr, Val};
     }
-    stats::noteTraversal(Hops);
-    return {Prev, Curr, Val};
   }
 
   /// Heller et al. validation, under both locks: the window is live and
   /// adjacent. A failure here is the §2.3 rejected schedule the
   /// validation-abort counter measures.
-  bool validate(Node *Prev, Node *Curr) const {
-    const bool Ok =
+  ///
+  /// VBR adds birth checks on both nodes, evaluated after the field
+  /// reads they certify: once prev and curr pass as unmarked, adjacent
+  /// and of traversal-certified incarnations while both locks are held,
+  /// neither block can be retired (retire needs the mark, the mark
+  /// needs the lock) — the window is stable for the critical section.
+  bool validate(Node *Prev, Node *Curr,
+                typename Reclaim::Guard &G) const {
+    bool Ok =
         !Policy::readCheck(Prev->Marked, std::memory_order_acquire, Prev,
                            MemField::Marked) &&
         !Policy::readCheck(Curr->Marked, std::memory_order_acquire, Curr,
                            MemField::Marked) &&
         Policy::readCheck(Prev->Next, std::memory_order_acquire, Prev,
                           MemField::Next) == Curr;
+    if constexpr (Versioned)
+      Ok = Ok && Domain.validAt(Prev, G.version()) &&
+           Domain.validAt(Curr, G.version());
     if (!Ok)
       stats::bump(stats::Counter::ListValidationAborts);
     return Ok;

@@ -20,6 +20,7 @@
 #include "lists/TombstoneBst.h"
 #include "maps/SplitOrderedHashSet.h"
 #include "reclaim/LeakyDomain.h"
+#include "reclaim/VbrDomain.h"
 #include "sync/VersionedLock.h"
 
 using namespace vbl;
@@ -76,6 +77,12 @@ using VblChunkDefault = VblChunkList<7>;
 using VblChunkK1 = VblChunkList<1>;
 using VblChunkK15 = VblChunkList<15>;
 using VblChunkLeaky = VblChunkList<7, reclaim::LeakyDomain>;
+// Version-based reclamation variants: immediate type-stable block reuse
+// with birth-epoch validation folded into the optimistic read protocol.
+using VblVbr = VblList<reclaim::VbrDomain>;
+using LazyVbr = LazyList<reclaim::VbrDomain>;
+using VblChunkVbr = VblChunkList<7, reclaim::VbrDomain>;
+using SoHashVblVbr = maps::SplitOrderedHashSet<VblVbr>;
 
 static const RegistryEntry Registry[] = {
     {"vbl", &makeAdapter<VblDefault>},
@@ -99,8 +106,12 @@ static const RegistryEntry Registry[] = {
     {"vbl-chunk-leaky", &makeAdapter<VblChunkLeaky>},
     {"skiplist-lazy", &makeAdapter<LazySkipList<>>},
     {"bst-tombstone", &makeAdapter<TombstoneBst<>>},
+    {"vbl-vbr", &makeAdapter<VblVbr>},
+    {"lazy-vbr", &makeAdapter<LazyVbr>},
+    {"vbl-chunk-vbr", &makeAdapter<VblChunkVbr>},
     {"so-hash-hm", &makeAdapter<SoHashHm>, /*FullKeyDomain=*/false},
     {"so-hash-vbl", &makeAdapter<SoHashVbl>, /*FullKeyDomain=*/false},
+    {"so-hash-vbl-vbr", &makeAdapter<SoHashVblVbr>, /*FullKeyDomain=*/false},
 };
 
 std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {

@@ -183,6 +183,20 @@ public:
   /// Bytes of slab memory currently owned by the global pool.
   static size_t liveSlabBytes();
 
+  /// Size-class index serving a (Bytes, Align) request, or -1 when the
+  /// request is heap-only (oversize or over-aligned). Public so the VBR
+  /// domain's type-stable free lists bucket recycled blocks by the same
+  /// ladder the pool carves slabs with.
+  static int sizeClassFor(size_t Bytes, size_t Align) {
+    return classIndexFor(Bytes, Align);
+  }
+
+  /// Block size handed out for class \p Class (powers of two from
+  /// MinBlockBytes).
+  static constexpr size_t classBytes(unsigned Class) {
+    return MinBlockBytes << Class;
+  }
+
   /// Test hook: caps slab memory so the exhaustion path (single-block
   /// heap fallback, still recycled through the free lists) is reachable
   /// deterministically. 0 restores "unlimited". Not thread-safe against

@@ -1,0 +1,18 @@
+//===- reclaim/VbrDomain.cpp - Version-based memory reclamation ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reclaim/VbrDomain.h"
+
+namespace vbl {
+namespace reclaim {
+
+// The production instantiation lives here so every list translation unit
+// shares one copy of the slow paths (attach, refill, spill, teardown).
+template class BasicVbrDomain<DirectPolicy>;
+
+} // namespace reclaim
+} // namespace vbl

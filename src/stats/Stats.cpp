@@ -69,6 +69,16 @@ const char *counterName(Counter C) {
     return "chunk.unlinks";
   case Counter::ChunkValidationAborts:
     return "chunk.validation_aborts";
+  case Counter::VbrRetired:
+    return "reclaim.vbr.retired";
+  case Counter::VbrReused:
+    return "reclaim.vbr.reused";
+  case Counter::VbrFreshAllocs:
+    return "reclaim.vbr.fresh_allocs";
+  case Counter::VbrClockBumps:
+    return "reclaim.vbr.clock_bumps";
+  case Counter::VbrBirthRejects:
+    return "reclaim.vbr.birth_rejects";
   case Counter::MapBucketInits:
     return "map.bucket_inits";
   case Counter::MapBucketInitChain:

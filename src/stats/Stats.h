@@ -133,6 +133,19 @@ enum class Counter : uint16_t {
   ChunkValidationAborts,    ///< chunk.validation_aborts: lock-held
                             ///  revalidation of a chunk failed; the
                             ///  operation re-traversed.
+  // reclaim: version-based reclamation.
+  VbrRetired,               ///< reclaim.vbr.retired: blocks stamped with a
+                            ///  retire epoch and pushed to a free list.
+  VbrReused,                ///< reclaim.vbr.reused: allocations served by
+                            ///  reviving a retired block in place.
+  VbrFreshAllocs,           ///< reclaim.vbr.fresh_allocs: allocations that
+                            ///  minted a never-used block from the pool.
+  VbrClockBumps,            ///< reclaim.vbr.clock_bumps: version-clock
+                            ///  advances forced by reusing a block whose
+                            ///  retire epoch equals the current clock.
+  VbrBirthRejects,          ///< reclaim.vbr.birth_rejects: reads that saw
+                            ///  a birth epoch newer than the operation's
+                            ///  start version and restarted.
   // maps.
   MapBucketInits,           ///< map.bucket_inits: lazy dummy-node splices.
   MapBucketInitChain,       ///< map.bucket_init_chain: parent links walked

@@ -190,7 +190,7 @@ TEST(SplitOrderedHashSetTest, DifferentialVbl) {
 
 TEST(SplitOrderedHashSetTest, RegistryExposesHashSetsSeparately) {
   const auto HashNames = registeredHashSetNames();
-  ASSERT_EQ(HashNames.size(), 2u);
+  ASSERT_EQ(HashNames.size(), 3u);
   const auto ListNames = registeredSetNames();
   for (const std::string &Name : HashNames) {
     // Resolvable by name, but not enumerated with the full-domain lists

@@ -107,6 +107,36 @@ inline std::vector<Scenario> hashSetScenarios() {
   };
 }
 
+/// Scenarios tuned for version-based reclamation: every program both
+/// retires and re-allocates, so the explorer drives the retire ->
+/// immediate in-place reuse -> birth-stamp edge against a concurrent
+/// traversal or lock validation inside one episode. Run with lists over
+/// a VBR domain (tests/analysis/VbrReclaimTest.cpp); they are valid,
+/// if less pointed, for any reclamation scheme.
+inline std::vector<Scenario> vbrScenarios() {
+  return {
+      // Recycle-vs-traversal: the reader's certified hop is invalidated
+      // mid-traversal when the victim's block is revived as the fresh
+      // insert at a different key.
+      {"vbr_recycle_vs_contains", {4},
+       {{{SetOp::Remove, 4}, {SetOp::Insert, 7}}, {{SetOp::Contains, 4}}},
+       {4, 7}, 3000},
+      // Same-key turnaround: the revived block re-enters at the same
+      // routed position, maximizing stamp-vs-validate overlap between
+      // the reviver's release stores and the reader's birth checks.
+      {"vbr_toggle_same_key", {4},
+       {{{SetOp::Remove, 4}, {SetOp::Insert, 4}}, {{SetOp::Contains, 4}}},
+       {4}, 3000},
+      // Two updaters: one retires and revives, the other must
+      // re-certify its (prev, curr) placement under lock against the
+      // possibly recycled block.
+      {"vbr_stamp_vs_validate", {3, 6},
+       {{{SetOp::Remove, 3}, {SetOp::Insert, 8}},
+        {{SetOp::Insert, 4}, {SetOp::Remove, 6}}},
+       {3, 4, 6, 8}, 2000},
+  };
+}
+
 /// Builds an EpisodeFactory running the scenario's per-thread programs
 /// against a fresh set produced by \p Make (returning a shared_ptr to
 /// any structure with insert/remove/contains, headNode and nodeChain).

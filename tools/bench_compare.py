@@ -45,9 +45,18 @@ def load_records(path):
               file=sys.stderr)
         return None
     records = {}
-    for record in doc.get("records", []):
-        key = (record["bench"], record["structure"], record["threads"],
-               record["key_range"], record["update_pct"])
+    for index, record in enumerate(doc.get("records", [])):
+        # A malformed record used to surface as a bare KeyError with no
+        # hint which file or record was at fault; name both instead.
+        try:
+            key = (record["bench"], record["structure"], record["threads"],
+                   record["key_range"], record["update_pct"])
+        except (KeyError, TypeError) as err:
+            ident = (record.get("structure") or record.get("bench") or "?"
+                     ) if isinstance(record, dict) else type(record).__name__
+            print(f"error: {path}: record #{index} ({ident}) lacks "
+                  f"identity field {err}", file=sys.stderr)
+            return None
         records[key] = record
     return records
 

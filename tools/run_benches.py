@@ -3,8 +3,8 @@
 
 Produces one vbl-bench-v1 document from a fixed set of short bench
 invocations (fig1_small_contended, hashset_scaling, micro_reclaim,
-readonly_traversal, skiplist_crossover, unrolled_crossover,
-micro_locks and schedule_acceptance), stamped with
+reclamation_cost, readonly_traversal, skiplist_crossover,
+unrolled_crossover, micro_locks and schedule_acceptance), stamped with
 run context (git sha, host, core count, date). This is the suite the
 CI bench-smoke job runs on every PR; tools/bench_compare.py gates the
 result against the committed BENCH_baseline.json.
@@ -45,6 +45,10 @@ def bench_invocations(args):
         # gates the node-pool fast path against regressions.
         ("micro_reclaim", common + ["--churn-threads", args.threads,
                                     "--churn-ranges", "128,1024"]),
+        # The 4-way reclamation comparison (leaky/EBR/VBR per lock-based
+        # list, leaky/EBR/HP for harris-michael); gates the VBR read
+        # protocol's overhead and EBR's announce cost end to end.
+        ("reclamation_cost", common + ["--threads", args.threads]),
         # The §1 read-only claim (VBL vs Harris-Michael traversals).
         ("readonly_traversal", common + ["--threads", args.threads,
                                          "--ranges", "200,2000"]),
