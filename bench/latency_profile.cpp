@@ -28,9 +28,10 @@ static void printRow(const char *Op, const SampleStats &Stats) {
     return;
   }
   std::printf("  %-9s n=%-8zu p50=%7.0fns p90=%7.0fns p99=%8.0fns "
-              "max=%9.0fns\n",
+              "p999=%8.0fns max=%9.0fns\n",
               Op, Stats.count(), Stats.percentile(50),
-              Stats.percentile(90), Stats.percentile(99), Stats.max());
+              Stats.percentile(90), Stats.percentile(99),
+              Stats.percentile(99.9), Stats.max());
 }
 
 int main(int Argc, char **Argv) {
@@ -134,6 +135,7 @@ int main(int Argc, char **Argv) {
         Record.HasLatency = true;
         Record.P50LatencyNs = Stats->percentile(50);
         Record.P99LatencyNs = Stats->percentile(99);
+        Record.P999LatencyNs = Stats->percentile(99.9);
         // The three per-op records describe one shared window (see
         // ThroughputOpsPerSec above), so they share its delta too.
         if (!StatsDelta.empty()) {

@@ -1,0 +1,39 @@
+//===- core/BatchOp.h - One operation of a submitted batch ---------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of batched submission shared by the list layer (which
+/// applies sorted batches in one amortized traversal), the type-erased
+/// ConcurrentSet interface, and the service front-end (which queues and
+/// flat-combines these records).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_CORE_BATCHOP_H
+#define VBL_CORE_BATCHOP_H
+
+#include "core/SetConfig.h"
+#include "sync/Policy.h"
+
+#include <cstdint>
+
+namespace vbl {
+
+/// One operation of a submitted batch. `Result` is written by the set
+/// that applies the batch; `Tag` is opaque to every backend and carried
+/// through untouched (the service layer stores enqueue timestamps in
+/// it).
+struct BatchOp {
+  SetOp Op = SetOp::Contains;
+  SetKey Key = 0;
+  bool Result = false;
+  uint64_t Tag = 0;
+};
+
+} // namespace vbl
+
+#endif // VBL_CORE_BATCHOP_H

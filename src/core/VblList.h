@@ -38,6 +38,7 @@
 #define VBL_CORE_VBLLIST_H
 
 #include "analysis/FlowView.h"
+#include "core/BatchOp.h"
 #include "core/SetConfig.h"
 #include "core/ValueAwareTryLock.h"
 #include "reclaim/EpochDomain.h"
@@ -149,95 +150,15 @@ public:
   bool insertFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    Node *NewNode = nullptr;
-    Node *From = Start;
-    for (;;) {
-      auto [Prev, Curr, Val] = traverse(Key, From, G);
-      if constexpr (!Versioned)
-        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
-      if (ValueAware && Val == Key) {
-        // Present: decided from data alone, no lock was taken. This is
-        // the schedule of Fig. 2 that the Lazy list rejects.
-        reclaim::domainAbandon<Policy>(Domain, NewNode); // Never published.
-        return false;
-      }
-      if (!NewNode)
-        NewNode = makeNode(Key);
-      // Pre-publication, but under VBR a stale reader may already hold
-      // the revived block — release so its acquire of Next is ordered.
-      Policy::write(NewNode->Next, Curr, PrePublishOrder, NewNode,
-                    MemField::Next);
-      if (!lockNextAt(Prev, Curr, G)) {
-        Policy::onRestart();
-        continue;
-      }
-      if (!ValueAware && Val == Key) {
-        // Ablation mode: Lazy-style decision under the lock.
-        Prev->NodeLock.template release<Policy>(Prev);
-        reclaim::domainAbandon<Policy>(Domain, NewNode);
-        return false;
-      }
-      // Publish: the release store makes NewNode's fields visible to any
-      // traversal that acquires Prev->Next.
-      Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
-                    MemField::Next);
-      Prev->NodeLock.template release<Policy>(Prev);
-      return true;
-    }
+    Node *Anchor = Start;
+    return insertCore(Key, Anchor, G);
   }
 
   bool removeFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     typename Reclaim::Guard G(Domain);
-    Node *From = Start;
-    for (;;) {
-      auto [Prev, Curr, Val] = traverse(Key, From, G);
-      if constexpr (!Versioned)
-        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
-      if (Val != Key)
-        return false; // Absent: no lock taken.
-      Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
-                                MemField::Next);
-      // if constexpr (not a ternary) so the thread-safety analysis sees
-      // a single unconditional try-acquire of Prev->NodeLock per
-      // instantiation.
-      bool PrevLocked;
-      if constexpr (ValueAware)
-        PrevLocked = lockNextAtValue(Prev, Key, G);
-      else
-        PrevLocked = lockNextAt(Prev, Curr, G);
-      if (!PrevLocked) {
-        Policy::onRestart();
-        continue;
-      }
-      // Under Prev's lock Prev->Next is stable: every writer of a next
-      // field holds the owning node's lock. (A validation re-read: the
-      // LL-visible read of curr was done by the traversal.)
-      Node *Victim = Policy::readCheck(Prev->Next, std::memory_order_acquire,
-                                       Prev, MemField::Next);
-      VBL_ASSERT(!ValueAware || rawVal(Victim) == Key,
-                 "lockNextAtValue validated the successor value");
-      if (!ValueAware && Victim != Curr)
-        vbl_unreachable("lockNextAt validated the successor identity");
-      if (!lockNextAt(Victim, Succ, G)) {
-        Prev->NodeLock.template release<Policy>(Prev);
-        Policy::onRestart();
-        continue;
-      }
-      // Logical deletion first (release: a traversal that reads the flag
-      // must also see the list state that justified it), then unlink.
-      Policy::write(Victim->Deleted, true, std::memory_order_release,
-                    Victim, MemField::Marked);
-      Policy::write(Prev->Next, Succ, std::memory_order_release, Prev,
-                    MemField::Next);
-      Victim->NodeLock.template release<Policy>(Victim);
-      Prev->NodeLock.template release<Policy>(Prev);
-      // Grace-period domains: pool deleter after the grace period. VBR:
-      // stamp the retire epoch and recycle immediately (the lock is
-      // released first — revival never touches lock state).
-      reclaim::domainRetire<Policy>(Domain, Victim);
-      return true;
-    }
+    Node *Anchor = Start;
+    return removeCore(Key, Anchor, G);
   }
 
   bool containsFrom(SetKey Key, const Node *Start) const {
@@ -323,6 +244,43 @@ public:
                     MemField::Next);
       Prev->NodeLock.template release<Policy>(Prev);
       return NewNode;
+    }
+  }
+
+  /// Applies \p N ops, given as pointers in ascending-key order (stable
+  /// for equal keys — SetAdapter sorts an index view), under ONE
+  /// reclaim guard, re-entering each walk from the previous op's final
+  /// predecessor instead of the head. B sorted ops over an n-node list
+  /// cost roughly one n-hop pass plus B validations instead of B full
+  /// traversals — the service layer's batching win. Safe under full
+  /// concurrency: the carried anchor is exactly the restart-from-prev
+  /// anchor the per-op protocol already tolerates (traverse falls back
+  /// to the head when the anchor is deleted), and the outer guard keeps
+  /// the anchor's memory reclaim-safe across ops (EBR guards nest and
+  /// pin the epoch). VBR re-enters every op at the head — an op-local
+  /// anchor may be recycled into an unpublished node — keeping only the
+  /// shared-guard amortization.
+  void applyBatchSorted(BatchOp *const *Ops, size_t N) {
+    typename Reclaim::Guard G(Domain);
+    Node *Anchor = Head;
+    SetKey LastKey = MinSentinel;
+    for (size_t I = 0; I != N; ++I) {
+      BatchOp &O = *Ops[I];
+      VBL_ASSERT(isUserKey(O.Key), "sentinel keys are reserved");
+      if (Versioned || O.Key < LastKey)
+        Anchor = Head; // VBR head-only anchors; defensive unsorted reset.
+      LastKey = O.Key;
+      switch (O.Op) {
+      case SetOp::Insert:
+        O.Result = insertCore(O.Key, Anchor, G);
+        break;
+      case SetOp::Remove:
+        O.Result = removeCore(O.Key, Anchor, G);
+        break;
+      case SetOp::Contains:
+        O.Result = containsCore(O.Key, Anchor, G);
+        break;
+      }
     }
   }
 
@@ -459,6 +417,119 @@ private:
       Policy::onNewNode(N, Key);
       return N;
     }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Operation cores: the per-op protocol loops with the reclaim guard
+  // and the traversal anchor hoisted out, shared by the head-/bucket-
+  // anchored entry points and the sorted-batch path. \p Anchor enters
+  // as the walk's start node and leaves as the final traversal's
+  // predecessor (prev.val < Key), which a sorted-batch caller reuses as
+  // the next op's start under the same guard. Under VBR the out-value
+  // must NOT be reused as an anchor (restart-from-prev is disabled);
+  // applyBatchSorted re-enters at the head instead.
+  //===--------------------------------------------------------------===//
+
+  bool insertCore(SetKey Key, Node *&Anchor, typename Reclaim::Guard &G) {
+    Node *NewNode = nullptr;
+    Node *From = Anchor;
+    for (;;) {
+      auto [Prev, Curr, Val] = traverse(Key, From, G);
+      if constexpr (!Versioned)
+        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
+      Anchor = Prev;
+      if (ValueAware && Val == Key) {
+        // Present: decided from data alone, no lock was taken. This is
+        // the schedule of Fig. 2 that the Lazy list rejects.
+        reclaim::domainAbandon<Policy>(Domain, NewNode); // Never published.
+        return false;
+      }
+      if (!NewNode)
+        NewNode = makeNode(Key);
+      // Pre-publication, but under VBR a stale reader may already hold
+      // the revived block — release so its acquire of Next is ordered.
+      Policy::write(NewNode->Next, Curr, PrePublishOrder, NewNode,
+                    MemField::Next);
+      if (!lockNextAt(Prev, Curr, G)) {
+        Policy::onRestart();
+        continue;
+      }
+      if (!ValueAware && Val == Key) {
+        // Ablation mode: Lazy-style decision under the lock.
+        Prev->NodeLock.template release<Policy>(Prev);
+        reclaim::domainAbandon<Policy>(Domain, NewNode);
+        return false;
+      }
+      // Publish: the release store makes NewNode's fields visible to any
+      // traversal that acquires Prev->Next.
+      Policy::write(Prev->Next, NewNode, std::memory_order_release, Prev,
+                    MemField::Next);
+      Prev->NodeLock.template release<Policy>(Prev);
+      return true;
+    }
+  }
+
+  bool removeCore(SetKey Key, Node *&Anchor, typename Reclaim::Guard &G) {
+    Node *From = Anchor;
+    for (;;) {
+      auto [Prev, Curr, Val] = traverse(Key, From, G);
+      if constexpr (!Versioned)
+        From = Prev; // Restart-from-prev; VBR always re-enters at Start.
+      Anchor = Prev;
+      if (Val != Key)
+        return false; // Absent: no lock taken.
+      Node *Succ = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                                MemField::Next);
+      // if constexpr (not a ternary) so the thread-safety analysis sees
+      // a single unconditional try-acquire of Prev->NodeLock per
+      // instantiation.
+      bool PrevLocked;
+      if constexpr (ValueAware)
+        PrevLocked = lockNextAtValue(Prev, Key, G);
+      else
+        PrevLocked = lockNextAt(Prev, Curr, G);
+      if (!PrevLocked) {
+        Policy::onRestart();
+        continue;
+      }
+      // Under Prev's lock Prev->Next is stable: every writer of a next
+      // field holds the owning node's lock. (A validation re-read: the
+      // LL-visible read of curr was done by the traversal.)
+      Node *Victim = Policy::readCheck(Prev->Next, std::memory_order_acquire,
+                                       Prev, MemField::Next);
+      VBL_ASSERT(!ValueAware || rawVal(Victim) == Key,
+                 "lockNextAtValue validated the successor value");
+      if (!ValueAware && Victim != Curr)
+        vbl_unreachable("lockNextAt validated the successor identity");
+      if (!lockNextAt(Victim, Succ, G)) {
+        Prev->NodeLock.template release<Policy>(Prev);
+        Policy::onRestart();
+        continue;
+      }
+      // Logical deletion first (release: a traversal that reads the flag
+      // must also see the list state that justified it), then unlink.
+      Policy::write(Victim->Deleted, true, std::memory_order_release,
+                    Victim, MemField::Marked);
+      Policy::write(Prev->Next, Succ, std::memory_order_release, Prev,
+                    MemField::Next);
+      Victim->NodeLock.template release<Policy>(Victim);
+      Prev->NodeLock.template release<Policy>(Prev);
+      // Grace-period domains: pool deleter after the grace period. VBR:
+      // stamp the retire epoch and recycle immediately (the lock is
+      // released first — revival never touches lock state).
+      reclaim::domainRetire<Policy>(Domain, Victim);
+      return true;
+    }
+  }
+
+  /// Batch membership test. Unlike containsFrom's specialized walk this
+  /// rides traverse() so it can hand the predecessor back as the next
+  /// op's anchor; the read protocol is the same wait-free value walk.
+  bool containsCore(SetKey Key, Node *&Anchor, typename Reclaim::Guard &G) {
+    auto [Prev, Curr, Val] = traverse(Key, Anchor, G);
+    (void)Curr;
+    Anchor = Prev;
+    return Val == Key;
   }
 
   /// §3.2 waitfreeTraversal: returns (prev, curr, curr.val) with

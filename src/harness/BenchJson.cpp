@@ -101,6 +101,11 @@ std::string BenchJsonReport::toJson() const {
       appendNumber(Out, R.P99LatencyNs);
     else
       Out += "null";
+    Out += ", \"p999_latency_ns\": ";
+    if (R.HasLatency)
+      appendNumber(Out, R.P999LatencyNs);
+    else
+      Out += "null";
     if (R.HasStats) {
       Out += ", \"stats\": {";
       stats::appendJsonFields(R.Stats, Out);
@@ -174,6 +179,7 @@ BenchRecord vbl::harness::measurePoint(const std::string &Bench,
     Record.HasLatency = true;
     Record.P50LatencyNs = AllOps.percentile(50);
     Record.P99LatencyNs = AllOps.percentile(99);
+    Record.P999LatencyNs = AllOps.percentile(99.9);
   }
   return Record;
 }

@@ -18,7 +18,8 @@
 ///                    "update_pct": ..., "repeats": ...,
 ///                    "throughput_ops_s": ..., "throughput_stddev": ...,
 ///                    "p50_latency_ns": ...|null,
-///                    "p99_latency_ns": ...|null }, ... ] }
+///                    "p99_latency_ns": ...|null,
+///                    "p999_latency_ns": ...|null }, ... ] }
 ///
 /// Latency percentiles are null for throughput-only sweeps (per-op
 /// timing adds two clock reads per operation, so figure benches skip
@@ -51,6 +52,7 @@ struct BenchRecord {
   bool HasLatency = false;
   double P50LatencyNs = 0.0;
   double P99LatencyNs = 0.0;
+  double P999LatencyNs = 0.0;
   /// Counter delta for this point (--stats runs only). Serialized as a
   /// "stats" object appended to the record; readers that only know the
   /// base schema (bench_compare.py) ignore unknown keys.

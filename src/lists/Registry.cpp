@@ -23,6 +23,9 @@
 #include "reclaim/VbrDomain.h"
 #include "sync/VersionedLock.h"
 
+#include <algorithm>
+#include <utility>
+
 using namespace vbl;
 
 ConcurrentSet::~ConcurrentSet() = default;
@@ -32,6 +35,10 @@ namespace {
 struct RegistryEntry {
   const char *Name;
   std::unique_ptr<ConcurrentSet> (*Factory)(const std::string &Name);
+  /// One-line human description: substrate, reclaim domain, chunk K,
+  /// lock flavour. Dumped by tools/list_backends.py and echoed in
+  /// ShardedSet backend-resolution errors.
+  const char *Describe;
   /// Whether the structure accepts every isUserKey value. The
   /// split-ordered hash sets accept only isHashKey values ([0, 2^62)),
   /// so they are resolvable by makeSet() but excluded from
@@ -85,33 +92,79 @@ using VblChunkVbr = VblChunkList<7, reclaim::VbrDomain>;
 using SoHashVblVbr = maps::SplitOrderedHashSet<VblVbr>;
 
 static const RegistryEntry Registry[] = {
-    {"vbl", &makeAdapter<VblDefault>},
-    {"lazy", &makeAdapter<LazyDefault>},
-    {"harris-michael", &makeAdapter<HarrisMichaelDefault>},
-    {"harris", &makeAdapter<HarrisDefault>},
-    {"optimistic", &makeAdapter<OptimisticDefault>},
-    {"hand-over-hand", &makeAdapter<HandOverHandDefault>},
-    {"coarse", &makeAdapter<CoarseList>},
-    {"vbl-leaky", &makeAdapter<VblLeaky>},
-    {"lazy-leaky", &makeAdapter<LazyLeaky>},
-    {"harris-michael-leaky", &makeAdapter<HarrisMichaelLeaky>},
-    {"vbl-head-restart", &makeAdapter<VblHeadRestart>},
-    {"vbl-node-aware", &makeAdapter<VblNodeAware>},
-    {"vbl-ttas", &makeAdapter<VblTtas>},
-    {"vbl-versioned", &makeAdapter<VblVersioned>},
-    {"harris-michael-hp", &makeAdapter<HarrisMichaelListHp>},
-    {"vbl-chunk", &makeAdapter<VblChunkDefault>},
-    {"vbl-chunk-k1", &makeAdapter<VblChunkK1>},
-    {"vbl-chunk-k15", &makeAdapter<VblChunkK15>},
-    {"vbl-chunk-leaky", &makeAdapter<VblChunkLeaky>},
-    {"skiplist-lazy", &makeAdapter<LazySkipList<>>},
-    {"bst-tombstone", &makeAdapter<TombstoneBst<>>},
-    {"vbl-vbr", &makeAdapter<VblVbr>},
-    {"lazy-vbr", &makeAdapter<LazyVbr>},
-    {"vbl-chunk-vbr", &makeAdapter<VblChunkVbr>},
-    {"so-hash-hm", &makeAdapter<SoHashHm>, /*FullKeyDomain=*/false},
-    {"so-hash-vbl", &makeAdapter<SoHashVbl>, /*FullKeyDomain=*/false},
-    {"so-hash-vbl-vbr", &makeAdapter<SoHashVblVbr>, /*FullKeyDomain=*/false},
+    {"vbl", &makeAdapter<VblDefault>,
+     "paper's VBL list; substrate=flat domain=ebr lock=tas"},
+    {"lazy", &makeAdapter<LazyDefault>,
+     "lazy list (Heller et al.); substrate=flat domain=ebr lock=tas"},
+    {"harris-michael", &makeAdapter<HarrisMichaelDefault>,
+     "Harris-Michael CAS list; substrate=flat domain=ebr lock=none"},
+    {"harris", &makeAdapter<HarrisDefault>,
+     "Harris list (deferred unlink); substrate=flat domain=ebr lock=none"},
+    {"optimistic", &makeAdapter<OptimisticDefault>,
+     "optimistic re-traversal validation; substrate=flat domain=ebr "
+     "lock=tas"},
+    {"hand-over-hand", &makeAdapter<HandOverHandDefault>,
+     "hand-over-hand (fine-grained) locking; substrate=flat domain=ebr "
+     "lock=tas"},
+    {"coarse", &makeAdapter<CoarseList>,
+     "single global lock baseline; substrate=flat domain=none lock=tas"},
+    {"vbl-leaky", &makeAdapter<VblLeaky>,
+     "VBL, no reclamation (paper setup); substrate=flat domain=leaky "
+     "lock=tas"},
+    {"lazy-leaky", &makeAdapter<LazyLeaky>,
+     "lazy list, no reclamation; substrate=flat domain=leaky lock=tas"},
+    {"harris-michael-leaky", &makeAdapter<HarrisMichaelLeaky>,
+     "Harris-Michael, no reclamation; substrate=flat domain=leaky "
+     "lock=none"},
+    {"vbl-head-restart", &makeAdapter<VblHeadRestart>,
+     "VBL restarting from head (ablation); substrate=flat domain=ebr "
+     "lock=tas"},
+    {"vbl-node-aware", &makeAdapter<VblNodeAware>,
+     "VBL with node- not value-aware validation (ablation); "
+     "substrate=flat domain=ebr lock=tas"},
+    {"vbl-ttas", &makeAdapter<VblTtas>,
+     "VBL over test-and-test-and-set locks; substrate=flat domain=ebr "
+     "lock=ttas"},
+    {"vbl-versioned", &makeAdapter<VblVersioned>,
+     "VBL over seqlock-style versioned locks; substrate=flat domain=ebr "
+     "lock=versioned"},
+    {"harris-michael-hp", &makeAdapter<HarrisMichaelListHp>,
+     "Harris-Michael over hazard pointers; substrate=flat domain=hp "
+     "lock=none"},
+    {"vbl-chunk", &makeAdapter<VblChunkDefault>,
+     "unrolled chunked VBL; substrate=chunk K=7 domain=ebr "
+     "lock=chunk-seqlock"},
+    {"vbl-chunk-k1", &makeAdapter<VblChunkK1>,
+     "chunked VBL, K=1 unrolling ablation; substrate=chunk K=1 "
+     "domain=ebr lock=chunk-seqlock"},
+    {"vbl-chunk-k15", &makeAdapter<VblChunkK15>,
+     "chunked VBL, two key lines per chunk; substrate=chunk K=15 "
+     "domain=ebr lock=chunk-seqlock"},
+    {"vbl-chunk-leaky", &makeAdapter<VblChunkLeaky>,
+     "chunked VBL, no reclamation; substrate=chunk K=7 domain=leaky "
+     "lock=chunk-seqlock"},
+    {"skiplist-lazy", &makeAdapter<LazySkipList<>>,
+     "lazy skip list; substrate=skiplist domain=ebr lock=tas"},
+    {"bst-tombstone", &makeAdapter<TombstoneBst<>>,
+     "tombstone-delete BST; substrate=bst domain=ebr lock=tas"},
+    {"vbl-vbr", &makeAdapter<VblVbr>,
+     "VBL over version-based reclamation; substrate=flat domain=vbr "
+     "lock=tas"},
+    {"lazy-vbr", &makeAdapter<LazyVbr>,
+     "lazy list over version-based reclamation; substrate=flat "
+     "domain=vbr lock=tas"},
+    {"vbl-chunk-vbr", &makeAdapter<VblChunkVbr>,
+     "chunked VBL over version-based reclamation; substrate=chunk K=7 "
+     "domain=vbr lock=chunk-seqlock"},
+    {"so-hash-hm", &makeAdapter<SoHashHm>,
+     "split-ordered hash over Harris-Michael; substrate=hash/flat "
+     "domain=ebr lock=none keys=[0,2^62)", /*FullKeyDomain=*/false},
+    {"so-hash-vbl", &makeAdapter<SoHashVbl>,
+     "split-ordered hash over VBL; substrate=hash/flat domain=ebr "
+     "lock=tas keys=[0,2^62)", /*FullKeyDomain=*/false},
+    {"so-hash-vbl-vbr", &makeAdapter<SoHashVblVbr>,
+     "split-ordered hash over VBL+VBR; substrate=hash/flat domain=vbr "
+     "lock=tas keys=[0,2^62)", /*FullKeyDomain=*/false},
 };
 
 std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {
@@ -139,4 +192,61 @@ std::vector<std::string> vbl::registeredHashSetNames() {
 
 std::vector<std::string> vbl::paperComparisonSetNames() {
   return {"vbl", "lazy", "harris-michael"};
+}
+
+std::vector<SetDescription> vbl::registeredSetDescriptions() {
+  std::vector<SetDescription> Rows;
+  for (const RegistryEntry &Entry : Registry)
+    Rows.push_back({Entry.Name, Entry.Describe, Entry.FullKeyDomain});
+  return Rows;
+}
+
+std::string vbl::setDescription(const std::string &Name) {
+  for (const RegistryEntry &Entry : Registry)
+    if (Name == Entry.Name)
+      return Entry.Describe;
+  return {};
+}
+
+/// Plain Levenshtein distance, O(|A|*|B|) with two rows — names are a
+/// couple dozen characters, so no banding needed.
+static size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Prev(B.size() + 1), Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      const size_t Sub = Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Row[J] = std::min({Prev[J] + 1, Row[J - 1] + 1, Sub});
+    }
+    std::swap(Prev, Row);
+  }
+  return Prev[B.size()];
+}
+
+std::vector<std::string> vbl::suggestSetNames(const std::string &Name,
+                                              size_t MaxSuggestions) {
+  // Substring hits rank before edit-distance hits: "chunk" should
+  // suggest every vbl-chunk-* before anything 3 edits away.
+  std::vector<std::pair<size_t, std::string>> Scored;
+  for (const RegistryEntry &Entry : Registry) {
+    const std::string Registered = Entry.Name;
+    const size_t Distance = editDistance(Name, Registered);
+    if (!Name.empty() && Registered.find(Name) != std::string::npos)
+      Scored.emplace_back(0, Registered);
+    else if (Distance <= 3)
+      Scored.emplace_back(Distance, Registered);
+  }
+  std::stable_sort(Scored.begin(), Scored.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  std::vector<std::string> Suggestions;
+  for (const auto &[Distance, Registered] : Scored) {
+    if (Suggestions.size() == MaxSuggestions)
+      break;
+    Suggestions.push_back(Registered);
+  }
+  return Suggestions;
 }

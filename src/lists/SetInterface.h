@@ -17,10 +17,15 @@
 #ifndef VBL_LISTS_SETINTERFACE_H
 #define VBL_LISTS_SETINTERFACE_H
 
+#include "core/BatchOp.h"
 #include "core/SetConfig.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace vbl {
@@ -37,6 +42,16 @@ public:
   /// Membership test.
   virtual bool contains(SetKey Key) = 0;
 
+  /// Applies \p N ops, writing each `Result` in place. Ops on the SAME
+  /// key take effect in array order; ops on distinct keys may be
+  /// reordered internally (they commute). The default applies the array
+  /// front to back; adapters over lists with a sorted-batch entry point
+  /// override this with a single amortized traversal.
+  virtual void applyBatch(BatchOp *Ops, size_t N) {
+    for (size_t I = 0; I != N; ++I)
+      applyOneOf(Ops[I]);
+  }
+
   /// Quiescent-only: the user keys currently stored, in order.
   virtual std::vector<SetKey> snapshot() const = 0;
   /// Quiescent-only: structural invariants of the underlying list.
@@ -44,7 +59,33 @@ public:
 
   /// Registry name of the algorithm backing this instance.
   virtual const std::string &name() const = 0;
+
+protected:
+  void applyOneOf(BatchOp &O) {
+    switch (O.Op) {
+    case SetOp::Insert:
+      O.Result = insert(O.Key);
+      return;
+    case SetOp::Remove:
+      O.Result = remove(O.Key);
+      return;
+    case SetOp::Contains:
+      O.Result = contains(O.Key);
+      return;
+    }
+  }
 };
+
+namespace detail {
+/// Detects `List.applyBatchSorted(BatchOp *const *, size_t)` — the
+/// anchor-reusing single-traversal batch entry point VblList exposes.
+template <class T, class = void> struct HasSortedBatch : std::false_type {};
+template <class T>
+struct HasSortedBatch<
+    T, std::void_t<decltype(std::declval<T &>().applyBatchSorted(
+           static_cast<BatchOp *const *>(nullptr), size_t(0)))>>
+    : std::true_type {};
+} // namespace detail
 
 /// Wraps any concrete list type that provides the common template API.
 template <class ListT> class SetAdapter final : public ConcurrentSet {
@@ -54,6 +95,33 @@ public:
   bool insert(SetKey Key) override { return List.insert(Key); }
   bool remove(SetKey Key) override { return List.remove(Key); }
   bool contains(SetKey Key) override { return List.contains(Key); }
+
+  void applyBatch(BatchOp *Ops, size_t N) override {
+    if constexpr (detail::HasSortedBatch<ListT>::value) {
+      if (N > 1) {
+        // Sort an index view, not the array: callers read results out
+        // of their own op records by position. The stable sort keeps
+        // same-key ops in submission order, which is the whole per-key
+        // FIFO contract; distinct keys commute. Thread-local scratch:
+        // an adapter is shared across threads and concurrent batch
+        // flushes to the same shard are legal.
+        static thread_local std::vector<size_t> Scratch;
+        static thread_local std::vector<BatchOp *> Sorted;
+        Scratch.resize(N);
+        std::iota(Scratch.begin(), Scratch.end(), size_t{0});
+        std::stable_sort(Scratch.begin(), Scratch.end(),
+                         [Ops](size_t A, size_t B) {
+                           return Ops[A].Key < Ops[B].Key;
+                         });
+        Sorted.resize(N);
+        for (size_t I = 0; I != N; ++I)
+          Sorted[I] = &Ops[Scratch[I]];
+        List.applyBatchSorted(Sorted.data(), N);
+        return;
+      }
+    }
+    ConcurrentSet::applyBatch(Ops, N);
+  }
 
   std::vector<SetKey> snapshot() const override { return List.snapshot(); }
   bool checkInvariants() const override { return List.checkInvariants(); }
@@ -82,6 +150,28 @@ std::vector<std::string> registeredHashSetNames();
 /// The subset of names the paper's evaluation compares (VBL, Lazy,
 /// Harris-Michael), used as the default series of the figure benches.
 std::vector<std::string> paperComparisonSetNames();
+
+/// One registry row for tooling: name, a one-line human description
+/// (substrate / reclaim domain / chunk K / lock flavour), and whether
+/// the structure accepts the full SetKey domain (hash sets do not).
+struct SetDescription {
+  std::string Name;
+  std::string Describe;
+  bool FullKeyDomain = true;
+};
+
+/// Every registered structure (lists AND hash sets), registration order.
+std::vector<SetDescription> registeredSetDescriptions();
+
+/// The describe string for \p Name; empty if unregistered.
+std::string setDescription(const std::string &Name);
+
+/// Registered names closest to the (presumably misspelled) \p Name by
+/// edit distance, nearest first; at most \p MaxSuggestions, and only
+/// names within a distance that plausibly means "typo" (<= 3 edits or
+/// a registered name containing \p Name as a substring).
+std::vector<std::string> suggestSetNames(const std::string &Name,
+                                         size_t MaxSuggestions = 3);
 
 } // namespace vbl
 

@@ -1,0 +1,241 @@
+//===- service/FlatCombiner.h - Per-shard flat-combining core ------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat combining for one service shard (Hendler et al.'s scheme, cut
+/// down to the sharded-set use case): each session owns a cache-line
+/// publication slot; to run a batch it publishes the batch pointer and
+/// then either observes its slot drained by another session's combine
+/// round, or acquires the shard's combiner lock and drains EVERY
+/// published slot itself under one lock epoch. One lock acquisition
+/// therefore pays for all waiters' batches, and the combiner walks hot
+/// list prefixes with a warm cache on behalf of everyone.
+///
+/// Correctness does not depend on combining being exclusive: the
+/// backend is a linearizable concurrent set, so ops applied by a
+/// combiner and ops applied directly (the adaptive degradation path for
+/// cold shards) interleave safely — which is exactly what the
+/// combiner-vs-direct handoff scenario explores under the deterministic
+/// scheduler. What combining buys is amortization, not safety.
+///
+/// The core is policy-templated like the lists: DirectPolicy spins on
+/// the slot's Done flag with bounded backoff; under a traced policy the
+/// waiter parks on the combiner lock via Policy::lockAcquire (the
+/// scheduler's blocked-on-lock state) instead of spinning unboundedly,
+/// so every episode is finite and the InterleavingExplorer can walk the
+/// protocol.
+///
+/// Slot protocol (all slot words policy-mediated, tagged MemField::Epoch
+/// — synchronization substrate, not LL state):
+///   waiter:   Done=false (release); Count (release); Ops (release)
+///   combiner: Ops (acquire) != null -> Apply(Ops, Count);
+///             Ops=null (release); Done=true (release)
+///   waiter:   Done (acquire) == true -> results valid
+/// The combiner nulls Ops before setting Done, and the slot's owner
+/// republishes only after seeing Done — so exactly one side writes each
+/// word at a time and the release/acquire pairs order the BatchOp
+/// payload both ways.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SERVICE_FLATCOMBINER_H
+#define VBL_SERVICE_FLATCOMBINER_H
+
+#include "core/BatchOp.h"
+#include "stats/Stats.h"
+#include "support/Compiler.h"
+#include "sync/Policy.h"
+#include "sync/SpinLocks.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace vbl {
+namespace service {
+
+template <unsigned MaxSlotsV = 64, class LockT = TasLock>
+class CombinerShard {
+public:
+  static constexpr unsigned MaxSlots = MaxSlotsV;
+
+  /// Runs \p Count ops through the combining protocol and returns once
+  /// every op's Result is filled. \p SlotIdx must be < MaxSlots and
+  /// owned exclusively by the calling session. \p Apply is invoked —
+  /// by this thread or by another session acting as combiner — as
+  /// Apply(BatchOp *, uint32_t) and must fill each op's Result.
+  template <class PolicyT, class ApplyFn>
+  void execute(unsigned SlotIdx, BatchOp *Ops, uint32_t Count,
+               ApplyFn &&Apply) {
+    Slot &S = Slots[SlotIdx];
+    PolicyT::write(S.Done, false, std::memory_order_release, &S,
+                   MemField::Epoch);
+    PolicyT::write(S.Count, Count, std::memory_order_release, &S,
+                   MemField::Epoch);
+    PolicyT::write(S.Ops, Ops, std::memory_order_release, &S,
+                   MemField::Epoch);
+    if constexpr (PolicyT::Traced) {
+      // Bounded wait for the scheduler: park on the combiner lock (the
+      // explorer's blocked-on-lock state) instead of spinning on Done.
+      for (;;) {
+        if (PolicyT::read(S.Done, std::memory_order_acquire, &S,
+                          MemField::Epoch)) {
+          stats::bump(stats::Counter::ServiceCombineHandoffs);
+          return;
+        }
+        PolicyT::lockAcquire(CombinerLock, this);
+        if (PolicyT::read(S.Done, std::memory_order_acquire, &S,
+                          MemField::Epoch)) {
+          // A previous combiner drained us between the check and the
+          // acquisition; nothing of ours is pending.
+          PolicyT::lockRelease(CombinerLock, this);
+          stats::bump(stats::Counter::ServiceCombineHandoffs);
+          return;
+        }
+        combineLocked<PolicyT>(Apply);
+        PolicyT::lockRelease(CombinerLock, this);
+        return;
+      }
+    } else {
+      SpinBackoff Backoff;
+      for (;;) {
+        if (PolicyT::read(S.Done, std::memory_order_acquire, &S,
+                          MemField::Epoch)) {
+          stats::bump(stats::Counter::ServiceCombineHandoffs);
+          return;
+        }
+        if (PolicyT::lockTryAcquire(CombinerLock, this)) {
+          if (PolicyT::read(S.Done, std::memory_order_acquire, &S,
+                            MemField::Epoch)) {
+            PolicyT::lockRelease(CombinerLock, this);
+            stats::bump(stats::Counter::ServiceCombineHandoffs);
+            return;
+          }
+          combineLocked<PolicyT>(Apply);
+          PolicyT::lockRelease(CombinerLock, this);
+          return;
+        }
+        Backoff.spin();
+      }
+    }
+  }
+
+  /// Direct path with a contention probe: applies the batch bypassing
+  /// the slots, and feeds the adaptive heat signal (another op already
+  /// in flight on this shard => the shard is contended and combining
+  /// would amortize). All probe state is CAS-updated so the traced
+  /// builds carry happens-before edges the race detector can see.
+  template <class PolicyT, class ApplyFn>
+  void executeDirect(ApplyFn &&Apply) {
+    uint32_t Cur =
+        PolicyT::read(InFlight, std::memory_order_acquire, this,
+                      MemField::Epoch);
+    while (!PolicyT::casStrong(InFlight, Cur, Cur + 1,
+                               std::memory_order_acq_rel, this,
+                               MemField::Epoch)) {
+    }
+    if (Cur > 0)
+      heatAdjust<PolicyT>(+HeatGain);
+    Apply();
+    Cur = PolicyT::read(InFlight, std::memory_order_acquire, this,
+                        MemField::Epoch);
+    while (!PolicyT::casStrong(InFlight, Cur, Cur - 1,
+                               std::memory_order_acq_rel, this,
+                               MemField::Epoch)) {
+    }
+  }
+
+  /// Adaptive-mode decision: combine once the heat crosses the
+  /// threshold. Heat rises on direct-path contention sightings and
+  /// decays when a combine round drains only its own batch (see
+  /// combineLocked), so a shard that goes cold degrades back to direct
+  /// access within a few rounds.
+  template <class PolicyT> bool shouldCombine() const {
+    return PolicyT::read(Heat, std::memory_order_acquire, this,
+                         MemField::Epoch) >= HeatThreshold;
+  }
+
+private:
+  struct alignas(CacheLineBytes) Slot {
+    std::atomic<BatchOp *> Ops{nullptr};
+    std::atomic<uint32_t> Count{0};
+    std::atomic<bool> Done{false};
+  };
+
+  /// One lock epoch: scan the slots, apply every published batch, and
+  /// rescan while work keeps arriving (bounded passes so the combiner's
+  /// own session is not starved serving a steady publish stream).
+  template <class PolicyT, class ApplyFn>
+  void combineLocked(ApplyFn &&Apply) VBL_REQUIRES(CombinerLock) {
+    uint64_t RoundOps = 0;
+    unsigned DrainedSlots = 0;
+    for (unsigned Pass = 0; Pass != MaxCombinePasses; ++Pass) {
+      unsigned PassSlots = 0;
+      for (Slot &S : Slots) {
+        BatchOp *Ops = PolicyT::read(S.Ops, std::memory_order_acquire, &S,
+                                     MemField::Epoch);
+        if (!Ops)
+          continue;
+        const uint32_t Count = PolicyT::read(
+            S.Count, std::memory_order_acquire, &S, MemField::Epoch);
+        Apply(Ops, Count);
+        PolicyT::write(S.Ops, static_cast<BatchOp *>(nullptr),
+                       std::memory_order_release, &S, MemField::Epoch);
+        PolicyT::write(S.Done, true, std::memory_order_release, &S,
+                       MemField::Epoch);
+        ++PassSlots;
+        RoundOps += Count;
+      }
+      DrainedSlots += PassSlots;
+      if (PassSlots == 0)
+        break;
+    }
+    stats::bump(stats::Counter::ServiceCombineRounds);
+    stats::bump(stats::Counter::ServiceOpsCombined, RoundOps);
+    stats::histogramAdd(stats::Histogram::ServiceCombineOps, RoundOps);
+    // A round that only served its own batch is evidence the shard went
+    // cold; decay toward the direct path.
+    if (DrainedSlots <= 1)
+      heatAdjust<PolicyT>(-1);
+    else
+      heatAdjust<PolicyT>(+1);
+  }
+
+  /// Lossy saturating heat update: one CAS attempt, losers simply skip
+  /// (the signal is a heuristic; a lost update is another session's
+  /// concurrent observation of the same regime).
+  template <class PolicyT> void heatAdjust(int Delta) {
+    uint32_t Cur = PolicyT::read(Heat, std::memory_order_acquire, this,
+                                 MemField::Epoch);
+    uint32_t Next;
+    if (Delta >= 0)
+      Next = Cur + static_cast<uint32_t>(Delta) > HeatMax
+                 ? HeatMax
+                 : Cur + static_cast<uint32_t>(Delta);
+    else
+      Next = Cur < static_cast<uint32_t>(-Delta)
+                 ? 0
+                 : Cur - static_cast<uint32_t>(-Delta);
+    if (Next != Cur)
+      (void)PolicyT::casStrong(Heat, Cur, Next, std::memory_order_acq_rel,
+                               this, MemField::Epoch);
+  }
+
+  static constexpr unsigned MaxCombinePasses = 3;
+  static constexpr uint32_t HeatGain = 2;
+  static constexpr uint32_t HeatMax = 16;
+  static constexpr uint32_t HeatThreshold = 4;
+
+  LockT CombinerLock;
+  std::atomic<uint32_t> Heat{0};
+  std::atomic<uint32_t> InFlight{0};
+  alignas(CacheLineBytes) Slot Slots[MaxSlots];
+};
+
+} // namespace service
+} // namespace vbl
+
+#endif // VBL_SERVICE_FLATCOMBINER_H

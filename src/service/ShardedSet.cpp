@@ -1,0 +1,214 @@
+//===- service/ShardedSet.cpp - Sharded front-end implementation ---------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardedSet.h"
+
+#include <algorithm>
+
+using namespace vbl;
+using namespace vbl::service;
+
+bool vbl::service::parseCombineMode(const std::string &Text,
+                                    CombineMode &Mode) {
+  if (Text == "off")
+    Mode = CombineMode::Off;
+  else if (Text == "on")
+    Mode = CombineMode::On;
+  else if (Text == "adaptive")
+    Mode = CombineMode::Adaptive;
+  else
+    return false;
+  return true;
+}
+
+const char *vbl::service::combineModeName(CombineMode Mode) {
+  switch (Mode) {
+  case CombineMode::Off:
+    return "off";
+  case CombineMode::On:
+    return "on";
+  case CombineMode::Adaptive:
+    return "adaptive";
+  }
+  return "?";
+}
+
+/// One shard: a backend instance plus its combining state. Heap-held
+/// because CombinerShard embeds immovable atomics and a slot array.
+struct ShardedSet::Shard {
+  std::unique_ptr<ConcurrentSet> Set;
+  CombinerShard<ShardedSet::CombinerSlots, TasLock> Combiner;
+};
+
+ShardedSet::ShardedSet(const Options &O) : Opts(O) {
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+  if (Opts.BatchSize == 0)
+    Opts.BatchSize = 1;
+  Name = "sharded(" + Opts.Backend + ",s" + std::to_string(Opts.Shards) +
+         ",b" + std::to_string(Opts.BatchSize) + "," +
+         combineModeName(Opts.Combine) + ")";
+}
+
+ShardedSet::~ShardedSet() = default;
+
+std::unique_ptr<ShardedSet> ShardedSet::create(const Options &Opts,
+                                               std::string *Error) {
+  auto Front = std::unique_ptr<ShardedSet>(new ShardedSet(Opts));
+  Front->Shards.reserve(Front->Opts.Shards);
+  for (unsigned I = 0; I != Front->Opts.Shards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Set = makeSet(Opts.Backend);
+    if (!S->Set) {
+      if (Error) {
+        *Error = "unknown backend '" + Opts.Backend + "'";
+        const std::vector<std::string> Close = suggestSetNames(Opts.Backend);
+        if (!Close.empty()) {
+          *Error += "; did you mean";
+          for (size_t J = 0; J != Close.size(); ++J)
+            *Error += (J ? ", " : " ") + Close[J];
+          *Error += "?";
+        }
+        *Error += " (tools/list_backends.py dumps the registry)";
+      }
+      return nullptr;
+    }
+    Front->Shards.push_back(std::move(S));
+  }
+  return Front;
+}
+
+bool ShardedSet::insert(SetKey Key) {
+  stats::bump(stats::Counter::ServiceOpsDirect);
+  return Shards[shardOf(Key)]->Set->insert(Key);
+}
+
+bool ShardedSet::remove(SetKey Key) {
+  stats::bump(stats::Counter::ServiceOpsDirect);
+  return Shards[shardOf(Key)]->Set->remove(Key);
+}
+
+bool ShardedSet::contains(SetKey Key) {
+  stats::bump(stats::Counter::ServiceOpsDirect);
+  return Shards[shardOf(Key)]->Set->contains(Key);
+}
+
+std::vector<SetKey> ShardedSet::snapshot() const {
+  // Shards partition the key space by hash, not by range: merge and
+  // sort to present the set's canonical ascending view.
+  std::vector<SetKey> Keys;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::vector<SetKey> Part = S->Set->snapshot();
+    Keys.insert(Keys.end(), Part.begin(), Part.end());
+  }
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+bool ShardedSet::checkInvariants() const {
+  for (unsigned I = 0; I != Shards.size(); ++I) {
+    if (!Shards[I]->Set->checkInvariants())
+      return false;
+    // Routing invariant: every key a shard stores must hash to it —
+    // a violation means an op bypassed shardOf.
+    for (SetKey Key : Shards[I]->Set->snapshot())
+      if (shardOf(Key) != I)
+        return false;
+  }
+  return true;
+}
+
+ShardedSet::Session ShardedSet::openSession() {
+  return Session(*this, NextSession.fetch_add(1, std::memory_order_relaxed));
+}
+
+void ShardedSet::runOnShard(unsigned SessionIdx, unsigned ShardIdx,
+                            BatchOp *Ops, uint32_t Count) {
+  Shard &S = *Shards[ShardIdx];
+  stats::histogramAdd(stats::Histogram::ServiceVisitOps, Count);
+  const auto ApplyDirect = [&] {
+    S.Set->applyBatch(Ops, Count);
+    stats::bump(stats::Counter::ServiceOpsDirect, Count);
+  };
+  switch (Opts.Combine) {
+  case CombineMode::Off:
+    ApplyDirect();
+    return;
+  case CombineMode::Adaptive:
+    if (!S.Combiner.shouldCombine<DirectPolicy>()) {
+      stats::bump(stats::Counter::ServiceAdaptiveDirects);
+      S.Combiner.executeDirect<DirectPolicy>(ApplyDirect);
+      return;
+    }
+    [[fallthrough]];
+  case CombineMode::On:
+    // Sessions beyond the slot array degrade to direct access: the
+    // backend is linearizable either way, combining only amortizes.
+    if (SessionIdx >= CombinerSlots) {
+      ApplyDirect();
+      return;
+    }
+    S.Combiner.execute<DirectPolicy>(
+        SessionIdx, Ops, Count,
+        [&S](BatchOp *B, uint32_t N) { S.Set->applyBatch(B, N); });
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+ShardedSet::Session::Session(ShardedSet &Parent, unsigned Index)
+    : Parent(&Parent), Index(Index), Queues(Parent.Opts.Shards) {
+  for (std::vector<BatchOp> &Q : Queues)
+    Q.reserve(Parent.Opts.BatchSize);
+}
+
+bool ShardedSet::Session::apply(SetOp Op, SetKey Key) {
+  BatchOp O;
+  O.Op = Op;
+  O.Key = Key;
+  Parent->runOnShard(Index, Parent->shardOf(Key), &O, 1);
+  return O.Result;
+}
+
+void ShardedSet::Session::enqueue(SetOp Op, SetKey Key, uint64_t Tag) {
+  const unsigned ShardIdx = Parent->shardOf(Key);
+  std::vector<BatchOp> &Q = Queues[ShardIdx];
+  BatchOp O;
+  O.Op = Op;
+  O.Key = Key;
+  O.Tag = Tag;
+  Q.push_back(O);
+  ++Pending;
+  if (Q.size() >= Parent->Opts.BatchSize)
+    flushShard(ShardIdx);
+}
+
+void ShardedSet::Session::flushShard(unsigned ShardIdx) {
+  std::vector<BatchOp> &Q = Queues[ShardIdx];
+  if (Q.empty())
+    return;
+  stats::bump(stats::Counter::ServiceBatchFlushes);
+  Parent->runOnShard(Index, ShardIdx, Q.data(),
+                     static_cast<uint32_t>(Q.size()));
+  Pending -= Q.size();
+  Completed.insert(Completed.end(), Q.begin(), Q.end());
+  Q.clear();
+}
+
+void ShardedSet::Session::flush() {
+  for (unsigned I = 0; I != Queues.size(); ++I)
+    flushShard(I);
+}
+
+std::vector<BatchOp> ShardedSet::Session::takeCompleted() {
+  std::vector<BatchOp> Out;
+  Out.swap(Completed);
+  return Out;
+}

@@ -1,0 +1,182 @@
+//===- service/ShardedSet.h - Key-space-sharded serving front-end --------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving front-end of the repo's "millions of users" scenario: a
+/// ShardedSet partitions the key space across S instances of any
+/// registered backend (list or split-ordered hash) and offers three
+/// access disciplines through per-client Sessions:
+///
+///  - direct: every op routed straight to its shard (the naive
+///    baseline; also what the plain ConcurrentSet methods do),
+///  - batched: ops queue per (session, shard) and are applied B at a
+///    time per shard visit — the shard adapter sorts the batch and
+///    applies it in ONE amortized traversal under one reclaim guard
+///    (VblList::applyBatchSorted),
+///  - flat-combined: a session publishes its batch in a per-shard slot
+///    and either finds it drained by another session's combine round or
+///    takes the combiner lock and drains everyone (FlatCombiner.h),
+///    with an adaptive mode that degrades to direct access on cold
+///    shards.
+///
+/// Per-key linearizability: shardOf is a pure function of the key, so
+/// all ops on one key serialize through one linearizable backend
+/// instance; ops on distinct keys commute, so cross-shard (and
+/// in-batch cross-key) reordering is unobservable per key. Within a
+/// batch, same-key ops keep submission order (stable sort). A batched
+/// op's linearization point lies between enqueue and flush-return,
+/// inside its widened interval — the history recorder in the tests
+/// stamps exactly that interval.
+///
+/// Key domain: the front-end accepts whatever its backend accepts
+/// (hash backends require isHashKey values); it adds no restriction of
+/// its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SERVICE_SHARDEDSET_H
+#define VBL_SERVICE_SHARDEDSET_H
+
+#include "lists/SetInterface.h"
+#include "service/FlatCombiner.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vbl {
+namespace service {
+
+/// Per-shard access discipline for Session-routed operations.
+enum class CombineMode : uint8_t {
+  Off,      ///< Always direct (per-op or batched) backend access.
+  On,       ///< Every shard visit goes through the combining protocol.
+  Adaptive, ///< Combine hot shards, direct access on cold ones.
+};
+
+/// Parses "off"/"on"/"adaptive"; returns false on anything else.
+bool parseCombineMode(const std::string &Text, CombineMode &Mode);
+const char *combineModeName(CombineMode Mode);
+
+/// SplitMix64 finalizer over the raw key bits: shardOf must spread
+/// adjacent keys (Zipfian rank 0..k hot sets are adjacent integers)
+/// across shards, and must be a pure function of the key so per-key
+/// ops always meet in the same shard.
+inline uint64_t mixKey(SetKey Key) {
+  uint64_t X = static_cast<uint64_t>(Key);
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+class ShardedSet final : public ConcurrentSet {
+public:
+  /// Publication slots per shard; sessions beyond this many fall back
+  /// to the direct path (combining is an amortization, not a
+  /// correctness requirement, so overflow degrades gracefully).
+  static constexpr unsigned CombinerSlots = 64;
+
+  struct Options {
+    std::string Backend = "vbl";
+    unsigned Shards = 8;
+    /// Ops queued per (session, shard) before a flush; 1 = per-op.
+    unsigned BatchSize = 1;
+    CombineMode Combine = CombineMode::Off;
+  };
+
+  /// Builds the front-end, resolving Options::Backend through the
+  /// registry. Unknown names return null and set \p Error to a message
+  /// naming the closest registered backends (suggestSetNames).
+  static std::unique_ptr<ShardedSet> create(const Options &Opts,
+                                            std::string *Error = nullptr);
+
+  ~ShardedSet() override;
+
+  unsigned shardOf(SetKey Key) const {
+    return static_cast<unsigned>(mixKey(Key) % Opts.Shards);
+  }
+
+  const Options &options() const { return Opts; }
+
+  //===--------------------------------------------------------------===//
+  // ConcurrentSet interface: direct-routed per-op access (prefill, the
+  // generic differential suites, invariant checks). Sessions are the
+  // batched/combined hot path.
+  //===--------------------------------------------------------------===//
+
+  bool insert(SetKey Key) override;
+  bool remove(SetKey Key) override;
+  bool contains(SetKey Key) override;
+  std::vector<SetKey> snapshot() const override;
+  bool checkInvariants() const override;
+  const std::string &name() const override { return Name; }
+
+  //===--------------------------------------------------------------===//
+  // Sessions.
+  //===--------------------------------------------------------------===//
+
+  /// One client's handle: owns per-shard op queues and a combiner slot.
+  /// Not thread-safe (one session per client/thread); any number of
+  /// sessions may operate concurrently.
+  class Session {
+  public:
+    /// Immediate operation through the configured shard discipline
+    /// (combining included). Returns the op's result.
+    bool apply(SetOp Op, SetKey Key);
+
+    /// Queues an op; flushes its shard queue once BatchSize ops are
+    /// pending there. \p Tag rides along untouched (timestamps).
+    void enqueue(SetOp Op, SetKey Key, uint64_t Tag = 0);
+
+    /// Flushes every non-empty shard queue.
+    void flush();
+
+    /// Completed ops accumulated by flushes since the last take, in
+    /// completion order (per-shard queue order within a flush).
+    std::vector<BatchOp> takeCompleted();
+
+    size_t pendingOps() const { return Pending; }
+
+  private:
+    friend class ShardedSet;
+    Session(ShardedSet &Parent, unsigned Index);
+
+    void flushShard(unsigned ShardIdx);
+
+    ShardedSet *Parent;
+    unsigned Index;
+    std::vector<std::vector<BatchOp>> Queues; // one per shard
+    std::vector<BatchOp> Completed;
+    size_t Pending = 0;
+  };
+
+  /// Opens a new session. Thread-safe; hand each client thread its own.
+  Session openSession();
+
+private:
+  explicit ShardedSet(const Options &Opts);
+
+  struct Shard;
+
+  /// Applies \p Count ops (all mapping to \p ShardIdx) through the
+  /// configured discipline on behalf of session \p SessionIdx.
+  void runOnShard(unsigned SessionIdx, unsigned ShardIdx, BatchOp *Ops,
+                  uint32_t Count);
+
+  Options Opts;
+  std::string Name;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<unsigned> NextSession{0};
+};
+
+} // namespace service
+} // namespace vbl
+
+#endif // VBL_SERVICE_SHARDEDSET_H

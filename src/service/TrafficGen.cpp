@@ -1,0 +1,113 @@
+//===- service/TrafficGen.cpp - Traffic model implementation -------------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/TrafficGen.h"
+
+#include "service/ShardedSet.h" // mixKey for ScrambleKeys
+
+#include <cmath>
+
+using namespace vbl;
+using namespace vbl::service;
+
+/// zeta(N, theta) = sum_{k=1..N} 1/k^theta. O(N) once per generator;
+/// the service bench constructs a handful of generators per run.
+static double zetaSum(uint64_t N, double Theta) {
+  double Sum = 0.0;
+  for (uint64_t K = 1; K <= N; ++K)
+    Sum += 1.0 / std::pow(static_cast<double>(K), Theta);
+  return Sum;
+}
+
+ZipfianGen::ZipfianGen(uint64_t Range, double ThetaIn)
+    : N(Range == 0 ? 1 : Range), Theta(ThetaIn) {
+  VBL_ASSERT(Theta >= 0.0, "Zipfian exponent must be non-negative");
+  // Gray et al.'s inversion divides by (1 - theta); theta == 1 is a
+  // removable singularity we sidestep numerically, as YCSB does.
+  if (std::fabs(1.0 - Theta) < 1e-9)
+    Theta = 1.0 - 1e-9;
+  Zetan = zetaSum(N, Theta);
+  Alpha = 1.0 / (1.0 - Theta);
+  const double Zeta2 = zetaSum(N < 2 ? N : 2, Theta);
+  Eta = (1.0 - std::pow(2.0 / static_cast<double>(N), 1.0 - Theta)) /
+        (1.0 - Zeta2 / Zetan);
+  HalfPowTheta = std::pow(0.5, Theta);
+}
+
+double ZipfianGen::rankMass(uint64_t Rank) const {
+  VBL_ASSERT(Rank < N, "rank out of range");
+  return 1.0 /
+         (std::pow(static_cast<double>(Rank + 1), Theta) * Zetan);
+}
+
+UpdateMixSchedule::UpdateMixSchedule(std::vector<MixPhase> PhasesIn,
+                                     unsigned FallbackIn)
+    : Phases(std::move(PhasesIn)), Fallback(FallbackIn) {
+  for (const MixPhase &P : Phases) {
+    VBL_ASSERT(P.UpdatePercent <= 100, "phase update percent above 100");
+    Cycle += P.Ops;
+  }
+  if (Cycle == 0)
+    Phases.clear(); // All-empty phases degenerate to the flat mix.
+}
+
+unsigned UpdateMixSchedule::updatePercentAt(uint64_t OpIndex) const {
+  if (Phases.empty())
+    return Fallback;
+  uint64_t Into = OpIndex % Cycle;
+  for (const MixPhase &P : Phases) {
+    if (Into < P.Ops)
+      return P.UpdatePercent;
+    Into -= P.Ops;
+  }
+  return Fallback; // Unreachable: Cycle == sum of phase lengths.
+}
+
+TrafficGen::TrafficGen(const TrafficConfig &CfgIn, unsigned WorkerId,
+                       unsigned Workers)
+    : Cfg(CfgIn),
+      Zipf(static_cast<uint64_t>(Cfg.KeyRange > 0 ? Cfg.KeyRange : 1),
+           Cfg.Theta),
+      Mix(Cfg.Phases, Cfg.UpdatePercent), Arrivals(Cfg.Arrivals),
+      WorkerRng(SplitMix64(Cfg.Seed ^ (0x5e55 + WorkerId)).next()) {
+  VBL_ASSERT(WorkerId < Workers, "worker id out of range");
+  // Slice the global session space evenly; remainder to low workers.
+  const uint64_t Sessions = Cfg.Sessions == 0 ? 1 : Cfg.Sessions;
+  const uint64_t Base = Sessions / Workers;
+  const uint64_t Extra = Sessions % Workers;
+  const uint64_t Owned = Base + (WorkerId < Extra ? 1 : 0);
+  FirstSession =
+      WorkerId * Base + (WorkerId < Extra ? WorkerId : Extra);
+  // One 8-byte SplitMix64 stream per simulated session: a million
+  // sessions per worker costs 8 MB and is exactly the session-table
+  // cache pressure a real frontend pays.
+  SplitMix64 Seeder(Cfg.Seed * 0x9e3779b97f4a7c15ULL + FirstSession);
+  const uint64_t Count = Owned == 0 ? 1 : Owned;
+  SessionStates.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I)
+    SessionStates.emplace_back(Seeder.next());
+}
+
+TrafficGen::Item TrafficGen::next() {
+  Cursor = (Cursor + 1) % SessionStates.size();
+  SplitMix64 &SessionRng = SessionStates[Cursor];
+  Item It;
+  It.SessionId = FirstSession + Cursor;
+  const uint64_t Rank = Zipf.next(SessionRng);
+  It.Key = Cfg.ScrambleKeys
+               ? static_cast<SetKey>(mixKey(static_cast<SetKey>(Rank)) %
+                                     static_cast<uint64_t>(Cfg.KeyRange))
+               : static_cast<SetKey>(Rank);
+  const unsigned UpdatePct = Mix.updatePercentAt(OpIndex++);
+  const uint64_t Roll = SessionRng.next();
+  if (Roll % 100 < UpdatePct)
+    It.Op = (Roll >> 32) & 1 ? SetOp::Insert : SetOp::Remove;
+  else
+    It.Op = SetOp::Contains;
+  It.ArrivalGapNs = Arrivals.nextGapNs(WorkerRng);
+  return It;
+}

@@ -1,0 +1,191 @@
+//===- service/TrafficGen.h - Realistic skewed traffic generation --------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synchrobench-style benches draw uniform keys with a fixed update
+/// mix; production traffic does none of that. This header provides the
+/// service bench's traffic model:
+///
+///  - ZipfianGen: bounded Zipfian over [0, N) with exponent theta
+///    (Gray et al.'s rejection-free inversion, the YCSB generator).
+///    theta = 0 degenerates *exactly* to uniform; rank 0 is the hottest
+///    key. rankMass() gives the closed-form P(rank) the statistical
+///    tests check against.
+///  - UpdateMixSchedule: time-varying update percentage — a cyclic
+///    phase list "p1 for n1 ops, p2 for n2 ops, ..." indexed by a
+///    global op counter.
+///  - BurstyArrivals: open-loop arrival gaps — exponential interarrival
+///    times whose rate is modulated by an on/off burst cycle (burst
+///    phases run BurstFactor times hotter than the calm mean).
+///  - TrafficGen: one per worker thread; multiplexes a slice of the
+///    simulated client-session space (millions of sessions = millions
+///    of independent 8-byte SplitMix64 states, visited round-robin so
+///    the working set thrashes like a real frontend's session table).
+///
+/// Everything is seeded and deterministic: (Seed, WorkerId) fixes the
+/// whole stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBL_SERVICE_TRAFFICGEN_H
+#define VBL_SERVICE_TRAFFICGEN_H
+
+#include "core/SetConfig.h"
+#include "support/Compiler.h"
+#include "support/Random.h"
+#include "sync/Policy.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vbl {
+namespace service {
+
+/// Bounded Zipfian: P(rank k) proportional to 1/(k+1)^theta over ranks
+/// [0, N). Uses the Gray et al. inversion with zeta(N, theta)
+/// precomputed at construction (O(N) once).
+class ZipfianGen {
+public:
+  ZipfianGen(uint64_t N, double Theta);
+
+  uint64_t range() const { return N; }
+  double theta() const { return Theta; }
+
+  /// Next rank; 0 is the hottest. \p Rng is any generator with
+  /// next() -> uint64_t (Xoshiro256 for workers, SplitMix64 for
+  /// per-session streams).
+  template <class RngT> uint64_t next(RngT &Rng) const {
+    // 53-bit mantissa uniform in [0, 1).
+    const double U =
+        static_cast<double>(Rng.next() >> 11) * 0x1.0p-53;
+    const double Uz = U * Zetan;
+    if (Uz < 1.0)
+      return 0;
+    if (Uz < 1.0 + HalfPowTheta)
+      return 1;
+    const uint64_t Rank = static_cast<uint64_t>(
+        static_cast<double>(N) * std::pow(Eta * U - Eta + 1.0, Alpha));
+    return Rank >= N ? N - 1 : Rank;
+  }
+
+  /// Closed-form probability of \p Rank (the mass the generator
+  /// realizes up to floating-point truncation); tests compare the
+  /// empirical hot-key mass against this.
+  double rankMass(uint64_t Rank) const;
+
+private:
+  uint64_t N;
+  double Theta;
+  double Zetan;         // zeta(N, theta)
+  double Alpha;         // 1 / (1 - theta)
+  double Eta;           // Gray et al.'s eta
+  double HalfPowTheta;  // 0.5^theta
+};
+
+/// One phase of a time-varying update mix.
+struct MixPhase {
+  uint64_t Ops = 0;          ///< Length of the phase in operations.
+  unsigned UpdatePercent = 0;
+};
+
+/// Cyclic phase schedule indexed by an op counter. An empty phase list
+/// is a flat mix at \p Fallback percent.
+class UpdateMixSchedule {
+public:
+  UpdateMixSchedule(std::vector<MixPhase> Phases, unsigned Fallback);
+
+  unsigned updatePercentAt(uint64_t OpIndex) const;
+  uint64_t cycleOps() const { return Cycle; }
+
+private:
+  std::vector<MixPhase> Phases;
+  unsigned Fallback;
+  uint64_t Cycle = 0;
+};
+
+/// Open-loop arrival gaps: exponential interarrivals at mean MeanGapNs,
+/// with an on/off burst cycle (BurstOps arrivals at MeanGapNs /
+/// BurstFactor, then CalmOps at the calm mean). BurstFactor = 1 or
+/// BurstOps = 0 disables bursts.
+class BurstyArrivals {
+public:
+  struct Config {
+    double MeanGapNs = 1000.0;
+    double BurstFactor = 1.0;
+    uint64_t BurstOps = 0;
+    uint64_t CalmOps = 0;
+  };
+
+  explicit BurstyArrivals(const Config &C) : Cfg(C) {}
+
+  template <class RngT> uint64_t nextGapNs(RngT &Rng) {
+    double Mean = Cfg.MeanGapNs;
+    if (Cfg.BurstFactor > 1.0 && Cfg.BurstOps > 0) {
+      const uint64_t Cycle = Cfg.BurstOps + Cfg.CalmOps;
+      if ((Arrival++ % Cycle) < Cfg.BurstOps)
+        Mean = Cfg.MeanGapNs / Cfg.BurstFactor;
+    }
+    // Inverse-CDF exponential draw; clamp the uniform away from 0.
+    const double U = static_cast<double>((Rng.next() >> 11) | 1) * 0x1.0p-53;
+    const double Gap = -Mean * std::log(U);
+    return Gap < 0 ? 0 : static_cast<uint64_t>(Gap);
+  }
+
+private:
+  Config Cfg;
+  uint64_t Arrival = 0;
+};
+
+/// Worker-local traffic source.
+struct TrafficConfig {
+  SetKey KeyRange = 16384;
+  double Theta = 0.0;          ///< 0 = uniform.
+  bool ScrambleKeys = false;   ///< Hash ranks over the range (spreads the
+                               ///  hot set; collisions fold masses).
+  uint64_t Sessions = 1024;    ///< Simulated clients across ALL workers.
+  unsigned UpdatePercent = 20;
+  std::vector<MixPhase> Phases; ///< Empty = flat UpdatePercent.
+  BurstyArrivals::Config Arrivals;
+  uint64_t Seed = 42;
+};
+
+class TrafficGen {
+public:
+  TrafficGen(const TrafficConfig &Cfg, unsigned WorkerId, unsigned Workers);
+
+  struct Item {
+    SetOp Op = SetOp::Contains;
+    SetKey Key = 0;
+    uint64_t SessionId = 0;   ///< Global session id.
+    uint64_t ArrivalGapNs = 0; ///< Open-loop gap to the previous arrival.
+  };
+
+  /// Draws the next operation: advances to the next simulated session
+  /// (round-robin over this worker's slice), draws its key from the
+  /// Zipfian, the op kind from the phase schedule, and the open-loop
+  /// arrival gap from the burst process.
+  Item next();
+
+  uint64_t sessionsOwned() const { return SessionStates.size(); }
+
+private:
+  TrafficConfig Cfg;
+  ZipfianGen Zipf;
+  UpdateMixSchedule Mix;
+  BurstyArrivals Arrivals;
+  Xoshiro256 WorkerRng; // arrival process
+  uint64_t FirstSession = 0;
+  std::vector<SplitMix64> SessionStates; // one 8-byte stream per session
+  uint64_t Cursor = 0;
+  uint64_t OpIndex = 0;
+};
+
+} // namespace service
+} // namespace vbl
+
+#endif // VBL_SERVICE_TRAFFICGEN_H

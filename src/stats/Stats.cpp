@@ -89,6 +89,18 @@ const char *counterName(Counter C) {
     return "map.resizes_lost";
   case Counter::AnalysisFlowChecks:
     return "analysis.flow_checks";
+  case Counter::ServiceOpsDirect:
+    return "service.ops_direct";
+  case Counter::ServiceOpsCombined:
+    return "service.ops_combined";
+  case Counter::ServiceCombineRounds:
+    return "service.combine_rounds";
+  case Counter::ServiceCombineHandoffs:
+    return "service.combine_handoffs";
+  case Counter::ServiceBatchFlushes:
+    return "service.batch_flushes";
+  case Counter::ServiceAdaptiveDirects:
+    return "service.adaptive_directs";
   case Counter::NumCounters_:
     break;
   }
@@ -103,6 +115,10 @@ const char *histogramName(Histogram H) {
     return "hist.epoch_lag";
   case Histogram::ChunkOccupancy:
     return "hist.chunk_occupancy";
+  case Histogram::ServiceCombineOps:
+    return "hist.service_combine_ops";
+  case Histogram::ServiceVisitOps:
+    return "hist.service_visit_ops";
   case Histogram::NumHistograms_:
     break;
   }

@@ -157,6 +157,22 @@ enum class Counter : uint16_t {
   AnalysisFlowChecks,       ///< analysis.flow_checks: flow-invariant heap
                             ///  snapshots taken (one per scheduler step
                             ///  per flow-checked episode).
+  // service (sharded front-end).
+  ServiceOpsDirect,         ///< service.ops_direct: ops applied on the
+                            ///  direct per-op path (no combining).
+  ServiceOpsCombined,       ///< service.ops_combined: ops applied inside
+                            ///  a combine round (own + drained).
+  ServiceCombineRounds,     ///< service.combine_rounds: combiner-lock
+                            ///  epochs (one per lock hold that drained
+                            ///  publication slots).
+  ServiceCombineHandoffs,   ///< service.combine_handoffs: published
+                            ///  batches completed by ANOTHER session's
+                            ///  combiner (the waiter never took the lock).
+  ServiceBatchFlushes,      ///< service.batch_flushes: session shard-queue
+                            ///  drains (one backend visit per flush).
+  ServiceAdaptiveDirects,   ///< service.adaptive_directs: adaptive-mode
+                            ///  decisions that took the direct path on a
+                            ///  cold shard instead of publishing.
   NumCounters_
 };
 
@@ -176,6 +192,11 @@ enum class Histogram : uint16_t {
                   ///  whenever a chunk is frozen or unlinked (its final
                   ///  occupancy — the population a split/compaction or
                   ///  unlink decision acted on).
+  ServiceCombineOps, ///< hist.service_combine_ops: ops drained per
+                     ///  combine round (own batch + every published batch
+                     ///  the round picked up).
+  ServiceVisitOps,   ///< hist.service_visit_ops: ops applied per shard
+                     ///  visit (batch-flush size; 1 on the per-op path).
   NumHistograms_
 };
 

@@ -1,0 +1,326 @@
+//===- tests/service/ShardedSetTest.cpp - Front-end correctness ----------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Correctness of the sharded serving front-end across its access
+/// disciplines (direct / batched / flat-combined / adaptive) and a
+/// spread of backends (flat VBL over VBR, the chunked list, and the
+/// split-ordered hash over VBL+VBR):
+///
+///  - sequential differential: session-routed ops vs std::set, with
+///    results checked in completion order (batch flushes included);
+///  - same-key FIFO inside a batch: the sorted apply path must keep
+///    submission order for equal keys (stable sort);
+///  - concurrent per-key linearizability: recorded histories where a
+///    batched op's interval is widened to [enqueue, flush-return] —
+///    its linearization point provably lies inside — checked by the
+///    lin engine;
+///  - the registry suggestion path for unknown backend names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardedSet.h"
+
+#include "lin/LinChecker.h"
+#include "support/Barrier.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vbl;
+using namespace vbl::service;
+
+namespace {
+
+const char *const Backends[] = {"vbl-vbr", "vbl-chunk", "so-hash-vbl-vbr"};
+
+ShardedSet::Options options(const std::string &Backend, unsigned Shards,
+                            unsigned Batch, CombineMode Mode) {
+  ShardedSet::Options Opts;
+  Opts.Backend = Backend;
+  Opts.Shards = Shards;
+  Opts.BatchSize = Batch;
+  Opts.Combine = Mode;
+  return Opts;
+}
+
+std::unique_ptr<ShardedSet> mustCreate(const ShardedSet::Options &Opts) {
+  std::string Error;
+  auto Front = ShardedSet::create(Opts, &Error);
+  EXPECT_NE(Front, nullptr) << Error;
+  return Front;
+}
+
+//===--------------------------------------------------------------===//
+// Sequential differential vs std::set
+//===--------------------------------------------------------------===//
+
+// Single session, random ops through enqueue/flush. The front-end
+// serializes everything (one thread), so replaying completed ops
+// against std::set in completion order must reproduce every Result
+// bit-exactly; snapshot() must equal the model at the end.
+void sequentialDifferential(const std::string &Backend, unsigned Batch,
+                            CombineMode Mode) {
+  auto Front = mustCreate(options(Backend, 4, Batch, Mode));
+  ShardedSet::Session Session = Front->openSession();
+  std::set<SetKey> Model;
+  Xoshiro256 Rng(2024);
+  for (int I = 0; I != 6000; ++I) {
+    const auto Key = static_cast<SetKey>(Rng.nextBounded(64));
+    const unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
+    const SetOp Op = Kind == 0   ? SetOp::Insert
+                     : Kind == 1 ? SetOp::Remove
+                                 : SetOp::Contains;
+    Session.enqueue(Op, Key);
+    if (Rng.nextBounded(16) == 0)
+      Session.flush();
+    for (const BatchOp &Done : Session.takeCompleted()) {
+      bool Expected = false;
+      switch (Done.Op) {
+      case SetOp::Insert:
+        Expected = Model.insert(Done.Key).second;
+        break;
+      case SetOp::Remove:
+        Expected = Model.erase(Done.Key) != 0;
+        break;
+      case SetOp::Contains:
+        Expected = Model.count(Done.Key) != 0;
+        break;
+      }
+      ASSERT_EQ(Done.Result, Expected)
+          << Backend << " op " << I << " key " << Done.Key;
+    }
+  }
+  Session.flush();
+  for (const BatchOp &Done : Session.takeCompleted()) {
+    bool Expected = false;
+    switch (Done.Op) {
+    case SetOp::Insert:
+      Expected = Model.insert(Done.Key).second;
+      break;
+    case SetOp::Remove:
+      Expected = Model.erase(Done.Key) != 0;
+      break;
+    case SetOp::Contains:
+      Expected = Model.count(Done.Key) != 0;
+      break;
+    }
+    ASSERT_EQ(Done.Result, Expected);
+  }
+  EXPECT_EQ(Session.pendingOps(), 0u);
+  EXPECT_TRUE(Front->checkInvariants()) << Backend;
+  EXPECT_EQ(Front->snapshot(),
+            std::vector<SetKey>(Model.begin(), Model.end()))
+      << Backend;
+}
+
+TEST(ShardedSetTest, SequentialDifferentialBatched) {
+  for (const char *Backend : Backends)
+    sequentialDifferential(Backend, 8, CombineMode::Off);
+}
+
+TEST(ShardedSetTest, SequentialDifferentialPerOp) {
+  for (const char *Backend : Backends)
+    sequentialDifferential(Backend, 1, CombineMode::Off);
+}
+
+TEST(ShardedSetTest, SequentialDifferentialCombining) {
+  for (const char *Backend : Backends)
+    sequentialDifferential(Backend, 8, CombineMode::On);
+}
+
+TEST(ShardedSetTest, SequentialDifferentialAdaptive) {
+  for (const char *Backend : Backends)
+    sequentialDifferential(Backend, 8, CombineMode::Adaptive);
+}
+
+// Same-key ops inside one batch must apply in submission order: the
+// shard adapter's sort is stable, so insert/remove/insert/contains on
+// one key resolves like the sequential program.
+TEST(ShardedSetTest, SameKeyFifoWithinBatch) {
+  for (const char *Backend : Backends) {
+    auto Front = mustCreate(
+        options(Backend, 1, 8, CombineMode::Off)); // 1 shard: one batch
+    ShardedSet::Session Session = Front->openSession();
+    const SetKey Key = 7;
+    Session.enqueue(SetOp::Insert, Key);
+    Session.enqueue(SetOp::Remove, Key);
+    Session.enqueue(SetOp::Insert, Key);
+    Session.enqueue(SetOp::Contains, Key);
+    // Interleave a second key to prove sorting doesn't reorder the
+    // same-key subsequence.
+    Session.enqueue(SetOp::Insert, 3);
+    Session.flush();
+    const std::vector<BatchOp> Done = Session.takeCompleted();
+    ASSERT_EQ(Done.size(), 5u) << Backend;
+    EXPECT_TRUE(Done[0].Result) << Backend;  // insert into empty
+    EXPECT_TRUE(Done[1].Result) << Backend;  // remove it
+    EXPECT_TRUE(Done[2].Result) << Backend;  // insert again
+    EXPECT_TRUE(Done[3].Result) << Backend;  // present
+    EXPECT_TRUE(Done[4].Result) << Backend;
+    EXPECT_EQ(Front->snapshot(), (std::vector<SetKey>{3, Key}));
+  }
+}
+
+// The ConcurrentSet face routes per-op; the routing invariant in
+// checkInvariants verifies every stored key hashes to its shard.
+TEST(ShardedSetTest, DirectInterfaceAndRouting) {
+  auto Front = mustCreate(options("vbl", 8, 1, CombineMode::Off));
+  std::set<SetKey> Model;
+  Xoshiro256 Rng(5);
+  for (int I = 0; I != 2000; ++I) {
+    const auto Key = static_cast<SetKey>(Rng.nextBounded(128));
+    if (Rng.nextBounded(2)) {
+      ASSERT_EQ(Front->insert(Key), Model.insert(Key).second);
+    } else {
+      ASSERT_EQ(Front->remove(Key), Model.erase(Key) != 0);
+    }
+  }
+  EXPECT_TRUE(Front->checkInvariants());
+  EXPECT_EQ(Front->snapshot(),
+            std::vector<SetKey>(Model.begin(), Model.end()));
+}
+
+//===--------------------------------------------------------------===//
+// Concurrent per-key linearizability
+//===--------------------------------------------------------------===//
+
+// Batched ops: interval = [enqueue, flush-return]. The op's actual
+// linearization (inside the backend during the flush) lies within, so
+// if the widened history linearizes per key, so does the execution.
+void concurrentLincheck(const std::string &Backend, unsigned Batch,
+                        CombineMode Mode) {
+  auto Front = mustCreate(options(Backend, 2, Batch, Mode));
+  std::vector<SetKey> Initial;
+  for (SetKey Key = 0; Key < 8; Key += 2) {
+    Front->insert(Key);
+    Initial.push_back(Key);
+  }
+  constexpr unsigned Threads = 4;
+  lin::HistoryRecorder Recorder(Threads);
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      auto &Log = Recorder.threadLog(T);
+      ShardedSet::Session Session = Front->openSession();
+      Xoshiro256 Rng(T + 91);
+      Barrier.arriveAndWait();
+      const auto Drain = [&] {
+        const uint64_t Response = nowNanos();
+        for (const BatchOp &Done : Session.takeCompleted())
+          Log.record(Done.Op, Done.Key, Done.Result, Done.Tag,
+                     Response);
+      };
+      for (int I = 0; I != 3000; ++I) {
+        const auto Key = static_cast<SetKey>(Rng.nextBounded(8));
+        const unsigned Kind = static_cast<unsigned>(Rng.nextBounded(3));
+        const SetOp Op = Kind == 0   ? SetOp::Insert
+                         : Kind == 1 ? SetOp::Remove
+                                     : SetOp::Contains;
+        Session.enqueue(Op, Key, nowNanos());
+        Drain();
+      }
+      Session.flush();
+      Drain();
+    });
+  for (auto &Worker : Workers)
+    Worker.join();
+  EXPECT_TRUE(Front->checkInvariants()) << Backend;
+  const lin::LinResult Result =
+      lin::checkSetHistory(Recorder.merged(), Initial);
+  EXPECT_TRUE(Result.Ok) << Backend << ": " << Result.Message;
+}
+
+TEST(ShardedSetTest, LinearizableBatched) {
+  for (const char *Backend : Backends)
+    concurrentLincheck(Backend, 4, CombineMode::Off);
+}
+
+TEST(ShardedSetTest, LinearizableCombining) {
+  for (const char *Backend : Backends)
+    concurrentLincheck(Backend, 4, CombineMode::On);
+}
+
+TEST(ShardedSetTest, LinearizableAdaptive) {
+  for (const char *Backend : Backends)
+    concurrentLincheck(Backend, 1, CombineMode::Adaptive);
+}
+
+// Concurrent differential on final state: updates only, disjoint key
+// slices per thread, so the final snapshot is deterministic.
+TEST(ShardedSetTest, ConcurrentDisjointSlices) {
+  auto Front = mustCreate(options("vbl", 4, 8, CombineMode::On));
+  constexpr unsigned Threads = 4;
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      ShardedSet::Session Session = Front->openSession();
+      Barrier.arriveAndWait();
+      const SetKey Base = static_cast<SetKey>(T) * 100;
+      for (SetKey Key = Base; Key != Base + 50; ++Key)
+        Session.enqueue(SetOp::Insert, Key);
+      for (SetKey Key = Base; Key != Base + 50; Key += 2)
+        Session.enqueue(SetOp::Remove, Key);
+      Session.flush();
+    });
+  for (auto &Worker : Workers)
+    Worker.join();
+  EXPECT_TRUE(Front->checkInvariants());
+  std::vector<SetKey> Expected;
+  for (unsigned T = 0; T != Threads; ++T)
+    for (SetKey Key = T * 100 + 1; Key < T * 100 + 50; Key += 2)
+      Expected.push_back(Key);
+  EXPECT_EQ(Front->snapshot(), Expected);
+}
+
+//===--------------------------------------------------------------===//
+// Registry descriptions and the suggestion path
+//===--------------------------------------------------------------===//
+
+TEST(ShardedSetTest, UnknownBackendSuggestsClosestNames) {
+  ShardedSet::Options Opts;
+  Opts.Backend = "vlb"; // transposition of "vbl"
+  std::string Error;
+  EXPECT_EQ(ShardedSet::create(Opts, &Error), nullptr);
+  EXPECT_NE(Error.find("unknown backend 'vlb'"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("did you mean"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("vbl"), std::string::npos) << Error;
+}
+
+TEST(ShardedSetTest, RegistryDescriptionsAreComplete) {
+  const std::vector<SetDescription> All = registeredSetDescriptions();
+  EXPECT_GE(All.size(), 27u);
+  for (const SetDescription &D : All) {
+    EXPECT_FALSE(D.Describe.empty()) << D.Name;
+    // Every described name must resolve through the factory.
+    EXPECT_NE(makeSet(D.Name), nullptr) << D.Name;
+  }
+  EXPECT_FALSE(setDescription("vbl").empty());
+  EXPECT_TRUE(setDescription("no-such-backend").empty());
+  const std::vector<std::string> Close = suggestSetNames("vbl-chunck");
+  ASSERT_FALSE(Close.empty());
+  EXPECT_EQ(Close.front(), "vbl-chunk");
+}
+
+TEST(ShardedSetTest, CombineModeParsing) {
+  CombineMode Mode = CombineMode::Off;
+  EXPECT_TRUE(parseCombineMode("adaptive", Mode));
+  EXPECT_EQ(static_cast<int>(Mode),
+            static_cast<int>(CombineMode::Adaptive));
+  EXPECT_FALSE(parseCombineMode("sometimes", Mode));
+  EXPECT_STREQ(combineModeName(CombineMode::On), "on");
+}
+
+} // namespace

@@ -1,0 +1,294 @@
+//===- tests/service/TrafficGenTest.cpp - Traffic model statistics -------===//
+//
+// Part of the VBL project: a reproduction of "Optimal Concurrency for
+// List-Based Sets" (PACT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Statistical acceptance for the service traffic model. Every test is
+/// seeded, so the draws — and therefore the test statistics — are
+/// bit-exact across runs: a failure is a generator bug, not noise.
+///
+///  - theta = 0 must degenerate to uniform (chi-squared test against
+///    the uniform expectation, threshold far above the df=63 critical
+///    value at alpha = 0.001);
+///  - hot-key empirical mass must match ZipfianGen::rankMass's closed
+///    form (the Gray et al. inversion realizes the distribution it
+///    advertises);
+///  - the update-mix schedule must switch phases exactly on its op
+///    boundaries, and the realized update fraction must track the
+///    configured percentage;
+///  - TrafficGen must partition the session space across workers and
+///    replay identically for identical (seed, worker).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/TrafficGen.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+using namespace vbl;
+using namespace vbl::service;
+
+namespace {
+
+//===--------------------------------------------------------------===//
+// ZipfianGen
+//===--------------------------------------------------------------===//
+
+// theta = 0: every rank must be exactly equally likely. Pearson's
+// chi-squared over 64 bins with 64000 draws; the critical value for
+// df = 63 at alpha = 0.001 is 103.4, and the seeded statistic is
+// deterministic, so a pass is stable and a generator skew (e.g. the
+// inversion's eta misapplied at theta = 0) blows far past the bound.
+TEST(ZipfianGenTest, ThetaZeroIsUniformChiSquared) {
+  constexpr uint64_t Bins = 64;
+  constexpr uint64_t Draws = 64000;
+  ZipfianGen Zipf(Bins, 0.0);
+  Xoshiro256 Rng(12345);
+  std::vector<uint64_t> Counts(Bins, 0);
+  for (uint64_t I = 0; I != Draws; ++I) {
+    const uint64_t Rank = Zipf.next(Rng);
+    ASSERT_LT(Rank, Bins);
+    ++Counts[Rank];
+  }
+  const double Expected = static_cast<double>(Draws) / Bins;
+  double Chi2 = 0.0;
+  for (uint64_t Count : Counts) {
+    const double Diff = static_cast<double>(Count) - Expected;
+    Chi2 += Diff * Diff / Expected;
+  }
+  EXPECT_LT(Chi2, 103.4) << "theta=0 draw is not uniform";
+}
+
+// At theta = 0, rankMass must be exactly 1/N for every rank.
+TEST(ZipfianGenTest, ThetaZeroMassIsFlat) {
+  ZipfianGen Zipf(128, 0.0);
+  for (uint64_t Rank : {0ull, 1ull, 63ull, 127ull})
+    EXPECT_NEAR(Zipf.rankMass(Rank), 1.0 / 128.0, 1e-12);
+}
+
+// The closed-form masses are a probability distribution.
+TEST(ZipfianGenTest, RankMassSumsToOne) {
+  for (double Theta : {0.0, 0.6, 0.9, 0.99}) {
+    ZipfianGen Zipf(512, Theta);
+    double Sum = 0.0;
+    for (uint64_t Rank = 0; Rank != 512; ++Rank)
+      Sum += Zipf.rankMass(Rank);
+    EXPECT_NEAR(Sum, 1.0, 1e-9) << "theta=" << Theta;
+  }
+}
+
+// Under skew, the empirical frequency of each hot rank must match the
+// closed form. The Gray et al. inversion realizes ranks 0 and 1
+// EXACTLY (they have dedicated branches: Uz < 1 and Uz < 1 +
+// 0.5^theta), so those get a tight tolerance — 400k draws put the
+// relative standard error of rank 0's count under 0.5%. Middle ranks
+// come from the continuous approximation N * (eta*U - eta + 1)^alpha,
+// which is known (YCSB inherits this) to run up to ~20% hot for the
+// first few ranks at high theta; 25% bounds the approximation while
+// still catching a broken rank mapping (adjacent hot ranks differ by
+// ~2^theta, i.e. ~100%).
+TEST(ZipfianGenTest, HotKeyMassMatchesClosedForm) {
+  constexpr uint64_t N = 1024;
+  constexpr uint64_t Draws = 400000;
+  for (double Theta : {0.6, 0.99}) {
+    ZipfianGen Zipf(N, Theta);
+    Xoshiro256 Rng(99 + static_cast<uint64_t>(Theta * 100));
+    std::vector<uint64_t> Counts(N, 0);
+    for (uint64_t I = 0; I != Draws; ++I)
+      ++Counts[Zipf.next(Rng)];
+    for (uint64_t Rank = 0; Rank != 8; ++Rank) {
+      const double Empirical =
+          static_cast<double>(Counts[Rank]) / Draws;
+      const double Expected = Zipf.rankMass(Rank);
+      const double Tolerance = Rank < 2 ? 0.02 : 0.25;
+      EXPECT_NEAR(Empirical, Expected, Expected * Tolerance)
+          << "theta=" << Theta << " rank=" << Rank;
+    }
+    // Skew ordering: the head dominates and frequencies decay.
+    EXPECT_GT(Counts[0], Counts[1]);
+    EXPECT_GT(Counts[1], Counts[15]);
+  }
+}
+
+// The generator must never emit a rank outside [0, N), including at
+// the clamped theta ~ 1 singularity and N = 1.
+TEST(ZipfianGenTest, RanksStayInRange) {
+  for (uint64_t N : {1ull, 2ull, 7ull}) {
+    for (double Theta : {0.0, 0.99, 1.0}) {
+      ZipfianGen Zipf(N, Theta);
+      SplitMix64 Rng(7);
+      for (int I = 0; I != 2000; ++I)
+        ASSERT_LT(Zipf.next(Rng), N) << "N=" << N << " theta=" << Theta;
+    }
+  }
+}
+
+//===--------------------------------------------------------------===//
+// UpdateMixSchedule
+//===--------------------------------------------------------------===//
+
+TEST(UpdateMixScheduleTest, PhasesSwitchOnExactBoundaries) {
+  UpdateMixSchedule Mix({{100, 50}, {200, 5}}, 20);
+  EXPECT_EQ(Mix.cycleOps(), 300u);
+  EXPECT_EQ(Mix.updatePercentAt(0), 50u);
+  EXPECT_EQ(Mix.updatePercentAt(99), 50u);
+  EXPECT_EQ(Mix.updatePercentAt(100), 5u);
+  EXPECT_EQ(Mix.updatePercentAt(299), 5u);
+  // Cyclic: the schedule wraps, modelling a recurring daily mix.
+  EXPECT_EQ(Mix.updatePercentAt(300), 50u);
+  EXPECT_EQ(Mix.updatePercentAt(400), 5u);
+}
+
+TEST(UpdateMixScheduleTest, EmptyScheduleIsFlatFallback) {
+  UpdateMixSchedule Mix({}, 35);
+  EXPECT_EQ(Mix.cycleOps(), 0u);
+  for (uint64_t Index : {0ull, 1ull, 12345ull})
+    EXPECT_EQ(Mix.updatePercentAt(Index), 35u);
+}
+
+//===--------------------------------------------------------------===//
+// BurstyArrivals
+//===--------------------------------------------------------------===//
+
+// Exponential interarrivals: the sample mean over 200k draws must sit
+// within 2% of the configured mean (relative SE = 1/sqrt(n) ~ 0.22%).
+TEST(BurstyArrivalsTest, MeanGapMatchesConfig) {
+  BurstyArrivals::Config Cfg;
+  Cfg.MeanGapNs = 1000.0;
+  BurstyArrivals Arrivals(Cfg);
+  Xoshiro256 Rng(4242);
+  double Sum = 0.0;
+  constexpr int Draws = 200000;
+  for (int I = 0; I != Draws; ++I)
+    Sum += static_cast<double>(Arrivals.nextGapNs(Rng));
+  EXPECT_NEAR(Sum / Draws, 1000.0, 20.0);
+}
+
+// Burst phases must run BurstFactor times hotter than calm phases.
+TEST(BurstyArrivalsTest, BurstPhasesAreHotter) {
+  BurstyArrivals::Config Cfg;
+  Cfg.MeanGapNs = 1000.0;
+  Cfg.BurstFactor = 10.0;
+  Cfg.BurstOps = 500;
+  Cfg.CalmOps = 500;
+  BurstyArrivals Arrivals(Cfg);
+  Xoshiro256 Rng(4243);
+  double BurstSum = 0.0, CalmSum = 0.0;
+  constexpr int Cycles = 200;
+  for (int C = 0; C != Cycles; ++C) {
+    for (uint64_t I = 0; I != Cfg.BurstOps; ++I)
+      BurstSum += static_cast<double>(Arrivals.nextGapNs(Rng));
+    for (uint64_t I = 0; I != Cfg.CalmOps; ++I)
+      CalmSum += static_cast<double>(Arrivals.nextGapNs(Rng));
+  }
+  const double BurstMean = BurstSum / (Cycles * Cfg.BurstOps);
+  const double CalmMean = CalmSum / (Cycles * Cfg.CalmOps);
+  EXPECT_NEAR(BurstMean, 100.0, 5.0);
+  EXPECT_NEAR(CalmMean, 1000.0, 50.0);
+}
+
+//===--------------------------------------------------------------===//
+// TrafficGen
+//===--------------------------------------------------------------===//
+
+TEST(TrafficGenTest, SessionSpacePartitionsAcrossWorkers) {
+  TrafficConfig Cfg;
+  Cfg.Sessions = 10; // deliberately not divisible by 4
+  constexpr unsigned Workers = 4;
+  uint64_t Total = 0;
+  for (unsigned W = 0; W != Workers; ++W) {
+    TrafficGen Gen(Cfg, W, Workers);
+    Total += Gen.sessionsOwned();
+  }
+  EXPECT_EQ(Total, Cfg.Sessions);
+}
+
+TEST(TrafficGenTest, SameSeedReplaysIdentically) {
+  TrafficConfig Cfg;
+  Cfg.Theta = 0.9;
+  Cfg.Sessions = 64;
+  Cfg.Seed = 777;
+  TrafficGen A(Cfg, 0, 2), B(Cfg, 0, 2);
+  for (int I = 0; I != 5000; ++I) {
+    const TrafficGen::Item X = A.next(), Y = B.next();
+    ASSERT_EQ(X.Key, Y.Key);
+    ASSERT_EQ(static_cast<int>(X.Op), static_cast<int>(Y.Op));
+    ASSERT_EQ(X.SessionId, Y.SessionId);
+  }
+  // Distinct workers own disjoint session slices, so their streams
+  // must diverge immediately in session ids.
+  TrafficGen C(Cfg, 1, 2);
+  EXPECT_NE(A.next().SessionId, C.next().SessionId);
+}
+
+TEST(TrafficGenTest, KeysStayInRangeAndFollowSkew) {
+  TrafficConfig Cfg;
+  Cfg.KeyRange = 256;
+  Cfg.Theta = 0.99;
+  Cfg.Sessions = 128;
+  TrafficGen Gen(Cfg, 0, 1);
+  std::map<SetKey, uint64_t> Counts;
+  constexpr int Draws = 100000;
+  for (int I = 0; I != Draws; ++I) {
+    const TrafficGen::Item It = Gen.next();
+    ASSERT_GE(It.Key, 0);
+    ASSERT_LT(It.Key, Cfg.KeyRange);
+    ++Counts[It.Key];
+  }
+  // Rank 0 is the hottest key; at theta=0.99 it should dwarf the
+  // median key even though every session draws independently.
+  EXPECT_GT(Counts[0], static_cast<uint64_t>(Draws) / 20);
+  EXPECT_GT(Counts[0], Counts[128] * 10);
+}
+
+// The realized update fraction must track the flat percentage (the op
+// coin is per-session, so this also exercises the per-session streams).
+TEST(TrafficGenTest, UpdateFractionMatchesPercent) {
+  for (unsigned Percent : {0u, 20u, 100u}) {
+    TrafficConfig Cfg;
+    Cfg.UpdatePercent = Percent;
+    Cfg.Sessions = 256;
+    Cfg.Seed = 31 + Percent;
+    TrafficGen Gen(Cfg, 0, 1);
+    constexpr int Draws = 100000;
+    int Updates = 0;
+    for (int I = 0; I != Draws; ++I)
+      if (Gen.next().Op != SetOp::Contains)
+        ++Updates;
+    EXPECT_NEAR(static_cast<double>(Updates) / Draws,
+                Percent / 100.0, 0.01)
+        << "percent=" << Percent;
+  }
+}
+
+// With a phase schedule, the update fraction must follow the phase the
+// global op counter is in — measured per phase window across cycles.
+TEST(TrafficGenTest, MixPhasesShapeTheStream) {
+  TrafficConfig Cfg;
+  Cfg.Sessions = 64;
+  Cfg.Phases = {{1000, 80}, {1000, 0}};
+  TrafficGen Gen(Cfg, 0, 1);
+  uint64_t HeavyUpdates = 0, QuietUpdates = 0;
+  constexpr int Cycles = 40;
+  for (int C = 0; C != Cycles; ++C) {
+    for (int I = 0; I != 1000; ++I)
+      if (Gen.next().Op != SetOp::Contains)
+        ++HeavyUpdates;
+    for (int I = 0; I != 1000; ++I)
+      if (Gen.next().Op != SetOp::Contains)
+        ++QuietUpdates;
+  }
+  EXPECT_NEAR(static_cast<double>(HeavyUpdates) / (Cycles * 1000),
+              0.80, 0.02);
+  EXPECT_EQ(QuietUpdates, 0u);
+}
+
+} // namespace

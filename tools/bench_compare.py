@@ -2,8 +2,13 @@
 """Gate a benchmark run against a committed baseline.
 
 Matches candidate records to baseline records on the identity tuple
-(bench, structure, threads, key_range, update_pct) and compares
-throughput. Because the baseline and the candidate almost never run on
+(bench, structure, threads, key_range, update_pct) and compares a
+chosen field: throughput by default, or a latency percentile via
+--field p50_ns / p99_ns / p999_ns (latency ratios are inverted —
+baseline/candidate — so that > 1 is an improvement for every field,
+and points where either side lacks the percentile are skipped with a
+note rather than failing, since throughput-only sweeps emit null
+latencies). Because the baseline and the candidate almost never run on
 the same machine (committed baseline vs CI runner), raw ratios mix
 machine speed with real regressions; instead the gate normalizes every
 candidate/baseline ratio by the median ratio of its thread-count group
@@ -31,6 +36,14 @@ import argparse
 import json
 import sys
 from statistics import geometric_mean, median
+
+# --field name -> (json key, True when smaller raw values are better).
+FIELDS = {
+    "throughput": ("throughput_ops_s", False),
+    "p50_ns": ("p50_latency_ns", True),
+    "p99_ns": ("p99_latency_ns", True),
+    "p999_ns": ("p999_latency_ns", True),
+}
 
 
 def load_records(path):
@@ -69,7 +82,13 @@ def main():
                         help="allowed normalized shortfall (0.25 = a "
                         "point may be 25%% below the run's median "
                         "speed ratio)")
+    parser.add_argument("--field", choices=sorted(FIELDS),
+                        default="throughput",
+                        help="record field to gate on (latency fields "
+                        "compare baseline/candidate, so > 1 is always "
+                        "an improvement)")
     args = parser.parse_args()
+    field_key, smaller_is_better = FIELDS[args.field]
 
     baseline = load_records(args.baseline)
     candidate = load_records(args.candidate)
@@ -81,48 +100,64 @@ def main():
 
     matched = []
     missing = []
+    skipped = 0
     for key, base in baseline.items():
         cand = candidate.get(key)
         if cand is None:
             missing.append(key)
             continue
-        base_tput = float(base["throughput_ops_s"])
-        cand_tput = float(cand["throughput_ops_s"])
-        if base_tput <= 0:
+        base_val = base.get(field_key)
+        cand_val = cand.get(field_key)
+        if base_val is None or cand_val is None:
+            # Latency percentiles are null on throughput-only sweeps;
+            # a null is absent data, not a regression.
+            skipped += 1
             continue
-        matched.append((key, cand_tput / base_tput))
+        base_val = float(base_val)
+        cand_val = float(cand_val)
+        if base_val <= 0 or cand_val <= 0:
+            continue
+        # Orient every ratio so > 1 means the candidate improved.
+        ratio = (base_val / cand_val if smaller_is_better
+                 else cand_val / base_val)
+        matched.append((key, ratio, base_val, cand_val))
 
     if missing:
         for key in missing:
             print(f"error: candidate is missing baseline point {key}",
                   file=sys.stderr)
         return 2
+    if skipped:
+        print(f"note: skipped {skipped} point(s) without "
+              f"{field_key} on both sides")
     if not matched:
         print("error: no comparable points", file=sys.stderr)
         return 2
 
-    global_scale = median(ratio for _, ratio in matched)
+    global_scale = median(ratio for _, ratio, _, _ in matched)
     if global_scale <= 0:
         print(f"error: nonsensical median speed ratio {global_scale}",
               file=sys.stderr)
         return 2
     groups = {}
-    for key, ratio in matched:
+    for key, ratio, _, _ in matched:
         groups.setdefault(key[2], []).append(ratio)
     # Small groups fall back to the global normalizer: a median over a
     # couple of points would let a regressed point normalize itself.
     scales = {threads: (median(ratios) if len(ratios) >= 3
                         else global_scale)
               for threads, ratios in groups.items()}
-    print(f"{len(matched)} matched points; median speed ratio "
-          f"candidate/baseline = {global_scale:.3f}, per-thread-group " +
+    print(f"{len(matched)} matched points on {field_key}; median ratio "
+          f"= {global_scale:.3f}, per-thread-group " +
           ", ".join(f"{t}t={s:.3f}" for t, s in sorted(scales.items())))
 
     floor = 1.0 - args.tolerance
     structures = {}
-    for key, ratio in sorted(matched, key=lambda item: item[1]):
+    for key, ratio, base_val, cand_val in sorted(
+            matched, key=lambda item: item[1]):
         normalized = ratio / scales[key[2]]
-        print(f"  [point] {key}: raw x{ratio:.3f}, "
+        print(f"  [point] {key}: base {base_val:.4g}, "
+              f"cand {cand_val:.4g}, raw x{ratio:.3f}, "
               f"normalized x{normalized:.3f}")
         structures.setdefault((key[0], key[1]), []).append(normalized)
 

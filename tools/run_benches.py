@@ -4,7 +4,8 @@
 Produces one vbl-bench-v1 document from a fixed set of short bench
 invocations (fig1_small_contended, hashset_scaling, micro_reclaim,
 reclamation_cost, readonly_traversal, skiplist_crossover,
-unrolled_crossover, micro_locks and schedule_acceptance), stamped with
+unrolled_crossover, latency_profile, service_throughput, micro_locks
+and schedule_acceptance), stamped with
 run context (git sha, host, core count, date). This is the suite the
 CI bench-smoke job runs on every PR; tools/bench_compare.py gates the
 result against the committed BENCH_baseline.json.
@@ -60,6 +61,21 @@ def bench_invocations(args):
         # show; 64k stays out of the smoke suite like everywhere else.
         ("unrolled_crossover", common + ["--threads", args.threads,
                                          "--ranges", "128,8192"]),
+        # Per-op tails under the Fig. 1 workload; its latency windows
+        # are single repetitions, so no --warmup-ms/--repeats.
+        ("latency_profile", ["--threads", args.threads,
+                             "--duration-ms", str(args.duration_ms),
+                             "--seed", str(args.seed),
+                             "--algos", "vbl,lazy,harris-michael"]),
+        # Sharded front-end smoke: uniform vs heavy skew, direct vs
+        # batched, small session table so the point stays short.
+        ("service_throughput", common + ["--threads", args.threads,
+                                         "--backends", "vbl",
+                                         "--theta", "0,0.99",
+                                         "--modes", "direct,batch",
+                                         "--shards", "4",
+                                         "--sessions", "512",
+                                         "--range", "4096"]),
         # Google-Benchmark binary: its own flag set; the uncontended
         # lock costs are stable enough to gate on.
         ("micro_locks", ["--benchmark_filter=uncontended/.*",
