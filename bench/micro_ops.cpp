@@ -47,6 +47,8 @@ void mixedOps(benchmark::State &State, ConcurrentSet &Set) {
     case SetOp::Contains:
       Result = Set.contains(Key);
       break;
+    case SetOp::RangeQuery:
+      vbl_unreachable("OpPicker yields point ops only");
     }
     benchmark::DoNotOptimize(Result);
   }
@@ -82,6 +84,8 @@ void benchStdSetMutex(benchmark::State &State) {
     case SetOp::Contains:
       Result = Set.count(Key) == 1;
       break;
+    case SetOp::RangeQuery:
+      vbl_unreachable("OpPicker yields point ops only");
     }
     benchmark::DoNotOptimize(Result);
   }

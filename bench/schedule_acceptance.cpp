@@ -64,6 +64,8 @@ template <class ListT> EpisodeFactory factoryFor(const Scenario &S) {
           tracedOp(SetOp::Contains, Key,
                    [&] { return List->contains(Key); });
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("point-op scenario corpus");
         }
       });
     };

@@ -20,6 +20,7 @@
 #include "sync/Policy.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace vbl {
 
@@ -27,11 +28,18 @@ namespace vbl {
 /// that applies the batch; `Tag` is opaque to every backend and carried
 /// through untouched (the service layer stores enqueue timestamps in
 /// it).
+///
+/// RangeQuery ops scan [Key, KeyHi] and append the keys found to
+/// `*Keys` (ascending within one backend visit); `Result` reports
+/// whether the scan returned at least one key. `KeyHi`/`Keys` are
+/// ignored by the point ops.
 struct BatchOp {
   SetOp Op = SetOp::Contains;
   SetKey Key = 0;
+  SetKey KeyHi = 0;
   bool Result = false;
   uint64_t Tag = 0;
+  std::vector<SetKey> *Keys = nullptr;
 };
 
 } // namespace vbl

@@ -364,6 +364,104 @@ public:
     }
   }
 
+  /// Linearizable range scan: appends every key in [Lo, Hi] to \p Out,
+  /// sorted, and returns how many were appended.
+  ///
+  /// Optimistic protocol (see DESIGN.md "Multi-chunk scan windows"):
+  /// route to the chunk covering Lo (the head sentinel when Lo is below
+  /// every anchor — a concurrent spliceAfterHead commits under the
+  /// head's lock, so the head's version must be part of the window),
+  /// then per chunk record the seqlock version, check liveness, collect
+  /// the published slots, and advance until the successor's anchor
+  /// exceeds Hi. Afterwards re-validate the whole window with
+  /// ChunkLock::readValidate: every structural change that can move a
+  /// key across [Lo, Hi] — slot publish/clear, freeze-and-replace,
+  /// unlink, splice — commits under the lock of some window chunk, so
+  /// an all-even, all-unchanged window proves the collect equals the
+  /// window's content at the moment of its last read (the scan's
+  /// linearization point). A failed probe, a frozen chunk or a version
+  /// change retries (scan.retries); after ScanMaxRetries the scan
+  /// finishes under per-chunk locks instead (scan.fallbacks), which
+  /// keeps per-key linearizability and uses an anchor cursor to neither
+  /// duplicate nor drop keys across lock hand-offs.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    std::vector<std::pair<const Chunk *, uint64_t>> Window;
+    for (unsigned Attempt = 0; Attempt < ScanMaxRetries; ++Attempt) {
+      Out.resize(Entry);
+      Window.clear();
+      bool Fail = false;
+      bool Stale = false;
+      auto [Pred, Start] = route(Lo, G);
+      (void)Pred;
+      const Chunk *C = Start;
+      for (;;) {
+        const uint64_t V = C->Lock.template optimisticVersion<Policy>(C);
+        if (V == ChunkLock::InvalidVersion) {
+          Fail = true;
+          break;
+        }
+        if (Policy::read(C->Marked, std::memory_order_acquire, C,
+                         MemField::Marked)) {
+          Fail = true;
+          break;
+        }
+        const uint64_t Occ =
+            Policy::read(C->Occ, std::memory_order_acquire, &C->Occ,
+                         MemField::Marked);
+        const size_t Base = Out.size();
+        collectInRange(C, Occ, Lo, Hi, Out);
+        const Chunk *Next = Policy::read(C->Next,
+                                         std::memory_order_acquire, C,
+                                         MemField::Next);
+        const SetKey NextAnchor = readAnchor(Next);
+        if constexpr (Versioned) {
+          // Certify both incarnations the hop trusted: C's content reads
+          // and Next's anchor (revivals publish birth before fields).
+          if (!Domain.validAt(C, G.version()) ||
+              !Domain.validAt(Next, G.version())) {
+            Stale = true;
+            break;
+          }
+        }
+        // Slots are append-ordered; chunk ranges are disjoint and
+        // increasing, so a chunk-local sort yields a global order.
+        std::sort(Out.begin() + static_cast<ptrdiff_t>(Base), Out.end());
+        Window.emplace_back(C, V);
+        if (NextAnchor > Hi)
+          break;
+        C = Next;
+      }
+      if (!Fail && !Stale) {
+        // Whole-window revalidation: all validates run after the last
+        // collect, so success pins every chunk's content at that point.
+        for (const auto &[WC, WV] : Window)
+          if (!WC->Lock.template readValidate<Policy>(WV, WC)) {
+            Fail = true;
+            break;
+          }
+        if (!Fail) {
+          stats::noteTraversal(Window.size());
+          return Out.size() - Entry;
+        }
+      }
+      if constexpr (Versioned) {
+        if (Stale)
+          G.refresh();
+      }
+      stats::bump(stats::Counter::ScanRetries);
+      Policy::onRestart();
+    }
+    stats::bump(stats::Counter::ScanFallbacks);
+    Out.resize(Entry);
+    return lockedScan(Lo, Hi, Out, G);
+  }
+
   //===--------------------------------------------------------------===//
   // Test and tooling support (not part of the concurrent hot path).
   //===--------------------------------------------------------------===//
@@ -628,6 +726,104 @@ private:
         return I;
     }
     return -1;
+  }
+
+  /// Optimistic-scan retry budget before rangeQuery downgrades to the
+  /// per-chunk lock fallback.
+  static constexpr unsigned ScanMaxRetries = 3;
+
+  /// Appends the published keys of \p C that fall inside [Lo, Hi]
+  /// (slot reads in scanFor flavour: part of an optimistic read).
+  void collectInRange(const Chunk *C, uint64_t Occ, SetKey Lo, SetKey Hi,
+                      std::vector<SetKey> &Out) const {
+    uint64_t Bits = Occ;
+    while (Bits) {
+      const int I = std::countr_zero(Bits);
+      Bits &= Bits - 1;
+      const SetKey K =
+          Policy::read(C->Keys[static_cast<size_t>(I)], SlotReadOrder,
+                       &C->Keys[static_cast<size_t>(I)], MemField::Val);
+      if (K >= Lo && K <= Hi)
+        Out.push_back(K);
+    }
+  }
+
+  /// Range-scan fallback: collect each window chunk's keys under its
+  /// own lock, hand-over-chunk. Only per-chunk atomicity (every key is
+  /// read under a lock, so per-key linearizability holds — the same
+  /// guarantee contains() gives). The anchor cursor makes restarts
+  /// (frozen chunk found at acquire time) re-route without duplicating
+  /// keys already committed: a chunk's keys are all >= its anchor, and
+  /// the cursor only advances to anchors of fully collected successors.
+  //
+  // Suppressed: the loop acquires and releases chunk locks through a
+  // moving pointer, which the analysis cannot name lexically.
+  size_t lockedScan(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out,
+                    typename Reclaim::Guard &G) const
+      VBL_NO_THREAD_SAFETY_ANALYSIS {
+    const size_t Entry = Out.size();
+    SetKey Cursor = Lo;
+    uint64_t Chunks = 0;
+    for (bool Done = false; !Done;) {
+      auto [Pred, C] = route(Cursor, G);
+      (void)Pred;
+      bool Restart = false;
+      while (!Done && !Restart) {
+        if (!C->Lock.template acquireIfValidSince<Policy>(
+                C, ChunkLock::InvalidVersion, [&] {
+                  if (Policy::readCheck(C->Marked,
+                                        std::memory_order_acquire, C,
+                                        MemField::Marked))
+                    return false;
+                  if constexpr (Versioned) {
+                    // Pin the incarnation the route (or the previous
+                    // hop's successor read) certified.
+                    if (!Domain.validAt(C, G.version()))
+                      return false;
+                  }
+                  return true;
+                })) {
+          stats::bump(stats::Counter::ChunkValidationAborts);
+          if constexpr (Versioned)
+            G.refresh();
+          Policy::onRestart();
+          Restart = true;
+          break;
+        }
+        const uint64_t Occ =
+            Policy::readCheck(C->Occ, std::memory_order_acquire, &C->Occ,
+                              MemField::Marked);
+        const size_t Base = Out.size();
+        uint64_t Bits = Occ;
+        while (Bits) {
+          const int I = std::countr_zero(Bits);
+          Bits &= Bits - 1;
+          const SetKey K = Policy::readCheck(
+              C->Keys[static_cast<size_t>(I)], SlotReadOrder,
+              &C->Keys[static_cast<size_t>(I)], MemField::Val);
+          if (K >= Cursor && K <= Hi)
+            Out.push_back(K);
+        }
+        std::sort(Out.begin() + static_cast<ptrdiff_t>(Base), Out.end());
+        // Under C's lock, Next is C's genuine successor and cannot be
+        // frozen (its freezer needs this lock), so its anchor is
+        // trustworthy without further certification.
+        Chunk *Next = Policy::readCheck(C->Next,
+                                        std::memory_order_acquire, C,
+                                        MemField::Next);
+        const SetKey NextAnchor = rawAnchor(Next);
+        C->Lock.template release<Policy>(C);
+        ++Chunks;
+        if (NextAnchor > Hi) {
+          Done = true;
+          break;
+        }
+        Cursor = NextAnchor > Cursor ? NextAnchor : Cursor;
+        C = Next;
+      }
+    }
+    stats::noteTraversal(Chunks);
+    return Out.size() - Entry;
   }
 
   /// scanFor in validation flavour (under the chunk lock; the schedule

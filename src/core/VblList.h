@@ -48,6 +48,7 @@
 #include "sync/SpinLocks.h"
 
 #include <atomic>
+#include <functional>
 #include <new>
 #include <tuple>
 #include <type_traits>
@@ -130,6 +131,71 @@ public:
   /// Wait-free membership test. Reads only values and next pointers —
   /// no locks, no deletion marks (the "value-based" in VBL).
   bool contains(SetKey Key) const { return containsFrom(Key, Head); }
+
+  /// Wait-free range scan: appends the keys in [\p Lo, \p Hi] to
+  /// \p Out, ascending, and returns how many were appended. The walk is
+  /// the value-based traversal of contains() extended past the first
+  /// in-range node — no locks, no deletion marks — so each collected
+  /// key is justified by the same single value read that linearizes a
+  /// contains(key)==true at that hop, and each skipped key by the
+  /// ordered pair of reads that straddles it: per-key linearizable over
+  /// the scan's interval. Under VBR every hop is birth-certified and a
+  /// reject restarts the whole collect from the head (lock-free).
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    if constexpr (Versioned) {
+      for (;;) {
+        Out.resize(Entry); // Discard any partial attempt.
+        const Node *Curr = Policy::read(Head->Next,
+                                        std::memory_order_acquire, Head,
+                                        MemField::Next);
+        uint64_t Hops = 0;
+        bool Restart = false;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          const Node *Succ = Policy::read(Curr->Next,
+                                          std::memory_order_acquire, Curr,
+                                          MemField::Next);
+          if (!Domain.validAt(Curr, G.version())) {
+            Restart = true; // Recycled under us: redo the collect.
+            break;
+          }
+          if (Val > Hi)
+            break;
+          if (Val >= Lo)
+            Out.push_back(Val);
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        if (!Restart)
+          return Out.size() - Entry;
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      const Node *Curr = Head;
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0;
+      while (Val <= Hi) {
+        if (Val >= Lo)
+          Out.push_back(Val);
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return Out.size() - Entry;
+    }
+  }
 
   //===--------------------------------------------------------------===//
   // Split-ordered hash substrate hooks. Identical protocols to the
@@ -267,6 +333,16 @@ public:
     for (size_t I = 0; I != N; ++I) {
       BatchOp &O = *Ops[I];
       VBL_ASSERT(isUserKey(O.Key), "sentinel keys are reserved");
+      // Same-key ops must arrive in submission order — the per-key FIFO
+      // contract. SetAdapter sorts by (Key, submission index), which
+      // puts equal keys in ascending array-slot order; pin that here so
+      // a caller (or future sort change) that hands equal keys out of
+      // order trips the assertion instead of silently reordering an
+      // insert(k);remove(k) pair.
+      VBL_ASSERT(I == 0 || Ops[I - 1]->Key < O.Key ||
+                     (Ops[I - 1]->Key == O.Key &&
+                      std::less<const BatchOp *>()(Ops[I - 1], Ops[I])),
+                 "same-key batch ops must stay in submission order");
       if (Versioned || O.Key < LastKey)
         Anchor = Head; // VBR head-only anchors; defensive unsorted reset.
       LastKey = O.Key;
@@ -280,6 +356,15 @@ public:
       case SetOp::Contains:
         O.Result = containsCore(O.Key, Anchor, G);
         break;
+      case SetOp::RangeQuery: {
+        // Scans walk from the head on their own nested guard; the
+        // carried anchor (prev.val < LastKey <= every later key) is
+        // left untouched for the following point ops.
+        std::vector<SetKey> Discard;
+        std::vector<SetKey> &Sink = O.Keys ? *O.Keys : Discard;
+        O.Result = rangeQuery(O.Key, O.KeyHi, Sink) != 0;
+        break;
+      }
       }
     }
   }

@@ -69,6 +69,8 @@ RunResult vbl::harness::runOnce(ConcurrentSet &Set,
         case SetOp::Contains:
           Set.contains(Key);
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("OpPicker yields point ops only");
         }
       }
       // Measured window.
@@ -85,6 +87,8 @@ RunResult vbl::harness::runOnce(ConcurrentSet &Set,
         case SetOp::Contains:
           Set.contains(Key);
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("OpPicker yields point ops only");
         }
         ++Ops;
       }
@@ -150,6 +154,8 @@ RunResult vbl::harness::runOnceLatency(ConcurrentSet &Set,
         case SetOp::Contains:
           Set.contains(Key);
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("OpPicker yields point ops only");
         }
         const uint64_t End = nowNanos();
         auto &Bucket = Mine.PerOp[static_cast<int>(Op)];

@@ -37,6 +37,12 @@ public:
   void setResult(unsigned Threads, const std::string &Algorithm,
                  const SampleStats &Stats);
 
+  /// Stores the counter delta for (Threads, Algorithm). measureAll
+  /// fills this itself; benches with their own measurement loop (scan
+  /// mixes) use this so print()/appendJson() carry their counters too.
+  void setStats(unsigned Threads, const std::string &Algorithm,
+                const stats::Snapshot &Stats);
+
   /// Runs the full sweep with \p Base (Threads field overwritten).
   void measureAll(const WorkloadConfig &Base);
 

@@ -38,6 +38,19 @@ struct CompletedOp {
   uint32_t Thread;
 };
 
+/// One completed range scan: the window it covered, the keys it
+/// returned, and its real-time interval. Scans are not checked
+/// directly; decomposeScans() lowers each one to per-key Contains
+/// observations that ride through the standard per-key decomposition.
+struct CompletedScan {
+  SetKey Lo;
+  SetKey Hi;
+  std::vector<SetKey> Keys;
+  uint64_t Invoke;
+  uint64_t Response;
+  uint32_t Thread;
+};
+
 /// Collects per-thread logs without cross-thread synchronization; the
 /// merge happens after the threads under test have joined.
 class HistoryRecorder {

@@ -65,6 +65,11 @@ private:
         return false;
       NextPresent = Present;
       return true;
+    case SetOp::RangeQuery:
+      // Scans never reach the per-key search directly: decomposeScans()
+      // lowers them to Contains observations first. A raw RangeQuery
+      // record is a caller bug; fail the check loudly rather than guess.
+      return false;
     }
     vbl_unreachable("covered switch");
   }
@@ -136,6 +141,24 @@ bool vbl::lin::checkSingleKeyHistory(std::vector<CompletedOp> Ops,
                                      bool InitiallyPresent) {
   SingleKeySearch Search(std::move(Ops), InitiallyPresent);
   return Search.run();
+}
+
+std::vector<CompletedOp>
+vbl::lin::decomposeScans(const std::vector<CompletedScan> &Scans,
+                         const std::vector<SetKey> &Universe) {
+  std::vector<CompletedOp> Synthesized;
+  for (const CompletedScan &Scan : Scans) {
+    std::unordered_set<SetKey> Reported(Scan.Keys.begin(),
+                                        Scan.Keys.end());
+    for (SetKey Key : Universe) {
+      if (Key < Scan.Lo || Key > Scan.Hi)
+        continue;
+      Synthesized.push_back({SetOp::Contains, Key,
+                             Reported.count(Key) == 1, Scan.Invoke,
+                             Scan.Response, Scan.Thread});
+    }
+  }
+  return Synthesized;
 }
 
 LinResult vbl::lin::checkSetHistory(

@@ -57,6 +57,19 @@ LinResult checkSetHistory(const std::vector<CompletedOp> &History,
 bool checkSingleKeyHistory(std::vector<CompletedOp> Ops,
                            bool InitiallyPresent);
 
+/// Lowers range scans to per-key Contains observations suitable for
+/// checkSetHistory: for every key of \p Universe inside a scan's
+/// [Lo, Hi] window, one synthesized Contains whose result is whether
+/// the scan reported the key, carrying the scan's full [Invoke,
+/// Response] interval. This is the widened-interval contract: a scan
+/// is linearizable per key iff each such observation can be justified
+/// at SOME point inside the scan — exactly what the per-key search
+/// then decides. Keys outside \p Universe are ignored (a scan cannot
+/// be blamed for keys no operation ever touched).
+std::vector<CompletedOp>
+decomposeScans(const std::vector<CompletedScan> &Scans,
+               const std::vector<SetKey> &Universe);
+
 } // namespace lin
 } // namespace vbl
 

@@ -41,6 +41,11 @@ public:
     return Inner.contains(Key);
   }
 
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Inner.rangeQuery(Lo, Hi, Out);
+  }
+
   std::vector<SetKey> snapshot() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return Inner.snapshot();

@@ -116,6 +116,41 @@ public:
     return Present;
   }
 
+  /// Lock-coupled range scan: walks the whole prefix up to Hi holding
+  /// the coupling pair, collecting keys in [Lo, Hi]. Nodes are freed the
+  /// instant they are unlinked, so the scan — like every traversal here
+  /// — must never stand on a node it does not hold the lock of.
+  //
+  // Suppressed: see insert().
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const
+      VBL_NO_THREAD_SAFETY_ANALYSIS {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    auto *Self = const_cast<HandOverHandList *>(this);
+    const size_t Entry = Out.size();
+    Node *Prev = Self->Head;
+    Policy::lockAcquire(Prev->NodeLock, Prev);
+    Node *Curr = Policy::read(Prev->Next, std::memory_order_relaxed, Prev,
+                              MemField::Next);
+    Policy::lockAcquire(Curr->NodeLock, Curr);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val <= Hi) {
+      if (Val >= Lo)
+        Out.push_back(Val);
+      Policy::lockRelease(Prev->NodeLock, Prev);
+      Prev = Curr;
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Policy::lockAcquire(Curr->NodeLock, Curr);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    Policy::lockRelease(Curr->NodeLock, Curr);
+    Policy::lockRelease(Prev->NodeLock, Prev);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_relaxed);

@@ -141,6 +141,36 @@ public:
                                 Curr, MemField::Next));
   }
 
+  /// Wait-free range scan: appends every unmarked key in [Lo, Hi] to
+  /// \p Out in ascending order and returns how many were appended. A
+  /// node observed unmarked at its visit is reported present; its
+  /// linearization point is that next-word read.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    const Node *Curr = ptrOf(Policy::read(
+        Head->Next, std::memory_order_acquire, Head, MemField::Next));
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+    while (Val <= Hi) {
+      const uintptr_t Word = Policy::read(
+          Curr->Next, std::memory_order_acquire, Curr, MemField::Next);
+      if (Val >= Lo && !markOf(Word))
+        Out.push_back(Val);
+      Curr = ptrOf(Word);
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(ptrOf(Curr->Next.load(std::memory_order_relaxed)));
+      Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
+    }
+    stats::noteTraversal(Hops);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr =

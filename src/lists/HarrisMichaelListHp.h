@@ -129,6 +129,65 @@ public:
     return Curr->Val == Key;
   }
 
+  /// Lock-free range scan under hazard-pointer protection: the walk is
+  /// find()'s hand-over-hand protect-then-revalidate loop, collecting
+  /// unmarked keys in [Lo, Hi]. A failed revalidation or unlink CAS
+  /// restarts from the head and discards the partial collect, so the
+  /// returned keys always come from one uninterrupted protected walk.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    uint64_t Hops = 0; // Accumulated across retries; one stats call.
+  Retry:
+    Out.resize(Entry);
+    Node *Prev = Head;
+    G.clear(SlotPrev); // Head is immortal.
+    uintptr_t CurrWord = Prev->Next.load(std::memory_order_acquire);
+    for (;;) {
+      Node *Curr = ptrOf(CurrWord);
+      G.set(SlotCurr, Curr);
+      if (Prev->Next.load(std::memory_order_seq_cst) !=
+          pack(Curr, false)) {
+        stats::bump(stats::Counter::ListRestarts);
+        goto Retry;
+      }
+      const uintptr_t SuccWord =
+          Curr->Next.load(std::memory_order_acquire);
+      Node *Succ = ptrOf(SuccWord);
+      VBL_PREFETCH(Succ);
+      ++Hops;
+      if (markOf(SuccWord)) {
+        // Curr is logically deleted: unlink it, exactly as find() does,
+        // so the revalidation edge stays unmarked.
+        uintptr_t Expected = pack(Curr, false);
+        if (!Prev->Next.compare_exchange_strong(
+                Expected, pack(Succ, false), std::memory_order_release,
+                std::memory_order_acquire)) {
+          stats::bump(stats::Counter::ListCasFailures);
+          stats::bump(stats::Counter::ListRestarts);
+          goto Retry;
+        }
+        reclaim::poolRetire(Domain, Curr);
+        CurrWord = pack(Succ, false);
+        continue;
+      }
+      const SetKey Val = Curr->Val;
+      if (Val > Hi)
+        break;
+      if (Val >= Lo)
+        Out.push_back(Val);
+      Prev = Curr;
+      G.set(SlotPrev, Curr);
+      CurrWord = SuccWord;
+    }
+    stats::noteTraversal(Hops);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr =

@@ -215,6 +215,80 @@ public:
     }
   }
 
+  /// Wait-free range scan: the contains() walk extended across
+  /// [\p Lo, \p Hi], consulting each in-range node's mark exactly as
+  /// contains does — a key is collected iff a contains(key) linearized
+  /// at that hop would return true, so the scan is per-key linearizable
+  /// over its interval. Under VBR a birth reject discards the attempt
+  /// and restarts the collect from the head.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    if constexpr (Versioned) {
+      for (;;) {
+        Out.resize(Entry); // Discard any partial attempt.
+        const Node *Curr = Policy::read(Head->Next,
+                                        std::memory_order_acquire, Head,
+                                        MemField::Next);
+        uint64_t Hops = 0;
+        bool Restart = false;
+        for (;;) {
+          const SetKey Val = readVal(Curr);
+          const Node *Succ = Policy::read(Curr->Next,
+                                          std::memory_order_acquire, Curr,
+                                          MemField::Next);
+          if (!Domain.validAt(Curr, G.version())) {
+            Restart = true; // Recycled under us: redo the collect.
+            break;
+          }
+          if (Val > Hi)
+            break;
+          if (Val >= Lo) {
+            const bool Marked = Policy::read(Curr->Marked,
+                                             std::memory_order_acquire,
+                                             Curr, MemField::Marked);
+            // Certify the mark read too (see contains()).
+            if (!Domain.validAt(Curr, G.version())) {
+              Restart = true;
+              break;
+            }
+            if (!Marked)
+              Out.push_back(Val);
+          }
+          Curr = Succ;
+          ++Hops;
+        }
+        stats::noteTraversal(Hops);
+        if (!Restart)
+          return Out.size() - Entry;
+        G.refresh();
+        Policy::onRestart();
+      }
+    } else {
+      const Node *Curr = Head;
+      SetKey Val = Policy::readValue(Curr->Val, Curr);
+      uint64_t Hops = 0;
+      while (Val <= Hi) {
+        if (Val >= Lo &&
+            !Policy::read(Curr->Marked, std::memory_order_acquire, Curr,
+                          MemField::Marked))
+          Out.push_back(Val);
+        Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                            MemField::Next);
+        if constexpr (!Policy::Traced)
+          VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+        Val = Policy::readValue(Curr->Val, Curr);
+        ++Hops;
+      }
+      stats::noteTraversal(Hops);
+      return Out.size() - Entry;
+    }
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_acquire);

@@ -218,6 +218,36 @@ public:
            !Found->Marked.load(std::memory_order_acquire);
   }
 
+  /// Wait-free range scan: a tower descent positions the walk just
+  /// below Lo, then the level-0 chain is scanned up to Hi, reporting
+  /// fully linked, unmarked nodes (the same per-node test contains
+  /// applies — each reported key's linearization point is its mark
+  /// read).
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    const Node *Pred = Head;
+    for (int Level = MaxLevel - 1; Level >= 0; --Level) {
+      const Node *Curr = Pred->Next[Level].load(std::memory_order_acquire);
+      while (Curr->Val < Lo) {
+        Pred = Curr;
+        Curr = Pred->Next[Level].load(std::memory_order_acquire);
+      }
+    }
+    for (const Node *Curr = Pred->Next[0].load(std::memory_order_acquire);
+         Curr->Val <= Hi;
+         Curr = Curr->Next[0].load(std::memory_order_acquire))
+      if (Curr->Val >= Lo &&
+          Curr->FullyLinked.load(std::memory_order_acquire) &&
+          !Curr->Marked.load(std::memory_order_acquire))
+        Out.push_back(Curr->Val);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next[0].load(std::memory_order_acquire);

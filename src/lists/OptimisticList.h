@@ -142,6 +142,36 @@ public:
     }
   }
 
+  /// Lock-free range scan. There is no deletion mark: a node reached by
+  /// following live links was present at the read that reached it, which
+  /// is the per-key linearization point the scan checker relies on.
+  /// Unlinked nodes stay structurally intact until the domain reclaims
+  /// them, so the walk never locks or validates.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    const size_t Entry = Out.size();
+    const Node *Curr = Policy::read(Head->Next, std::memory_order_acquire,
+                                    Head, MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    uint64_t Hops = 0; // Accumulated locally; one stats call at the end.
+    while (Val <= Hi) {
+      if (Val >= Lo)
+        Out.push_back(Val);
+      Curr = Policy::read(Curr->Next, std::memory_order_acquire, Curr,
+                          MemField::Next);
+      if constexpr (!Policy::Traced)
+        VBL_PREFETCH(Curr->Next.load(std::memory_order_relaxed));
+      Val = Policy::readValue(Curr->Val, Curr);
+      ++Hops;
+    }
+    stats::noteTraversal(Hops);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_acquire);

@@ -129,6 +129,29 @@ public:
     return Val == Key;
   }
 
+  /// LL range scan: the reference shape every concurrent scan's exported
+  /// projection is checked against — read next(head), then alternate
+  /// read val / read next until the value exceeds Hi, collecting keys
+  /// inside [Lo, Hi].
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    const size_t Entry = Out.size();
+    const Node *Curr = Policy::read(Head->Next, std::memory_order_relaxed,
+                                    Head, MemField::Next);
+    SetKey Val = Policy::readValue(Curr->Val, Curr);
+    while (Val <= Hi) {
+      if (Val >= Lo)
+        Out.push_back(Val);
+      Curr = Policy::read(Curr->Next, std::memory_order_relaxed, Curr,
+                          MemField::Next);
+      Val = Policy::readValue(Curr->Val, Curr);
+    }
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (const Node *Curr = Head->Next.load(std::memory_order_relaxed);

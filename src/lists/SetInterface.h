@@ -19,6 +19,8 @@
 
 #include "core/BatchOp.h"
 #include "core/SetConfig.h"
+#include "stats/Stats.h"
+#include "support/Compiler.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -52,6 +54,22 @@ public:
       applyOneOf(Ops[I]);
   }
 
+  /// Concurrency-safe range scan: appends the stored keys in
+  /// [\p Lo, \p Hi] (inclusive) to \p Out, ascending within one call,
+  /// and returns the number of keys appended. Linearizable per key:
+  /// each key's presence/absence in the result is justified by some
+  /// point inside the scan's interval (the widened-interval contract
+  /// lincheck verifies); a fully atomic collect is provided where the
+  /// substrate supports it (seqlock-validated chunk windows).
+  virtual size_t rangeQuery(SetKey Lo, SetKey Hi,
+                            std::vector<SetKey> &Out) = 0;
+
+  /// Concurrency-safe full-set scan: rangeQuery over the whole user-key
+  /// domain. Backends with a restricted domain narrow it themselves.
+  virtual size_t snapshot(std::vector<SetKey> &Out) {
+    return rangeQuery(MinSentinel + 1, MaxSentinel - 1, Out);
+  }
+
   /// Quiescent-only: the user keys currently stored, in order.
   virtual std::vector<SetKey> snapshot() const = 0;
   /// Quiescent-only: structural invariants of the underlying list.
@@ -72,6 +90,14 @@ protected:
     case SetOp::Contains:
       O.Result = contains(O.Key);
       return;
+    case SetOp::RangeQuery: {
+      // Batched scans need an out-buffer; a null Keys still runs the
+      // scan (Result reports non-emptiness) into a discarded local.
+      std::vector<SetKey> Discard;
+      std::vector<SetKey> &Sink = O.Keys ? *O.Keys : Discard;
+      O.Result = rangeQuery(O.Key, O.KeyHi, Sink) != 0;
+      return;
+    }
     }
   }
 };
@@ -84,6 +110,14 @@ template <class T>
 struct HasSortedBatch<
     T, std::void_t<decltype(std::declval<T &>().applyBatchSorted(
            static_cast<BatchOp *const *>(nullptr), size_t(0)))>>
+    : std::true_type {};
+
+/// Detects the hash sets (restricted [0, 2^62) key domain) by their
+/// bucketCount() accessor, so the adapter can narrow full-set scans.
+template <class T, class = void> struct HasBucketCount : std::false_type {};
+template <class T>
+struct HasBucketCount<
+    T, std::void_t<decltype(std::declval<T &>().bucketCount())>>
     : std::true_type {};
 } // namespace detail
 
@@ -98,31 +132,46 @@ public:
 
   void applyBatch(BatchOp *Ops, size_t N) override {
     if constexpr (detail::HasSortedBatch<ListT>::value) {
-      if (N > 1) {
-        // Sort an index view, not the array: callers read results out
-        // of their own op records by position. The stable sort keeps
-        // same-key ops in submission order, which is the whole per-key
-        // FIFO contract; distinct keys commute. Thread-local scratch:
-        // an adapter is shared across threads and concurrent batch
-        // flushes to the same shard are legal.
-        static thread_local std::vector<size_t> Scratch;
-        static thread_local std::vector<BatchOp *> Sorted;
-        Scratch.resize(N);
-        std::iota(Scratch.begin(), Scratch.end(), size_t{0});
-        std::stable_sort(Scratch.begin(), Scratch.end(),
-                         [Ops](size_t A, size_t B) {
-                           return Ops[A].Key < Ops[B].Key;
-                         });
-        Sorted.resize(N);
-        for (size_t I = 0; I != N; ++I)
-          Sorted[I] = &Ops[Scratch[I]];
-        List.applyBatchSorted(Sorted.data(), N);
-        return;
+      // Point ops on distinct keys commute, so the sorted fast path may
+      // reorder them freely — but a RangeQuery observes every key in
+      // its window and does NOT commute with in-range updates. Sorting
+      // a scan piece across its neighbours (a scan sorts by its Lo
+      // bound) would move same-batch updates in or out of the scan's
+      // view. Scans therefore act as batch barriers: each maximal run
+      // of point ops is one sorted traversal, each scan runs in its
+      // submission position.
+      size_t I = 0;
+      while (I != N) {
+        if (Ops[I].Op == SetOp::RangeQuery) {
+          applyOneOf(Ops[I]);
+          ++I;
+          continue;
+        }
+        size_t End = I + 1;
+        while (End != N && Ops[End].Op != SetOp::RangeQuery)
+          ++End;
+        applySortedRun(Ops + I, End - I);
+        I = End;
       }
+      return;
     }
     ConcurrentSet::applyBatch(Ops, N);
   }
 
+  size_t rangeQuery(SetKey Lo, SetKey Hi,
+                    std::vector<SetKey> &Out) override {
+    const size_t Returned = List.rangeQuery(Lo, Hi, Out);
+    stats::bump(stats::Counter::ScanKeysReturned, Returned);
+    return Returned;
+  }
+
+  size_t snapshot(std::vector<SetKey> &Out) override {
+    if constexpr (detail::HasBucketCount<ListT>::value)
+      // Hash sets assert their restricted domain on every scan bound.
+      return rangeQuery(0, (SetKey{1} << HashKeyBits) - 1, Out);
+    else
+      return rangeQuery(MinSentinel + 1, MaxSentinel - 1, Out);
+  }
   std::vector<SetKey> snapshot() const override { return List.snapshot(); }
   bool checkInvariants() const override { return List.checkInvariants(); }
   const std::string &name() const override { return Name; }
@@ -130,6 +179,40 @@ public:
   ListT &underlying() { return List; }
 
 private:
+  /// One scan-free run through the list's single-traversal batch entry
+  /// point. Only instantiated for lists with applyBatchSorted.
+  void applySortedRun(BatchOp *Ops, size_t N) {
+    if (N == 1) {
+      applyOneOf(Ops[0]);
+      return;
+    }
+    // Sort an index view, not the array: callers read results out
+    // of their own op records by position. Same-key ops MUST keep
+    // submission order — that is the whole per-key FIFO contract —
+    // so the comparator orders by (Key, submission index)
+    // explicitly rather than leaning on sort stability.
+    // Thread-local scratch: an adapter is shared across threads
+    // and concurrent batch flushes to the same shard are legal.
+    static thread_local std::vector<size_t> Scratch;
+    static thread_local std::vector<BatchOp *> Sorted;
+    Scratch.resize(N);
+    std::iota(Scratch.begin(), Scratch.end(), size_t{0});
+    std::stable_sort(Scratch.begin(), Scratch.end(),
+                     [Ops](size_t A, size_t B) {
+                       if (Ops[A].Key != Ops[B].Key)
+                         return Ops[A].Key < Ops[B].Key;
+                       return A < B;
+                     });
+    Sorted.resize(N);
+    for (size_t I = 0; I != N; ++I) {
+      Sorted[I] = &Ops[Scratch[I]];
+      VBL_ASSERT(I == 0 || Sorted[I - 1]->Key != Sorted[I]->Key ||
+                     Sorted[I - 1] < Sorted[I],
+                 "same-key batch ops must stay in submission order");
+    }
+    List.applyBatchSorted(Sorted.data(), N);
+  }
+
   std::string Name;
   ListT List;
 };

@@ -117,6 +117,20 @@ public:
     return Found && Found->IsData.load(std::memory_order_acquire);
   }
 
+  /// Wait-free range scan: a pruned in-order walk over [Lo, Hi]
+  /// reporting DATA nodes. The structure only grows and each key's node
+  /// is unique forever, so every reported key's linearization point is
+  /// its state-word read — the same argument as contains().
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) const {
+    VBL_ASSERT(isUserKey(Lo) && isUserKey(Hi),
+               "sentinel keys are reserved");
+    if (Lo > Hi)
+      return 0;
+    const size_t Entry = Out.size();
+    inorderRange(Root->Right.load(std::memory_order_acquire), Lo, Hi, Out);
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     inorder(Root->Right.load(std::memory_order_acquire), Keys);
@@ -166,6 +180,21 @@ private:
         return Curr;
       Curr = Child;
     }
+  }
+
+  /// In-order restricted to [Lo, Hi]: subtrees wholly outside the
+  /// window are pruned by the BST ordering.
+  static void inorderRange(const Node *N, SetKey Lo, SetKey Hi,
+                           std::vector<SetKey> &Out) {
+    if (!N)
+      return;
+    if (N->Key > Lo)
+      inorderRange(N->Left.load(std::memory_order_acquire), Lo, Hi, Out);
+    if (N->Key >= Lo && N->Key <= Hi &&
+        N->IsData.load(std::memory_order_acquire))
+      Out.push_back(N->Key);
+    if (N->Key < Hi)
+      inorderRange(N->Right.load(std::memory_order_acquire), Lo, Hi, Out);
   }
 
   static void inorder(const Node *N, std::vector<SetKey> &Out) {

@@ -115,6 +115,36 @@ public:
   }
 
   /// Quiescent-only: decoded user keys, ascending (dummies filtered).
+  /// Range scan. Split order is bit-reversed hash order, not user-key
+  /// order, so a window of user keys is scattered across the whole
+  /// list: the scan walks the entire substrate once (the substrate's
+  /// own linearizable scan, which skips dummies' even so-keys along
+  /// with deleted nodes), decodes the regular so-keys, filters to
+  /// [Lo, Hi] and sorts. O(n) whatever the window — the price of
+  /// hashing; the flat and chunk lists are the range-friendly backends.
+  size_t rangeQuery(SetKey Lo, SetKey Hi, std::vector<SetKey> &Out) {
+    VBL_ASSERT(so::isHashKey(Lo) && so::isHashKey(Hi),
+               "hash-set keys must lie in [0, 2^62)");
+    if (Lo > Hi)
+      return 0;
+    typename Reclaim::Guard G(Domain);
+    // Regular so-keys occupy [MinSentinel+1, MaxSentinel-2]: mix62 stays
+    // below 2^62, so the reversal leaves bit 1 clear and the tagged
+    // value never reaches the sentinels (SplitOrder.h static_asserts).
+    std::vector<SetKey> SoKeys;
+    List.rangeQuery(MinSentinel + 1, MaxSentinel - 1, SoKeys);
+    const size_t Entry = Out.size();
+    for (SetKey SoKey : SoKeys) {
+      if (!so::isRegularSoKey(SoKey))
+        continue;
+      const SetKey K = so::decodeRegular(SoKey);
+      if (K >= Lo && K <= Hi)
+        Out.push_back(K);
+    }
+    std::sort(Out.begin() + static_cast<ptrdiff_t>(Entry), Out.end());
+    return Out.size() - Entry;
+  }
+
   std::vector<SetKey> snapshot() const {
     std::vector<SetKey> Keys;
     for (SetKey SoKey : List.snapshot())

@@ -37,7 +37,8 @@ enum class EventKind : uint8_t {
   LockAcquire, ///< Lock successfully taken.
   LockBlocked, ///< tryLock failed; thread is parked until release.
   LockRelease,
-  OpBegin, ///< High-level invocation: Value = key, Field unused.
+  OpBegin, ///< High-level invocation: Value = key (RangeQuery: Value =
+           ///< lo, Value2 = hi), Field unused.
   OpEnd,   ///< High-level response: Value = boolean result.
   Restart, ///< Operation abandoned an attempt and re-traverses.
 };

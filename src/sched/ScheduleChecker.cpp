@@ -202,7 +202,14 @@ CorrectnessResult vbl::sched::checkScheduleCorrect(
 
   // (2) Linearizability of sigma-bar(v).
   // 2a. Build the high-level history with event indices as timestamps.
+  // Range scans are not checked as single history events: each one is
+  // lowered to per-key Contains observations (decomposeScans) carrying
+  // the scan's full interval — the widened-interval contract. The keys
+  // a scan reported are reconstructed from its exported value reads:
+  // every in-range val read collects, except (adjusted spec) values
+  // whose node's following next-word read carried the deletion mark.
   std::vector<lin::CompletedOp> History;
+  std::vector<lin::CompletedScan> Scans;
   std::unordered_map<uint64_t, size_t> InvokeIndex;
   auto opKey = [](const Event &E) {
     return (static_cast<uint64_t>(E.Thread) << 32) | E.OpIndex;
@@ -217,15 +224,53 @@ CorrectnessResult vbl::sched::checkScheduleCorrect(
       // Exported schedules of complete episodes always pair begin/end.
       VBL_ASSERT(It != InvokeIndex.end(), "OpEnd without OpBegin");
       SetKey Key = 0;
+      SetKey KeyHi = 0;
       for (const Event &B : Events)
         if (B.Kind == EventKind::OpBegin && opKey(B) == opKey(E)) {
           Key = static_cast<SetKey>(B.Value);
+          KeyHi = static_cast<SetKey>(B.Value2);
           break;
         }
+      if (E.Op == SetOp::RangeQuery) {
+        lin::CompletedScan Scan;
+        Scan.Lo = Key;
+        Scan.Hi = KeyHi;
+        Scan.Invoke = It->second;
+        Scan.Response = I;
+        Scan.Thread = E.Thread;
+        for (size_t J = 0; J != Events.size(); ++J) {
+          const Event &S = Events[J];
+          if (opKey(S) != opKey(E) || S.Kind != EventKind::Read ||
+              S.Field != MemField::Val)
+            continue;
+          const auto Val = static_cast<SetKey>(S.Value);
+          if (Val < Key || Val > KeyHi)
+            continue;
+          bool Marked = false;
+          if (Spec == SpecKind::AdjustedLL)
+            // The scan reads the node's next word right after its
+            // value; bit 0 is the deletion mark it consulted.
+            for (size_t K = J + 1; K != Events.size(); ++K) {
+              const Event &N = Events[K];
+              if (opKey(N) != opKey(E))
+                continue;
+              if (N.Kind == EventKind::Read &&
+                  N.Field == MemField::Next && N.Node == S.Node)
+                Marked = (N.Value & 1) != 0;
+              break;
+            }
+          if (!Marked)
+            Scan.Keys.push_back(Val);
+        }
+        Scans.push_back(std::move(Scan));
+        continue;
+      }
       History.push_back({E.Op, Key, E.Value != 0, It->second, I,
                          E.Thread});
     }
   }
+  for (lin::CompletedOp &Op : lin::decomposeScans(Scans, UniverseKeys))
+    History.push_back(std::move(Op));
 
   // 2b. Reconstruct the final list state from the writes.
   std::vector<SetKey> FinalKeys;

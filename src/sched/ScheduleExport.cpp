@@ -37,6 +37,7 @@ public:
       Out.OpIndex = E.OpIndex;
       Out.Op = E.Op;
       Out.Key = static_cast<SetKey>(E.Value);
+      Out.KeyHi = static_cast<SetKey>(E.Value2);
       BeginIndex = RawIndex;
       HaveBegin = true;
       return;
@@ -211,6 +212,7 @@ Schedule vbl::sched::exportLLSchedule(const Schedule &Raw,
       Begin.Kind = EventKind::OpBegin;
       Begin.Op = Builder.Out.Op;
       Begin.Value = static_cast<uint64_t>(Builder.Out.Key);
+      Begin.Value2 = static_cast<uint64_t>(Builder.Out.KeyHi);
       All.push_back({Builder.BeginIndex, 1, Begin});
     }
     if (Builder.Out.Completed) {

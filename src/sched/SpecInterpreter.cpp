@@ -67,6 +67,47 @@ bool vbl::sched::validateAgainstAdjustedSpec(const ExportedOp &Op,
                                              std::string *Error) {
   StepCursor Cursor(Op, Error);
 
+  // Range scans: the contains walk extended across [Key, KeyHi]. Each
+  // visited node's next word is read right after its value (the mark
+  // bit decides collection), so the shape is the plain alternating
+  // walk, exiting at the first value past the range.
+  if (Op.Op == SetOp::RangeQuery) {
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() || Cursor.fail("no steps recorded");
+    const Event &First = Cursor.take();
+    if (First.Kind != EventKind::Read || First.Field != MemField::Next ||
+        First.Node != HeadNode)
+      return Cursor.fail("must start by reading head.next");
+    const void *Curr = ptrOfWord(First.Value);
+    bool Seen = false;
+    for (;;) {
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() ||
+               Cursor.fail("scan ended without a val read");
+      const Event &ValE = Cursor.take();
+      if (ValE.Kind != EventKind::Read || ValE.Field != MemField::Val ||
+          ValE.Node != Curr)
+        return Cursor.fail("expected val read of the current node");
+      const SetKey Val = static_cast<SetKey>(ValE.Value);
+      if (Val > Op.KeyHi) {
+        if (!Cursor.atEnd())
+          return Cursor.fail("scan must stop past the range");
+        if (Op.Completed && Op.Result != Seen)
+          return Cursor.fail("scan result contradicts the walk's reads");
+        return true;
+      }
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() || Cursor.fail("scan ended mid-hop");
+      const Event &NextE = Cursor.take();
+      if (NextE.Kind != EventKind::Read ||
+          NextE.Field != MemField::Next || NextE.Node != Curr)
+        return Cursor.fail("expected next read of the current node");
+      if (Val >= Op.Key && !markOfWord(NextE.Value))
+        Seen = true;
+      Curr = ptrOfWord(NextE.Value);
+    }
+  }
+
   // contains uses the plain alternating walk plus a trailing mark read.
   if (Op.Op == SetOp::Contains) {
     if (Cursor.atEnd())
@@ -247,6 +288,56 @@ bool vbl::sched::validateAgainstSpec(const ExportedOp &Op,
                                      std::string *Error) {
   StepCursor Cursor(Op, Error);
 
+  // --- Range scans: the LL value walk extended across [Key, KeyHi],
+  // exiting at the first value past the range. The VBR read protocol
+  // certifies after reading (val, next) per hop, so the exit node may
+  // carry one trailing next read. Deletion marks are invisible to this
+  // spec (mark reads are dropped by the exporter), so the result is
+  // checked one-directionally: a scan that saw no in-range value must
+  // not report keys. ---
+  if (Op.Op == SetOp::RangeQuery) {
+    if (Cursor.atEnd())
+      return Cursor.acceptPrefix() || Cursor.fail("no steps recorded");
+    const Event &First = Cursor.take();
+    if (First.Kind != EventKind::Read || First.Field != MemField::Next ||
+        First.Node != HeadNode)
+      return Cursor.fail("must start by reading head.next");
+    const void *Curr = ptrOfWord(First.Value);
+    bool Seen = false;
+    for (;;) {
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() ||
+               Cursor.fail("scan ended without a val read");
+      const Event &ValE = Cursor.take();
+      if (ValE.Kind != EventKind::Read || ValE.Field != MemField::Val ||
+          ValE.Node != Curr)
+        return Cursor.fail("expected val read of the current node");
+      const SetKey Val = static_cast<SetKey>(ValE.Value);
+      if (Val > Op.KeyHi) {
+        if (!Cursor.atEnd()) {
+          const Event &TailE = Cursor.take();
+          if (TailE.Kind != EventKind::Read ||
+              TailE.Field != MemField::Next || TailE.Node != Curr)
+            return Cursor.fail("scan must stop past the range");
+          if (!Cursor.atEnd())
+            return Cursor.fail("scan must stop after the exit-node "
+                               "next read");
+        }
+        if (Op.Completed && Op.Result && !Seen)
+          return Cursor.fail("scan reported keys but saw none in range");
+        return true;
+      }
+      Seen = Seen || Val >= Op.Key;
+      if (Cursor.atEnd())
+        return Cursor.acceptPrefix() || Cursor.fail("scan ended mid-hop");
+      const Event &NextE = Cursor.take();
+      if (NextE.Kind != EventKind::Read ||
+          NextE.Field != MemField::Next || NextE.Node != Curr)
+        return Cursor.fail("expected next read of the current node");
+      Curr = ptrOfWord(NextE.Value);
+    }
+  }
+
   // --- Traversal: read next(head), then alternate val/next reads. ---
   const void *Prev = HeadNode;
   if (Cursor.atEnd())
@@ -357,6 +448,9 @@ bool vbl::sched::validateAgainstSpec(const ExportedOp &Op,
       return Cursor.fail("remove that unlinked a node must return true");
     return true;
   }
+
+  case SetOp::RangeQuery:
+    break; // Handled before the common traversal; never reaches here.
   }
   vbl_unreachable("covered switch");
 }

@@ -37,6 +37,8 @@ struct ExportedOp {
   uint32_t OpIndex = 0;
   SetOp Op = SetOp::Contains;
   SetKey Key = 0;
+  /// Upper bound of a RangeQuery's [Key, KeyHi] window; 0 otherwise.
+  SetKey KeyHi = 0;
   bool Result = false;
   bool Completed = false;
   /// LL-comparable steps only (Read Val/Next, Write Next, NewNode); no

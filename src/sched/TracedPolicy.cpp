@@ -17,7 +17,7 @@ TraceContext *&TraceContext::current() {
   return Current;
 }
 
-void TraceContext::beginOp(SetOp Op, SetKey Key) {
+void TraceContext::beginOp(SetOp Op, SetKey Key, SetKey KeyHi) {
   ++OpIndex;
   Attempt = 0;
   CurrentOp = Op;
@@ -28,6 +28,7 @@ void TraceContext::beginOp(SetOp Op, SetKey Key) {
   E.Kind = EventKind::OpBegin;
   E.Op = Op;
   E.Value = static_cast<uint64_t>(Key);
+  E.Value2 = static_cast<uint64_t>(KeyHi);
   record(E);
 }
 

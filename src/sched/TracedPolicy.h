@@ -47,8 +47,10 @@ public:
   /// Called by the releasing thread: wakes threads parked on LockAddr.
   virtual void noteLockReleased(const void *LockAddr) = 0;
 
-  /// High-level operation bracketing (used by tracedOp below).
-  void beginOp(SetOp Op, SetKey Key);
+  /// High-level operation bracketing (used by tracedOp below). For
+  /// RangeQuery ops \p KeyHi carries the window's upper bound; point
+  /// ops leave it 0.
+  void beginOp(SetOp Op, SetKey Key, SetKey KeyHi = 0);
   void endOp(bool Result);
 
   /// Stamps thread/op bookkeeping onto an event and records it.
@@ -240,6 +242,19 @@ template <class Fn> bool tracedOp(SetOp Op, SetKey Key, Fn &&Call) {
   if (Ctx)
     Ctx->endOp(Result);
   return Result;
+}
+
+/// Range-query sibling of tracedOp: brackets a scan over [Lo, Hi]. The
+/// recorded result is "scan returned at least one key", matching
+/// BatchOp's convention for RangeQuery.
+template <class Fn> size_t tracedRangeOp(SetKey Lo, SetKey Hi, Fn &&Call) {
+  TraceContext *Ctx = TraceContext::current();
+  if (Ctx)
+    Ctx->beginOp(SetOp::RangeQuery, Lo, Hi);
+  const size_t Returned = Call();
+  if (Ctx)
+    Ctx->endOp(Returned != 0);
+  return Returned;
 }
 
 } // namespace sched

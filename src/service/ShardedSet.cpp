@@ -97,6 +97,27 @@ bool ShardedSet::contains(SetKey Key) {
   return Shards[shardOf(Key)]->Set->contains(Key);
 }
 
+size_t ShardedSet::rangeQuery(SetKey Lo, SetKey Hi,
+                              std::vector<SetKey> &Out) {
+  const size_t Entry = Out.size();
+  for (const std::unique_ptr<Shard> &S : Shards)
+    S->Set->rangeQuery(Lo, Hi, Out);
+  // Each shard appended its keys ascending; the hash partition
+  // interleaves them arbitrarily across shards, so sort the tail.
+  std::sort(Out.begin() + static_cast<ptrdiff_t>(Entry), Out.end());
+  return Out.size() - Entry;
+}
+
+size_t ShardedSet::snapshot(std::vector<SetKey> &Out) {
+  // Delegate the domain bounds to each shard adapter: hash backends
+  // narrow full-set scans to their [0, 2^62) key domain themselves.
+  const size_t Entry = Out.size();
+  for (const std::unique_ptr<Shard> &S : Shards)
+    S->Set->snapshot(Out);
+  std::sort(Out.begin() + static_cast<ptrdiff_t>(Entry), Out.end());
+  return Out.size() - Entry;
+}
+
 std::vector<SetKey> ShardedSet::snapshot() const {
   // Shards partition the key space by hash, not by range: merge and
   // sort to present the set's canonical ascending view.
@@ -169,7 +190,46 @@ ShardedSet::Session::Session(ShardedSet &Parent, unsigned Index)
     Q.reserve(Parent.Opts.BatchSize);
 }
 
+ShardedSet::Session::Session(Session &&Other) noexcept
+    : Parent(Other.Parent), Index(Other.Index),
+      Queues(std::move(Other.Queues)),
+      Completed(std::move(Other.Completed)),
+      Scans(std::move(Other.Scans)),
+      CompletedScans(std::move(Other.CompletedScans)),
+      Pending(Other.Pending) {
+  // Detach the source: a moved-from session must not flush the same
+  // queued ops a second time from its destructor.
+  Other.Parent = nullptr;
+  Other.Pending = 0;
+}
+
+ShardedSet::Session &
+ShardedSet::Session::operator=(Session &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Parent)
+    flush();
+  Parent = Other.Parent;
+  Index = Other.Index;
+  Queues = std::move(Other.Queues);
+  Completed = std::move(Other.Completed);
+  Scans = std::move(Other.Scans);
+  CompletedScans = std::move(Other.CompletedScans);
+  Pending = Other.Pending;
+  Other.Parent = nullptr;
+  Other.Pending = 0;
+  return *this;
+}
+
+ShardedSet::Session::~Session() {
+  // Drain residual below-BatchSize ops: an enqueued op must reach its
+  // shard even when the client drops the session without flushing.
+  if (Parent)
+    flush();
+}
+
 bool ShardedSet::Session::apply(SetOp Op, SetKey Key) {
+  VBL_ASSERT(Parent, "session used after close()/move");
   BatchOp O;
   O.Op = Op;
   O.Key = Key;
@@ -178,6 +238,7 @@ bool ShardedSet::Session::apply(SetOp Op, SetKey Key) {
 }
 
 void ShardedSet::Session::enqueue(SetOp Op, SetKey Key, uint64_t Tag) {
+  VBL_ASSERT(Parent, "session used after close()/move");
   const unsigned ShardIdx = Parent->shardOf(Key);
   std::vector<BatchOp> &Q = Queues[ShardIdx];
   BatchOp O;
@@ -190,6 +251,37 @@ void ShardedSet::Session::enqueue(SetOp Op, SetKey Key, uint64_t Tag) {
     flushShard(ShardIdx);
 }
 
+void ShardedSet::Session::enqueueRange(SetKey Lo, SetKey Hi,
+                                       uint64_t Tag) {
+  VBL_ASSERT(Parent, "session used after close()/move");
+  ScanState State;
+  State.Keys = std::make_unique<std::vector<SetKey>>();
+  State.Lo = Lo;
+  State.Hi = Hi;
+  State.Tag = Tag;
+  State.PiecesLeft = static_cast<unsigned>(Queues.size());
+  std::vector<SetKey> *Buffer = State.Keys.get();
+  Scans.push_back(std::move(State));
+  // One piece per shard, all appending into the shared buffer. Flushes
+  // are session-local and sequential, so the appends never race; the
+  // completion handler sorts the merged result once the last piece
+  // lands. Flush AFTER enqueuing every piece so a BatchSize-1 queue
+  // can't complete the scan before all pieces exist.
+  for (unsigned ShardIdx = 0; ShardIdx != Queues.size(); ++ShardIdx) {
+    BatchOp O;
+    O.Op = SetOp::RangeQuery;
+    O.Key = Lo;
+    O.KeyHi = Hi;
+    O.Tag = Tag;
+    O.Keys = Buffer;
+    Queues[ShardIdx].push_back(O);
+    ++Pending;
+  }
+  for (unsigned ShardIdx = 0; ShardIdx != Queues.size(); ++ShardIdx)
+    if (Queues[ShardIdx].size() >= Parent->Opts.BatchSize)
+      flushShard(ShardIdx);
+}
+
 void ShardedSet::Session::flushShard(unsigned ShardIdx) {
   std::vector<BatchOp> &Q = Queues[ShardIdx];
   if (Q.empty())
@@ -198,7 +290,26 @@ void ShardedSet::Session::flushShard(unsigned ShardIdx) {
   Parent->runOnShard(Index, ShardIdx, Q.data(),
                      static_cast<uint32_t>(Q.size()));
   Pending -= Q.size();
-  Completed.insert(Completed.end(), Q.begin(), Q.end());
+  for (const BatchOp &O : Q) {
+    if (O.Op != SetOp::RangeQuery) {
+      Completed.push_back(O);
+      continue;
+    }
+    // A scan piece: find its in-flight record by result buffer. The
+    // scan completes when its last shard piece flushes.
+    for (size_t I = 0; I != Scans.size(); ++I) {
+      ScanState &Scan = Scans[I];
+      if (Scan.Keys.get() != O.Keys)
+        continue;
+      if (--Scan.PiecesLeft == 0) {
+        std::sort(Scan.Keys->begin(), Scan.Keys->end());
+        CompletedScans.push_back(
+            {Scan.Lo, Scan.Hi, Scan.Tag, std::move(*Scan.Keys)});
+        Scans.erase(Scans.begin() + static_cast<ptrdiff_t>(I));
+      }
+      break;
+    }
+  }
   Q.clear();
 }
 
@@ -207,8 +318,22 @@ void ShardedSet::Session::flush() {
     flushShard(I);
 }
 
+void ShardedSet::Session::close() {
+  if (!Parent)
+    return;
+  flush();
+  Parent = nullptr;
+}
+
 std::vector<BatchOp> ShardedSet::Session::takeCompleted() {
   std::vector<BatchOp> Out;
   Out.swap(Completed);
+  return Out;
+}
+
+std::vector<ShardedSet::Session::CompletedScan>
+ShardedSet::Session::takeCompletedScans() {
+  std::vector<CompletedScan> Out;
+  Out.swap(CompletedScans);
   return Out;
 }

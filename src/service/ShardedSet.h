@@ -114,6 +114,15 @@ public:
   bool insert(SetKey Key) override;
   bool remove(SetKey Key) override;
   bool contains(SetKey Key) override;
+  /// Shards partition by key HASH, not by range, so every shard can
+  /// hold keys anywhere in [Lo, Hi]: scan them all, then sort the
+  /// appended tail into the canonical ascending order. Atomicity is
+  /// per shard (each shard's scan is its backend's); across shards the
+  /// scan is linearizable per key, same widened-interval contract as a
+  /// batched point op.
+  size_t rangeQuery(SetKey Lo, SetKey Hi,
+                    std::vector<SetKey> &Out) override;
+  size_t snapshot(std::vector<SetKey> &Out) override;
   std::vector<SetKey> snapshot() const override;
   bool checkInvariants() const override;
   const std::string &name() const override { return Name; }
@@ -127,6 +136,28 @@ public:
   /// sessions may operate concurrently.
   class Session {
   public:
+    /// One completed range scan: the window, the caller's tag, and the
+    /// merged ascending keys from every shard.
+    struct CompletedScan {
+      SetKey Lo;
+      SetKey Hi;
+      uint64_t Tag;
+      std::vector<SetKey> Keys;
+    };
+
+    /// Sessions move (openSession returns by value) but do not copy;
+    /// the moved-from session detaches so it neither flushes nor
+    /// touches the front-end again.
+    Session(Session &&Other) noexcept;
+    Session &operator=(Session &&Other) noexcept;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /// Flushes any residual queued ops: an op enqueued on a live
+    /// front-end is applied even if the client never reaches an
+    /// explicit flush (sessions are dropped mid-batch on shutdown).
+    ~Session();
+
     /// Immediate operation through the configured shard discipline
     /// (combining included). Returns the op's result.
     bool apply(SetOp Op, SetKey Key);
@@ -135,12 +166,28 @@ public:
     /// pending there. \p Tag rides along untouched (timestamps).
     void enqueue(SetOp Op, SetKey Key, uint64_t Tag = 0);
 
+    /// Queues a range scan over [\p Lo, \p Hi]: one RangeQuery op per
+    /// shard (hash sharding means every shard may hold in-range keys),
+    /// all feeding one result buffer. The scan completes when its last
+    /// shard piece flushes; takeCompletedScans() then yields the
+    /// merged ascending keys.
+    void enqueueRange(SetKey Lo, SetKey Hi, uint64_t Tag = 0);
+
     /// Flushes every non-empty shard queue.
     void flush();
 
-    /// Completed ops accumulated by flushes since the last take, in
-    /// completion order (per-shard queue order within a flush).
+    /// Flushes and detaches from the front-end. Completed results
+    /// remain takeable; further enqueues are a bug (asserted).
+    void close();
+
+    /// Completed point ops accumulated by flushes since the last take,
+    /// in completion order (per-shard queue order within a flush).
+    /// RangeQuery pieces are internal and reported through
+    /// takeCompletedScans() instead.
     std::vector<BatchOp> takeCompleted();
+
+    /// Scans whose every shard piece has flushed, completion order.
+    std::vector<CompletedScan> takeCompletedScans();
 
     size_t pendingOps() const { return Pending; }
 
@@ -148,12 +195,24 @@ public:
     friend class ShardedSet;
     Session(ShardedSet &Parent, unsigned Index);
 
+    /// In-flight fan-out scan. Keys is heap-held so the BatchOp
+    /// pointers into it survive Session moves and Queues growth.
+    struct ScanState {
+      std::unique_ptr<std::vector<SetKey>> Keys;
+      SetKey Lo;
+      SetKey Hi;
+      uint64_t Tag;
+      unsigned PiecesLeft;
+    };
+
     void flushShard(unsigned ShardIdx);
 
     ShardedSet *Parent;
     unsigned Index;
     std::vector<std::vector<BatchOp>> Queues; // one per shard
     std::vector<BatchOp> Completed;
+    std::vector<ScanState> Scans; // in-flight, enqueue order
+    std::vector<CompletedScan> CompletedScans;
     size_t Pending = 0;
   };
 

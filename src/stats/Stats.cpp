@@ -87,6 +87,12 @@ const char *counterName(Counter C) {
     return "map.resizes";
   case Counter::MapResizesLost:
     return "map.resizes_lost";
+  case Counter::ScanRetries:
+    return "scan.retries";
+  case Counter::ScanFallbacks:
+    return "scan.fallbacks";
+  case Counter::ScanKeysReturned:
+    return "scan.keys_returned";
   case Counter::AnalysisFlowChecks:
     return "analysis.flow_checks";
   case Counter::ServiceOpsDirect:

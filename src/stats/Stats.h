@@ -153,6 +153,15 @@ enum class Counter : uint16_t {
   MapResizes,               ///< map.resizes: bucket-index doublings won.
   MapResizesLost,           ///< map.resizes_lost: doublings lost to a
                             ///  concurrent winner (allocated, discarded).
+  // range scans (rangeQuery/snapshot across every backend).
+  ScanRetries,              ///< scan.retries: optimistic multi-chunk
+                            ///  window collects whose version
+                            ///  revalidation failed and re-ran.
+  ScanFallbacks,            ///< scan.fallbacks: scans that exhausted the
+                            ///  retry budget and finished under
+                            ///  per-chunk locks.
+  ScanKeysReturned,         ///< scan.keys_returned: keys handed back by
+                            ///  rangeQuery/snapshot calls.
   // analysis.
   AnalysisFlowChecks,       ///< analysis.flow_checks: flow-invariant heap
                             ///  snapshots taken (one per scheduler step

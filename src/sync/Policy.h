@@ -47,7 +47,7 @@ enum class MemField : uint8_t { Val, Next, Marked, Lock, Epoch };
 
 /// High-level set operation kinds, shared by tracing, histories and the
 /// linearizability checker.
-enum class SetOp : uint8_t { Insert, Remove, Contains };
+enum class SetOp : uint8_t { Insert, Remove, Contains, RangeQuery };
 
 inline const char *setOpName(SetOp Op) {
   switch (Op) {
@@ -57,6 +57,8 @@ inline const char *setOpName(SetOp Op) {
     return "remove";
   case SetOp::Contains:
     return "contains";
+  case SetOp::RangeQuery:
+    return "range_query";
   }
   return "?";
 }

@@ -32,6 +32,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace vbl;
 using namespace vbl::sched;
 
@@ -42,7 +44,16 @@ namespace {
 /// CleanListsTest budget; a synchronization-discipline race still
 /// surfaces within the first few dozen interleavings because the
 /// detector checks every access pair of every episode.
-constexpr size_t CorpusEpisodeCap = 300;
+/// Every exploration here deepens under VBL_EXPLORE_EPISODES (the
+/// nightly raises it past the PR budgets); \p Default is the PR cap.
+size_t episodeCapOr(size_t Default) {
+  if (const char *Env = std::getenv("VBL_EXPLORE_EPISODES"))
+    if (long Cap = std::atol(Env); Cap > 0)
+      return static_cast<size_t>(Cap);
+  return Default;
+}
+
+size_t corpusEpisodeCap() { return episodeCapOr(300); }
 
 using ChunkK1 = VblChunkList<1, reclaim::LeakyDomain, AnalyzedPolicy>;
 using ChunkK2 = VblChunkList<2, reclaim::LeakyDomain, AnalyzedPolicy>;
@@ -69,7 +80,7 @@ void expectRaceFree(const Scenario &S, const char *ListName,
 
 template <class ListT> void expectRaceFreeCorpus(const char *ListName) {
   for (const Scenario &S : scenarios())
-    expectRaceFree<ListT>(S, ListName, CorpusEpisodeCap);
+    expectRaceFree<ListT>(S, ListName, corpusEpisodeCap());
 }
 
 TEST(ChunkListAnalysisTest, K1CorpusIsRaceFree) {
@@ -91,7 +102,7 @@ TEST(ChunkListAnalysisTest, SplitVsTraversal) {
                     {{SetOp::Contains, 2}, {SetOp::Contains, 1}}},
                    {1, 2, 3},
                    60000};
-  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", 4000);
+  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
 }
 
 // The remove empties the prefilled chunk (anchor 5) and best-effort
@@ -103,8 +114,8 @@ TEST(ChunkListAnalysisTest, UnlinkVsInsert) {
                    {{{SetOp::Remove, 5}}, {{SetOp::Insert, 6}}},
                    {5, 6},
                    60000};
-  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", 4000);
-  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", 4000);
+  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
+  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", episodeCapOr(4000));
 }
 
 // A remove racing the freeze of its own chunk: with K=1 the insert of
@@ -119,7 +130,37 @@ TEST(ChunkListAnalysisTest, RemoveVsFreeze) {
                    {{{SetOp::Remove, 1}}, {{SetOp::Insert, 2}}},
                    {1, 2},
                    60000};
-  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", 4000);
+  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", episodeCapOr(4000));
+}
+
+// A scan's optimistic window racing a median split: the insert of 3
+// freezes the full chunk {1, 2} and publishes the split while the
+// scanner records the chunk's version, collects its slots and
+// revalidates. Every interleaving must be race-free — the scan's
+// unlocked slot reads are ordered by the seqlock protocol, and a
+// version bump between collect and validate forces the retry/fallback
+// path rather than a torn window.
+TEST(ChunkListAnalysisTest, ScanVsSplit) {
+  const Scenario S{"scan_vs_split",
+                   {1, 2},
+                   {{{SetOp::Insert, 3}}, {{SetOp::RangeQuery, 1, 7}}},
+                   {1, 2, 3},
+                   60000};
+  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
+  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", episodeCapOr(4000));
+}
+
+// A scan racing the unlink of an emptied chunk inside its window: the
+// remove empties the chunk (anchor 5) and best-effort unlinks it while
+// the scanner's window walk reads its Next/Marked words.
+TEST(ChunkListAnalysisTest, ScanVsChunkUnlink) {
+  const Scenario S{"scan_vs_chunk_unlink",
+                   {5},
+                   {{{SetOp::Remove, 5}}, {{SetOp::RangeQuery, 1, 9}}},
+                   {5},
+                   60000};
+  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
+  expectRaceFree<ChunkK1>(S, "VblChunkList<1>", episodeCapOr(4000));
 }
 
 // Same-chunk insert/remove interleaving with the chunk teetering on
@@ -132,7 +173,7 @@ TEST(ChunkListAnalysisTest, FullChunkToggleChain) {
                     {{SetOp::Insert, 3}}},
                    {1, 2, 3},
                    60000};
-  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", 4000);
+  expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
 }
 
 } // namespace

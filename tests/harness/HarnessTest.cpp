@@ -68,6 +68,8 @@ TEST(OpPicker, OddUpdatePercentSplitsEvenly) {
     case SetOp::Contains:
       ++Contains;
       break;
+    case SetOp::RangeQuery:
+      vbl_unreachable("OpPicker yields point ops only");
     }
   }
   EXPECT_EQ(Inserts + Removes + Contains, Trials);

@@ -45,7 +45,8 @@ int scaledOps(int Base) {
 class HistoryStressTest : public ::testing::TestWithParam<std::string> {};
 
 void runAndCheck(const std::string &Algo, unsigned NumThreads,
-                 SetKey KeyRange, int OpsPerThread, uint64_t Seed) {
+                 SetKey KeyRange, int OpsPerThread, uint64_t Seed,
+                 unsigned ScanPercent = 0) {
   auto Set = makeSet(Algo);
   ASSERT_NE(Set, nullptr);
 
@@ -57,6 +58,9 @@ void runAndCheck(const std::string &Algo, unsigned NumThreads,
   }
 
   HistoryRecorder Recorder(NumThreads);
+  // Scans are recorded per thread (no synchronization, like ThreadLog)
+  // and lowered to per-key Contains observations after the join.
+  std::vector<std::vector<CompletedScan>> ScanLogs(NumThreads);
   SpinBarrier Barrier(NumThreads);
   std::vector<std::thread> Threads;
   for (unsigned T = 0; T != NumThreads; ++T) {
@@ -67,6 +71,19 @@ void runAndCheck(const std::string &Algo, unsigned NumThreads,
       for (int I = 0; I != OpsPerThread; ++I) {
         const SetKey Key =
             static_cast<SetKey>(Rng.nextBounded(KeyRange));
+        if (ScanPercent && Rng.nextBounded(100) < ScanPercent) {
+          const SetKey Hi = Key + static_cast<SetKey>(Rng.nextBounded(
+                                      static_cast<uint64_t>(KeyRange) / 2 + 1));
+          CompletedScan Scan;
+          Scan.Lo = Key;
+          Scan.Hi = Hi;
+          Scan.Thread = T;
+          Scan.Invoke = nowNanos();
+          Set->rangeQuery(Key, Hi, Scan.Keys);
+          Scan.Response = nowNanos();
+          ScanLogs[T].push_back(std::move(Scan));
+          continue;
+        }
         switch (Rng.nextBounded(3)) {
         case 0:
           recordOp(
@@ -90,7 +107,23 @@ void runAndCheck(const std::string &Algo, unsigned NumThreads,
   for (auto &Thread : Threads)
     Thread.join();
 
-  const LinResult Result = checkSetHistory(Recorder.merged(), Initial);
+  std::vector<CompletedOp> History = Recorder.merged();
+  if (ScanPercent) {
+    std::vector<CompletedScan> AllScans;
+    size_t ScanCount = 0;
+    for (std::vector<CompletedScan> &Mine : ScanLogs) {
+      ScanCount += Mine.size();
+      for (CompletedScan &Scan : Mine)
+        AllScans.push_back(std::move(Scan));
+    }
+    EXPECT_GT(ScanCount, 0u) << Algo << ": scan mix produced no scans";
+    std::vector<SetKey> Universe;
+    for (SetKey Key = 0; Key != KeyRange; ++Key)
+      Universe.push_back(Key);
+    for (CompletedOp &Op : decomposeScans(AllScans, Universe))
+      History.push_back(std::move(Op));
+  }
+  const LinResult Result = checkSetHistory(History, Initial);
   EXPECT_TRUE(Result.Ok) << Algo << ": " << Result.Message;
 
   // The final snapshot must extend the history linearizably too: append
@@ -124,6 +157,20 @@ TEST_P(HistoryStressTest, ModerateRange) {
 TEST_P(HistoryStressTest, SingleKeyWarfare) {
   runAndCheck(GetParam(), 8, /*KeyRange=*/2, scaledOps(1500),
               /*Seed=*/37);
+}
+
+// Scans mixed with updates: every reported (and omitted) key of every
+// concurrent rangeQuery must be justified at some point inside the
+// scan's interval — the widened-interval contract, decided by lowering
+// scans to per-key Contains observations (decomposeScans).
+TEST_P(HistoryStressTest, ScanMixLinearizable) {
+  runAndCheck(GetParam(), 4, /*KeyRange=*/32, scaledOps(2500),
+              /*Seed=*/53, /*ScanPercent=*/20);
+}
+
+TEST_P(HistoryStressTest, ScanHeavySmallRange) {
+  runAndCheck(GetParam(), 4, /*KeyRange=*/8, scaledOps(1500),
+              /*Seed=*/71, /*ScanPercent=*/50);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -186,3 +186,80 @@ TEST(LinChecker, UnorderedInputIsSorted) {
   };
   EXPECT_TRUE(checkSetHistory(H, {}).Ok);
 }
+
+TEST(LinChecker, DecomposeScansCoversWindowOnly) {
+  // One scan over [2, 6] of universe {1, 2, 4, 6, 9} reporting {2, 6}:
+  // one Contains observation per in-window universe key, true iff
+  // reported, all carrying the scan's interval and thread.
+  CompletedScan Scan;
+  Scan.Lo = 2;
+  Scan.Hi = 6;
+  Scan.Keys = {2, 6};
+  Scan.Invoke = 10;
+  Scan.Response = 20;
+  Scan.Thread = 3;
+  const std::vector<CompletedOp> Obs =
+      decomposeScans({Scan}, {1, 2, 4, 6, 9});
+  ASSERT_EQ(Obs.size(), 3u);
+  for (const CompletedOp &O : Obs) {
+    EXPECT_EQ(O.Op, SetOp::Contains);
+    EXPECT_EQ(O.Invoke, 10u);
+    EXPECT_EQ(O.Response, 20u);
+    EXPECT_EQ(O.Thread, 3u);
+    EXPECT_EQ(O.Result, O.Key == 2 || O.Key == 6);
+  }
+}
+
+TEST(LinChecker, ScanObservationsLinearizable) {
+  // insert(5) during [0, 10]; a scan over [1, 9] during [5, 15] that
+  // reported 5 linearizes (scan after insert). A scan that reported
+  // the key while strictly preceding the insert cannot.
+  std::vector<CompletedOp> H = {op(SetOp::Insert, 5, true, 0, 10)};
+  CompletedScan Scan;
+  Scan.Lo = 1;
+  Scan.Hi = 9;
+  Scan.Keys = {5};
+  Scan.Invoke = 5;
+  Scan.Response = 15;
+  Scan.Thread = 1;
+  for (CompletedOp &O : decomposeScans({Scan}, {5}))
+    H.push_back(O);
+  EXPECT_TRUE(checkSetHistory(H, {}).Ok);
+
+  H.clear();
+  H.push_back(op(SetOp::Insert, 5, true, 20, 30));
+  Scan.Invoke = 5;
+  Scan.Response = 15; // Entirely before the insert, yet saw the key.
+  for (CompletedOp &O : decomposeScans({Scan}, {5}))
+    H.push_back(O);
+  EXPECT_FALSE(checkSetHistory(H, {}).Ok);
+}
+
+TEST(LinChecker, ScanTornWindowRejected) {
+  // Initial {2, 6}. One thread removes 2 then inserts back 6's
+  // neighbor-window state... simplest torn case: a scan over [1, 9]
+  // that reports {6} but omits 2 while NO operation on 2 overlaps it:
+  // the omission of 2 cannot be justified at any point in the scan.
+  std::vector<CompletedOp> H;
+  CompletedScan Scan;
+  Scan.Lo = 1;
+  Scan.Hi = 9;
+  Scan.Keys = {6};
+  Scan.Invoke = 40;
+  Scan.Response = 50;
+  Scan.Thread = 0;
+  for (CompletedOp &O : decomposeScans({Scan}, {2, 6}))
+    H.push_back(O);
+  EXPECT_FALSE(checkSetHistory(H, {2, 6}).Ok);
+
+  // With a concurrent remove(2) the same scan result linearizes.
+  H.push_back(op(SetOp::Remove, 2, true, 35, 55, 1));
+  EXPECT_TRUE(checkSetHistory(H, {2, 6}).Ok);
+}
+
+TEST(LinChecker, RawRangeQueryRecordRejected) {
+  // A RangeQuery record that bypassed decomposeScans must fail the
+  // check loudly rather than be misinterpreted.
+  std::vector<CompletedOp> H = {op(SetOp::RangeQuery, 3, true, 0, 1)};
+  EXPECT_FALSE(checkSetHistory(H, {3}).Ok);
+}

@@ -80,7 +80,7 @@ template <class SetT> void runSequentialCorpus(const char *SetName) {
       Model.insert(Key);
     }
     for (const auto &Program : S.Programs) {
-      for (const auto &[Op, Key] : Program) {
+      for (const auto &[Op, Key, KeyHi] : Program) {
         switch (Op) {
         case SetOp::Insert:
           EXPECT_EQ(Impl.insert(Key), Model.insert(Key).second)
@@ -94,12 +94,29 @@ template <class SetT> void runSequentialCorpus(const char *SetName) {
           EXPECT_EQ(Impl.contains(Key), Model.count(Key) > 0)
               << SetName << " / " << S.Name << ": contains " << Key;
           break;
+        case SetOp::RangeQuery: {
+          std::vector<SetKey> Got;
+          Impl.rangeQuery(Key, KeyHi, Got);
+          const std::vector<SetKey> Want(Model.lower_bound(Key),
+                                         Model.upper_bound(KeyHi));
+          EXPECT_EQ(Got, Want) << SetName << " / " << S.Name << ": scan ["
+                               << Key << ", " << KeyHi << "]";
+          break;
+        }
         }
       }
     }
     for (SetKey Key : S.Universe)
       EXPECT_EQ(Impl.contains(Key), Model.count(Key) > 0)
           << SetName << " / " << S.Name << ": final membership of " << Key;
+    // The quiescent full-set scan must equal the model verbatim.
+    EXPECT_EQ(Impl.snapshot(),
+              std::vector<SetKey>(Model.begin(), Model.end()))
+        << SetName << " / " << S.Name << ": snapshot";
+    std::vector<SetKey> Whole;
+    Impl.rangeQuery(MinSentinel + 1, MaxSentinel - 1, Whole);
+    EXPECT_EQ(Whole, std::vector<SetKey>(Model.begin(), Model.end()))
+        << SetName << " / " << S.Name << ": full-domain rangeQuery";
   }
 }
 

@@ -17,6 +17,8 @@
 #include "lists/SetInterface.h"
 #include "support/Random.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 using namespace vbl;
@@ -35,7 +37,9 @@ class CrossDifferentialTest
 struct OpRecord {
   SetOp Op;
   SetKey Key;
+  SetKey KeyHi = 0;
   bool Result;
+  std::vector<SetKey> Keys; // RangeQuery only: the reference answer
 };
 
 std::vector<OpRecord> generateReference(const SweepCase &Case) {
@@ -48,7 +52,7 @@ std::vector<OpRecord> generateReference(const SweepCase &Case) {
         Rng.nextBounded(static_cast<uint64_t>(Case.KeyRange)));
     OpRecord Record;
     Record.Key = Key;
-    switch (Rng.nextBounded(3)) {
+    switch (Rng.nextBounded(4)) {
     case 0:
       Record.Op = SetOp::Insert;
       Record.Result = Reference.insert(Key);
@@ -57,9 +61,16 @@ std::vector<OpRecord> generateReference(const SweepCase &Case) {
       Record.Op = SetOp::Remove;
       Record.Result = Reference.remove(Key);
       break;
-    default:
+    case 2:
       Record.Op = SetOp::Contains;
       Record.Result = Reference.contains(Key);
+      break;
+    default:
+      Record.Op = SetOp::RangeQuery;
+      Record.KeyHi = Key + Rng.nextBounded(
+                               static_cast<uint64_t>(Case.KeyRange) / 4 + 2);
+      Record.Result =
+          Reference.rangeQuery(Key, Record.KeyHi, Record.Keys) != 0;
       break;
     }
     Trace.push_back(Record);
@@ -89,11 +100,23 @@ TEST_P(CrossDifferentialTest, EveryAlgorithmMatchesTheSpec) {
       case SetOp::Contains:
         Got = Set->contains(Expected.Key);
         break;
+      case SetOp::RangeQuery: {
+        std::vector<SetKey> Keys;
+        Got = Set->rangeQuery(Expected.Key, Expected.KeyHi, Keys) != 0;
+        ASSERT_EQ(Keys, Expected.Keys)
+            << Algo << " scan diverges from LL at op " << I << ": ["
+            << Expected.Key << ", " << Expected.KeyHi << "]";
+        break;
+      }
       }
       ASSERT_EQ(Got, Expected.Result)
           << Algo << " diverges from LL at op " << I << ": "
           << setOpName(Expected.Op) << "(" << Expected.Key << ")";
     }
+    // Full-set scan must agree with the quiescent snapshot.
+    std::vector<SetKey> Scanned;
+    Set->snapshot(Scanned);
+    EXPECT_EQ(Scanned, Set->snapshot()) << Algo;
     EXPECT_TRUE(Set->checkInvariants()) << Algo;
   }
 }

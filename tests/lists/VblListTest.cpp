@@ -255,3 +255,54 @@ TEST(VblListOptimality, ValueAwareRemoveSurvivesNodeReplacement) {
   EXPECT_EQ(static_cast<long>(List.sizeSlow()), Balance.load());
   EXPECT_TRUE(List.checkInvariants());
 }
+
+//===----------------------------------------------------------------------===//
+// Sorted-batch application (applyBatchSorted)
+//===----------------------------------------------------------------------===//
+
+// Same-key ops must take effect in submission order — the per-key FIFO
+// contract of the batched service path. An insert;remove;insert triple
+// on one key is only distinguishable from its permutations through the
+// per-op results and the final membership; pin both.
+TEST(VblBatch, SameKeyOpsKeepSubmissionOrder) {
+  VblList<> List;
+  BatchOp Ops[5];
+  Ops[0] = {SetOp::Insert, 5};
+  Ops[1] = {SetOp::Remove, 5};
+  Ops[2] = {SetOp::Insert, 5};
+  Ops[3] = {SetOp::Remove, 7};  // absent: must order before the insert
+  Ops[4] = {SetOp::Insert, 7};
+  BatchOp *Sorted[5] = {&Ops[0], &Ops[1], &Ops[2], &Ops[3], &Ops[4]};
+  List.applyBatchSorted(Sorted, 5);
+  EXPECT_TRUE(Ops[0].Result);
+  EXPECT_TRUE(Ops[1].Result);
+  EXPECT_TRUE(Ops[2].Result);
+  EXPECT_FALSE(Ops[3].Result); // remove-before-insert saw an empty list
+  EXPECT_TRUE(Ops[4].Result);
+  EXPECT_EQ(List.snapshot(), (std::vector<SetKey>{5, 7}));
+}
+
+// The sorted-batch entry point asserts its precondition instead of
+// silently reordering: same-key ops handed in descending array-slot
+// order would swap an insert(k);remove(k) pair. Regression for the
+// comparator leaning on pointer order of the caller's storage.
+TEST(VblBatchDeathTest, SameKeyOpsOutOfSubmissionOrderAssert) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VblList<> List;
+  BatchOp Ops[2];
+  Ops[0] = {SetOp::Insert, 5};
+  Ops[1] = {SetOp::Remove, 5};
+  // Same key, later slot first: violates (Key, submission index) order.
+  BatchOp *Misordered[2] = {&Ops[1], &Ops[0]};
+  EXPECT_DEATH(List.applyBatchSorted(Misordered, 2), "submission order");
+}
+
+TEST(VblBatchDeathTest, DescendingKeysAssert) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VblList<> List;
+  BatchOp Ops[2];
+  Ops[0] = {SetOp::Insert, 9};
+  Ops[1] = {SetOp::Insert, 4};
+  BatchOp *Unsorted[2] = {&Ops[0], &Ops[1]};
+  EXPECT_DEATH(List.applyBatchSorted(Unsorted, 2), "submission order");
+}

@@ -54,6 +54,9 @@ EpisodeFactory hmFactory(std::vector<SetKey> Prefill,
           tracedOp(SetOp::Contains, Key,
                    [&] { return List->contains(Key); });
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("point-op helper; scan scenarios live in "
+                          "ScenarioCorpus.h");
         }
       });
     }

@@ -30,11 +30,19 @@
 namespace vbl {
 namespace sched {
 
+/// One program step. Point ops use Key alone; RangeQuery scans the
+/// window [Key, KeyHi].
+struct ProgramOp {
+  SetOp Op;
+  SetKey Key;
+  SetKey KeyHi = 0;
+};
+
 struct Scenario {
   std::string Name;
   std::vector<SetKey> Prefill;
   /// One op list per thread.
-  std::vector<std::vector<std::pair<SetOp, SetKey>>> Programs;
+  std::vector<std::vector<ProgramOp>> Programs;
   std::vector<SetKey> Universe;
   /// Exploration cap: multi-op scenarios only cover a deterministic
   /// lexicographic prefix of the interleaving tree.
@@ -72,6 +80,15 @@ inline std::vector<Scenario> scenarios() {
        {{{SetOp::Insert, 5}, {SetOp::Remove, 5}},
         {{SetOp::Insert, 5}}},
        {5}, 3000},
+      // Scan interleavings: a reader sweeps a window while a writer
+      // unlinks from / inserts into the middle of it. Every episode
+      // must export a spec-legal scan AND stay race- and flow-clean.
+      {"scan_vs_unlink", {2, 4, 6},
+       {{{SetOp::Remove, 4}}, {{SetOp::RangeQuery, 1, 7}}},
+       {2, 4, 6}, 60000},
+      {"scan_vs_insert_mid", {2, 6},
+       {{{SetOp::Insert, 4}}, {{SetOp::RangeQuery, 1, 7}}},
+       {2, 4, 6}, 60000},
   };
 }
 
@@ -134,6 +151,13 @@ inline std::vector<Scenario> vbrScenarios() {
        {{{SetOp::Remove, 3}, {SetOp::Insert, 8}},
         {{SetOp::Insert, 4}, {SetOp::Remove, 6}}},
        {3, 4, 6, 8}, 2000},
+      // Scan-vs-revival: the scanner's certified hop lands on a block
+      // that is retired and revived (same key) mid-window; VBR birth
+      // checks must keep the walk on live nodes or restart it.
+      {"vbr_scan_vs_revival", {2, 4, 6},
+       {{{SetOp::Remove, 4}, {SetOp::Insert, 4}},
+        {{SetOp::RangeQuery, 1, 7}}},
+       {2, 4, 6}, 2000},
   };
 }
 
@@ -156,7 +180,7 @@ EpisodeFactory factoryForWith(const Scenario &S, MakeFn Make) {
       Ep.Flow = List->flowView();
     for (const auto &Program : S.Programs) {
       Ep.Bodies.push_back(std::function<void()>([List, Program] {
-        for (const auto &[Op, Key] : Program) {
+        for (const auto &[Op, Key, KeyHi] : Program) {
           switch (Op) {
           case SetOp::Insert:
             tracedOp(SetOp::Insert, Key,
@@ -169,6 +193,17 @@ EpisodeFactory factoryForWith(const Scenario &S, MakeFn Make) {
           case SetOp::Contains:
             tracedOp(SetOp::Contains, Key,
                      [&] { return List->contains(Key); });
+            break;
+          case SetOp::RangeQuery:
+            // Mutant fixtures (RacyList, ForgetfulList, ...) have no
+            // scan; point-op scenarios drive them, so skip is safe.
+            if constexpr (requires(std::vector<SetKey> &Out) {
+                            List->rangeQuery(Key, KeyHi, Out);
+                          })
+              tracedRangeOp(Key, KeyHi, [&] {
+                std::vector<SetKey> Keys;
+                return List->rangeQuery(Key, KeyHi, Keys);
+              });
             break;
           }
         }

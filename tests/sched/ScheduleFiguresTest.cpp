@@ -66,6 +66,9 @@ EpisodeFactory twoOpFactory(std::vector<SetKey> Prefill,
           tracedOp(SetOp::Contains, Key,
                    [&] { return List->contains(Key); });
           break;
+        case SetOp::RangeQuery:
+          vbl_unreachable("point-op helper; scan scenarios live in "
+                          "ScenarioCorpus.h");
         }
       });
     };
@@ -210,6 +213,9 @@ TEST(Fig3, HarrisMichaelRejectsViaRestart) {
         tracedOp(SetOp::Contains, Key,
                  [&] { return List->contains(Key); });
         break;
+      case SetOp::RangeQuery:
+        vbl_unreachable("point-op helper; scan scenarios live in "
+                        "ScenarioCorpus.h");
       }
     });
   };

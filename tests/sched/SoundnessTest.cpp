@@ -69,6 +69,9 @@ EpisodeFactory factoryFor(std::vector<SetKey> Prefill,
             tracedOp(SetOp::Contains, Key,
                      [&] { return List->contains(Key); });
             break;
+          case SetOp::RangeQuery:
+            vbl_unreachable("point-op helper; scan scenarios live in "
+                            "ScenarioCorpus.h");
           }
         }
       });

@@ -76,6 +76,8 @@ struct CombinerWorld {
       case SetOp::Contains:
         O.Result = List.contains(O.Key);
         break;
+      case SetOp::RangeQuery:
+        vbl_unreachable("combiner sched episodes use point ops only");
       }
     }
   }

@@ -95,6 +95,9 @@ void sequentialDifferential(const std::string &Backend, unsigned Batch,
       case SetOp::Contains:
         Expected = Model.count(Done.Key) != 0;
         break;
+      case SetOp::RangeQuery:
+        ADD_FAILURE() << "scan pieces must not reach takeCompleted()";
+        continue;
       }
       ASSERT_EQ(Done.Result, Expected)
           << Backend << " op " << I << " key " << Done.Key;
@@ -113,6 +116,9 @@ void sequentialDifferential(const std::string &Backend, unsigned Batch,
     case SetOp::Contains:
       Expected = Model.count(Done.Key) != 0;
       break;
+    case SetOp::RangeQuery:
+      ADD_FAILURE() << "scan pieces must not reach takeCompleted()";
+      continue;
     }
     ASSERT_EQ(Done.Result, Expected);
   }
@@ -312,6 +318,164 @@ TEST(ShardedSetTest, RegistryDescriptionsAreComplete) {
   const std::vector<std::string> Close = suggestSetNames("vbl-chunck");
   ASSERT_FALSE(Close.empty());
   EXPECT_EQ(Close.front(), "vbl-chunk");
+}
+
+//===--------------------------------------------------------------===//
+// Range scans through the front-end
+//===--------------------------------------------------------------===//
+
+// Direct rangeQuery/snapshot must merge the hash-partitioned shards
+// into one ascending window, matching a std::set model exactly.
+TEST(ShardedSetTest, RangeQueryMergesShards) {
+  for (const char *Backend : Backends) {
+    auto Front = mustCreate(options(Backend, 4, 1, CombineMode::Off));
+    std::set<SetKey> Model;
+    Xoshiro256 Rng(7);
+    for (int I = 0; I != 400; ++I) {
+      const auto Key = static_cast<SetKey>(Rng.nextBounded(256));
+      Front->insert(Key);
+      Model.insert(Key);
+    }
+    std::vector<SetKey> Got;
+    const size_t Returned = Front->rangeQuery(50, 199, Got);
+    EXPECT_EQ(Returned, Got.size());
+    EXPECT_EQ(Got, std::vector<SetKey>(Model.lower_bound(50),
+                                       Model.upper_bound(199)))
+        << Backend;
+    std::vector<SetKey> All;
+    Front->snapshot(All);
+    EXPECT_EQ(All, std::vector<SetKey>(Model.begin(), Model.end()))
+        << Backend;
+  }
+}
+
+// Batched scans: enqueueRange fans one piece per shard into the
+// session queues; the scan completes when its last piece flushes and
+// reports the merged ascending window via takeCompletedScans().
+void enqueueRangeDifferential(const std::string &Backend, unsigned Batch,
+                              CombineMode Mode) {
+  auto Front = mustCreate(options(Backend, 4, Batch, Mode));
+  ShardedSet::Session Session = Front->openSession();
+  std::set<SetKey> Model;
+  Xoshiro256 Rng(31);
+  size_t ScansIssued = 0;
+  size_t ScansSeen = 0;
+  // Replays completed point ops into the model in completion order.
+  // Must run before any scan comparison: pre-scan flushes complete
+  // queued updates the model hasn't absorbed yet.
+  const auto DrainCompleted = [&](int I) {
+    for (const BatchOp &Done : Session.takeCompleted()) {
+      bool Expected = false;
+      switch (Done.Op) {
+      case SetOp::Insert:
+        Expected = Model.insert(Done.Key).second;
+        break;
+      case SetOp::Remove:
+        Expected = Model.erase(Done.Key) != 0;
+        break;
+      case SetOp::Contains:
+        Expected = Model.count(Done.Key) != 0;
+        break;
+      case SetOp::RangeQuery:
+        ADD_FAILURE() << "scan pieces must not reach takeCompleted()";
+        continue;
+      }
+      ASSERT_EQ(Done.Result, Expected) << Backend << " op " << I;
+    }
+  };
+  for (int I = 0; I != 3000; ++I) {
+    const auto Key = static_cast<SetKey>(Rng.nextBounded(64));
+    const unsigned Kind = static_cast<unsigned>(Rng.nextBounded(8));
+    if (Kind == 0) {
+      const SetKey Hi = Key + static_cast<SetKey>(Rng.nextBounded(32));
+      // Flush first: the model answer is only comparable when every
+      // already-queued update lands before the scan does (a single
+      // session serializes everything, so flush-then-scan pins it).
+      Session.flush();
+      ASSERT_NO_FATAL_FAILURE(DrainCompleted(I));
+      Session.enqueueRange(Key, Hi, /*Tag=*/static_cast<uint64_t>(I));
+      Session.flush();
+      ++ScansIssued;
+      for (ShardedSet::Session::CompletedScan &Scan :
+           Session.takeCompletedScans()) {
+        ++ScansSeen;
+        EXPECT_EQ(Scan.Keys,
+                  std::vector<SetKey>(Model.lower_bound(Scan.Lo),
+                                      Model.upper_bound(Scan.Hi)))
+            << Backend << " scan [" << Scan.Lo << ", " << Scan.Hi
+            << "] tag " << Scan.Tag;
+      }
+      continue;
+    }
+    const SetOp Op = Kind < 4   ? SetOp::Insert
+                     : Kind < 7 ? SetOp::Remove
+                                : SetOp::Contains;
+    Session.enqueue(Op, Key);
+    ASSERT_NO_FATAL_FAILURE(DrainCompleted(I));
+  }
+  Session.close();
+  ASSERT_NO_FATAL_FAILURE(DrainCompleted(-1));
+  EXPECT_EQ(ScansIssued, ScansSeen) << Backend;
+  EXPECT_EQ(Session.pendingOps(), 0u) << Backend;
+}
+
+TEST(ShardedSetTest, EnqueueRangeBatched) {
+  for (const char *Backend : Backends)
+    enqueueRangeDifferential(Backend, 8, CombineMode::Off);
+}
+
+TEST(ShardedSetTest, EnqueueRangeCombining) {
+  enqueueRangeDifferential("vbl-chunk", 8, CombineMode::On);
+}
+
+//===--------------------------------------------------------------===//
+// Session lifecycle (destructor flush, close, moves)
+//===--------------------------------------------------------------===//
+
+// Regression: ops queued below BatchSize were silently dropped when a
+// session was destroyed without an explicit flush.
+TEST(ShardedSetTest, DestructorFlushesResidualOps) {
+  auto Front = mustCreate(options("vbl", 4, 64, CombineMode::Off));
+  {
+    ShardedSet::Session Session = Front->openSession();
+    for (SetKey Key = 0; Key != 10; ++Key)
+      Session.enqueue(SetOp::Insert, Key);
+    EXPECT_EQ(Session.pendingOps(), 10u)
+        << "batch should still be queued (BatchSize 64)";
+  } // ~Session must flush the residual batch.
+  const std::vector<SetKey> Final = Front->snapshot();
+  EXPECT_EQ(Final.size(), 10u)
+      << "ops enqueued below BatchSize were dropped at session exit";
+}
+
+TEST(ShardedSetTest, TakeCompletedStillWorksAfterClose) {
+  auto Front = mustCreate(options("vbl", 4, 64, CombineMode::Off));
+  ShardedSet::Session Session = Front->openSession();
+  for (SetKey Key = 0; Key != 6; ++Key)
+    Session.enqueue(SetOp::Insert, Key);
+  Session.enqueueRange(0, 9);
+  Session.close();
+  EXPECT_EQ(Session.pendingOps(), 0u);
+  // Results of the close-time flush are still takeable afterwards.
+  EXPECT_EQ(Session.takeCompleted().size(), 6u);
+  const auto Scans = Session.takeCompletedScans();
+  ASSERT_EQ(Scans.size(), 1u);
+  EXPECT_EQ(Scans[0].Keys, (std::vector<SetKey>{0, 1, 2, 3, 4, 5}));
+  // close() is idempotent; a second take is empty, not stale.
+  Session.close();
+  EXPECT_TRUE(Session.takeCompleted().empty());
+}
+
+TEST(ShardedSetTest, MovedFromSessionDoesNotDoubleFlush) {
+  auto Front = mustCreate(options("vbl", 2, 64, CombineMode::Off));
+  ShardedSet::Session A = Front->openSession();
+  A.enqueue(SetOp::Insert, 1);
+  ShardedSet::Session B = std::move(A);
+  { ShardedSet::Session C = std::move(B); } // C flushes on destruction.
+  // A and B are detached; their destructors must not flush again, and
+  // the op must have landed exactly once.
+  EXPECT_TRUE(Front->contains(1));
+  EXPECT_EQ(Front->snapshot().size(), 1u);
 }
 
 TEST(ShardedSetTest, CombineModeParsing) {

@@ -116,6 +116,10 @@ def main():
         base_val = float(base_val)
         cand_val = float(cand_val)
         if base_val <= 0 or cand_val <= 0:
+            # A zero percentile means the histogram never saw a sample
+            # (e.g. a mix with no ops of the profiled kind) — comparing
+            # it would divide by zero; absent data, same as null.
+            skipped += 1
             continue
         # Orient every ratio so > 1 means the candidate improved.
         ratio = (base_val / cand_val if smaller_is_better

@@ -56,6 +56,16 @@ def bench_invocations(args):
         # List vs skip-list crossover, small ranges only (see above).
         ("skiplist_crossover", common + ["--threads", args.threads,
                                          "--ranges", "200,2000"]),
+        # Scan mixes: chunked vs flat vs lock-free rangeQuery. One
+        # mixed and one scan-heavy panel at the 8k crossover range —
+        # the chunk-window speedup this suite gates; the point-only
+        # baseline panels already live in unrolled_crossover.
+        ("range_scan", common + ["--threads", args.threads,
+                                 "--ranges", "8192",
+                                 "--scan-percents", "10,50",
+                                 "--scan-lengths", "1024",
+                                 "--structures",
+                                 "vbl-chunk,vbl,harris-michael"]),
         # Unrolled chunk crossover: the flat-vs-chunked gate. 8192 is
         # the smallest range where the cache-line win must already
         # show; 64k stays out of the smoke suite like everywhere else.
@@ -129,8 +139,21 @@ def main():
             cmd = [binary, "--json", tmp_path] + flags
             print("+ " + " ".join(cmd), flush=True)
             subprocess.run(cmd, check=True)
-            with open(tmp_path, encoding="utf-8") as handle:
-                doc = json.load(handle)
+            try:
+                with open(tmp_path, encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except json.JSONDecodeError as err:
+                # A bench that dies mid-write leaves a truncated
+                # document; name the bench and the parse position
+                # instead of dumping a stacktrace.
+                print(f"error: {name} emitted malformed JSON: {err}",
+                      file=sys.stderr)
+                return 1
+            if not isinstance(doc, dict):
+                print(f"error: {name} emitted a JSON "
+                      f"{type(doc).__name__}, not an object",
+                      file=sys.stderr)
+                return 1
             if doc.get("schema") != "vbl-bench-v1":
                 print(f"error: {name} produced unknown schema "
                       f"{doc.get('schema')!r}", file=sys.stderr)

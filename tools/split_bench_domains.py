@@ -53,16 +53,31 @@ def main():
     try:
         with open(args.merged, encoding="utf-8") as handle:
             doc = json.load(handle)
-    except (OSError, json.JSONDecodeError) as err:
+    except OSError as err:
         print(f"error: cannot read {args.merged}: {err}", file=sys.stderr)
         return 2
+    except json.JSONDecodeError as err:
+        # Truncated or hand-edited documents used to surface as a bare
+        # stacktrace; name the file and parse position instead.
+        print(f"error: {args.merged} is malformed JSON: {err}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"error: {args.merged}: top level is a JSON "
+              f"{type(doc).__name__}, not an object", file=sys.stderr)
+        return 1
     if doc.get("schema") != "vbl-bench-v1":
         print(f"error: {args.merged}: unknown schema "
               f"{doc.get('schema')!r}", file=sys.stderr)
         return 2
 
     by_domain = {}
-    for record in doc.get("records", []):
+    for index, record in enumerate(doc.get("records", [])):
+        if not isinstance(record, dict):
+            print(f"error: {args.merged}: record #{index} is a JSON "
+                  f"{type(record).__name__}, not an object",
+                  file=sys.stderr)
+            return 1
         if not is_reclamation_bench(record.get("bench", "")):
             continue
         by_domain.setdefault(domain_of(record.get("structure", "")),

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench tooling (bench_compare, split_bench_domains,
+run_benches) on crafted malformed inputs.
+
+Each tool is exercised as a subprocess, the way CI invokes it, so the
+tests pin exit codes and diagnostics, not internals:
+
+ - bench_compare --field p99_ns on records with zero or null latency
+   percentiles must skip-with-note, not raise ZeroDivisionError or
+   TypeError mid-compare;
+ - split_bench_domains and run_benches must fail with a named
+   file/record diagnostic (exit 1) on malformed JSON instead of a
+   stacktrace.
+
+Invoked from ctest as bench_tools_selftest.
+"""
+
+import json
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def run_tool(name, *argv):
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS_DIR, name)] + list(argv),
+        capture_output=True, text=True)
+
+
+def bench_doc(records):
+    return {"schema": "vbl-bench-v1", "context": {}, "records": records}
+
+
+def record(structure, threads, throughput, p99):
+    return {
+        "bench": "latency_profile", "structure": structure,
+        "threads": threads, "key_range": 1024, "update_pct": 20,
+        "throughput_ops_s": throughput, "p99_latency_ns": p99,
+    }
+
+
+class TempDocs(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            if isinstance(payload, str):
+                handle.write(payload)
+            else:
+                json.dump(payload, handle)
+        return path
+
+
+class BenchCompareLatencyTest(TempDocs):
+    def test_zero_and_null_latency_skip_with_note(self):
+        # One comparable point, one null-latency point, one zero-latency
+        # point: the gate must compare the first and skip the rest with
+        # a note — the zero used to raise ZeroDivisionError in the
+        # inverted baseline/candidate ratio.
+        base = self.write("base.json", bench_doc([
+            record("vbl", 1, 1e6, 800.0),
+            record("lazy", 1, 1e6, None),
+            record("harris-michael", 1, 1e6, 0.0),
+        ]))
+        cand = self.write("cand.json", bench_doc([
+            record("vbl", 1, 1e6, 780.0),
+            record("lazy", 1, 1e6, 900.0),
+            record("harris-michael", 1, 1e6, 850.0),
+        ]))
+        result = run_tool("bench_compare.py", "--baseline", base,
+                          "--candidate", cand, "--field", "p99_ns")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped 2 point(s)", result.stdout)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_zero_candidate_latency_skips(self):
+        base = self.write("base.json", bench_doc([
+            record("vbl", 1, 1e6, 800.0),
+            record("lazy", 1, 1e6, 750.0),
+        ]))
+        cand = self.write("cand.json", bench_doc([
+            record("vbl", 1, 1e6, 810.0),
+            record("lazy", 1, 1e6, 0),
+        ]))
+        result = run_tool("bench_compare.py", "--baseline", base,
+                          "--candidate", cand, "--field", "p99_ns")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("skipped 1 point(s)", result.stdout)
+
+    def test_all_points_skipped_is_a_format_error(self):
+        base = self.write("base.json",
+                          bench_doc([record("vbl", 1, 1e6, None)]))
+        cand = self.write("cand.json",
+                          bench_doc([record("vbl", 1, 1e6, 700.0)]))
+        result = run_tool("bench_compare.py", "--baseline", base,
+                          "--candidate", cand, "--field", "p99_ns")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no comparable points", result.stderr)
+
+
+class SplitBenchDomainsTest(TempDocs):
+    def out_dir(self):
+        return os.path.join(self.dir.name, "out")
+
+    def test_malformed_json_named_exit_1(self):
+        merged = self.write("merged.json", "{\"schema\": \"vbl-bench-")
+        result = run_tool("split_bench_domains.py", "--merged", merged,
+                          "--out-dir", self.out_dir())
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("merged.json", result.stderr)
+        self.assertIn("malformed", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_non_object_record_named_exit_1(self):
+        merged = self.write("merged.json", {
+            "schema": "vbl-bench-v1",
+            "records": [{"bench": "micro_reclaim",
+                         "structure": "guard/vbr"}, "oops"],
+        })
+        result = run_tool("split_bench_domains.py", "--merged", merged,
+                          "--out-dir", self.out_dir())
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("record #1", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
+    def test_well_formed_doc_splits(self):
+        merged = self.write("merged.json", {
+            "schema": "vbl-bench-v1", "context": {},
+            "records": [
+                {"bench": "micro_reclaim", "structure": "guard/vbr"},
+                {"bench": "micro_reclaim", "structure": "vbl-leaky"},
+            ],
+        })
+        result = run_tool("split_bench_domains.py", "--merged", merged,
+                          "--out-dir", self.out_dir())
+        self.assertEqual(result.returncode, 0, result.stderr)
+        for domain in ("vbr", "leaky"):
+            path = os.path.join(self.out_dir(), f"BENCH_{domain}.json")
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            self.assertEqual(len(doc["records"]), 1)
+
+
+class RunBenchesMalformedTest(TempDocs):
+    def test_bench_emitting_malformed_json_named_exit_1(self):
+        # Fake build dir whose first suite binary writes a truncated
+        # document, as a bench dying mid-write would.
+        bench_dir = os.path.join(self.dir.name, "bench")
+        os.makedirs(bench_dir)
+        fake = os.path.join(bench_dir, "fig1_small_contended")
+        with open(fake, "w", encoding="utf-8") as handle:
+            handle.write("#!/bin/sh\n"
+                         "out=\"\"\n"
+                         "while [ $# -gt 0 ]; do\n"
+                         "  if [ \"$1\" = \"--json\" ]; then out=\"$2\"; "
+                         "shift; fi\n"
+                         "  shift\n"
+                         "done\n"
+                         "printf '{\"schema\": \"vbl-be' > \"$out\"\n")
+        os.chmod(fake, os.stat(fake).st_mode | stat.S_IXUSR)
+        out = os.path.join(self.dir.name, "merged.json")
+        result = run_tool("run_benches.py", "--build-dir", self.dir.name,
+                          "--out", out)
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("fig1_small_contended", result.stderr)
+        self.assertIn("malformed", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+        self.assertFalse(os.path.exists(out))
+
+
+if __name__ == "__main__":
+    unittest.main()
