@@ -19,14 +19,126 @@
 
 #include "harness/BenchJson.h"
 #include "harness/TablePrinter.h"
+#include "support/Barrier.h"
 #include "support/CommandLine.h"
+#include "support/Stats.h"
+#include "support/Timing.h"
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace vbl;
 using namespace vbl::harness;
+
+namespace {
+
+/// One fill-or-drain phase's op mix: 10% contains, 80% toward the
+/// phase's direction, 10% against it (so the drained table never goes
+/// exactly empty and the fill keeps probing absent keys).
+SetOp pickPhaseOp(Xoshiro256 &Rng, bool Fill) {
+  const uint64_t Roll = Rng.nextBounded(100);
+  if (Roll < 10)
+    return SetOp::Contains;
+  if (Fill)
+    return Roll < 90 ? SetOp::Insert : SetOp::Remove;
+  return Roll < 90 ? SetOp::Remove : SetOp::Insert;
+}
+
+/// The grow/shrink phased workload the steady-state harness cannot
+/// express: every thread alternates insert-heavy fill phases with
+/// remove-heavy drain phases on a shared wall-clock grid (phase index =
+/// elapsed / PhaseMs), so the whole table inflates and deflates
+/// together. Grow-only tables pay the phased shape once (the index
+/// ratchets up and stays); shrink-enabled tables ride it down every
+/// drain and back up every fill, which is exactly the regime the resize
+/// machinery — and its cost — is for.
+double runPhased(ConcurrentSet &Set, unsigned Threads, SetKey Range,
+                 unsigned PhaseMs, unsigned Phases, uint64_t Seed) {
+  const uint64_t WindowNs = uint64_t{PhaseMs} * Phases * 1000000ULL;
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  std::vector<uint64_t> Ops(Threads, 0);
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(Seed + 0x9e3779b9ULL * (T + 1));
+      Barrier.arriveAndWait();
+      const uint64_t Start = nowNanos();
+      uint64_t Local = 0;
+      bool Fill = true;
+      for (;;) {
+        // Re-read the clock every 64 ops: cheap enough to keep the
+        // phase grid tight at benchmark op rates.
+        const uint64_t Elapsed = nowNanos() - Start;
+        if (Elapsed >= WindowNs)
+          break;
+        Fill = ((Elapsed / 1000000ULL) / PhaseMs) % 2 == 0;
+        for (int I = 0; I != 64; ++I) {
+          const SetKey Key = Rng.nextBounded(Range);
+          switch (pickPhaseOp(Rng, Fill)) {
+          case SetOp::Insert:
+            Set.insert(Key);
+            break;
+          case SetOp::Remove:
+            Set.remove(Key);
+            break;
+          default:
+            Set.contains(Key);
+            break;
+          }
+          ++Local;
+        }
+      }
+      Ops[T] = Local;
+    });
+  }
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  uint64_t Total = 0;
+  for (uint64_t N : Ops)
+    Total += N;
+  return static_cast<double>(Total) / (WindowNs * 1e-9);
+}
+
+/// Repeats runPhased on fresh structures and reports the median point
+/// (mirroring measurePoint's protocol), with the resize counter delta
+/// attached under --stats.
+BenchRecord measurePhased(const std::string &Structure, unsigned Threads,
+                          SetKey Range, unsigned PhaseMs, unsigned Phases,
+                          unsigned Repeats, uint64_t Seed) {
+  BenchRecord Record;
+  Record.Bench = "hashset_phased";
+  Record.Structure = Structure;
+  Record.Threads = Threads;
+  Record.KeyRange = Range;
+  Record.UpdatePercent = 90; // the per-phase update rate
+  Record.Repeats = Repeats;
+
+  const stats::Snapshot Before = stats::snapshotAll();
+  SampleStats Throughput;
+  for (unsigned R = 0; R != Repeats; ++R) {
+    auto Set = makeSet(Structure);
+    if (!Set) {
+      std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                   Structure.c_str());
+      std::abort();
+    }
+    prefill(*Set, Range, Seed + R);
+    Throughput.add(
+        runPhased(*Set, Threads, Range, PhaseMs, Phases, Seed + R));
+  }
+  Record.ThroughputOpsPerSec = Throughput.percentile(50);
+  Record.ThroughputStddev = Throughput.stddev();
+  if (statsCollectionEnabled()) {
+    Record.HasStats = true;
+    Record.Stats = stats::snapshotAll().delta(Before);
+  }
+  return Record;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   FlagSet Flags("Key-range sweep: flat lists vs split-ordered hash sets");
@@ -44,12 +156,23 @@ int main(int Argc, char **Argv) {
   Flags.addString("json", "", "optional path for vbl-bench-v1 records");
   Flags.addBool("stats", false,
                 "collect internal counters and report them per structure");
+  Flags.addBool("phased", false,
+                "also run the grow/shrink phased workload (grow-only vs "
+                "resize-enabled tables)");
+  Flags.addInt("phase-ms", 40, "fill/drain phase length (phased mode)");
+  Flags.addInt("phases", 6, "number of alternating phases (phased mode)");
+  Flags.addInt("phased-range", 8192, "key range for the phased workload");
   if (!Flags.parse(Argc, Argv))
     return 1;
   setStatsCollection(Flags.getBool("stats"));
 
+  // The steady-state sweep carries the resize-enabled overlays next to
+  // their grow-only twins: once the table has grown to fit the range,
+  // the shrink watermark is never crossed, so any steady-state gap is
+  // pure bookkeeping overhead (EXPERIMENTS.md gates it at 5%).
   const std::vector<std::string> Structures = {
-      "vbl", "so-hash-vbl", "harris-michael", "so-hash-hm"};
+      "vbl",          "so-hash-vbl", "so-hash-vbl-resize",
+      "harris-michael", "so-hash-hm",  "so-hash-hm-resize"};
   const bool WithLatency = Flags.getBool("latency");
 
   BenchJsonReport Report;
@@ -101,6 +224,49 @@ int main(int Argc, char **Argv) {
         std::printf("  -- stats: %s --\n", Record.Structure.c_str());
         std::fputs(stats::renderTable(Record.Stats, "    ").c_str(),
                    stdout);
+      }
+    }
+  }
+
+  if (Flags.getBool("phased")) {
+    const SetKey Range =
+        static_cast<SetKey>(Flags.getInt("phased-range"));
+    const unsigned PhaseMs = static_cast<unsigned>(Flags.getInt("phase-ms"));
+    const unsigned Phases = static_cast<unsigned>(Flags.getInt("phases"));
+    const unsigned Repeats = static_cast<unsigned>(Flags.getInt("repeats"));
+    const uint64_t Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+    // Grow-only vs resize-enabled under the same phased churn; the
+    // ratio column is resize/grow-only (≈1 means the swap machinery is
+    // paying for its adaptivity).
+    const std::vector<std::pair<std::string, std::string>> Pairs = {
+        {"so-hash-vbl", "so-hash-vbl-resize"},
+        {"so-hash-hm", "so-hash-hm-resize"}};
+    for (unsigned Threads : Flags.getUnsignedList("threads")) {
+      std::printf("\n== hashset_phased: %u thread(s), range %llu, "
+                  "%u x %u ms fill/drain phases ==\n",
+                  Threads, static_cast<unsigned long long>(Range), Phases,
+                  PhaseMs);
+      std::printf("%22s %16s %16s %14s\n", "pair", "grow-only",
+                  "resize", "resize/grow");
+      for (const auto &[GrowOnly, Resize] : Pairs) {
+        const BenchRecord A = measurePhased(GrowOnly, Threads, Range,
+                                            PhaseMs, Phases, Repeats, Seed);
+        const BenchRecord B = measurePhased(Resize, Threads, Range,
+                                            PhaseMs, Phases, Repeats, Seed);
+        std::printf("%22s %12.3f Mops %12.3f Mops %13.2fx\n",
+                    GrowOnly.c_str(), A.ThroughputOpsPerSec * 1e-6,
+                    B.ThroughputOpsPerSec * 1e-6,
+                    A.ThroughputOpsPerSec > 0
+                        ? B.ThroughputOpsPerSec / A.ThroughputOpsPerSec
+                        : 0.0);
+        for (const BenchRecord &Record : {A, B}) {
+          Report.add(Record);
+          if (Record.HasStats && !Record.Stats.empty()) {
+            std::printf("  -- stats: %s --\n", Record.Structure.c_str());
+            std::fputs(stats::renderTable(Record.Stats, "    ").c_str(),
+                       stdout);
+          }
+        }
       }
     }
   }

@@ -17,6 +17,7 @@
 
 #include "support/Compiler.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -69,6 +70,97 @@ inline constexpr SetKey MaxHashKey = SetKey(1) << HashKeyBits;
 
 inline constexpr bool isHashKey(SetKey Key) {
   return Key >= 0 && Key < MaxHashKey;
+}
+
+/// Construction-time shape of a split-ordered hash set's bucket index
+/// and the resize policy that drives the grace-period table swap
+/// (maps/SplitOrderedHashSet.h). Every size is a bucket COUNT and must
+/// be a power of two — the index is addressed by masking the mixed
+/// hash, so a non-pow2 count silently drops buckets. Historically the
+/// constructor rounded bad values up; that silent path is gone:
+/// validateHashSetConfig names the exact defect and construction
+/// refuses misconfigured tables (see HashSetConfigError).
+struct HashSetConfig {
+  /// Index capacity at construction (pow2, in [MinBuckets, MaxBuckets]).
+  size_t InitialBuckets = 16;
+  /// Grow high watermark: double the index once
+  /// count > capacity * GrowLoadFactor (mean chain length per bucket).
+  size_t GrowLoadFactor = 4;
+  /// Hard ceiling the index never grows past (pow2).
+  size_t MaxBuckets = size_t(1) << 22;
+  /// Floor the index never shrinks below (pow2). Also the "low
+  /// watermark" the churn tests expect the table to return to.
+  size_t MinBuckets = 1;
+  /// Hysteresis between the grow and shrink thresholds: halve the index
+  /// only once count * ShrinkDivisor < capacity * GrowLoadFactor, i.e.
+  /// occupancy must fall to 1/ShrinkDivisor of the grow trigger before
+  /// the table gives memory back. >= 4 guarantees a freshly halved
+  /// table is not immediately grow-eligible again (no thrash at a
+  /// boundary count). Ignored unless EnableShrink.
+  size_t ShrinkDivisor = 4;
+  /// Master switch for shrinking. Off by default so the classic
+  /// grow-only behaviour (and its perf profile) is what you get unless
+  /// you opt in; the `so-hash-*-resize` registry entries opt in.
+  bool EnableShrink = false;
+};
+
+/// Named validation verdicts for HashSetConfig — the registry and the
+/// hash-set constructor refuse misconfiguration with one of these
+/// instead of silently rounding (see hashSetConfigErrorName).
+enum class HashSetConfigError : uint8_t {
+  None,                 ///< Config is well-formed.
+  InitialNotPowerOfTwo, ///< InitialBuckets is zero or not a power of two.
+  MinNotPowerOfTwo,     ///< MinBuckets is zero or not a power of two.
+  MaxNotPowerOfTwo,     ///< MaxBuckets is zero or not a power of two.
+  BoundsInverted,       ///< Not MinBuckets <= InitialBuckets <= MaxBuckets.
+  ZeroLoadFactor,       ///< GrowLoadFactor == 0 (grows on every insert).
+  ShrinkDivisorTooSmall,///< EnableShrink with ShrinkDivisor < 2 — no
+                        ///  hysteresis; grow and shrink thresholds meet
+                        ///  and the table thrashes at the boundary.
+};
+
+/// Stable diagnostic name for \p E ("InitialNotPowerOfTwo", ...).
+inline constexpr const char *hashSetConfigErrorName(HashSetConfigError E) {
+  switch (E) {
+  case HashSetConfigError::None:
+    return "None";
+  case HashSetConfigError::InitialNotPowerOfTwo:
+    return "InitialNotPowerOfTwo";
+  case HashSetConfigError::MinNotPowerOfTwo:
+    return "MinNotPowerOfTwo";
+  case HashSetConfigError::MaxNotPowerOfTwo:
+    return "MaxNotPowerOfTwo";
+  case HashSetConfigError::BoundsInverted:
+    return "BoundsInverted";
+  case HashSetConfigError::ZeroLoadFactor:
+    return "ZeroLoadFactor";
+  case HashSetConfigError::ShrinkDivisorTooSmall:
+    return "ShrinkDivisorTooSmall";
+  }
+  return "Unknown";
+}
+
+inline constexpr bool isPowerOfTwo(size_t X) {
+  return X != 0 && (X & (X - 1)) == 0;
+}
+
+/// First defect found in \p C, or HashSetConfigError::None. Pure so
+/// tests can assert on the named verdict without constructing a set.
+inline constexpr HashSetConfigError
+validateHashSetConfig(const HashSetConfig &C) {
+  if (!isPowerOfTwo(C.InitialBuckets))
+    return HashSetConfigError::InitialNotPowerOfTwo;
+  if (!isPowerOfTwo(C.MinBuckets))
+    return HashSetConfigError::MinNotPowerOfTwo;
+  if (!isPowerOfTwo(C.MaxBuckets))
+    return HashSetConfigError::MaxNotPowerOfTwo;
+  if (C.MinBuckets > C.InitialBuckets || C.InitialBuckets > C.MaxBuckets)
+    return HashSetConfigError::BoundsInverted;
+  if (C.GrowLoadFactor == 0)
+    return HashSetConfigError::ZeroLoadFactor;
+  if (C.EnableShrink && C.ShrinkDivisor < 2)
+    return HashSetConfigError::ShrinkDivisorTooSmall;
+  return HashSetConfigError::None;
 }
 
 } // namespace vbl

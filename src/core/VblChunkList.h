@@ -50,7 +50,25 @@
 ///
 /// Template knobs: ChunkKeys (1 recovers a flat VBL-like list and is
 /// the bench ablation baseline; 7 fills one 64-byte key line; 15 two),
-/// ReclaimT and PolicyT exactly as in VblList.
+/// ReclaimT and PolicyT exactly as in VblList, and Adaptive.
+///
+/// Adaptive chunking (Adaptive = true): the compile-time K becomes an
+/// upper bound and the list reshapes online from two stats-layer
+/// signals. Contention (the events behind chunk.validation_aborts) is
+/// tracked per chunk in a Heat counter; a hot chunk is split at the
+/// median even when its keys would fit one chunk, so the keys that
+/// contend land behind different locks (small effective K where writers
+/// collide). Occupancy (the hist.chunk_occupancy signal, sampled on
+/// every structural-path lock acquisition) drives the opposite move: a
+/// cold half-empty chunk is merged with its successor when the union
+/// fits, restoring large effective K on read-mostly runs. Both moves
+/// piggyback on the existing freeze-and-replace protocol — lock in
+/// list order, mark the victim(s), swing the predecessor's link, retire
+/// through the domain — so no new protocol states exist; a merge simply
+/// freezes two adjacent chunks (both marked before the one swing)
+/// instead of one. Replacement chunks start cold (Heat = 0), which is
+/// also the hysteresis: a chunk must re-earn its heat before it splits
+/// again, and a merge is refused while the chunk is hot.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,7 +98,7 @@
 namespace vbl {
 
 template <unsigned ChunkKeys = 7, class ReclaimT = reclaim::EpochDomain,
-          class PolicyT = DirectPolicy>
+          class PolicyT = DirectPolicy, bool Adaptive = false>
 class VblChunkList {
   static_assert(ChunkKeys >= 1 && ChunkKeys <= 63,
                 "the occupancy bitmap is one 64-bit word");
@@ -112,6 +130,12 @@ class VblChunkList {
     /// write-once: written before their Occ bit is published, never
     /// rewritten. Mutated only under Lock.
     std::atomic<uint32_t> FirstClean{0};
+    /// Contention estimate for adaptive reshaping: bumped (lossy,
+    /// single CAS attempt) when an operation's lock-held validation of
+    /// this chunk aborts. Advisory only — never part of a correctness
+    /// decision — and reset to zero on VBR revival. Unused (always 0)
+    /// when Adaptive is off; it shares the header padding either way.
+    std::atomic<uint32_t> Heat{0};
     /// Occupancy bitmap: bit i published (release) after Keys[i] is
     /// written, cleared (release) by remove. The one word unlocked
     /// scans snapshot.
@@ -132,6 +156,14 @@ public:
   using Policy = PolicyT;
 
   static constexpr unsigned KeysPerChunk = ChunkKeys;
+  /// True when this instantiation reshapes chunks online (hot splits,
+  /// cold merges); exposed so tests and describe strings can branch.
+  static constexpr bool AdaptiveShapes = Adaptive;
+  /// Heat at which a chunk is considered contended: structural inserts
+  /// split it at the median even when the keys would fit one chunk, and
+  /// merges refuse it. Validation aborts are rare in healthy schedules,
+  /// so a small absolute count already marks a genuine hot spot.
+  static constexpr uint32_t HotSplitThreshold = 4;
   /// Exposed so the NodePool tests can assert the size-class mapping of
   /// real chunk shapes without re-deriving the layout.
   static constexpr size_t ChunkBytes = sizeof(Chunk);
@@ -209,6 +241,19 @@ public:
       }
       if (Found >= 0)
         return false; // Present: decided from data alone, no lock taken.
+      if constexpr (Adaptive) {
+        // A contended chunk skips the single-lock fast path: the
+        // structural path splits it at the median so the colliding keys
+        // end up behind different locks (small effective K where it
+        // hurts). The replacement halves start cold.
+        if (heatOf(Curr) >= HotSplitThreshold) {
+          const int Out = structuralInsert(Key, G);
+          if (Out >= 0)
+            return Out != 0;
+          Policy::onRestart();
+          continue;
+        }
+      }
       bool FoundUnderLock = false;
       const bool Locked = Curr->Lock.template acquireIfValidSince<Policy>(
           Curr, Seen, [&] {
@@ -235,6 +280,7 @@ public:
         if (FoundUnderLock)
           return false; // Value validation decided "present" — no retry.
         stats::bump(stats::Counter::ChunkValidationAborts);
+        noteContention(Curr);
         Policy::onRestart();
         continue;
       }
@@ -321,6 +367,7 @@ public:
         if (AbsentUnderLock)
           return false; // Live chunk covering Key lacks it: authoritative.
         stats::bump(stats::Counter::ChunkValidationAborts);
+        noteContention(Curr);
         Policy::onRestart();
         continue;
       }
@@ -328,8 +375,22 @@ public:
       Policy::write(Curr->Occ, NewOcc, std::memory_order_release,
                     &Curr->Occ, MemField::Marked);
       Curr->Lock.template release<Policy>(Curr);
-      if (NewOcc == 0)
+      if (NewOcc == 0) {
         tryUnlinkEmpty(Pred, Curr, G);
+      } else if constexpr (Adaptive) {
+        // Cold-compaction trigger: a quarter-full chunk (or a singleton,
+        // which is pure pointer overhead at any K) with no recent
+        // contention folds into its successor when the union fits —
+        // read-mostly sparse runs drift back toward large effective K.
+        // Quarter, not half: split fires at full, so merging anything
+        // denser re-creates near-full chunks that the next insert
+        // splits again — at the harness's steady-state density of 1/2 a
+        // half-full trigger thrashes split/merge on every other update.
+        const unsigned Pop = static_cast<unsigned>(std::popcount(NewOcc));
+        if ((Pop == 1 || 4 * Pop <= ChunkKeys) &&
+            heatOf(Curr) < HotSplitThreshold)
+          tryMergeWithNext(Pred, Curr, G);
+      }
       return true;
     }
   }
@@ -885,6 +946,12 @@ private:
                     MemField::Val);
       Policy::write(C->Marked, false, std::memory_order_release, C,
                     MemField::Marked);
+      // Revival skips the constructor, so the previous incarnation's
+      // contention heat must be cleared by hand: a revived chunk starts
+      // cold (also the hysteresis that keeps a just-split chunk from
+      // immediately splitting again).
+      Policy::write(C->Heat, uint32_t{0}, std::memory_order_release,
+                    &C->Heat, MemField::Val);
       return C;
     } else {
       Chunk *C = reclaim::poolCreate<Chunk, Policy>(Anchor);
@@ -974,6 +1041,7 @@ private:
     // (its freezer must hold this same Pred lock), so acquiring it only
     // waits out single-chunk inserts/removes.
     bool FoundUnderLock = false;
+    uint64_t OccAtAcquire = 0;
     if (!Curr->Lock.template acquireIfValidSince<Policy>(
             Curr, ChunkLock::InvalidVersion, [&] {
               if (Policy::readCheck(Curr->Marked,
@@ -994,18 +1062,29 @@ private:
                 FoundUnderLock = true;
                 return false;
               }
+              OccAtAcquire = O;
               return true;
             })) {
       Pred->Lock.template release<Policy>(Pred);
       if (FoundUnderLock)
         return 0;
       stats::bump(stats::Counter::ChunkValidationAborts);
+      noteContention(Curr);
       return -1;
     }
+    // Every structural-path lock acquisition samples the chunk's
+    // population, so long-stable chunks keep reporting steady-state
+    // occupancy even when the path below returns without freezing (the
+    // freeze-time Occ equals this sample: Occ only changes under the
+    // lock we now hold).
+    stats::histogramAdd(
+        stats::Histogram::ChunkOccupancy,
+        static_cast<uint64_t>(std::popcount(OccAtAcquire)));
+    const bool Hot = Adaptive && heatOf(Curr) >= HotSplitThreshold;
     const uint32_t FC =
         Policy::readCheck(Curr->FirstClean, std::memory_order_relaxed,
                           &Curr->FirstClean, MemField::Marked);
-    if (FC < ChunkKeys) {
+    if (FC < ChunkKeys && !Hot) {
       // A slot opened between our single-lock attempt and here.
       storeSlot(Curr, FC, Key);
       Curr->Lock.template release<Policy>(Curr);
@@ -1025,26 +1104,26 @@ private:
       All[Total++] = Policy::readCheck(Slot, std::memory_order_relaxed,
                                        &Slot, MemField::Val);
     }
-    const size_t Live = Total;
     All[Total++] = Key;
     std::sort(All.begin(), All.begin() + static_cast<ptrdiff_t>(Total));
     Chunk *NextC = Policy::readCheck(Curr->Next, std::memory_order_acquire,
                                      Curr, MemField::Next);
     Chunk *Replacement;
-    if (Total <= ChunkKeys) {
-      // Dead slots made room: one compacted copy.
+    if (Total <= ChunkKeys && !(Hot && Total >= 2)) {
+      // Dead slots made room: one compacted copy. A hot chunk refuses
+      // the compaction (unless it holds a single key) and splits below
+      // instead — that is the adaptive small-K move.
       Replacement = buildChunk(rawAnchor(Curr), All.data(), Total, NextC);
       stats::bump(stats::Counter::ChunkCompactions);
     } else {
-      // Genuinely full: split at the median; the upper half's anchor is
-      // its own least key (strictly above the lower half's keys).
+      // Genuinely full (or hot): split at the median; the upper half's
+      // anchor is its own least key (strictly above the lower half's).
       const size_t Mid = Total / 2;
       Chunk *Upper = buildChunk(All[Mid], All.data() + Mid, Total - Mid,
                                 NextC);
       Replacement = buildChunk(rawAnchor(Curr), All.data(), Mid, Upper);
       stats::bump(stats::Counter::ChunkSplits);
     }
-    stats::histogramAdd(stats::Histogram::ChunkOccupancy, Live);
     // Freeze: mark, then swing. Readers already inside Curr finish
     // against its immutable final content.
     Policy::write(Curr->Marked, true, std::memory_order_release, Curr,
@@ -1107,6 +1186,152 @@ private:
     Pred->Lock.template release<Policy>(Pred);
     stats::bump(stats::Counter::ChunkUnlinks);
     reclaim::domainRetire<Policy>(Domain, Curr);
+  }
+
+  /// Advisory contention heat of a chunk (adaptive builds only). Read
+  /// without any lock: the value only steers shape decisions, never
+  /// correctness, so a stale read is harmless.
+  uint32_t heatOf(const Chunk *C) const {
+    if constexpr (!Adaptive) {
+      (void)C;
+      return 0;
+    } else {
+      return Policy::read(C->Heat, std::memory_order_acquire, &C->Heat,
+                          MemField::Val);
+    }
+  }
+
+  /// Records a validation abort against \p C with a single, non-looping
+  /// CAS. A lost race simply drops the sample — heat is a lossy counter
+  /// and under-counting only delays the hot-split decision. Saturates at
+  /// 2x the threshold so a long-hot chunk's word stops being written.
+  void noteContention(Chunk *C) {
+    if constexpr (Adaptive) {
+      uint32_t Seen = Policy::read(C->Heat, std::memory_order_acquire,
+                                   &C->Heat, MemField::Val);
+      if (Seen >= 2 * HotSplitThreshold)
+        return;
+      (void)Policy::casStrong(C->Heat, Seen, Seen + 1,
+                              std::memory_order_acq_rel, &C->Heat,
+                              MemField::Val);
+    } else {
+      (void)C;
+    }
+  }
+
+  /// Best-effort merge of a cold, underfull chunk with its successor:
+  /// lock (pred, chunk, next) in list order, revalidate that the merged
+  /// population still fits one chunk, then freeze BOTH sources and swing
+  /// pred to a single combined replacement anchored at Curr's anchor.
+  /// Both marks precede the one swing, so each source is marked when
+  /// last reachable (flow clause F6); two frozen-but-reachable chunks in
+  /// between is legal — F5 only bounds unmarked holders per key. Any
+  /// failed validation gives up: an underfull chunk is legal and a later
+  /// remove retries.
+  void tryMergeWithNext(Chunk *Pred, Chunk *Curr,
+                        typename Reclaim::Guard &G) {
+    (void)G;
+    if (!Pred->Lock.template acquireIfValidSince<Policy>(
+            Pred, ChunkLock::InvalidVersion, [&] {
+              if (Policy::readCheck(Pred->Marked,
+                                    std::memory_order_acquire, Pred,
+                                    MemField::Marked))
+                return false;
+              const bool Linked =
+                  Policy::readCheck(Pred->Next, std::memory_order_acquire,
+                                    Pred, MemField::Next) == Curr;
+              if constexpr (Versioned) {
+                // Same hazard as tryUnlinkEmpty: exclude a block recycled
+                // into an unpublished chunk whose next pointer
+                // coincidentally equals Curr.
+                if (!Domain.validAt(Pred, G.version()))
+                  return false;
+              }
+              return Linked;
+            })) {
+      stats::bump(stats::Counter::ChunkValidationAborts);
+      return;
+    }
+    // No birth check on Curr even under VBR (see tryUnlinkEmpty): with
+    // Pred locked and linked to Curr, whichever incarnation Curr is,
+    // "successor of Pred whose population is small" is exactly the state
+    // the merge below is correct for.
+    uint64_t OccCurr = 0;
+    if (!Curr->Lock.template acquireIfValidSince<Policy>(
+            Curr, ChunkLock::InvalidVersion, [&] {
+              OccCurr = Policy::readCheck(Curr->Occ,
+                                          std::memory_order_acquire,
+                                          &Curr->Occ, MemField::Marked);
+              // Same quarter-or-singleton rule as the trigger: a chunk
+              // refilled past it since the probe no longer wants folding.
+              const unsigned Pop =
+                  static_cast<unsigned>(std::popcount(OccCurr));
+              return Pop != 0 && (Pop == 1 || 4 * Pop <= ChunkKeys);
+            })) {
+      Pred->Lock.template release<Policy>(Pred);
+      return;
+    }
+    stats::histogramAdd(
+        stats::Histogram::ChunkOccupancy,
+        static_cast<uint64_t>(std::popcount(OccCurr)));
+    // Under Curr's lock its successor is stable (freezing it would need
+    // this lock), so NextC is the genuine current neighbour.
+    Chunk *NextC = Policy::readCheck(Curr->Next, std::memory_order_acquire,
+                                     Curr, MemField::Next);
+    if (NextC == Tail) {
+      Curr->Lock.template release<Policy>(Curr);
+      Pred->Lock.template release<Policy>(Pred);
+      return;
+    }
+    uint64_t OccNext = 0;
+    if (!NextC->Lock.template acquireIfValidSince<Policy>(
+            NextC, ChunkLock::InvalidVersion, [&] {
+              OccNext = Policy::readCheck(NextC->Occ,
+                                          std::memory_order_acquire,
+                                          &NextC->Occ, MemField::Marked);
+              return static_cast<unsigned>(std::popcount(OccCurr)) +
+                         static_cast<unsigned>(std::popcount(OccNext)) <=
+                     ChunkKeys;
+            })) {
+      Curr->Lock.template release<Policy>(Curr);
+      Pred->Lock.template release<Policy>(Pred);
+      return;
+    }
+    stats::histogramAdd(
+        stats::Histogram::ChunkOccupancy,
+        static_cast<uint64_t>(std::popcount(OccNext)));
+    // Gather both live sets under the locks; the validator bounded the
+    // union to one chunk's capacity.
+    std::array<SetKey, ChunkKeys> All;
+    size_t Total = 0;
+    for (Chunk *Src : {Curr, NextC}) {
+      uint64_t Bits = Src == Curr ? OccCurr : OccNext;
+      while (Bits) {
+        const int I = std::countr_zero(Bits);
+        Bits &= Bits - 1;
+        std::atomic<SetKey> &Slot = Src->Keys[static_cast<size_t>(I)];
+        All[Total++] = Policy::readCheck(Slot, std::memory_order_relaxed,
+                                         &Slot, MemField::Val);
+      }
+    }
+    std::sort(All.begin(), All.begin() + static_cast<ptrdiff_t>(Total));
+    Chunk *NextOfN = Policy::readCheck(
+        NextC->Next, std::memory_order_acquire, NextC, MemField::Next);
+    Chunk *Replacement =
+        buildChunk(rawAnchor(Curr), All.data(), Total, NextOfN);
+    // Freeze both sources, then one swing excises the pair.
+    Policy::write(Curr->Marked, true, std::memory_order_release, Curr,
+                  MemField::Marked);
+    Policy::write(NextC->Marked, true, std::memory_order_release, NextC,
+                  MemField::Marked);
+    Policy::write(Pred->Next, Replacement, std::memory_order_release, Pred,
+                  MemField::Next);
+    NextC->Lock.template release<Policy>(NextC);
+    Curr->Lock.template release<Policy>(Curr);
+    Pred->Lock.template release<Policy>(Pred);
+    stats::bump(stats::Counter::ChunkMerges);
+    reclaim::domainRetire<Policy>(Domain, Curr);
+    reclaim::domainRetire<Policy>(Domain, NextC);
   }
 
   Chunk *Head;

@@ -32,16 +32,38 @@
 #include "reclaim/NodePool.h"
 #include "stats/Stats.h"
 #include "support/Compiler.h"
+#include "sync/Policy.h"
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace vbl {
 
 class HarrisMichaelListHp {
+  /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
+  struct alignas(NodeAlignBytes) Node {
+    explicit Node(SetKey Val) : Val(Val) {}
+
+    const SetKey Val;
+    std::atomic<uintptr_t> Next{0};
+  };
+
 public:
   using Reclaim = reclaim::HazardPointerDomain;
+  /// The HP protocol's seq_cst publish/re-validate loops are not
+  /// expressible through the traced policy hooks, so this list runs
+  /// direct-only; the split-ordered overlay still needs the alias for
+  /// its own accesses (which are plain atomics under DirectPolicy).
+  using Policy = DirectPolicy;
+
+  /// Opaque handle to a list node that the caller guarantees is never
+  /// removed (the head sentinel, or the dummy nodes a split-ordered
+  /// hash overlay pins into the list). Such a handle stays valid for
+  /// the lifetime of the list, may seed *From() operations, and — being
+  /// immortal — needs no hazard slot of its own.
+  using BucketHandle = Node *;
 
   HarrisMichaelListHp() {
     Tail = reclaim::poolCreate<Node>(MaxSentinel);
@@ -63,12 +85,31 @@ public:
   HarrisMichaelListHp(const HarrisMichaelListHp &) = delete;
   HarrisMichaelListHp &operator=(const HarrisMichaelListHp &) = delete;
 
-  bool insert(SetKey Key) {
+  bool insert(SetKey Key) { return insertFrom(Key, Head); }
+  bool remove(SetKey Key) { return removeFrom(Key, Head); }
+  bool contains(SetKey Key) const { return containsFrom(Key, Head); }
+
+  //===--------------------------------------------------------------===//
+  // Split-ordered hash substrate hooks. Each operation behaves exactly
+  // like its head-anchored counterpart but starts traversing at \p
+  // Start, which must be a handle to a never-removed node whose key is
+  // smaller than \p Key (a bucket dummy). Restarts re-traverse from
+  // Start, never from the global head — Start's immortality is what
+  // lets find() leave SlotPrev clear at the restart point.
+  //===--------------------------------------------------------------===//
+
+  /// Handle of the head sentinel: bucket 0 of a split-ordered overlay.
+  BucketHandle headHandle() { return Head; }
+
+  /// Key stored at a handle (sentinels return their sentinel key).
+  static SetKey handleKey(BucketHandle Handle) { return Handle->Val; }
+
+  bool insertFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     Reclaim::Guard G(Domain);
     Node *NewNode = nullptr;
     for (;;) {
-      auto [Prev, Curr] = find(Key, G);
+      auto [Prev, Curr] = find(Key, Start, G);
       if (Curr->Val == Key) {
         reclaim::poolDestroy(NewNode); // Never published.
         return false;
@@ -87,11 +128,11 @@ public:
     }
   }
 
-  bool remove(SetKey Key) {
+  bool removeFrom(SetKey Key, BucketHandle Start) {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     Reclaim::Guard G(Domain);
     for (;;) {
-      auto [Prev, Curr] = find(Key, G);
+      auto [Prev, Curr] = find(Key, Start, G);
       if (Curr->Val != Key)
         return false;
       const uintptr_t SuccWord =
@@ -120,13 +161,42 @@ public:
 
   /// Lock-free (not wait-free) membership test: HP protection needs the
   /// re-validation loop of find().
-  bool contains(SetKey Key) const {
+  bool containsFrom(SetKey Key, BucketHandle Start) const {
     VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
     Reclaim::Guard G(Domain);
     auto *Self = const_cast<HarrisMichaelListHp *>(this);
-    auto [Prev, Curr] = Self->find(Key, G);
+    auto [Prev, Curr] = Self->find(Key, Start, G);
     (void)Prev;
     return Curr->Val == Key;
+  }
+
+  /// Get-or-insert for split-order dummy nodes: returns a handle to the
+  /// unique node carrying \p Key, inserting it if absent. The caller
+  /// promises the key is never removed from the set (dummy keys are not
+  /// user-visible), which is what makes the returned handle stable —
+  /// and exempt from hazard protection once returned.
+  BucketHandle getOrInsertSentinelFrom(SetKey Key, BucketHandle Start) {
+    VBL_ASSERT(isUserKey(Key), "sentinel keys are reserved");
+    Reclaim::Guard G(Domain);
+    Node *NewNode = nullptr;
+    for (;;) {
+      auto [Prev, Curr] = find(Key, Start, G);
+      if (Curr->Val == Key) {
+        reclaim::poolDestroy(NewNode); // Never published.
+        return Curr;
+      }
+      if (!NewNode)
+        NewNode = reclaim::poolCreate<Node>(Key);
+      NewNode->Next.store(pack(Curr, false), std::memory_order_relaxed);
+      uintptr_t Expected = pack(Curr, false);
+      if (Prev->Next.compare_exchange_strong(Expected,
+                                             pack(NewNode, false),
+                                             std::memory_order_release,
+                                             std::memory_order_acquire))
+        return NewNode;
+      stats::bump(stats::Counter::ListCasFailures);
+      stats::bump(stats::Counter::ListRestarts);
+    }
   }
 
   /// Lock-free range scan under hazard-pointer protection: the walk is
@@ -218,15 +288,20 @@ public:
 
   Reclaim &reclaimDomain() { return Domain; }
 
+  /// Identity of the head sentinel (schedule exporters key off it).
+  const void *headNode() const { return Head; }
+
+  /// Quiescent-only: the (node, key) chain from head to tail inclusive
+  /// (marked nodes included — they are physically present).
+  std::vector<std::pair<const void *, SetKey>> nodeChain() const {
+    std::vector<std::pair<const void *, SetKey>> Chain;
+    for (const Node *Curr = Head; Curr;
+         Curr = ptrOf(Curr->Next.load(std::memory_order_relaxed)))
+      Chain.emplace_back(Curr, Curr->Val);
+    return Chain;
+  }
+
 private:
-  /// One node per cache line by default (NodeAlignBytes, SetConfig.h).
-  struct alignas(NodeAlignBytes) Node {
-    explicit Node(SetKey Val) : Val(Val) {}
-
-    const SetKey Val;
-    std::atomic<uintptr_t> Next{0};
-  };
-
   static Node *ptrOf(uintptr_t Word) {
     return reinterpret_cast<Node *>(Word & ~uintptr_t(1));
   }
@@ -240,14 +315,16 @@ private:
   /// Hazard slot assignment.
   enum : unsigned { SlotCurr = 0, SlotPrev = 1 };
 
-  /// Michael's protected find: on return, Curr is protected by SlotCurr
-  /// and Prev by SlotPrev (Head needs no protection), Curr is unmarked,
-  /// Prev->Next == Curr and prev.val < Key <= curr.val.
-  std::pair<Node *, Node *> find(SetKey Key, Reclaim::Guard &G) {
+  /// Michael's protected find, anchored at \p Start (the head, or an
+  /// immortal bucket dummy): on return, Curr is protected by SlotCurr
+  /// and Prev by SlotPrev (Start needs no protection), Curr is
+  /// unmarked, Prev->Next == Curr and prev.val < Key <= curr.val.
+  std::pair<Node *, Node *> find(SetKey Key, Node *Start,
+                                 Reclaim::Guard &G) {
     uint64_t Hops = 0; // Accumulated across retries; one stats call.
   Retry:
-    Node *Prev = Head;
-    G.clear(SlotPrev); // Head is immortal.
+    Node *Prev = Start;
+    G.clear(SlotPrev); // Start is immortal (head or dummy sentinel).
     uintptr_t CurrWord = Prev->Next.load(std::memory_order_acquire);
     for (;;) {
       Node *Curr = ptrOf(CurrWord);

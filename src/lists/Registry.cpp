@@ -90,6 +90,35 @@ using VblVbr = VblList<reclaim::VbrDomain>;
 using LazyVbr = LazyList<reclaim::VbrDomain>;
 using VblChunkVbr = VblChunkList<7, reclaim::VbrDomain>;
 using SoHashVblVbr = maps::SplitOrderedHashSet<VblVbr>;
+using SoHashHmHp = maps::SplitOrderedHashSet<HarrisMichaelListHp>;
+// Resizable hash variants: shrink enabled, so the bucket index follows
+// the population both ways (grow at load factor 4, halve once the held
+// count falls under a quarter of the grow trigger). Displaced indexes
+// retire through the substrate's own domain.
+struct ResizeHashConfig {
+  static HashSetConfig config() {
+    HashSetConfig C;
+    C.InitialBuckets = 16;
+    C.GrowLoadFactor = 4;
+    C.MinBuckets = 1;
+    C.ShrinkDivisor = 4;
+    C.EnableShrink = true;
+    return C;
+  }
+};
+using SoHashHmResize =
+    maps::SplitOrderedHashSet<HarrisMichaelDefault, ResizeHashConfig>;
+using SoHashVblResize =
+    maps::SplitOrderedHashSet<VblDefault, ResizeHashConfig>;
+using SoHashVblVbrResize =
+    maps::SplitOrderedHashSet<VblVbr, ResizeHashConfig>;
+using SoHashHmHpResize =
+    maps::SplitOrderedHashSet<HarrisMichaelListHp, ResizeHashConfig>;
+// Contention-adaptive chunking: splits hot chunks toward small
+// effective K, merges cold runs toward large K, both piggybacked on the
+// freeze-and-replace protocol.
+using VblChunkAdaptive =
+    VblChunkList<7, reclaim::EpochDomain, DirectPolicy, /*Adaptive=*/true>;
 
 static const RegistryEntry Registry[] = {
     {"vbl", &makeAdapter<VblDefault>,
@@ -156,6 +185,9 @@ static const RegistryEntry Registry[] = {
     {"vbl-chunk-vbr", &makeAdapter<VblChunkVbr>,
      "chunked VBL over version-based reclamation; substrate=chunk K=7 "
      "domain=vbr lock=chunk-seqlock"},
+    {"vbl-chunk-adaptive", &makeAdapter<VblChunkAdaptive>,
+     "chunked VBL, contention-adaptive shapes (hot split / cold merge); "
+     "substrate=chunk K=7 domain=ebr lock=chunk-seqlock"},
     {"so-hash-hm", &makeAdapter<SoHashHm>,
      "split-ordered hash over Harris-Michael; substrate=hash/flat "
      "domain=ebr lock=none keys=[0,2^62)", /*FullKeyDomain=*/false},
@@ -165,6 +197,24 @@ static const RegistryEntry Registry[] = {
     {"so-hash-vbl-vbr", &makeAdapter<SoHashVblVbr>,
      "split-ordered hash over VBL+VBR; substrate=hash/flat domain=vbr "
      "lock=tas keys=[0,2^62)", /*FullKeyDomain=*/false},
+    {"so-hash-hm-hp", &makeAdapter<SoHashHmHp>,
+     "split-ordered hash over Harris-Michael+HP; substrate=hash/flat "
+     "domain=hp lock=none keys=[0,2^62)", /*FullKeyDomain=*/false},
+    {"so-hash-hm-resize", &makeAdapter<SoHashHmResize>,
+     "split-ordered hash over Harris-Michael, grow+shrink index; "
+     "substrate=hash/flat domain=ebr lock=none keys=[0,2^62)",
+     /*FullKeyDomain=*/false},
+    {"so-hash-vbl-resize", &makeAdapter<SoHashVblResize>,
+     "split-ordered hash over VBL, grow+shrink index; substrate=hash/flat "
+     "domain=ebr lock=tas keys=[0,2^62)", /*FullKeyDomain=*/false},
+    {"so-hash-vbl-vbr-resize", &makeAdapter<SoHashVblVbrResize>,
+     "split-ordered hash over VBL+VBR, grow+shrink index; "
+     "substrate=hash/flat domain=vbr lock=tas keys=[0,2^62)",
+     /*FullKeyDomain=*/false},
+    {"so-hash-hm-hp-resize", &makeAdapter<SoHashHmHpResize>,
+     "split-ordered hash over Harris-Michael+HP, grow+shrink index; "
+     "substrate=hash/flat domain=hp lock=none keys=[0,2^62)",
+     /*FullKeyDomain=*/false},
 };
 
 std::unique_ptr<ConcurrentSet> vbl::makeSet(const std::string &Name) {

@@ -16,23 +16,52 @@
 ///
 /// The substrate is pluggable: any list exposing the BucketHandle hooks
 /// (insertFrom / removeFrom / containsFrom / getOrInsertSentinelFrom)
-/// works. The repo registers two backends ("so-hash-hm" on
-/// HarrisMichaelList, "so-hash-vbl" on VblList), so the paper's
-/// concurrency-optimal VBL synchronization carries over to the sharded
-/// structure unchanged.
+/// works. The repo registers backends on HarrisMichaelList ("so-hash-hm"),
+/// VblList ("so-hash-vbl") and HarrisMichaelListHp ("so-hash-hm-hp"), so
+/// the paper's concurrency-optimal VBL synchronization carries over to
+/// the sharded structure unchanged.
 ///
-/// Bucket-index resizing: the index is an immutable-capacity array of
-/// atomic slots. Growth copies the memoized slots into a double-size
-/// array, publishes it with a release-CAS on the index pointer, and
-/// retires the old array through the substrate's reclamation domain —
-/// concurrent operations may still be traversing it (they loaded the
-/// pointer before the swap), so freeing in place would be a
-/// use-after-free; EBR/HP guards already bracket every operation, so the
-/// domain's grace period is exactly the right lifetime. A slot lost in
-/// the copy race (memoized concurrently with the copy) is harmless: the
-/// slot array is pure memoization of getOrInsertSentinelFrom, which
-/// always agrees on THE unique dummy node for a bucket, so the next
-/// lookup re-initializes to the same handle.
+/// Bucket-index resizing — the grace-period table swap: the index is an
+/// immutable-capacity array of atomic slots. A resize copies the
+/// memoized slots into a new array (double capacity on grow, half on
+/// shrink), publishes it with a release-CAS on the index pointer — the
+/// single resizer is whoever wins that CAS; losers destroy their
+/// never-published copy — and retires the displaced array through the
+/// substrate's reclamation domain. Concurrent operations may still be
+/// traversing the old array (they loaded the pointer before the swap),
+/// so freeing in place would be a use-after-free; every operation
+/// already brackets itself in a domain guard, so the domain's grace
+/// period (EBR epoch, HP hazard scan, VBR teardown parking) is exactly
+/// the right lifetime. A slot lost in the copy race (memoized
+/// concurrently with the copy) is harmless: the slot array is pure
+/// memoization of getOrInsertSentinelFrom, which always agrees on THE
+/// unique dummy node for a bucket, so the next lookup re-initializes to
+/// the same handle.
+///
+/// Shrinking leaves the dummies of the no-longer-addressable buckets in
+/// the list as orphans — they are sentinels, never removed, and a
+/// traversal from a coarser bucket's dummy simply walks past them (even
+/// so-keys are skipped like deleted nodes). A later re-grow re-memoizes
+/// the very same nodes via get-or-insert agreement. checkInvariants
+/// therefore validates dummy addressability against the monotonic
+/// high-water capacity (MaxCapacityEver), not the current capacity.
+///
+/// Hazard-pointer substrates need one extra discipline: the index
+/// pointer itself must sit in a hazard slot while dereferenced, and the
+/// substrate's per-operation guards share this thread's slot record —
+/// their destructors clear every slot, including ours. So the hash
+/// layer re-protects the index after every substrate call and, when the
+/// index moved meanwhile, skips the (now possibly freed) old array and
+/// keeps only the returned dummy handle, which is immortal and correct
+/// independent of any index. See loadIndex/indexStillCurrent.
+///
+/// When/whether to resize is the ResizePolicy carried by HashSetConfig
+/// (core/SetConfig.h): grow past GrowLoadFactor keys per bucket, shrink
+/// (if enabled) once occupancy falls below 1/ShrinkDivisor of the grow
+/// trigger — the hysteresis gap keeps a freshly swapped table from
+/// immediately qualifying for the opposite swap. Construction validates
+/// the config and refuses misconfiguration with a named
+/// HashSetConfigError instead of silently rounding.
 ///
 /// All shared accesses flow through the substrate's Policy, so the hash
 /// layer runs under the deterministic scheduler and the happens-before
@@ -54,33 +83,53 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 namespace vbl {
 namespace maps {
 
-template <class SubstrateT> class SplitOrderedHashSet {
+/// Default construction-time config source: the HashSetConfig defaults
+/// (grow-only, 16 initial buckets). Registry entries that want a
+/// different default-constructed shape (the `-resize` variants enable
+/// shrinking) pass their own provider type so SetAdapter's
+/// default-construction path keeps working.
+struct DefaultHashSetConfigProvider {
+  static HashSetConfig config() { return HashSetConfig{}; }
+};
+
+template <class SubstrateT,
+          class ConfigProviderT = DefaultHashSetConfigProvider>
+class SplitOrderedHashSet {
 public:
   using Substrate = SubstrateT;
   using Reclaim = typename SubstrateT::Reclaim;
   using Policy = typename SubstrateT::Policy;
   using BucketHandle = typename SubstrateT::BucketHandle;
+  using Guard = typename Reclaim::Guard;
 
-  explicit SplitOrderedHashSet(size_t InitialBuckets = 16,
-                               size_t MaxLoadFactor = 4,
-                               size_t MaxBuckets = size_t(1) << 22)
-      : MaxLoadFactor(MaxLoadFactor ? MaxLoadFactor : 1),
-        MaxBuckets(roundUpPow2(MaxBuckets ? MaxBuckets : 1)),
-        Domain(List.reclaimDomain()) {
-    const size_t Cap =
-        std::min(roundUpPow2(InitialBuckets ? InitialBuckets : 1),
-                 this->MaxBuckets);
-    BucketIndex *Initial = BucketIndex::allocate(Cap);
+  explicit SplitOrderedHashSet(const HashSetConfig &Config)
+      : Cfg(validated(Config)), Domain(List.reclaimDomain()) {
+    BucketIndex *Initial = BucketIndex::allocate(Cfg.InitialBuckets);
     // Bucket 0's dummy is the list head sentinel itself.
     Initial->Slots[0].store(List.headHandle(), std::memory_order_relaxed);
     Index.store(Initial, std::memory_order_release);
+    MaxCapacityEver.store(Cfg.InitialBuckets, std::memory_order_relaxed);
   }
+
+  SplitOrderedHashSet() : SplitOrderedHashSet(ConfigProviderT::config()) {}
+
+  /// Legacy shape: grow-only with the classic three knobs. Values must
+  /// be valid powers of two — the old silent round-up path is gone;
+  /// misconfiguration dies with a named HashSetConfigError.
+  explicit SplitOrderedHashSet(size_t InitialBuckets,
+                               size_t MaxLoadFactor = 4,
+                               size_t MaxBuckets = size_t(1) << 22)
+      : SplitOrderedHashSet(legacyConfig(ConfigProviderT::config(),
+                                         InitialBuckets, MaxLoadFactor,
+                                         MaxBuckets)) {}
 
   ~SplitOrderedHashSet() {
     BucketIndex::destroy(Index.load(std::memory_order_relaxed));
@@ -91,27 +140,27 @@ public:
 
   bool insert(SetKey Key) {
     VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
-    typename Reclaim::Guard G(Domain);
-    if (!List.insertFrom(so::regularSoKey(Key), bucketForKey(Key)))
+    Guard G(Domain);
+    if (!List.insertFrom(so::regularSoKey(Key), bucketForKey(Key, G)))
       return false;
-    maybeGrow(adjustCount(+1));
+    maybeGrow(adjustCount(+1), G);
     return true;
   }
 
   bool remove(SetKey Key) {
     VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
-    typename Reclaim::Guard G(Domain);
-    if (!List.removeFrom(so::regularSoKey(Key), bucketForKey(Key)))
+    Guard G(Domain);
+    if (!List.removeFrom(so::regularSoKey(Key), bucketForKey(Key, G)))
       return false;
-    adjustCount(-1);
+    maybeShrink(adjustCount(-1), G);
     return true;
   }
 
   /// Non-const: a lookup may lazily splice the bucket's dummy node.
   bool contains(SetKey Key) {
     VBL_ASSERT(so::isHashKey(Key), "hash-set keys must lie in [0, 2^62)");
-    typename Reclaim::Guard G(Domain);
-    return List.containsFrom(so::regularSoKey(Key), bucketForKey(Key));
+    Guard G(Domain);
+    return List.containsFrom(so::regularSoKey(Key), bucketForKey(Key, G));
   }
 
   /// Quiescent-only: decoded user keys, ascending (dummies filtered).
@@ -127,7 +176,7 @@ public:
                "hash-set keys must lie in [0, 2^62)");
     if (Lo > Hi)
       return 0;
-    typename Reclaim::Guard G(Domain);
+    Guard G(Domain);
     // Regular so-keys occupy [MinSentinel+1, MaxSentinel-2]: mix62 stays
     // below 2^62, so the reversal leaves bit 1 clear and the tagged
     // value never reaches the sentinels (SplitOrder.h static_asserts).
@@ -155,14 +204,18 @@ public:
   }
 
   /// Quiescent-only: substrate invariants plus hash-layer ones — the
-  /// index capacity is a power of two, slot 0 is the head, every
-  /// initialized slot memoizes its own bucket's dummy, every dummy in
-  /// the list is addressable, and the element count matches.
+  /// index capacity is a power of two within the configured bounds,
+  /// slot 0 is the head, every initialized slot memoizes its own
+  /// bucket's dummy, every dummy in the list was addressable under SOME
+  /// index this set ever published (shrinking orphans dummies above the
+  /// current capacity on purpose), and the element count matches.
   bool checkInvariants() const {
     if (!List.checkInvariants())
       return false;
     const BucketIndex *I = Index.load(std::memory_order_acquire);
-    if (!I || I->Capacity == 0 || (I->Capacity & (I->Capacity - 1)) != 0)
+    if (!I || !isPowerOfTwo(I->Capacity))
+      return false;
+    if (I->Capacity < Cfg.MinBuckets || I->Capacity > Cfg.MaxBuckets)
       return false;
     if (static_cast<const void *>(
             I->Slots[0].load(std::memory_order_acquire)) != List.headNode())
@@ -172,13 +225,14 @@ public:
       if (Handle && Substrate::handleKey(Handle) != so::dummySoKey(B))
         return false;
     }
+    const size_t Ever = MaxCapacityEver.load(std::memory_order_acquire);
     int64_t Regular = 0;
     for (SetKey SoKey : List.snapshot()) {
       if (so::isRegularSoKey(SoKey)) {
         ++Regular;
         continue;
       }
-      if (so::bucketOfDummy(SoKey) >= I->Capacity)
+      if (so::bucketOfDummy(SoKey) >= Ever)
         return false;
     }
     return Regular == Count.load(std::memory_order_acquire);
@@ -194,6 +248,13 @@ public:
   size_t bucketCount() const {
     return Index.load(std::memory_order_acquire)->Capacity;
   }
+
+  /// Largest capacity any published index ever had (monotonic).
+  size_t maxBucketCountEver() const {
+    return MaxCapacityEver.load(std::memory_order_acquire);
+  }
+
+  const HashSetConfig &config() const { return Cfg; }
 
   Reclaim &reclaimDomain() { return Domain; }
 
@@ -218,7 +279,7 @@ public:
 
 private:
   /// Immutable-capacity array of memoized bucket handles; null slots are
-  /// lazily initialized. Replaced wholesale on growth.
+  /// lazily initialized. Replaced wholesale on growth and shrinkage.
   struct BucketIndex {
     size_t Capacity = 0; // Power of two; immutable after publication.
     std::atomic<BucketHandle> *Slots = nullptr;
@@ -258,52 +319,129 @@ private:
     }
   };
 
-  static constexpr size_t roundUpPow2(size_t X) {
-    size_t P = 1;
-    while (P < X)
-      P <<= 1;
-    return P;
+  /// Hazard-pointer guards expose slot-indexed protect(); epoch and
+  /// version guards do not (their mere existence is the protection).
+  static constexpr bool HasHazardGuard =
+      requires(Guard &G, const std::atomic<BucketIndex *> &Src) {
+        { G.protect(3u, Src) };
+      };
+  /// HarrisMichaelListHp uses slots 0 (curr) and 1 (prev); the index
+  /// takes the top slot so the two layers never collide.
+  static constexpr unsigned IndexSlot = 3;
+
+  [[noreturn]] static void reportBadConfig(HashSetConfigError E) {
+    std::fprintf(stderr,
+                 "SplitOrderedHashSet: invalid HashSetConfig: %s\n",
+                 hashSetConfigErrorName(E));
+    std::abort();
+  }
+
+  static HashSetConfig validated(HashSetConfig C) {
+    const HashSetConfigError E = validateHashSetConfig(C);
+    if (E != HashSetConfigError::None)
+      reportBadConfig(E);
+    return C;
+  }
+
+  /// The legacy three-knob constructor overlaid on the provider's
+  /// config (so a shrink-enabled provider keeps its policy fields).
+  static HashSetConfig legacyConfig(HashSetConfig C, size_t InitialBuckets,
+                                    size_t MaxLoadFactor,
+                                    size_t MaxBuckets) {
+    C.InitialBuckets = InitialBuckets;
+    C.GrowLoadFactor = MaxLoadFactor;
+    C.MaxBuckets = MaxBuckets;
+    if (C.MinBuckets > InitialBuckets)
+      C.MinBuckets = 1;
+    return C;
+  }
+
+  /// Current index, safe to dereference for the rest of the operation —
+  /// provided no substrate call intervenes (see indexStillCurrent). HP
+  /// publishes the pointer in a hazard slot; everywhere else the
+  /// operation guard already covers any index the op can observe.
+  BucketIndex *loadIndex(Guard &G) {
+    if constexpr (HasHazardGuard) {
+      // protect() loops store-then-revalidate internally until the slot
+      // and the source agree, so the returned pointer cannot be freed
+      // while the slot holds it.
+      return G.protect(IndexSlot, Index);
+    } else {
+      (void)G;
+      return Policy::read(Index, std::memory_order_acquire, &Index,
+                          MemField::Next);
+    }
+  }
+
+  /// True when \p I is still the published index AND still safe to
+  /// dereference. Under HP a substrate call destroyed its inner guard,
+  /// which clears every hazard slot of this thread — including the
+  /// index slot — so a concurrent resize may have retired AND freed
+  /// \p I meanwhile; re-protect and compare. Elsewhere the operation
+  /// guard kept \p I alive, and writing a memo into a displaced index
+  /// is merely wasted work, so "still current" is always true.
+  bool indexStillCurrent(BucketIndex *I, Guard &G) {
+    if constexpr (HasHazardGuard) {
+      return G.protect(IndexSlot, Index) == I;
+    } else {
+      (void)I;
+      (void)G;
+      return true;
+    }
   }
 
   /// Handle of the bucket that must anchor operations on \p Key under
   /// the current index.
-  BucketHandle bucketForKey(SetKey Key) {
-    BucketIndex *I = Policy::read(Index, std::memory_order_acquire, &Index,
-                                  MemField::Next);
+  BucketHandle bucketForKey(SetKey Key, Guard &G) {
+    BucketIndex *I = loadIndex(G);
     const size_t Cap = Policy::readValue(I->Capacity, I);
     const size_t B =
         static_cast<size_t>(so::mix62(static_cast<uint64_t>(Key))) &
         (Cap - 1);
-    return bucketHandle(I, B);
+    bool IndexStale = false;
+    return bucketHandle(I, B, G, IndexStale);
   }
 
   /// Memoized-get-or-initialize of bucket \p B's dummy handle. The
   /// recursion splices missing dummies parent-first (parent = bucket
-  /// with its top set bit cleared), which terminates at slot 0 — always
-  /// initialized to the head (directly in the first index, via the copy
-  /// in grown ones).
-  BucketHandle bucketHandle(BucketIndex *I, size_t B) {
-    BucketHandle Memo = Policy::read(I->Slots[B], std::memory_order_acquire,
-                                     &I->Slots[B], MemField::Next);
-    if (Memo)
-      return Memo;
-    VBL_ASSERT(B != 0, "slot 0 is preset to the list head");
+  /// with its top set bit cleared), which terminates at bucket 0 — the
+  /// list head itself. \p IndexStale latches true once a hazard
+  /// re-protect observes the index was swapped out from under the
+  /// operation: from then on \p I may be freed memory, so the frames
+  /// stop touching it (no memo reads, no memo CAS) and rely purely on
+  /// get-or-insert agreement — the returned dummy handles are immortal
+  /// and correct under ANY index.
+  BucketHandle bucketHandle(BucketIndex *I, size_t B, Guard &G,
+                            bool &IndexStale) {
+    if (B == 0)
+      return List.headHandle();
+    if (!IndexStale) {
+      BucketHandle Memo = Policy::read(
+          I->Slots[B], std::memory_order_acquire, &I->Slots[B],
+          MemField::Next);
+      if (Memo)
+        return Memo;
+    }
     // One dummy splice, one parent link walked. In this
     // one-link-per-splice recursion the two totals coincide; the chain
     // counter is kept separate so a bulk-init strategy that probes
     // several ancestors per splice stays comparable.
     stats::bump(stats::Counter::MapBucketInits);
     stats::bump(stats::Counter::MapBucketInitChain);
-    BucketHandle Parent = bucketHandle(I, so::parentBucket(B));
+    BucketHandle Parent = bucketHandle(I, so::parentBucket(B), G, IndexStale);
     BucketHandle Dummy =
         List.getOrInsertSentinelFrom(so::dummySoKey(B), Parent);
-    // Losing this CAS means another thread memoized first; get-or-insert
-    // agreement guarantees it memoized the same node, so either way
-    // Dummy is THE handle for bucket B.
-    BucketHandle Expected = nullptr;
-    Policy::casStrong(I->Slots[B], Expected, Dummy,
-                      std::memory_order_release, &I->Slots[B],
-                      MemField::Next);
+    if (!indexStillCurrent(I, G))
+      IndexStale = true;
+    if (!IndexStale) {
+      // Losing this CAS means another thread memoized first;
+      // get-or-insert agreement guarantees it memoized the same node,
+      // so either way Dummy is THE handle for bucket B.
+      BucketHandle Expected = nullptr;
+      Policy::casStrong(I->Slots[B], Expected, Dummy,
+                        std::memory_order_release, &I->Slots[B],
+                        MemField::Next);
+    }
     return Dummy;
   }
 
@@ -320,47 +458,98 @@ private:
     return Observed + Delta;
   }
 
-  /// Doubles the bucket index when the load factor is exceeded. Many
-  /// threads may race to grow; one CAS wins, losers free their
-  /// never-published copy. The displaced index is retired through the
-  /// reclamation domain because concurrent operations that loaded it
-  /// before the swap may still dereference its slots.
-  void maybeGrow(int64_t NewCount) {
-    BucketIndex *I = Policy::read(Index, std::memory_order_acquire, &Index,
-                                  MemField::Next);
-    const size_t Cap = Policy::readValue(I->Capacity, I);
-    if (NewCount <= 0 ||
-        static_cast<uint64_t>(NewCount) <= Cap * MaxLoadFactor ||
-        Cap >= MaxBuckets)
-      return;
-    BucketIndex *Grown = BucketIndex::allocate(Cap * 2);
-    Policy::onNewNode(Grown, static_cast<int64_t>(Cap * 2));
-    for (size_t B = 0; B != Cap; ++B) {
+  /// Monotonic high-water mark of published capacities; CAS-max because
+  /// a grow after a deep shrink must not regress it.
+  void noteCapacity(size_t Cap) {
+    size_t Prev = Policy::read(MaxCapacityEver, std::memory_order_acquire,
+                               &MaxCapacityEver, MemField::Val);
+    while (Prev < Cap &&
+           !Policy::casStrong(MaxCapacityEver, Prev, Cap,
+                              std::memory_order_acq_rel, &MaxCapacityEver,
+                              MemField::Val)) {
+    }
+  }
+
+  /// Copy \p I's memoized slots [0, Count) into a fresh index of
+  /// capacity \p NewCap (callers pass Count = min of the two).
+  BucketIndex *copiedIndex(BucketIndex *I, size_t NewCap, size_t CopyCount) {
+    BucketIndex *Fresh = BucketIndex::allocate(NewCap);
+    Policy::onNewNode(Fresh, static_cast<int64_t>(NewCap));
+    for (size_t B = 0; B != CopyCount; ++B) {
       BucketHandle Memo = Policy::read(
           I->Slots[B], std::memory_order_acquire, &I->Slots[B],
           MemField::Next);
       if (Memo)
-        Policy::write(Grown->Slots[B], Memo, std::memory_order_relaxed,
-                      &Grown->Slots[B], MemField::Next);
+        Policy::write(Fresh->Slots[B], Memo, std::memory_order_relaxed,
+                      &Fresh->Slots[B], MemField::Next);
     }
-    BucketIndex *Expected = I;
-    if (Policy::casStrong(Index, Expected, Grown,
-                          std::memory_order_release, &Index,
-                          MemField::Next)) {
-      stats::bump(stats::Counter::MapResizes);
-      Domain.retireRaw(I, &BucketIndex::destroyErased);
-    } else {
+    return Fresh;
+  }
+
+  /// Publish \p Fresh over \p Old. One CAS decides the single resizer;
+  /// the loser destroys its never-published copy, the winner retires
+  /// the displaced array through the grace-period domain (concurrent
+  /// operations that loaded it before the swap still dereference it).
+  bool installIndex(BucketIndex *Old, BucketIndex *Fresh) {
+    BucketIndex *Expected = Old;
+    if (!Policy::casStrong(Index, Expected, Fresh,
+                           std::memory_order_release, &Index,
+                           MemField::Next)) {
       stats::bump(stats::Counter::MapResizesLost);
-      BucketIndex::destroy(Grown); // Never published.
+      BucketIndex::destroy(Fresh); // Never published.
+      return false;
+    }
+    noteCapacity(Fresh->Capacity);
+    stats::bump(stats::Counter::MapResizeSegmentsRetired);
+    Domain.retireRaw(Old, &BucketIndex::destroyErased);
+    return true;
+  }
+
+  /// Doubles the bucket index when the load factor is exceeded. Many
+  /// threads may race to resize; one CAS wins (see installIndex).
+  void maybeGrow(int64_t NewCount, Guard &G) {
+    BucketIndex *I = loadIndex(G);
+    const size_t Cap = Policy::readValue(I->Capacity, I);
+    if (NewCount <= 0 ||
+        static_cast<uint64_t>(NewCount) <= Cap * Cfg.GrowLoadFactor ||
+        Cap >= Cfg.MaxBuckets)
+      return;
+    BucketIndex *Grown = copiedIndex(I, Cap * 2, Cap);
+    if (installIndex(I, Grown)) {
+      stats::bump(stats::Counter::MapResizes);
+      stats::bump(stats::Counter::MapResizeGrows);
     }
   }
 
-  const size_t MaxLoadFactor;
-  const size_t MaxBuckets;
+  /// Halves the bucket index once occupancy falls below the hysteresis
+  /// watermark (1/ShrinkDivisor of the grow trigger), if shrinking is
+  /// enabled. The dummies of buckets [Cap/2, Cap) stay in the list as
+  /// orphans — sentinels are never removed — and a later grow
+  /// re-memoizes them via get-or-insert agreement.
+  void maybeShrink(int64_t NewCount, Guard &G) {
+    if (!Cfg.EnableShrink)
+      return;
+    BucketIndex *I = loadIndex(G);
+    const size_t Cap = Policy::readValue(I->Capacity, I);
+    if (Cap <= Cfg.MinBuckets)
+      return;
+    const uint64_t Held =
+        NewCount > 0 ? static_cast<uint64_t>(NewCount) : 0;
+    if (Held * Cfg.ShrinkDivisor >= Cap * Cfg.GrowLoadFactor)
+      return;
+    BucketIndex *Shrunk = copiedIndex(I, Cap / 2, Cap / 2);
+    if (installIndex(I, Shrunk))
+      stats::bump(stats::Counter::MapResizeShrinks);
+  }
+
+  const HashSetConfig Cfg;
   SubstrateT List;
   Reclaim &Domain; // == List.reclaimDomain(); guards must be shared.
   std::atomic<BucketIndex *> Index{nullptr};
   std::atomic<int64_t> Count{0};
+  /// Largest capacity ever published; dummy-addressability invariant
+  /// bound (shrink orphans dummies above the current capacity).
+  std::atomic<size_t> MaxCapacityEver{0};
 };
 
 } // namespace maps

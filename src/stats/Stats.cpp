@@ -67,6 +67,8 @@ const char *counterName(Counter C) {
     return "chunk.compactions";
   case Counter::ChunkUnlinks:
     return "chunk.unlinks";
+  case Counter::ChunkMerges:
+    return "chunk.merges";
   case Counter::ChunkValidationAborts:
     return "chunk.validation_aborts";
   case Counter::VbrRetired:
@@ -87,6 +89,12 @@ const char *counterName(Counter C) {
     return "map.resizes";
   case Counter::MapResizesLost:
     return "map.resizes_lost";
+  case Counter::MapResizeGrows:
+    return "map.resize.grows";
+  case Counter::MapResizeShrinks:
+    return "map.resize.shrinks";
+  case Counter::MapResizeSegmentsRetired:
+    return "map.resize.retired_segments";
   case Counter::ScanRetries:
     return "scan.retries";
   case Counter::ScanFallbacks:

@@ -130,6 +130,9 @@ enum class Counter : uint16_t {
                             ///  one compacted copy.
   ChunkUnlinks,             ///< chunk.unlinks: logically-empty chunk
                             ///  marked and unlinked (Harris-style).
+  ChunkMerges,              ///< chunk.merges: two adjacent cold chunks
+                            ///  frozen and replaced by one combined
+                            ///  chunk (adaptive reshaping only).
   ChunkValidationAborts,    ///< chunk.validation_aborts: lock-held
                             ///  revalidation of a chunk failed; the
                             ///  operation re-traversed.
@@ -153,6 +156,15 @@ enum class Counter : uint16_t {
   MapResizes,               ///< map.resizes: bucket-index doublings won.
   MapResizesLost,           ///< map.resizes_lost: doublings lost to a
                             ///  concurrent winner (allocated, discarded).
+  MapResizeGrows,           ///< map.resize.grows: index swaps that doubled
+                            ///  the capacity (policy-driven engine; a
+                            ///  subset of map.resizes accounting).
+  MapResizeShrinks,         ///< map.resize.shrinks: index swaps that
+                            ///  halved the capacity after the load fell
+                            ///  under the low watermark.
+  MapResizeSegmentsRetired, ///< map.resize.retired_segments: displaced
+                            ///  bucket-index arrays handed to the reclaim
+                            ///  domain (grace-period table swap).
   // range scans (rangeQuery/snapshot across every backend).
   ScanRetries,              ///< scan.retries: optimistic multi-chunk
                             ///  window collects whose version
@@ -199,8 +211,10 @@ enum class Histogram : uint16_t {
                   ///  sampled at every failed advance (reader lag depth).
   ChunkOccupancy, ///< hist.chunk_occupancy: live keys per chunk, sampled
                   ///  whenever a chunk is frozen or unlinked (its final
-                  ///  occupancy — the population a split/compaction or
-                  ///  unlink decision acted on).
+                  ///  occupancy) AND on every structural-path lock
+                  ///  acquisition, so long-stable chunks report their
+                  ///  steady-state population too — the signal the
+                  ///  adaptive chunking policy consumes.
   ServiceCombineOps, ///< hist.service_combine_ops: ops drained per
                      ///  combine round (own batch + every published batch
                      ///  the round picked up).

@@ -176,4 +176,55 @@ TEST(ChunkListAnalysisTest, FullChunkToggleChain) {
   expectRaceFree<ChunkK2>(S, "VblChunkList<2>", episodeCapOr(4000));
 }
 
+//===----------------------------------------------------------------===//
+// Contention-adaptive shapes (Adaptive=true): cold merges and the
+// heat-forced split ride the same freeze-and-replace protocol, so the
+// same oracles must stay silent — plus the flow invariant (F1-F7),
+// which is the sharp check on the merge's two-marks-one-swing order.
+//===----------------------------------------------------------------===//
+
+using AdaptiveK2 =
+    VblChunkList<2, reclaim::LeakyDomain, AnalyzedPolicy, /*Adaptive=*/true>;
+using AdaptiveK4 =
+    VblChunkList<4, reclaim::LeakyDomain, AnalyzedPolicy, /*Adaptive=*/true>;
+
+/// Race detector + flow oracle over one scenario. The corpus factory
+/// wires flowView() automatically; a merge that swung before marking
+/// both sources would trip F6 (unlinked-while-unmarked) here.
+template <class ListT>
+void expectRaceAndFlowFree(const Scenario &S, const char *ListName,
+                           size_t EpisodeCap) {
+  InterleavingExplorer Explorer(factoryFor<ListT>(S));
+  size_t Episodes = 0;
+  Explorer.exploreAll(
+      [&](const EpisodeResult &Result) {
+        ++Episodes;
+        for (const analysis::RaceReport &Report : Result.Races)
+          ADD_FAILURE() << ListName << " / " << S.Name << ": "
+                        << Report.toString();
+        for (const analysis::FlowReport &Report : Result.FlowViolations)
+          ADD_FAILURE() << ListName << " / " << S.Name << ": "
+                        << Report.toString();
+      },
+      std::min(S.MaxEpisodes, EpisodeCap));
+  EXPECT_GT(Episodes, 0u) << ListName << " / " << S.Name;
+}
+
+TEST(ChunkListAnalysisTest, AdaptiveCorpusIsRaceFree) {
+  // The generic corpus on an adaptive K=2 list: every remove that
+  // leaves one key arms a merge probe, every abort bumps heat.
+  for (const Scenario &S : scenarios())
+    expectRaceAndFlowFree<AdaptiveK2>(S, "VblChunkList<2,adaptive>",
+                                      corpusEpisodeCap());
+}
+
+TEST(ChunkListAnalysisTest, AdaptiveMergeScenariosAreClean) {
+  // The targeted merge corpus needs K=4 (see adaptiveChunkScenarios):
+  // prefill {1..5} lays out {1,2} -> {3,4,5}, and removing from the
+  // first chunk makes the 4-key union fit exactly.
+  for (const Scenario &S : adaptiveChunkScenarios())
+    expectRaceAndFlowFree<AdaptiveK4>(S, "VblChunkList<4,adaptive>",
+                                      episodeCapOr(2000));
+}
+
 } // namespace

@@ -108,7 +108,11 @@ template <class ListT> class ChunkVariantTest : public ::testing::Test {};
 using ChunkVariants =
     ::testing::Types<VblChunkList<1>, VblChunkList<2>, VblChunkList<7>,
                      VblChunkList<15>,
-                     VblChunkList<7, reclaim::LeakyDomain>>;
+                     VblChunkList<7, reclaim::LeakyDomain>,
+                     VblChunkList<4, reclaim::EpochDomain, DirectPolicy,
+                                  /*Adaptive=*/true>,
+                     VblChunkList<7, reclaim::EpochDomain, DirectPolicy,
+                                  /*Adaptive=*/true>>;
 TYPED_TEST_SUITE(ChunkVariantTest, ChunkVariants);
 
 TYPED_TEST(ChunkVariantTest, SetSemanticsAndInvariants) {
@@ -244,6 +248,60 @@ TEST(VblChunkListTest, ChunkLayoutIsLineAlignedAndPoolable) {
   EXPECT_EQ(VblChunkList<15>::ChunkBytes, 3 * size_t{CacheLineBytes});
   EXPECT_LE(VblChunkList<63>::ChunkBytes,
             reclaim::NodePool::MaxBlockBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Contention-adaptive shapes (Adaptive=true)
+//===----------------------------------------------------------------------===//
+
+using AdaptiveK4 =
+    VblChunkList<4, reclaim::EpochDomain, DirectPolicy, /*Adaptive=*/true>;
+
+TEST(VblChunkListTest, AdaptiveMergeFoldsSingletonIntoSuccessor) {
+  AdaptiveK4 List;
+  // Ascending 1..5 lays out {1,2} -> {3,4,5} (median split of the full
+  // first chunk). Removing 1 leaves a cold singleton whose union with
+  // the 3-key successor fits one chunk, so the remove piggybacks a
+  // merge: two sources frozen, one combined replacement swung in.
+  for (SetKey Key = 1; Key <= 5; ++Key)
+    ASSERT_TRUE(List.insert(Key));
+  ASSERT_EQ(List.chunkCountSlow(), 2u);
+  const stats::Snapshot Before = stats::snapshotAll();
+  ASSERT_TRUE(List.remove(1));
+  EXPECT_EQ(List.chunkCountSlow(), 1u);
+  for (SetKey Key = 2; Key <= 5; ++Key)
+    EXPECT_TRUE(List.contains(Key)) << Key;
+  EXPECT_FALSE(List.contains(1));
+  EXPECT_TRUE(List.checkInvariants());
+  if (stats::Enabled) {
+    const stats::Snapshot D = stats::snapshotAll().delta(Before);
+    EXPECT_EQ(D.get(stats::Counter::ChunkMerges), 1u);
+  }
+}
+
+TEST(VblChunkListTest, AdaptiveMergeRespectsQuarterFullHysteresis) {
+  AdaptiveK4 List;
+  // Build {10,15,20} -> {30}: ascending 10..50 splits into
+  // {10,20} -> {30,40,50}, insert 15 refills the first chunk, removing
+  // 40 and 50 thins the second to a singleton (whose own merge probe
+  // hits Tail and gives up).
+  for (SetKey Key : {10, 20, 30, 40, 50, 15})
+    ASSERT_TRUE(List.insert(static_cast<SetKey>(Key)));
+  ASSERT_TRUE(List.remove(40));
+  ASSERT_TRUE(List.remove(50));
+  ASSERT_EQ(List.chunkCountSlow(), 2u);
+  const stats::Snapshot Before = stats::snapshotAll();
+  // {15,20} left: half full, above the quarter-or-singleton watermark,
+  // so no merge fires even though the union (3 keys) would fit — the
+  // hysteresis that keeps steady-state half-full chunks from
+  // split/merge thrash.
+  ASSERT_TRUE(List.remove(10));
+  EXPECT_EQ(List.chunkCountSlow(), 2u);
+  EXPECT_TRUE(List.checkInvariants());
+  if (stats::Enabled) {
+    const stats::Snapshot D = stats::snapshotAll().delta(Before);
+    EXPECT_EQ(D.get(stats::Counter::ChunkMerges), 0u);
+  }
 }
 
 TEST(VblChunkListTest, ConcurrentChurnKeepsInvariants) {

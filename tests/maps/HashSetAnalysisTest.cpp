@@ -83,4 +83,50 @@ TEST(HashSetAnalysisTest, VblBackendIsRaceFree) {
       "SplitOrderedHashSet<Vbl>");
 }
 
+/// Same drill over the resize corpus, against tables with shrink armed
+/// (GrowLoadFactor=1, ShrinkDivisor=2, MinBuckets=1): episode removes
+/// cross the shrink watermark, so halving index swaps interleave with
+/// the other thread's traversal in-episode.
+template <class HashT>
+void expectRaceFreeResizeCorpus(const char *SetName) {
+  const size_t Cap = episodeCap();
+  for (const Scenario &S : hashResizeScenarios()) {
+    InterleavingExplorer Explorer(factoryForWith(S, [] {
+      HashSetConfig C;
+      C.InitialBuckets = 1;
+      C.GrowLoadFactor = 1;
+      C.MinBuckets = 1;
+      C.ShrinkDivisor = 2;
+      C.EnableShrink = true;
+      return std::make_shared<HashT>(C);
+    }));
+    size_t Episodes = 0;
+    size_t Accesses = 0;
+    Explorer.exploreAll(
+        [&](const EpisodeResult &Result) {
+          ++Episodes;
+          Accesses += Result.Raw.size();
+          for (const analysis::RaceReport &Report : Result.Races)
+            ADD_FAILURE() << SetName << " / " << S.Name << ": "
+                          << Report.toString();
+        },
+        std::min(S.MaxEpisodes, Cap));
+    EXPECT_GT(Episodes, 0u) << SetName << " / " << S.Name;
+    EXPECT_GT(Accesses, 0u) << SetName << " / " << S.Name
+                            << ": no accesses logged — is the policy wired?";
+  }
+}
+
+TEST(HashSetAnalysisTest, HarrisMichaelResizeIsRaceFree) {
+  expectRaceFreeResizeCorpus<maps::SplitOrderedHashSet<
+      HarrisMichaelList<reclaim::LeakyDomain, AnalyzedPolicy>>>(
+      "SplitOrderedHashSet<HarrisMichael,resize>");
+}
+
+TEST(HashSetAnalysisTest, VblResizeIsRaceFree) {
+  expectRaceFreeResizeCorpus<maps::SplitOrderedHashSet<
+      VblList<reclaim::LeakyDomain, AnalyzedPolicy>>>(
+      "SplitOrderedHashSet<Vbl,resize>");
+}
+
 } // namespace

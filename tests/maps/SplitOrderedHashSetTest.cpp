@@ -18,7 +18,11 @@
 #include "core/VblList.h"
 #include "lin/LinChecker.h"
 #include "lists/HarrisMichaelList.h"
+#include "lists/HarrisMichaelListHp.h"
 #include "lists/SetInterface.h"
+#include "reclaim/LeakyDomain.h"
+#include "reclaim/VbrDomain.h"
+#include "stats/Stats.h"
 #include "support/Barrier.h"
 #include "support/Random.h"
 #include "support/Timing.h"
@@ -36,6 +40,21 @@ namespace {
 
 using HmHash = maps::SplitOrderedHashSet<HarrisMichaelList<>>;
 using VblHash = maps::SplitOrderedHashSet<VblList<>>;
+using HpHash = maps::SplitOrderedHashSet<HarrisMichaelListHp>;
+using VbrHash = maps::SplitOrderedHashSet<VblList<reclaim::VbrDomain>>;
+
+/// Shrink-enabled config used by the churn tests: tiny table, load
+/// factor 1 (aggressive growth), minimal hysteresis so the drain phase
+/// walks the index back down.
+HashSetConfig churnConfig() {
+  HashSetConfig C;
+  C.InitialBuckets = 1;
+  C.GrowLoadFactor = 1;
+  C.MinBuckets = 1;
+  C.ShrinkDivisor = 2;
+  C.EnableShrink = true;
+  return C;
+}
 
 //===----------------------------------------------------------------===//
 // Encoding algebra
@@ -125,6 +144,7 @@ template <class HashT> void basicOps() {
 
 TEST(SplitOrderedHashSetTest, BasicOpsHarrisMichael) { basicOps<HmHash>(); }
 TEST(SplitOrderedHashSetTest, BasicOpsVbl) { basicOps<VblHash>(); }
+TEST(SplitOrderedHashSetTest, BasicOpsHarrisMichaelHp) { basicOps<HpHash>(); }
 
 template <class HashT> void growthSplitsBuckets() {
   // Tiny table + load factor 1: every few inserts double the index.
@@ -151,6 +171,9 @@ TEST(SplitOrderedHashSetTest, GrowthSplitsBucketsHarrisMichael) {
 }
 TEST(SplitOrderedHashSetTest, GrowthSplitsBucketsVbl) {
   growthSplitsBuckets<VblHash>();
+}
+TEST(SplitOrderedHashSetTest, GrowthSplitsBucketsHarrisMichaelHp) {
+  growthSplitsBuckets<HpHash>();
 }
 
 template <class HashT> void differentialVsStdSet(uint64_t Seed) {
@@ -183,6 +206,48 @@ TEST(SplitOrderedHashSetTest, DifferentialHarrisMichael) {
 TEST(SplitOrderedHashSetTest, DifferentialVbl) {
   differentialVsStdSet<VblHash>(202);
 }
+TEST(SplitOrderedHashSetTest, DifferentialHarrisMichaelHp) {
+  differentialVsStdSet<HpHash>(303);
+}
+
+/// Shrink-enabled differential: same model check, but the set breathes —
+/// the drain phases exercise maybeShrink against live lookups.
+template <class HashT> void differentialWithShrink(uint64_t Seed) {
+  HashT Set(churnConfig());
+  std::set<SetKey> Model;
+  Xoshiro256 Rng(Seed);
+  for (int Phase = 0; Phase != 6; ++Phase) {
+    // Even phases lean insert-heavy (grow), odd phases remove-heavy
+    // (shrink); lookups run throughout.
+    const bool Draining = Phase & 1;
+    for (int I = 0; I != 4000; ++I) {
+      const auto Key = static_cast<SetKey>(Rng.nextBounded(512));
+      switch (Rng.nextBounded(4)) {
+      case 0:
+      case 1:
+      case 2:
+        if (Draining)
+          ASSERT_EQ(Set.remove(Key), Model.erase(Key) != 0);
+        else
+          ASSERT_EQ(Set.insert(Key), Model.insert(Key).second);
+        break;
+      default:
+        ASSERT_EQ(Set.contains(Key), Model.count(Key) != 0);
+        break;
+      }
+    }
+    ASSERT_TRUE(Set.checkInvariants());
+  }
+  EXPECT_EQ(Set.snapshot(),
+            std::vector<SetKey>(Model.begin(), Model.end()));
+}
+
+TEST(SplitOrderedHashSetTest, DifferentialShrinkHarrisMichael) {
+  differentialWithShrink<HmHash>(404);
+}
+TEST(SplitOrderedHashSetTest, DifferentialShrinkVbl) {
+  differentialWithShrink<VblHash>(505);
+}
 
 //===----------------------------------------------------------------===//
 // Registry integration
@@ -190,7 +255,7 @@ TEST(SplitOrderedHashSetTest, DifferentialVbl) {
 
 TEST(SplitOrderedHashSetTest, RegistryExposesHashSetsSeparately) {
   const auto HashNames = registeredHashSetNames();
-  ASSERT_EQ(HashNames.size(), 3u);
+  ASSERT_EQ(HashNames.size(), 8u);
   const auto ListNames = registeredSetNames();
   for (const std::string &Name : HashNames) {
     // Resolvable by name, but not enumerated with the full-domain lists
@@ -208,8 +273,143 @@ TEST(SplitOrderedHashSetTest, RegistryExposesHashSetsSeparately) {
 }
 
 //===----------------------------------------------------------------===//
-// Concurrency
+// Config validation: every rejection has a stable name
 //===----------------------------------------------------------------===//
+
+TEST(HashSetConfigTest, ValidateNamesEveryRejection) {
+  HashSetConfig C;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::None);
+
+  C = HashSetConfig{};
+  C.InitialBuckets = 12;
+  EXPECT_EQ(validateHashSetConfig(C),
+            HashSetConfigError::InitialNotPowerOfTwo);
+  C.InitialBuckets = 0;
+  EXPECT_EQ(validateHashSetConfig(C),
+            HashSetConfigError::InitialNotPowerOfTwo);
+
+  C = HashSetConfig{};
+  C.MinBuckets = 3;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::MinNotPowerOfTwo);
+
+  C = HashSetConfig{};
+  C.MaxBuckets = 100;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::MaxNotPowerOfTwo);
+
+  C = HashSetConfig{};
+  C.MinBuckets = 64;
+  C.InitialBuckets = 16;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::BoundsInverted);
+  C = HashSetConfig{};
+  C.InitialBuckets = size_t(1) << 23;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::BoundsInverted);
+
+  C = HashSetConfig{};
+  C.GrowLoadFactor = 0;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::ZeroLoadFactor);
+
+  C = HashSetConfig{};
+  C.EnableShrink = true;
+  C.ShrinkDivisor = 1;
+  EXPECT_EQ(validateHashSetConfig(C),
+            HashSetConfigError::ShrinkDivisorTooSmall);
+  // Without shrink the divisor is ignored.
+  C.EnableShrink = false;
+  EXPECT_EQ(validateHashSetConfig(C), HashSetConfigError::None);
+
+  EXPECT_STREQ(hashSetConfigErrorName(HashSetConfigError::None), "None");
+  EXPECT_STREQ(
+      hashSetConfigErrorName(HashSetConfigError::InitialNotPowerOfTwo),
+      "InitialNotPowerOfTwo");
+  EXPECT_STREQ(
+      hashSetConfigErrorName(HashSetConfigError::ShrinkDivisorTooSmall),
+      "ShrinkDivisorTooSmall");
+}
+
+//===----------------------------------------------------------------===//
+// Shrink churn: the index follows the population back down, and every
+// displaced segment flows through the substrate's reclamation domain.
+//===----------------------------------------------------------------===//
+
+/// Grows a shrink-enabled set to >= 256 buckets, drains it, and pulses
+/// a little churn so the final halvings run; asserts the index returns
+/// to the MinBuckets low watermark while every key stays correct.
+/// Returns counter deltas so each domain's test can assert on segment
+/// retirement its own way.
+template <class HashT> stats::Snapshot growDrainChurn(HashT &Set) {
+  const stats::Snapshot Before = stats::snapshotAll();
+  constexpr SetKey N = 300;
+  for (SetKey Key = 0; Key != N; ++Key)
+    EXPECT_TRUE(Set.insert(Key * 1315423911));
+  EXPECT_GE(Set.bucketCount(), 256u);
+  for (SetKey Key = 0; Key != N; ++Key)
+    EXPECT_TRUE(Set.remove(Key * 1315423911));
+  for (int I = 0; I != 32; ++I) {
+    EXPECT_TRUE(Set.insert(7));
+    EXPECT_TRUE(Set.remove(7));
+  }
+  EXPECT_EQ(Set.bucketCount(), Set.config().MinBuckets);
+  EXPECT_GE(Set.maxBucketCountEver(), 256u);
+  EXPECT_EQ(Set.sizeFast(), 0);
+  EXPECT_TRUE(Set.checkInvariants());
+  return stats::snapshotAll().delta(Before);
+}
+
+TEST(SplitOrderedHashSetTest, ShrinkChurnEbr) {
+  HmHash Set(churnConfig());
+  const stats::Snapshot Delta = growDrainChurn(Set);
+  if (stats::Enabled) {
+    EXPECT_GT(Delta.get(stats::Counter::MapResizeGrows), 0u);
+    EXPECT_GT(Delta.get(stats::Counter::MapResizeShrinks), 0u);
+    EXPECT_GT(Delta.get(stats::Counter::MapResizeSegmentsRetired), 0u);
+  }
+  // Every displaced index went through the epoch domain; with all
+  // guards dropped a collect frees the backlog.
+  auto &Domain = Set.reclaimDomain();
+  EXPECT_GT(Domain.retiredCount(), 0u);
+  Domain.collectAll();
+  EXPECT_GT(Domain.freedCount(), 0u);
+}
+
+TEST(SplitOrderedHashSetTest, ShrinkChurnHp) {
+  HpHash Set(churnConfig());
+  const stats::Snapshot Delta = growDrainChurn(Set);
+  if (stats::Enabled) {
+    EXPECT_GT(Delta.get(stats::Counter::MapResizeShrinks), 0u);
+  }
+  // Hazard domain: no thread holds a protection now, so a full scan
+  // frees every displaced segment.
+  auto &Domain = Set.reclaimDomain();
+  EXPECT_GT(Domain.retiredCount(), 0u);
+  Domain.collectAll();
+  EXPECT_GT(Domain.freedCount(), 0u);
+}
+
+TEST(SplitOrderedHashSetTest, ShrinkChurnVbr) {
+  VbrHash Set(churnConfig());
+  const stats::Snapshot Delta = growDrainChurn(Set);
+  if (stats::Enabled) {
+    EXPECT_GT(Delta.get(stats::Counter::MapResizeShrinks), 0u);
+  }
+  // VBR parks raw (non-pool) retirees until domain teardown; the
+  // displaced indexes are accounted for, not lost.
+  EXPECT_GT(Set.reclaimDomain().retiredCount(), 0u);
+}
+
+TEST(SplitOrderedHashSetTest, ShrinkChurnLeakyBounded) {
+  using LeakyHash =
+      maps::SplitOrderedHashSet<HarrisMichaelList<reclaim::LeakyDomain>>;
+  LeakyHash Set(churnConfig());
+  const stats::Snapshot Delta = growDrainChurn(Set);
+  // The leaky domain never frees, so boundedness is the whole claim:
+  // hysteresis keeps resize churn proportional to the log of the peak
+  // table size plus the number of drain pulses — not to the op count.
+  if (stats::Enabled) {
+    const uint64_t Resizes = Delta.get(stats::Counter::MapResizes);
+    EXPECT_GT(Resizes, 0u);
+    EXPECT_LE(Resizes, 64u);
+  }
+}
 
 template <class HashT> void concurrentStress() {
   // Force aggressive concurrent splitting: tiny initial table, load
@@ -252,6 +452,57 @@ TEST(SplitOrderedHashSetTest, ConcurrentStressHarrisMichael) {
 }
 TEST(SplitOrderedHashSetTest, ConcurrentStressVbl) {
   concurrentStress<VblHash>();
+}
+TEST(SplitOrderedHashSetTest, ConcurrentStressHarrisMichaelHp) {
+  concurrentStress<HpHash>();
+}
+
+/// Phased concurrent churn against a shrink-enabled table: all threads
+/// fill, then all drain, repeated — the table breathes under real
+/// parallelism while lookups race each swing.
+template <class HashT> void concurrentShrinkStress() {
+  HashT Set(churnConfig());
+  constexpr unsigned Threads = 4;
+  constexpr int Phases = 4;
+  constexpr uint64_t Range = 512;
+  SpinBarrier Barrier(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(T + 31);
+      for (int Phase = 0; Phase != Phases; ++Phase) {
+        Barrier.arriveAndWait();
+        const bool Draining = Phase & 1;
+        for (int I = 0; I != 3000; ++I) {
+          const auto Key =
+              static_cast<SetKey>(Rng.nextBounded(Range) * 0x9E3779B9ULL);
+          if (Rng.nextBounded(4) == 0)
+            Set.contains(Key);
+          else if (Draining)
+            Set.remove(Key);
+          else
+            Set.insert(Key);
+        }
+      }
+    });
+  for (auto &Worker : Workers)
+    Worker.join();
+  EXPECT_TRUE(Set.checkInvariants());
+  EXPECT_EQ(Set.sizeFast(), static_cast<int64_t>(Set.sizeSlow()));
+  EXPECT_GT(Set.maxBucketCountEver(), Set.config().MinBuckets);
+}
+
+TEST(SplitOrderedHashSetTest, ConcurrentShrinkStressHarrisMichael) {
+  concurrentShrinkStress<HmHash>();
+}
+TEST(SplitOrderedHashSetTest, ConcurrentShrinkStressVbl) {
+  concurrentShrinkStress<VblHash>();
+}
+TEST(SplitOrderedHashSetTest, ConcurrentShrinkStressHarrisMichaelHp) {
+  concurrentShrinkStress<HpHash>();
+}
+TEST(SplitOrderedHashSetTest, ConcurrentShrinkStressVbr) {
+  concurrentShrinkStress<VbrHash>();
 }
 
 //===----------------------------------------------------------------===//
@@ -308,6 +559,15 @@ TEST(SplitOrderedHashSetTest, LinearizableHarrisMichael) {
 }
 TEST(SplitOrderedHashSetTest, LinearizableVbl) {
   checkLinearizable("so-hash-vbl");
+}
+TEST(SplitOrderedHashSetTest, LinearizableHarrisMichaelHp) {
+  checkLinearizable("so-hash-hm-hp");
+}
+TEST(SplitOrderedHashSetTest, LinearizableHarrisMichaelResize) {
+  checkLinearizable("so-hash-hm-resize");
+}
+TEST(SplitOrderedHashSetTest, LinearizableVblResize) {
+  checkLinearizable("so-hash-vbl-resize");
 }
 
 } // namespace

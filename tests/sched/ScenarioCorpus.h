@@ -124,6 +124,77 @@ inline std::vector<Scenario> hashSetScenarios() {
   };
 }
 
+/// Scenarios for shrink-enabled hash tables (the so-hash-*-resize
+/// configuration): built with InitialBuckets=1, GrowLoadFactor=1,
+/// ShrinkDivisor=2, MinBuckets=1, so episode removes cross the shrink
+/// watermark and the halving index-swap interleaves with the other
+/// thread's operation — resize-vs-insert/remove, shrink-vs-contains,
+/// and both directions racing a range scan.
+inline std::vector<Scenario> hashResizeScenarios() {
+  return {
+      // Both inserts race to publish a doubled index on a table whose
+      // shrink machinery is armed (the loser's copy must retire).
+      {"hash_resize_vs_insert", {1, 2},
+       {{{SetOp::Insert, 3}}, {{SetOp::Insert, 4}}}, {1, 2, 3, 4}, 3000},
+      // The drain crosses the shrink watermark while the insert pushes
+      // the other way: halving and doubling contend for the index slot.
+      {"hash_resize_vs_insert_remove", {1, 2},
+       {{{SetOp::Remove, 1}, {SetOp::Remove, 2}}, {{SetOp::Insert, 3}}},
+       {1, 2, 3}, 2000},
+      // A reader traverses from a bucket handle resolved against the
+      // wide index while the drain installs the halved copy.
+      {"hash_shrink_vs_contains", {1, 2},
+       {{{SetOp::Remove, 1}, {SetOp::Remove, 2}}, {{SetOp::Contains, 2}}},
+       {1, 2}, 2000},
+      {"hash_shrink_vs_remove", {1, 2, 3},
+       {{{SetOp::Remove, 1}, {SetOp::Remove, 2}}, {{SetOp::Remove, 3}}},
+       {1, 2, 3}, 2000},
+      // Index swaps racing a full-window scan: the scan walks the one
+      // ordered list and must stay linearizable whichever index it
+      // resolved its entry point through.
+      {"hash_resize_vs_scan", {1, 2},
+       {{{SetOp::Insert, 3}}, {{SetOp::RangeQuery, 0, 7}}},
+       {1, 2, 3}, 2000},
+      {"hash_shrink_vs_scan", {1, 2, 3},
+       {{{SetOp::Remove, 1}, {SetOp::Remove, 2}},
+        {{SetOp::RangeQuery, 0, 7}}},
+       {1, 2, 3}, 2000},
+  };
+}
+
+/// Scenarios for the contention-adaptive chunk list, tuned to K=4 (the
+/// merge trigger is a quarter-full or singleton chunk and a neighbour
+/// the union fits with). Prefill {1..5} lays out chunks {1,2} ->
+/// {3,4,5}: removing 1 or 2 drops the first chunk to one key and arms
+/// a merge with the 3-key successor (union of 4 fits exactly), so the
+/// two-source freeze + single swing interleaves with the other
+/// thread's op.
+inline std::vector<Scenario> adaptiveChunkScenarios() {
+  return {
+      {"chunk_merge_vs_contains", {1, 2, 3, 4, 5},
+       {{{SetOp::Remove, 1}}, {{SetOp::Contains, 4}}},
+       {1, 2, 3, 4, 5}, 3000},
+      {"chunk_merge_vs_insert", {1, 2, 3, 4, 5},
+       {{{SetOp::Remove, 2}}, {{SetOp::Insert, 6}}},
+       {1, 2, 3, 4, 5, 6}, 3000},
+      // Two removes, two merge attempts over overlapping chunk pairs;
+      // the second must revalidate against whatever the first froze.
+      {"chunk_merge_vs_remove", {1, 2, 3, 4, 5},
+       {{{SetOp::Remove, 1}}, {{SetOp::Remove, 3}}},
+       {1, 2, 3, 4, 5}, 3000},
+      // Reshape racing a range scan: the scan's optimistic window walk
+      // crosses the pair being excised by one swing.
+      {"chunk_reshape_vs_range", {1, 2, 3, 4, 5},
+       {{{SetOp::Remove, 2}}, {{SetOp::RangeQuery, 1, 6}}},
+       {1, 2, 3, 4, 5}, 3000},
+      // Same-chunk churn feeding the heat counter's abort-driven bumps
+      // while a structural insert decides shape under the locks.
+      {"chunk_heat_toggle", {1, 2, 3, 4, 5},
+       {{{SetOp::Remove, 1}, {SetOp::Insert, 1}}, {{SetOp::Insert, 6}}},
+       {1, 2, 3, 4, 5, 6}, 2000},
+  };
+}
+
 /// Scenarios tuned for version-based reclamation: every program both
 /// retires and re-allocates, so the explorer drives the retire ->
 /// immediate in-place reuse -> birth-stamp edge against a concurrent

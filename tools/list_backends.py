@@ -9,6 +9,9 @@ suggestions pointing back here.
 
 Usage:
   tools/list_backends.py [--build-dir build] [--tsv]
+  tools/list_backends.py --family hash      # split-ordered tables only
+  tools/list_backends.py --family resize    # grow+shrink variants
+  tools/list_backends.py --family vbr      # by reclaim domain
 """
 
 import argparse
@@ -23,6 +26,11 @@ def main():
                         help="CMake build directory containing bench/")
     parser.add_argument("--tsv", action="store_true",
                         help="raw tab-separated output (scripting)")
+    parser.add_argument("--family", default="",
+                        help="only rows whose name or description "
+                             "contains this substring (case-insensitive):"
+                             " e.g. hash, chunk, resize, adaptive, ebr,"
+                             " vbr, hp")
     args = parser.parse_args()
 
     binary = os.path.join(args.build_dir, "bench", "service_throughput")
@@ -36,8 +44,19 @@ def main():
     if not rows:
         print("error: registry dump was empty", file=sys.stderr)
         return 2
+    if args.family:
+        # The describe strings carry structured substrate=/domain=/...
+        # facets, so one substring filter covers name, family and
+        # reclaim-domain queries alike.
+        needle = args.family.lower()
+        rows = [r for r in rows
+                if any(needle in field.lower() for field in r)]
+        if not rows:
+            print(f"no backends match family '{args.family}'",
+                  file=sys.stderr)
+            return 1
     if args.tsv:
-        sys.stdout.write(out)
+        sys.stdout.write("".join("\t".join(r) + "\n" for r in rows))
         return 0
 
     name_w = max(len(r[0]) for r in rows)

@@ -39,9 +39,15 @@ def bench_invocations(args):
         ("fig1_small_contended", common + ["--threads", args.threads]),
         # The 64k+ ranges stay out of the smoke suite: their windows are
         # dominated by prefill/cache state and too noisy to gate on.
+        # --phased adds the grow/shrink panel: grow-only vs
+        # resize-enabled tables under alternating fill/drain phases,
+        # the workload the index-swap machinery exists for.
         ("hashset_scaling", common + ["--threads", args.threads,
                                       "--ranges", "1024,16384",
-                                      "--latency"]),
+                                      "--latency",
+                                      "--phased", "--phase-ms", "30",
+                                      "--phases", "4",
+                                      "--phased-range", "4096"]),
         # Reclamation primitives plus the pool-vs-bypass churn ratio;
         # gates the node-pool fast path against regressions.
         ("micro_reclaim", common + ["--churn-threads", args.threads,
@@ -69,8 +75,14 @@ def bench_invocations(args):
         # Unrolled chunk crossover: the flat-vs-chunked gate. 8192 is
         # the smallest range where the cache-line win must already
         # show; 64k stays out of the smoke suite like everywhere else.
+        # --hotcold adds the adaptive-shapes panel: contended hot
+        # region + read-mostly cold region, adaptive K vs static K.
         ("unrolled_crossover", common + ["--threads", args.threads,
-                                         "--ranges", "128,8192"]),
+                                         "--ranges", "128,8192",
+                                         "--hotcold",
+                                         "--hotcold-range", "4096",
+                                         "--hot-keys", "64",
+                                         "--hot-percent", "50"]),
         # Per-op tails under the Fig. 1 workload; its latency windows
         # are single repetitions, so no --warmup-ms/--repeats.
         ("latency_profile", ["--threads", args.threads,
